@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks of CocoSketch internals: the d-sweep of
+//! the basic update (Figure 16b's microscopic view), the hardware-
+//! friendly update, the approximate-division primitive, and the
+//! partial-key aggregation query path.
+
+use cocosketch::{probability, BasicCocoSketch, DivisionMode, FlowTable, HardwareCocoSketch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketches::Sketch;
+use traffic::gen::{generate, TraceConfig};
+use traffic::KeySpec;
+
+const MEM: usize = 500 * 1024;
+
+fn workload() -> Vec<traffic::KeyBytes> {
+    let trace = generate(&TraceConfig {
+        packets: 100_000,
+        flows: 10_000,
+        ..TraceConfig::default()
+    });
+    let full = KeySpec::FIVE_TUPLE;
+    trace.packets.iter().map(|p| full.project(&p.flow)).collect()
+}
+
+fn bench_basic_d_sweep(c: &mut Criterion) {
+    let keys = workload();
+    let mut group = c.benchmark_group("basic_update_by_d");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for d in [1usize, 2, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter_batched(
+                || BasicCocoSketch::with_memory(MEM, d, 13, 1),
+                |mut s| {
+                    for k in &keys {
+                        s.update(k, 1);
+                    }
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardware_update(c: &mut Criterion) {
+    let keys = workload();
+    let mut group = c.benchmark_group("hardware_update");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, mode) in [("exact", DivisionMode::Exact), ("approx", DivisionMode::ApproxTofino)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter_batched(
+                || HardwareCocoSketch::with_memory(MEM, 2, 13, mode, 1),
+                |mut s| {
+                    for k in &keys {
+                        s.update(k, 1);
+                    }
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_division(c: &mut Criterion) {
+    let mut group = c.benchmark_group("division");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("exact", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v % 100_000 + 1;
+            criterion::black_box(probability::exact_threshold(1, v))
+        })
+    });
+    group.bench_function("approx_tofino", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v % 100_000 + 1;
+            criterion::black_box(probability::approx_threshold(1, v))
+        })
+    });
+    group.finish();
+}
+
+fn bench_partial_query(c: &mut Criterion) {
+    let keys = workload();
+    let mut sketch = BasicCocoSketch::with_memory(MEM, 2, 13, 1);
+    for k in &keys {
+        sketch.update(k, 1);
+    }
+    let table = FlowTable::new(KeySpec::FIVE_TUPLE, sketch.records());
+    let mut group = c.benchmark_group("partial_key_query");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for spec in [KeySpec::SRC_IP, KeySpec::SRC_DST, KeySpec::src_prefix(16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{spec}")),
+            &spec,
+            |b, spec| b.iter(|| criterion::black_box(table.query_partial(spec))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_basic_d_sweep,
+    bench_hardware_update,
+    bench_division,
+    bench_partial_query
+);
+criterion_main!(benches);

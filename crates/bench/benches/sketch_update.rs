@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks: per-packet update cost of every
+//! algorithm (the microscopic view behind Figure 14a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tasks::{Algo, Pipeline};
+use traffic::gen::{generate, TraceConfig};
+use traffic::KeySpec;
+
+const MEM: usize = 500 * 1024;
+
+fn bench_updates(c: &mut Criterion) {
+    let trace = generate(&TraceConfig {
+        packets: 100_000,
+        flows: 10_000,
+        ..TraceConfig::default()
+    });
+
+    let mut group = c.benchmark_group("update_6keys");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let mut algos = vec![Algo::OURS];
+    algos.extend(Algo::BASELINES);
+    for algo in algos {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, algo| {
+            b.iter_batched(
+                || Pipeline::deploy(*algo, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, MEM, 1),
+                |mut pipe| {
+                    pipe.run(&trace);
+                    pipe
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The §2.3 point in microbenchmark form: naive USS's O(n)-scan update
+/// vs the Stream-Summary-accelerated version vs CocoSketch.
+fn bench_uss_implementations(c: &mut Criterion) {
+    use sketches::{NaiveUss, Sketch, UnbiasedSpaceSaving};
+    let trace = generate(&TraceConfig {
+        packets: 20_000, // small: the naive version is quadratic-ish
+        flows: 5_000,
+        ..TraceConfig::default()
+    });
+    let full = KeySpec::FIVE_TUPLE;
+    let keys: Vec<traffic::KeyBytes> =
+        trace.packets.iter().map(|p| full.project(&p.flow)).collect();
+
+    let mut group = c.benchmark_group("uss_update_cost");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("accelerated", |b| {
+        b.iter_batched(
+            || UnbiasedSpaceSaving::with_memory(MEM, 13, 1),
+            |mut s| {
+                for k in &keys {
+                    s.update(k, 1);
+                }
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("naive_scan", |b| {
+        b.iter_batched(
+            // 1/8 the memory keeps the O(n) scan from taking minutes;
+            // the per-packet cost is what the bench demonstrates.
+            || NaiveUss::with_memory(MEM / 8, 13, 1),
+            |mut s| {
+                for k in &keys {
+                    s.update(k, 1);
+                }
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_single_key(c: &mut Criterion) {
+    let trace = generate(&TraceConfig {
+        packets: 100_000,
+        flows: 10_000,
+        ..TraceConfig::default()
+    });
+
+    let mut group = c.benchmark_group("update_1key");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for algo in [Algo::OURS, Algo::Uss, Algo::Elastic] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, algo| {
+            b.iter_batched(
+                || Pipeline::deploy(*algo, &[KeySpec::FIVE_TUPLE], KeySpec::FIVE_TUPLE, MEM, 1),
+                |mut pipe| {
+                    pipe.run(&trace);
+                    pipe
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_single_key, bench_uss_implementations);
+criterion_main!(benches);

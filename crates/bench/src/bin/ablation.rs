@@ -1,0 +1,93 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Power-of-d vs global minimum** — d sweep incl. USS (also in
+//!    fig16; repeated here for a single consolidated table).
+//! 2. **Tie-breaking** — random (the paper's rule) vs first-minimum.
+//! 3. **Median vs mean** combination in the hardware-friendly query.
+//! 4. **Exact vs approximate division** in the replacement probability.
+//!
+//! Each row reports the heavy-hitter F1/ARE over the paper's six keys.
+
+use cocosketch::{
+    BasicCocoSketch, Combine, DivisionMode, FlowTable, HardwareCocoSketch, TieBreak,
+};
+use cocosketch_bench::{f, Cli, ResultTable};
+use sketches::Sketch;
+use std::collections::HashMap;
+use tasks::heavy_hitter::{score, threshold_of};
+use traffic::{presets, KeyBytes, KeySpec, Trace};
+
+const MEM: usize = 500 * 1024;
+const THRESHOLD: f64 = 1e-4;
+
+/// Feed the trace and score the six-key HH task from one sketch.
+fn run_one(sketch: &mut dyn Sketch, trace: &Trace, cli: &Cli) -> (f64, f64) {
+    let full = KeySpec::FIVE_TUPLE;
+    for p in &trace.packets {
+        sketch.update(&full.project(&p.flow), u64::from(p.weight));
+    }
+    let table = FlowTable::new(full, sketch.records());
+    let estimates: Vec<HashMap<KeyBytes, u64>> = KeySpec::PAPER_SIX
+        .iter()
+        .map(|spec| table.query_partial(spec))
+        .collect();
+    let _ = cli;
+    let res = score(&estimates, trace, &KeySpec::PAPER_SIX, threshold_of(trace, THRESHOLD));
+    (res.avg.f1, res.avg.are)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("ablation: generating CAIDA-like trace at scale {} ...", cli.scale);
+    let trace = presets::caida_like(cli.scale, cli.seed);
+    let key_bytes = KeySpec::FIVE_TUPLE.key_bytes();
+
+    let mut table = ResultTable::new(
+        "ablation",
+        "design-choice ablations (6-key heavy hitters, 500KB)",
+        &["dimension", "config", "F1", "ARE"],
+    );
+
+    // 1. candidate-set size.
+    for d in [1usize, 2, 4] {
+        let mut s = BasicCocoSketch::with_memory(MEM, d, key_bytes, cli.seed);
+        let (f1, are) = run_one(&mut s, &trace, &cli);
+        table.push(vec!["candidates".into(), format!("d={d}"), f(f1), f(are)]);
+    }
+    {
+        let mut s = sketches::UnbiasedSpaceSaving::with_memory(MEM, key_bytes, cli.seed);
+        let (f1, are) = run_one(&mut s, &trace, &cli);
+        table.push(vec!["candidates".into(), "global min (USS)".into(), f(f1), f(are)]);
+    }
+
+    // 2. tie-breaking.
+    for (label, tb) in [("random (paper)", TieBreak::Random), ("first", TieBreak::First)] {
+        let mut s = BasicCocoSketch::with_memory(MEM, 2, key_bytes, cli.seed);
+        s.set_tie_break(tb);
+        let (f1, are) = run_one(&mut s, &trace, &cli);
+        table.push(vec!["tie-break".into(), label.into(), f(f1), f(are)]);
+    }
+
+    // 3. median vs mean combine (d = 3: at d = 2 the median of the
+    // recording arrays coincides with their mean, so the comparison
+    // needs at least three arrays).
+    for (label, c) in [("median (paper)", Combine::Median), ("mean", Combine::Mean)] {
+        let mut s =
+            HardwareCocoSketch::with_memory(MEM, 3, key_bytes, DivisionMode::Exact, cli.seed);
+        s.set_combine(c);
+        let (f1, are) = run_one(&mut s, &trace, &cli);
+        table.push(vec!["combine".into(), label.into(), f(f1), f(are)]);
+    }
+
+    // 4. division mode.
+    for (label, mode) in [
+        ("exact (FPGA)", DivisionMode::Exact),
+        ("approx (Tofino)", DivisionMode::ApproxTofino),
+    ] {
+        let mut s = HardwareCocoSketch::with_memory(MEM, 2, key_bytes, mode, cli.seed);
+        let (f1, are) = run_one(&mut s, &trace, &cli);
+        table.push(vec!["division".into(), label.into(), f(f1), f(are)]);
+    }
+
+    table.emit(&cli.out_dir).expect("write results");
+}

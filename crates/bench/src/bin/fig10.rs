@@ -1,0 +1,59 @@
+//! Figure 10: heavy-change detection under different numbers of
+//! partial keys (two adjacent windows, 500KB, threshold 1e-4).
+//!
+//! Reproduces 10a (recall) and 10b (precision) for the paper's
+//! heavy-change comparison set (Ours, C-Heap, CM-Heap, Elastic,
+//! UnivMon).
+
+use cocosketch_bench::{f, Cli, ResultTable};
+use tasks::{heavy_change, Algo};
+use traffic::{gen, presets, KeySpec};
+
+const MEM: usize = 500 * 1024;
+const THRESHOLD: f64 = 1e-4;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig10: generating adjacent CAIDA-like windows at scale {} ...", cli.scale);
+    let cfg = presets::caida_config(cli.scale, cli.seed);
+    let (w1, w2) = gen::heavy_change_pair(&cfg, 400, 0.5);
+
+    let algos = [
+        Algo::OURS,
+        Algo::CountHeap,
+        Algo::CmHeap,
+        Algo::Elastic,
+        Algo::UnivMon,
+    ];
+
+    let cols = ["algo", "1", "2", "3", "4", "5", "6"];
+    let mut recall = ResultTable::new("fig10a", "heavy-change recall vs number of keys", &cols);
+    let mut precision =
+        ResultTable::new("fig10b", "heavy-change precision vs number of keys", &cols);
+
+    for algo in &algos {
+        let mut r_row = vec![algo.name().to_string()];
+        let mut p_row = vec![algo.name().to_string()];
+        for k in 1..=6 {
+            let res = heavy_change::run(
+                &w1,
+                &w2,
+                &KeySpec::PAPER_SIX[..k],
+                KeySpec::FIVE_TUPLE,
+                *algo,
+                MEM,
+                THRESHOLD,
+                cli.seed,
+            );
+            r_row.push(f(res.avg.recall));
+            p_row.push(f(res.avg.precision));
+            eprintln!("fig10: {} k={k}: F1 {:.3}", algo.name(), res.avg.f1);
+        }
+        recall.push(r_row);
+        precision.push(p_row);
+    }
+
+    for t in [&recall, &precision] {
+        t.emit(&cli.out_dir).expect("write results");
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 12: 2-d hierarchical heavy hitters — the 33x33 = 1089-key
+//! source/destination bit-granularity grid — CocoSketch vs R-HHH.
+//!
+//! Reproduces 12a (F1) and 12b (ARE) over 5–25MB. R-HHH must split its
+//! memory 1089 ways; CocoSketch keeps one sketch on (SrcIP, DstIP).
+
+use cocosketch_bench::{f, Cli, ResultTable};
+use hhh::hierarchy::two_d_hierarchy;
+use tasks::heavy_hitter::{score_against, threshold_of};
+use tasks::{Algo, Pipeline};
+use traffic::truth;
+use traffic::{presets, KeySpec};
+
+const MEMS_MB: [usize; 5] = [5, 10, 15, 20, 25];
+const THRESHOLD: f64 = 1e-4;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig12: generating CAIDA-like trace at scale {} ...", cli.scale);
+    let trace = presets::caida_like(cli.scale, cli.seed);
+    let hierarchy = two_d_hierarchy();
+
+    eprintln!("fig12: computing exact ground truth for {} levels ...", hierarchy.len());
+    let truths = truth::exact_counts_hierarchy(&trace, &KeySpec::SRC_DST, &hierarchy);
+    let threshold = threshold_of(&trace, THRESHOLD);
+    eprintln!("fig12: {} hierarchy levels (this sweep is the heavy one)", hierarchy.len());
+
+    let cols: Vec<String> = std::iter::once("algo".to_string())
+        .chain(MEMS_MB.iter().map(|m| format!("{m}MB")))
+        .collect();
+    let cols_ref: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut f1 = ResultTable::new("fig12a", "2-d HHH F1 vs memory (1089 keys)", &cols_ref);
+    let mut are = ResultTable::new("fig12b", "2-d HHH ARE vs memory (1089 keys)", &cols_ref);
+
+    let mut ours_f1 = vec!["Ours".to_string()];
+    let mut ours_are = vec!["Ours".to_string()];
+    let mut rhhh_f1 = vec!["RHHH".to_string()];
+    let mut rhhh_are = vec!["RHHH".to_string()];
+    for mem_mb in MEMS_MB {
+        let mem = mem_mb * 1024 * 1024;
+        let mut coco = Pipeline::deploy(Algo::OURS, &hierarchy, KeySpec::SRC_DST, mem, cli.seed);
+        coco.run(&trace);
+        let ours = score_against(&coco.estimates(), &truths, threshold);
+        let mut r = Pipeline::deploy_rhhh(&hierarchy, mem, cli.seed);
+        r.run(&trace);
+        let rhhh = score_against(&r.estimates(), &truths, threshold);
+        eprintln!(
+            "fig12 {mem_mb}MB: ours F1 {:.4} ARE {:.5} | rhhh F1 {:.4} ARE {:.4}",
+            ours.avg.f1, ours.avg.are, rhhh.avg.f1, rhhh.avg.are
+        );
+        ours_f1.push(f(ours.avg.f1));
+        ours_are.push(format!("{:.6}", ours.avg.are));
+        rhhh_f1.push(f(rhhh.avg.f1));
+        rhhh_are.push(format!("{:.6}", rhhh.avg.are));
+    }
+    f1.push(ours_f1);
+    f1.push(rhhh_f1);
+    are.push(ours_are);
+    are.push(rhhh_are);
+
+    for t in [&f1, &are] {
+        t.emit(&cli.out_dir).expect("write results");
+    }
+}

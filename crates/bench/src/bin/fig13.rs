@@ -1,0 +1,71 @@
+//! Figure 13: the MAWI-trace results — heavy-hitter F1 (13a) and
+//! heavy-change F1 (13b) under different numbers of partial keys.
+
+use cocosketch_bench::{f, Cli, ResultTable};
+use tasks::{heavy_change, heavy_hitter, Algo};
+use traffic::{gen, presets, KeySpec};
+
+const MEM: usize = 500 * 1024;
+const THRESHOLD: f64 = 1e-4;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig13: generating MAWI-like trace at scale {} ...", cli.scale);
+    let trace = presets::mawi_like(cli.scale, cli.seed);
+    let cfg = presets::mawi_config(cli.scale, cli.seed);
+    let (w1, w2) = gen::heavy_change_pair(&cfg, 400, 0.5);
+
+    let cols = ["algo", "1", "2", "3", "4", "5", "6"];
+    let mut hh = ResultTable::new("fig13a", "MAWI heavy-hitter F1 vs number of keys", &cols);
+    let mut hc = ResultTable::new("fig13b", "MAWI heavy-change F1 vs number of keys", &cols);
+
+    let mut hh_algos = vec![Algo::OURS];
+    hh_algos.extend(Algo::BASELINES);
+    for algo in &hh_algos {
+        let mut row = vec![algo.name().to_string()];
+        for k in 1..=6 {
+            let res = heavy_hitter::run(
+                &trace,
+                &KeySpec::PAPER_SIX[..k],
+                KeySpec::FIVE_TUPLE,
+                *algo,
+                MEM,
+                THRESHOLD,
+                cli.seed,
+            );
+            row.push(f(res.avg.f1));
+        }
+        eprintln!("fig13a: {} done", algo.name());
+        hh.push(row);
+    }
+
+    let hc_algos = [
+        Algo::OURS,
+        Algo::CountHeap,
+        Algo::CmHeap,
+        Algo::Elastic,
+        Algo::UnivMon,
+    ];
+    for algo in &hc_algos {
+        let mut row = vec![algo.name().to_string()];
+        for k in 1..=6 {
+            let res = heavy_change::run(
+                &w1,
+                &w2,
+                &KeySpec::PAPER_SIX[..k],
+                KeySpec::FIVE_TUPLE,
+                *algo,
+                MEM,
+                THRESHOLD,
+                cli.seed,
+            );
+            row.push(f(res.avg.f1));
+        }
+        eprintln!("fig13b: {} done", algo.name());
+        hc.push(row);
+    }
+
+    for t in [&hh, &hc] {
+        t.emit(&cli.out_dir).expect("write results");
+    }
+}

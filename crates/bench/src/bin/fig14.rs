@@ -1,0 +1,57 @@
+//! Figure 14: CPU processing speed under different numbers of partial
+//! keys — throughput in Mpps (14a) and 95th-percentile per-packet CPU
+//! cycles (14b).
+//!
+//! The shape to reproduce: CocoSketch and USS are flat in the number of
+//! keys (one sketch regardless), all per-key baselines degrade
+//! linearly; CocoSketch is the fastest overall, USS flat but slow
+//! (Stream-Summary bookkeeping), UnivMon the slowest.
+
+use cocosketch_bench::{f, Cli, ResultTable};
+use tasks::{timing, Algo, Pipeline};
+use traffic::{presets, KeySpec};
+
+const MEM: usize = 500 * 1024;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig14: generating CAIDA-like trace at scale {} ...", cli.scale);
+    let trace = presets::caida_like(cli.scale, cli.seed);
+
+    let mut algos = vec![Algo::OURS];
+    algos.extend(Algo::BASELINES);
+
+    let cols = ["algo", "1", "2", "3", "4", "5", "6"];
+    let mut tput = ResultTable::new("fig14a", "CPU throughput (Mpps) vs number of keys", &cols);
+    let mut cycles =
+        ResultTable::new("fig14b", "p95 per-packet CPU cycles vs number of keys", &cols);
+
+    for algo in &algos {
+        let mut t_row = vec![algo.name().to_string()];
+        let mut c_row = vec![algo.name().to_string()];
+        for k in 1..=6 {
+            let specs = &KeySpec::PAPER_SIX[..k];
+            let t = timing::measure_throughput(
+                || Pipeline::deploy(*algo, specs, KeySpec::FIVE_TUPLE, MEM, cli.seed),
+                &trace,
+                3,
+            );
+            let mut pipe = Pipeline::deploy(*algo, specs, KeySpec::FIVE_TUPLE, MEM, cli.seed);
+            let c = timing::measure_cycles(&mut pipe, &trace);
+            eprintln!(
+                "fig14: {} k={k}: {:.2} Mpps, p95 {} cycles",
+                algo.name(),
+                t.mpps,
+                c.p95_cycles
+            );
+            t_row.push(f(t.mpps));
+            c_row.push(format!("{:.0}", c.p95_cycles));
+        }
+        tput.push(t_row);
+        cycles.push(c_row);
+    }
+
+    for t in [&tput, &cycles] {
+        t.emit(&cli.out_dir).expect("write results");
+    }
+}

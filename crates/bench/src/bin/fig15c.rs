@@ -1,0 +1,48 @@
+//! Figure 15c: FPGA resource usage — CocoSketch vs one Elastic sketch
+//! vs six Elastic sketches (the 6-key deployment), as fractions of an
+//! Alveo U280-class device.
+//!
+//! Sketches are sized to reach 90% heavy-hitter F1 as in §7.4 (~0.5MB
+//! for CocoSketch; Elastic needs a similar heavy+light budget per key).
+
+use cocosketch_bench::{Cli, ResultTable};
+use hwsim::fpga::{synthesize, FpgaConfig};
+use hwsim::program::library;
+
+/// Memory giving ≥90% F1 (measured via the fig18a sweep).
+const COCO_MEM: usize = 512 * 1024;
+const ELASTIC_MEM: usize = 560 * 1024;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = FpgaConfig::default();
+    let coco = synthesize(
+        &library::coco_hardware(COCO_MEM, 2, library::FIVE_TUPLE_BITS),
+        &cfg,
+    );
+    let elastic = synthesize(&library::elastic(ELASTIC_MEM, library::FIVE_TUPLE_BITS), &cfg);
+
+    let pct = |v: f64| format!("{:.2}%", v * 100.0);
+    let mut table = ResultTable::new(
+        "fig15c",
+        "FPGA resource usage (fraction of device)",
+        &["resource", "Ours", "Elastic", "6*Elastic"],
+    );
+    let coco_fr = coco.fractions(&cfg);
+    let el_fr = elastic.fractions(&cfg);
+    for (i, name) in ["Registers", "LUTs", "Block RAM"].iter().enumerate() {
+        table.push(vec![
+            name.to_string(),
+            pct(coco_fr[i]),
+            pct(el_fr[i]),
+            pct(el_fr[i] * 6.0),
+        ]);
+    }
+    table.emit(&cli.out_dir).expect("write results");
+    eprintln!(
+        "fig15c: coco BRAM tiles {}, elastic {} (x6 = {})",
+        coco.bram_tiles,
+        elastic.bram_tiles,
+        elastic.bram_tiles * 6
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 15d: Tofino (P4) resource usage — CocoSketch vs one Elastic
+//! sketch vs four Elastic sketches (the most a Tofino can host), as
+//! fractions of the 12-stage pipeline's totals.
+
+use cocosketch_bench::{Cli, ResultTable};
+use hwsim::program::library;
+use hwsim::rmt::{fit_count, ResourceUsage, RmtConfig};
+
+const COCO_MEM: usize = 520 * 1024;
+const ELASTIC_MEM: usize = 560 * 1024;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = RmtConfig::default();
+    let coco = ResourceUsage::of(&library::coco_hardware(COCO_MEM, 2, library::FIVE_TUPLE_BITS));
+    let elastic_prog = library::elastic(ELASTIC_MEM, library::FIVE_TUPLE_BITS);
+    let elastic = ResourceUsage::of(&elastic_prog);
+
+    let pct = |v: f64| format!("{:.2}%", v * 100.0);
+    let coco_fr = coco.fractions(&cfg);
+    let el_fr = elastic.fractions(&cfg);
+    // Fractions order: hash dist, SALU, gateway, Map RAM, SRAM.
+    let rows = [("SRAM", 4usize), ("Map RAM", 3), ("Stateful ALUs", 1)];
+
+    let mut table = ResultTable::new(
+        "fig15d",
+        "P4 (Tofino) resource usage (fraction of pipeline)",
+        &["resource", "Ours", "Elastic", "4*Elastic"],
+    );
+    for (name, idx) in rows {
+        table.push(vec![
+            name.to_string(),
+            pct(coco_fr[idx]),
+            pct(el_fr[idx]),
+            pct(el_fr[idx] * 4.0),
+        ]);
+    }
+    table.emit(&cli.out_dir).expect("write results");
+    eprintln!(
+        "fig15d: a Tofino hosts {} Elastic instances at most (placement model)",
+        fit_count(&elastic_prog, &cfg)
+    );
+}

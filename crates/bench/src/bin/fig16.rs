@@ -1,0 +1,59 @@
+//! Figure 16: varying `d` in the basic CocoSketch — F1 (16a) and CPU
+//! throughput (16b), with USS as the `d = total buckets` limit.
+//!
+//! The shape: F1 changes only marginally from d=2 upward, while
+//! throughput falls with d and collapses for USS — the justification
+//! for the power-of-d relaxation.
+
+use cocosketch::Variant;
+use cocosketch_bench::{f, Cli, ResultTable};
+use tasks::{heavy_hitter, timing, Algo, Pipeline};
+use traffic::{presets, KeySpec};
+
+const MEM: usize = 500 * 1024;
+const THRESHOLD: f64 = 1e-4;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig16: generating CAIDA-like trace at scale {} ...", cli.scale);
+    let trace = presets::caida_like(cli.scale, cli.seed);
+
+    let mut table = ResultTable::new(
+        "fig16",
+        "basic CocoSketch: F1 and throughput vs d (USS = global-minimum limit)",
+        &["config", "F1", "throughput(Mpps)"],
+    );
+
+    let configs: Vec<(String, Algo)> = (1..=6usize)
+        .map(|d| {
+            (
+                format!("d={d}"),
+                Algo::Coco {
+                    variant: Variant::Basic,
+                    d,
+                },
+            )
+        })
+        .chain(std::iter::once(("USS".to_string(), Algo::Uss)))
+        .collect();
+
+    for (label, algo) in &configs {
+        let res = heavy_hitter::run(
+            &trace,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            *algo,
+            MEM,
+            THRESHOLD,
+            cli.seed,
+        );
+        let t = timing::measure_throughput(
+            || Pipeline::deploy(*algo, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, MEM, cli.seed),
+            &trace,
+            3,
+        );
+        eprintln!("fig16: {label}: F1 {:.4}, {:.2} Mpps", res.avg.f1, t.mpps);
+        table.push(vec![label.clone(), f(res.avg.f1), f(t.mpps)]);
+    }
+    table.emit(&cli.out_dir).expect("write results");
+}

@@ -1,0 +1,85 @@
+//! Figure 17: CDF of absolute per-flow error under different `d`
+//! values — basic CocoSketch vs USS (17a) and the hardware-friendly
+//! variant (17b).
+//!
+//! The paper's observation: larger `d` gives smaller errors at most
+//! quantiles but a heavier extreme tail (Theorem 3's d-dependence).
+//! Output: absolute error at the upper quantiles of the per-flow error
+//! distribution across all distinct full-key flows.
+
+use cocosketch::{BasicCocoSketch, DivisionMode, HardwareCocoSketch};
+use cocosketch_bench::{Cli, ResultTable};
+use sketches::Sketch;
+use traffic::{presets, truth, KeySpec, Trace};
+
+const MEM: usize = 500 * 1024;
+const QUANTILES: [f64; 7] = [0.95, 0.96, 0.97, 0.98, 0.99, 0.995, 0.999];
+
+/// Per-flow |estimate - truth| across every distinct full-key flow.
+fn error_distribution(sketch: &dyn Sketch, trace: &Trace) -> Vec<u64> {
+    let exact = truth::exact_counts(trace, &KeySpec::FIVE_TUPLE);
+    let est: std::collections::HashMap<_, _> = sketch.records().into_iter().collect();
+    let mut errors: Vec<u64> = exact
+        .iter()
+        .map(|(k, &v)| est.get(k).copied().unwrap_or(0).abs_diff(v))
+        .collect();
+    errors.sort_unstable();
+    errors
+}
+
+fn quantile(errors: &[u64], q: f64) -> u64 {
+    let idx = ((errors.len() as f64 * q) as usize).min(errors.len() - 1);
+    errors[idx]
+}
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig17: generating CAIDA-like trace at scale {} ...", cli.scale);
+    let trace = presets::caida_like(cli.scale, cli.seed);
+    let full = KeySpec::FIVE_TUPLE;
+    let feed = |sketch: &mut dyn Sketch| {
+        for p in &trace.packets {
+            sketch.update(&full.project(&p.flow), u64::from(p.weight));
+        }
+    };
+
+    let q_cols: Vec<String> = std::iter::once("config".to_string())
+        .chain(QUANTILES.iter().map(|q| format!("q{q}")))
+        .collect();
+    let q_ref: Vec<&str> = q_cols.iter().map(String::as_str).collect();
+
+    // 17a: basic CocoSketch d in {2,3,4} and USS.
+    let mut a = ResultTable::new("fig17a", "error CDF tail, basic CocoSketch", &q_ref);
+    for d in [2usize, 3, 4] {
+        let mut s = BasicCocoSketch::with_memory(MEM, d, full.key_bytes(), cli.seed);
+        feed(&mut s);
+        let errors = error_distribution(&s, &trace);
+        let mut row = vec![format!("d={d}")];
+        row.extend(QUANTILES.iter().map(|&q| quantile(&errors, q).to_string()));
+        a.push(row);
+        eprintln!("fig17a: d={d} done");
+    }
+    {
+        let mut uss = sketches::UnbiasedSpaceSaving::with_memory(MEM, full.key_bytes(), cli.seed);
+        feed(&mut uss);
+        let errors = error_distribution(&uss, &trace);
+        let mut row = vec!["USS".to_string()];
+        row.extend(QUANTILES.iter().map(|&q| quantile(&errors, q).to_string()));
+        a.push(row);
+    }
+    a.emit(&cli.out_dir).expect("write results");
+
+    // 17b: hardware-friendly CocoSketch d in {1,2,3,4}.
+    let mut b = ResultTable::new("fig17b", "error CDF tail, hardware-friendly CocoSketch", &q_ref);
+    for d in [1usize, 2, 3, 4] {
+        let mut s =
+            HardwareCocoSketch::with_memory(MEM, d, full.key_bytes(), DivisionMode::Exact, cli.seed);
+        feed(&mut s);
+        let errors = error_distribution(&s, &trace);
+        let mut row = vec![format!("d={d}")];
+        row.extend(QUANTILES.iter().map(|&q| quantile(&errors, q).to_string()));
+        b.push(row);
+        eprintln!("fig17b: d={d} done");
+    }
+    b.emit(&cli.out_dir).expect("write results");
+}

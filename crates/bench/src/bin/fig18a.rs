@@ -1,0 +1,45 @@
+//! Figure 18a: heavy-hitter F1 of the three CocoSketch versions —
+//! basic (software), FPGA (hardware-friendly, exact division) and P4
+//! (hardware-friendly, approximate division) — across memory budgets.
+//!
+//! Expected shape: basic is best, the hardware-friendly versions trail
+//! by <10%, and the FPGA-vs-P4 gap (the approximate division) is <1%.
+
+use cocosketch::Variant;
+use cocosketch_bench::{f, Cli, ResultTable};
+use tasks::{heavy_hitter, Algo};
+use traffic::{presets, KeySpec};
+
+const MEMS_KB: [usize; 3] = [500, 1000, 1500];
+const THRESHOLD: f64 = 1e-4;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig18a: generating CAIDA-like trace at scale {} ...", cli.scale);
+    let trace = presets::caida_like(cli.scale, cli.seed);
+
+    let cols: Vec<String> = std::iter::once("version".to_string())
+        .chain(MEMS_KB.iter().map(|m| format!("{m}KB")))
+        .collect();
+    let cols_ref: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new("fig18a", "CocoSketch versions: HH F1 vs memory", &cols_ref);
+
+    for variant in Variant::ALL {
+        let mut row = vec![variant.name().to_string()];
+        for mem_kb in MEMS_KB {
+            let res = heavy_hitter::run(
+                &trace,
+                &KeySpec::PAPER_SIX,
+                KeySpec::FIVE_TUPLE,
+                Algo::Coco { variant, d: 2 },
+                mem_kb * 1024,
+                THRESHOLD,
+                cli.seed,
+            );
+            eprintln!("fig18a: {} {mem_kb}KB: F1 {:.4}", variant.name(), res.avg.f1);
+            row.push(f(res.avg.f1));
+        }
+        table.push(row);
+    }
+    table.emit(&cli.out_dir).expect("write results");
+}

@@ -1,0 +1,136 @@
+//! Figure 18b: CocoSketch vs full-key-sketch strawmen (§2.3) on a
+//! two-key workload — SrcIP (the full key) and its 24-bit prefix.
+//!
+//! - **Ours**: one CocoSketch on SrcIP; the /24 recovered by unbiased
+//!   aggregation.
+//! - **2*Elastic**: one Elastic sketch per key (half the memory each).
+//! - **Lossy**: one full-memory Elastic on SrcIP; the /24 recovered by
+//!   aggregating only the heavy-part records.
+//! - **Full**: one full-memory Elastic on SrcIP; each /24 recovered by
+//!   querying all 256 member addresses.
+//!
+//! ARE is computed over *all* distinct flows of each key. Expected
+//! shape: Ours is accurate on both keys; the strawmen do acceptably on
+//! the full key but poorly on the partial key ("Lossy" loses unrecorded
+//! flows, "Full" accumulates per-query error 256x).
+
+use cocosketch::{BasicCocoSketch, FlowTable};
+use cocosketch_bench::{Cli, ResultTable};
+use sketches::{ElasticSketch, Sketch};
+use std::collections::HashMap;
+use traffic::{presets, truth, KeyBytes, KeySpec, Trace};
+
+/// The paper's 6MB against its full trace works out to roughly two
+/// 8-byte (SrcIP, counter) buckets per distinct source; the budget
+/// here is sized to the generated workload at a comparable ratio (six
+/// buckets per distinct source) so the memory pressure matches at any
+/// `--scale`.
+const BUCKET_BYTES: usize = 8;
+const BUCKETS_PER_FLOW: usize = 6;
+
+/// ARE of `estimate(key)` over all keys of `truth`.
+fn are_over_all(truth: &HashMap<KeyBytes, u64>, mut estimate: impl FnMut(&KeyBytes) -> u64) -> f64 {
+    let mut sum = 0f64;
+    for (k, &v) in truth {
+        let est = estimate(k);
+        sum += (est as f64 - v as f64).abs() / v as f64;
+    }
+    sum / truth.len() as f64
+}
+
+fn feed(sketch: &mut dyn Sketch, trace: &Trace, spec: &KeySpec) {
+    for p in &trace.packets {
+        sketch.update(&spec.project(&p.flow), u64::from(p.weight));
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig18b: generating CAIDA-like trace at scale {} ...", cli.scale);
+    let trace = presets::caida_like(cli.scale, cli.seed);
+    let full = KeySpec::SRC_IP;
+    let part = KeySpec::src_prefix(24);
+    let truth_full = truth::exact_counts(&trace, &full);
+    let truth_part = truth::exact_counts(&trace, &part);
+    let mem = (truth_full.len() * BUCKET_BYTES * BUCKETS_PER_FLOW).max(64 * 1024);
+    eprintln!(
+        "fig18b: {} distinct SrcIPs, {} distinct /24s, {}KB budget",
+        truth_full.len(),
+        truth_part.len(),
+        mem / 1024
+    );
+
+    let mut table = ResultTable::new(
+        "fig18b",
+        "ARE on full key (SrcIP) and partial key (/24), 6MB scaled",
+        &["method", "ARE 32-bit (full)", "ARE 24-bit (partial)"],
+    );
+
+    // Ours: one CocoSketch on the full key.
+    {
+        let mut coco = BasicCocoSketch::with_memory(mem, 2, full.key_bytes(), cli.seed);
+        feed(&mut coco, &trace, &full);
+        let t = FlowTable::new(full, coco.records());
+        let full_est: HashMap<KeyBytes, u64> = t.query_partial(&full);
+        let part_est = t.query_partial(&part);
+        table.push(vec![
+            "Ours".into(),
+            format!("{:.4}", are_over_all(&truth_full, |k| full_est.get(k).copied().unwrap_or(0))),
+            format!("{:.4}", are_over_all(&truth_part, |k| part_est.get(k).copied().unwrap_or(0))),
+        ]);
+        eprintln!("fig18b: Ours done");
+    }
+
+    // 2*Elastic: one sketch per key, half memory each.
+    {
+        let mut e_full = ElasticSketch::with_memory(mem / 2, full.key_bytes(), cli.seed);
+        feed(&mut e_full, &trace, &full);
+        let mut e_part = ElasticSketch::with_memory(mem / 2, part.key_bytes(), cli.seed + 1);
+        feed(&mut e_part, &trace, &part);
+        table.push(vec![
+            "2*Elastic".into(),
+            format!("{:.4}", are_over_all(&truth_full, |k| e_full.query(k))),
+            format!("{:.4}", are_over_all(&truth_part, |k| e_part.query(k))),
+        ]);
+        eprintln!("fig18b: 2*Elastic done");
+    }
+
+    // Lossy & Full share one full-memory Elastic on the full key.
+    {
+        let mut e = ElasticSketch::with_memory(mem, full.key_bytes(), cli.seed + 2);
+        feed(&mut e, &trace, &full);
+        let are_full = are_over_all(&truth_full, |k| e.query(k));
+
+        // Lossy: aggregate only the recorded (heavy-part) flows.
+        let lossy_table = FlowTable::new(full, e.records());
+        let lossy_est = lossy_table.query_partial(&part);
+        table.push(vec![
+            "Lossy".into(),
+            format!("{are_full:.4}"),
+            format!("{:.4}", are_over_all(&truth_part, |k| {
+                lossy_est.get(k).copied().unwrap_or(0)
+            })),
+        ]);
+        eprintln!("fig18b: Lossy done");
+
+        // Full: query every /32 member of each /24.
+        let are_part_full_query = are_over_all(&truth_part, |k24| {
+            let base =
+                u32::from_be_bytes(k24.as_slice().try_into().expect("/24 keys are 4 bytes"));
+            (0..256u32)
+                .map(|low| {
+                    let ip = base | low;
+                    e.query(&KeyBytes::new(&ip.to_be_bytes()))
+                })
+                .sum()
+        });
+        table.push(vec![
+            "Full".into(),
+            format!("{are_full:.4}"),
+            format!("{are_part_full_query:.4}"),
+        ]);
+        eprintln!("fig18b: Full done");
+    }
+
+    table.emit(&cli.out_dir).expect("write results");
+}

@@ -1,0 +1,36 @@
+//! Run every experiment binary in sequence with shared flags.
+//!
+//! `cargo run --release -p cocosketch-bench --bin run_all -- --scale 20`
+//! regenerates every table and figure CSV under `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 17] = [
+    "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b",
+    "fig15c", "fig15d", "fig16", "fig17", "fig18a", "fig18b", "ablation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        eprintln!("\n===== {exp} =====");
+        let status = Command::new(bin_dir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("{exp} FAILED ({status})");
+            failures.push(exp);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

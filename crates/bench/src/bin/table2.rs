@@ -1,0 +1,50 @@
+//! Table 2: resource-usage breakdown of one single-key sketch
+//! (Count-Min, and R-HHH's per-level variant) on a Tofino-class RMT
+//! switch, and the resulting "at most four sketches" feasibility bound.
+
+use cocosketch_bench::{Cli, ResultTable};
+use hwsim::program::library;
+use hwsim::rmt::{fit_count, place, ResourceUsage, RmtConfig};
+
+const MEM: usize = 500 * 1024;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = RmtConfig::default();
+    let cm = library::count_min(MEM, 3, library::FIVE_TUPLE_BITS);
+    let rhhh = library::rhhh(MEM, 3, library::FIVE_TUPLE_BITS);
+    let cm_fr = ResourceUsage::of(&cm).fractions(&cfg);
+    let rhhh_fr = ResourceUsage::of(&rhhh).fractions(&cfg);
+
+    let pct = |v: f64| format!("{:.2}%", v * 100.0);
+    let names = [
+        "Hash Distribution Unit",
+        "Stateful ALU",
+        "Gateway",
+        "Map RAM",
+        "SRAM",
+    ];
+    let mut table = ResultTable::new(
+        "table2",
+        "Tofino resource usage of one single-key sketch (500KB, 5-tuple)",
+        &["resource", "Count-Min", "R-HHH"],
+    );
+    // Table 2 lists Map RAM after Gateway; fractions() returns
+    // (hash, salu, gateway, map ram, sram) in that same order.
+    for (i, name) in names.iter().enumerate() {
+        table.push(vec![name.to_string(), pct(cm_fr[i]), pct(rhhh_fr[i])]);
+    }
+    table.emit(&cli.out_dir).expect("write results");
+
+    let (bottleneck, frac) = ResourceUsage::of(&cm).bottleneck(&cfg);
+    println!(
+        "\nBottleneck: {bottleneck} at {:.2}% -> at most {} Count-Min sketches fit \
+         (placement model: {}).",
+        frac * 100.0,
+        fit_count(&cm, &cfg),
+        match place(&cm, &cfg) {
+            Ok(p) => format!("places in {} stages", p.stages_used),
+            Err(e) => format!("error: {e}"),
+        }
+    );
+}

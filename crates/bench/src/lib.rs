@@ -1,0 +1,213 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin` (`table2`, `fig8` ... `fig18b`, plus `ablation` and
+//! `run_all`). Each binary:
+//!
+//! 1. parses the common CLI ([`Cli`]): `--scale N` (trace size divisor
+//!    vs. the paper's, default 20), `--seed S`, `--out DIR`;
+//! 2. generates its workload from the [`traffic::presets`];
+//! 3. runs the sweep and prints a markdown table to stdout;
+//! 4. writes the same rows as CSV into `--out` (default `results/`).
+//!
+//! Absolute throughput numbers depend on the host; accuracy numbers are
+//! deterministic given `--seed`.
+
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Common command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Divisor applied to the paper's trace sizes (1 = full 27M-packet
+    /// CAIDA-like run; default 20 keeps every binary in laptop range).
+    pub scale: usize,
+    /// Master seed for workload and sketches.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            scale: 20,
+            seed: 0xC0C0,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Cli {
+    /// Parse from the process arguments; unknown flags abort with usage.
+    pub fn parse() -> Self {
+        let mut cli = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need_value = |i: usize| {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    cli.scale = need_value(i).parse().expect("--scale takes an integer");
+                    i += 2;
+                }
+                "--seed" => {
+                    cli.seed = need_value(i).parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--out" => {
+                    cli.out_dir = PathBuf::from(need_value(i));
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--scale N] [--seed S] [--out DIR]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(cli.scale > 0, "--scale must be positive");
+        cli
+    }
+}
+
+/// A result table: header plus stringified rows.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    /// Experiment id ("fig8a", "table2", ...), used as the CSV name.
+    pub id: String,
+    /// Human title printed above the table.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Render as a GitHub-style markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {} — {}\n", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Print to stdout and persist the CSV under `dir`.
+    pub fn emit(&self, dir: &Path) -> std::io::Result<()> {
+        print!("{}", self.to_markdown());
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Format a float with 4 significant decimals (figure-friendly).
+pub fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = ResultTable::new("figX", "demo", &["algo", "f1"]);
+        t.push(vec!["Ours".into(), "0.99".into()]);
+        t.push(vec!["UnivMon".into(), "0.5".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| algo    | f1   |"));
+        assert!(md.contains("| Ours    | 0.99 |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = ResultTable::new("x", "t", &["a"]);
+        t.push(vec!["v,w".into()]);
+        assert!(t.to_csv().contains("\"v,w\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = ResultTable::new("x", "t", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.12345), "0.1235");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(123.456), "123.5");
+    }
+}

@@ -1,0 +1,100 @@
+//! Parsing of user-facing value syntaxes: key names, memory sizes.
+
+use traffic::KeySpec;
+
+/// Parse a memory size: `500KB`, `2MB`, `65536`, `1.5MB`.
+pub fn parse_memory(s: &str) -> Result<usize, String> {
+    let lower = s.trim().to_ascii_lowercase();
+    let (num, mult) = if let Some(v) = lower.strip_suffix("kb") {
+        (v, 1024.0)
+    } else if let Some(v) = lower.strip_suffix("mb") {
+        (v, 1024.0 * 1024.0)
+    } else if let Some(v) = lower.strip_suffix('b') {
+        (v, 1.0)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    let value: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse memory size `{s}`"))?;
+    if value <= 0.0 {
+        return Err(format!("memory size must be positive, got `{s}`"));
+    }
+    Ok((value * mult) as usize)
+}
+
+/// Parse a key name into a [`KeySpec`].
+///
+/// Accepted forms: `5tuple`, `srcip`, `dstip`, `srcip/NN`, `dstip/NN`,
+/// `src-dst`, `srcip-srcport`, `dstip-dstport`, `empty`.
+pub fn parse_key(s: &str) -> Result<KeySpec, String> {
+    let lower = s.trim().to_ascii_lowercase();
+    if let Some(bits) = lower.strip_prefix("srcip/") {
+        let b: u8 = bits.parse().map_err(|_| format!("bad prefix in `{s}`"))?;
+        if b > 32 {
+            return Err(format!("prefix length {b} exceeds 32"));
+        }
+        return Ok(KeySpec::src_prefix(b));
+    }
+    if let Some(bits) = lower.strip_prefix("dstip/") {
+        let b: u8 = bits.parse().map_err(|_| format!("bad prefix in `{s}`"))?;
+        if b > 32 {
+            return Err(format!("prefix length {b} exceeds 32"));
+        }
+        return Ok(KeySpec {
+            src_ip_bits: 0,
+            dst_ip_bits: b,
+            src_port: false,
+            dst_port: false,
+            proto: false,
+        });
+    }
+    match lower.as_str() {
+        "5tuple" | "five-tuple" | "fivetuple" => Ok(KeySpec::FIVE_TUPLE),
+        "srcip" => Ok(KeySpec::SRC_IP),
+        "dstip" => Ok(KeySpec::DST_IP),
+        "src-dst" | "srcdst" => Ok(KeySpec::SRC_DST),
+        "srcip-srcport" => Ok(KeySpec::SRC_IP_PORT),
+        "dstip-dstport" => Ok(KeySpec::DST_IP_PORT),
+        "empty" => Ok(KeySpec::EMPTY),
+        other => Err(format!(
+            "unknown key `{other}` (try 5tuple, srcip, dstip, srcip/24, src-dst, \
+             srcip-srcport, dstip-dstport, empty)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_units() {
+        assert_eq!(parse_memory("500KB").unwrap(), 500 * 1024);
+        assert_eq!(parse_memory("2MB").unwrap(), 2 * 1024 * 1024);
+        assert_eq!(parse_memory("1.5mb").unwrap(), (1.5 * 1024.0 * 1024.0) as usize);
+        assert_eq!(parse_memory("4096").unwrap(), 4096);
+        assert_eq!(parse_memory("64b").unwrap(), 64);
+        assert!(parse_memory("-5KB").is_err());
+        assert!(parse_memory("lots").is_err());
+    }
+
+    #[test]
+    fn key_names() {
+        assert_eq!(parse_key("5tuple").unwrap(), KeySpec::FIVE_TUPLE);
+        assert_eq!(parse_key("srcip").unwrap(), KeySpec::SRC_IP);
+        assert_eq!(parse_key("SrcIP/24").unwrap(), KeySpec::src_prefix(24));
+        assert_eq!(parse_key("src-dst").unwrap(), KeySpec::SRC_DST);
+        assert_eq!(parse_key("empty").unwrap(), KeySpec::EMPTY);
+        assert!(parse_key("srcip/40").is_err());
+        assert!(parse_key("bogus").is_err());
+    }
+
+    #[test]
+    fn dst_prefix_key() {
+        let k = parse_key("dstip/8").unwrap();
+        assert_eq!(k.dst_ip_bits, 8);
+        assert_eq!(k.src_ip_bits, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_key, parse_memory};
+use crate::Opts;
+use cocosketch::{snapshot, BasicCocoSketch, FlowTable};
+use sketches::Sketch;
+use tasks::stats as table_stats;
+use traffic::{io as trace_io, presets, KeySpec};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cocosketch <command> [--flag value]...
+
+commands:
+  generate  --preset caida|mawi --out FILE [--scale N] [--seed S]
+  measure   (--trace FILE | --pcap FILE) --out FILE
+            [--memory 500KB] [--d 2] [--seed S]
+  query     --table FILE --key KEY [--top K] [--threshold T]
+  stats     --table FILE --key KEY
+  info      (--trace FILE | --table FILE)
+
+keys: 5tuple, srcip, dstip, srcip/NN, dstip/NN, src-dst,
+      srcip-srcport, dstip-dstport, empty";
+
+/// `generate`: write a synthetic trace to disk.
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(argv)?;
+    let preset = opts.require("preset")?;
+    let out = opts.path("out")?;
+    let scale = opts.u64_or("scale", 100)? as usize;
+    let seed = opts.u64_or("seed", 0xC0C0)?;
+    let trace = match preset {
+        "caida" => presets::caida_like(scale, seed),
+        "mawi" => presets::mawi_like(scale, seed),
+        other => return Err(format!("unknown preset `{other}` (caida or mawi)")),
+    };
+    trace_io::save(&trace, &out).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} packets / {} flows to {}",
+        trace.len(),
+        trace.distinct_flows(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `measure`: run CocoSketch over a trace (native or pcap format),
+/// export the flow table.
+pub fn measure(argv: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(argv)?;
+    let out = opts.path("out")?;
+    let memory = parse_memory(opts.get("memory").unwrap_or("500KB"))?;
+    let d = opts.u64_or("d", 2)? as usize;
+    let seed = opts.u64_or("seed", 0xC0C0)?;
+    if d == 0 {
+        return Err("--d must be positive".into());
+    }
+
+    let trace = if let Some(path) = opts.get("pcap") {
+        let (trace, stats) = traffic::pcap::load(std::path::Path::new(path))
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        eprintln!("pcap: {} parsed, {} skipped", stats.parsed, stats.skipped);
+        trace
+    } else {
+        let trace_path = opts.path("trace")?;
+        trace_io::load(&trace_path)
+            .map_err(|e| format!("reading {}: {e}", trace_path.display()))?
+    };
+    let full = KeySpec::FIVE_TUPLE;
+    let mut sketch = BasicCocoSketch::with_memory(memory, d, full.key_bytes(), seed);
+    let start = std::time::Instant::now();
+    for p in &trace.packets {
+        sketch.update(&full.project(&p.flow), u64::from(p.weight));
+    }
+    let elapsed = start.elapsed();
+    let table = FlowTable::new(full, sketch.records());
+    std::fs::write(&out, snapshot::encode(&table))
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "measured {} packets in {elapsed:?} ({:.2} Mpps); {} recorded flows -> {}",
+        trace.len(),
+        trace.len() as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6,
+        table.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load_table(opts: &Opts) -> Result<FlowTable, String> {
+    let path = opts.path("table")?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    snapshot::decode(&bytes).map_err(|e| format!("decoding {}: {e}", path.display()))
+}
+
+fn describe(spec: &KeySpec, key: &traffic::KeyBytes) -> String {
+    let ft = spec.decode(key);
+    let mut parts = Vec::new();
+    if spec.src_ip_bits > 0 {
+        let ip = std::net::Ipv4Addr::from(ft.src_ip);
+        if spec.src_ip_bits == 32 {
+            parts.push(format!("src {ip}"));
+        } else {
+            parts.push(format!("src {ip}/{}", spec.src_ip_bits));
+        }
+    }
+    if spec.dst_ip_bits > 0 {
+        let ip = std::net::Ipv4Addr::from(ft.dst_ip);
+        if spec.dst_ip_bits == 32 {
+            parts.push(format!("dst {ip}"));
+        } else {
+            parts.push(format!("dst {ip}/{}", spec.dst_ip_bits));
+        }
+    }
+    if spec.src_port {
+        parts.push(format!("sport {}", ft.src_port));
+    }
+    if spec.dst_port {
+        parts.push(format!("dport {}", ft.dst_port));
+    }
+    if spec.proto {
+        parts.push(format!("proto {}", ft.proto));
+    }
+    if parts.is_empty() {
+        "(all traffic)".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// `query`: partial-key report from an exported table.
+pub fn query(argv: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(argv)?;
+    let table = load_table(&opts)?;
+    let spec = parse_key(opts.require("key")?)?;
+    if !spec.is_partial_of(table.full_spec()) {
+        return Err(format!(
+            "{spec} is not a partial key of the table's full key {}",
+            table.full_spec()
+        ));
+    }
+    let top = opts.u64_or("top", 10)? as usize;
+    let threshold = opts.u64_or("threshold", 0)?;
+
+    let flows = table_stats::top_k(&table, &spec, usize::MAX);
+    let shown: Vec<_> = flows.iter().filter(|&&(_, v)| v >= threshold).take(top).collect();
+    println!(
+        "{} flows under key {spec}; showing top {}:",
+        flows.len(),
+        shown.len()
+    );
+    for (key, size) in shown {
+        println!("  {:>12}  {}", size, describe(&spec, key));
+    }
+    Ok(())
+}
+
+/// `stats`: entropy and size distribution for one key.
+pub fn stats(argv: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(argv)?;
+    let table = load_table(&opts)?;
+    let spec = parse_key(opts.require("key")?)?;
+    if !spec.is_partial_of(table.full_spec()) {
+        return Err(format!(
+            "{spec} is not a partial key of the table's full key {}",
+            table.full_spec()
+        ));
+    }
+    let counts = table.query_partial(&spec);
+    println!("key {spec}:");
+    println!("  recorded flows : {}", counts.len());
+    println!("  total traffic  : {}", table.total());
+    println!("  entropy        : {:.3} bits", table_stats::entropy(&table, &spec));
+    let bins = table_stats::size_distribution(&table, &spec);
+    println!("  size distribution (log2 bins):");
+    for (i, &count) in bins.iter().enumerate() {
+        if count > 0 {
+            println!("    [{:>10}, {:>10})  {count}", 1u64 << i, 1u64 << (i + 1));
+        }
+    }
+    Ok(())
+}
+
+/// `info`: describe a trace or table file.
+pub fn info(argv: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(argv)?;
+    if let Some(path) = opts.get("trace") {
+        let trace = trace_io::load(std::path::Path::new(path))
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        println!("trace {path}:");
+        println!("  packets        : {}", trace.len());
+        println!("  total weight   : {}", trace.total_weight());
+        println!("  distinct flows : {}", trace.distinct_flows());
+        return Ok(());
+    }
+    if opts.get("table").is_some() {
+        let table = load_table(&opts)?;
+        println!("flow table:");
+        println!("  full key       : {}", table.full_spec());
+        println!("  recorded flows : {}", table.len());
+        println!("  total traffic  : {}", table.total());
+        return Ok(());
+    }
+    Err("info needs --trace FILE or --table FILE".into())
+}

@@ -1,0 +1,93 @@
+//! `cocosketch` — command-line front-end for the library.
+//!
+//! ```text
+//! cocosketch generate --preset caida --scale 100 --seed 7 --out trace.cct
+//! cocosketch measure  --trace trace.cct --memory 500KB --d 2 --out table.cft
+//! cocosketch query    --table table.cft --key srcip/24 --top 10
+//! cocosketch stats    --table table.cft --key srcip
+//! cocosketch info     --trace trace.cct
+//! ```
+//!
+//! `measure` runs the basic CocoSketch over the 5-tuple full key and
+//! exports the recorded flow table; `query` then answers any partial
+//! key from that table — the full late-binding workflow from a shell.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    }
+    let cmd = argv.remove(0);
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&argv),
+        "measure" => commands::measure(&argv),
+        "query" => commands::query(&argv),
+        "stats" => commands::stats(&argv),
+        "info" => commands::info(&argv),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Shared option plumbing used by the subcommand implementations.
+pub(crate) struct Opts {
+    pairs: Vec<(String, String)>,
+}
+
+impl Opts {
+    pub(crate) fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = &argv[i];
+            if !flag.starts_with("--") {
+                return Err(format!("expected a --flag, found `{flag}`"));
+            }
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value after {flag}"))?;
+            pairs.push((flag[2..].to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Self { pairs })
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub(crate) fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    pub(crate) fn path(&self, name: &str) -> Result<PathBuf, String> {
+        Ok(PathBuf::from(self.require(name)?))
+    }
+
+    pub(crate) fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} takes an integer, got `{v}`")),
+        }
+    }
+}

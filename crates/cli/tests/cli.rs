@@ -1,0 +1,109 @@
+//! End-to-end CLI tests: drive the real binary through the full
+//! generate → measure → query/stats/info workflow.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cocosketch-cli")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("launch cli")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cocosketch-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow() {
+    let dir = tmpdir("workflow");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+
+    // generate (small: scale 2000 => ~13.5k packets)
+    let out = run(&[
+        "generate", "--preset", "caida", "--scale", "2000", "--seed", "5", "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    // info --trace
+    let out = run(&["info", "--trace", trace.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("packets"), "{text}");
+
+    // measure
+    let out = run(&[
+        "measure", "--trace", trace.to_str().unwrap(), "--memory", "100KB", "--out",
+        table.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(table.exists());
+
+    // query a partial key that was never pre-declared
+    let out = run(&[
+        "query", "--table", table.to_str().unwrap(), "--key", "srcip/16", "--top", "5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("flows under key (SrcIP/16)"), "{text}");
+    assert!(text.contains("src "), "{text}");
+
+    // stats
+    let out = run(&["stats", "--table", table.to_str().unwrap(), "--key", "dstip"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("entropy"), "{text}");
+    assert!(text.contains("size distribution"), "{text}");
+
+    // info --table
+    let out = run(&["info", "--table", table.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("full key"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_unknown_command() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn rejects_bad_key() {
+    let dir = tmpdir("badkey");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    run(&[
+        "generate", "--preset", "mawi", "--scale", "5000", "--out", trace.to_str().unwrap(),
+    ]);
+    run(&[
+        "measure", "--trace", trace.to_str().unwrap(), "--out", table.to_str().unwrap(),
+    ]);
+    let out = run(&["query", "--table", table.to_str().unwrap(), "--key", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_missing_file() {
+    let out = run(&["info", "--trace", "/nonexistent/path.cct"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("generate"));
+}

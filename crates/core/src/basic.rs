@@ -1,0 +1,388 @@
+//! The basic CocoSketch (§4.1): stochastic variance minimization over
+//! `d` hashed buckets.
+
+use hashkit::{HashFamily, XorShift64Star};
+use sketches::{Sketch, COUNTER_BYTES};
+use traffic::KeyBytes;
+
+/// One (key, value) bucket. A zero value marks an unclaimed bucket (the
+/// first packet to touch it always wins the key with probability
+/// `w / (0 + w) = 1`).
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    key: KeyBytes,
+    value: u64,
+}
+
+/// How ties between equal-minimum candidate buckets are broken.
+///
+/// The paper prescribes a uniformly random choice ("If multiple buckets
+/// share the same smallest size value, randomly select one to update",
+/// §4.1); always taking the first candidate is cheaper but biases load
+/// toward the first array. The `ablation` bench quantifies the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Uniform among the tied minima (the paper's rule).
+    #[default]
+    Random,
+    /// Deterministically the first (lowest-array-index) minimum.
+    First,
+}
+
+/// Basic CocoSketch: `d` arrays x `l` buckets with stochastic variance
+/// minimization.
+///
+/// Per packet `(e, w)`:
+/// 1. hash `e` into one bucket per array;
+/// 2. if some bucket already records `e`, add `w` there (variance
+///    increment 0 — Theorem 2);
+/// 3. otherwise pick the minimum-valued candidate (ties broken
+///    uniformly at random), add `w` to its value, and replace its key
+///    with `e` with probability `w / value_after` (Eq. 3, the
+///    variance-minimizing update of Theorem 1).
+///
+/// With `d` = total buckets and `l = 1` this degenerates to Unbiased
+/// SpaceSaving exactly; small `d` (2–4) keeps the update O(d) while the
+/// power-of-d choice preserves the load balancing that bounds per-flow
+/// variance (§3.2).
+#[derive(Debug, Clone)]
+pub struct BasicCocoSketch {
+    /// `d * l` buckets, array-major: bucket `j` of array `i` lives at
+    /// `i * l + j` (one contiguous allocation, cache-friendlier than a
+    /// Vec of Vecs).
+    buckets: Vec<Bucket>,
+    hashes: HashFamily,
+    rng: XorShift64Star,
+    d: usize,
+    l: usize,
+    key_bytes: usize,
+    tie_break: TieBreak,
+}
+
+impl BasicCocoSketch {
+    /// A sketch with `d` arrays of `l` buckets each.
+    pub fn new(d: usize, l: usize, key_bytes: usize, seed: u64) -> Self {
+        assert!(d > 0 && l > 0, "CocoSketch dimensions must be positive");
+        assert!(d <= 64, "d beyond 64 is never useful and breaks tie-break sampling");
+        Self {
+            buckets: vec![Bucket::default(); d * l],
+            hashes: HashFamily::new(d, seed),
+            rng: XorShift64Star::new(seed ^ 0xC0C0_5EED),
+            d,
+            l,
+            key_bytes,
+            tie_break: TieBreak::default(),
+        }
+    }
+
+    /// Override the tie-breaking rule (see [`TieBreak`]); used by the
+    /// ablation bench.
+    pub fn set_tie_break(&mut self, tie_break: TieBreak) {
+        self.tie_break = tie_break;
+    }
+
+    /// Size a `d`-array sketch to a memory budget: each bucket is
+    /// charged its key width plus a 4-byte counter, as in the paper's
+    /// configurations.
+    pub fn with_memory(mem_bytes: usize, d: usize, key_bytes: usize, seed: u64) -> Self {
+        let bucket_bytes = key_bytes + COUNTER_BYTES;
+        let l = (mem_bytes / (d * bucket_bytes)).max(1);
+        Self::new(d, l, key_bytes, seed)
+    }
+
+    /// (number of arrays, buckets per array).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.d, self.l)
+    }
+
+    #[inline]
+    fn slot(&self, array: usize, key: &KeyBytes) -> usize {
+        array * self.l + self.hashes.index(array, key.as_slice(), self.l)
+    }
+
+    /// Sum of all bucket values. Every update adds exactly `w` to
+    /// exactly one value, so this always equals the total inserted
+    /// weight — the conservation invariant the tests lean on.
+    pub fn total_value(&self) -> u64 {
+        self.buckets.iter().map(|b| b.value).sum()
+    }
+
+    /// True when both sketches hash with the same seeded family (a
+    /// prerequisite for bucket-wise merging).
+    pub(crate) fn same_hash_family(&self, other: &BasicCocoSketch) -> bool {
+        self.d == other.d && (0..self.d).all(|i| self.hashes.seed(i) == other.hashes.seed(i))
+    }
+
+    /// A deterministic value derived from this sketch's identity, used
+    /// to seed merge randomness reproducibly.
+    pub(crate) fn merge_seed(&self) -> u64 {
+        u64::from(self.hashes.seed(0)) << 32 | self.total_value() & 0xFFFF_FFFF
+    }
+
+    /// Bucket-wise merge (values add; key conflicts resolved by the
+    /// Theorem 1 coin). Callers have already validated compatibility.
+    pub(crate) fn merge_buckets(&mut self, other: &BasicCocoSketch, rng: &mut XorShift64Star) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            if theirs.value == 0 {
+                continue;
+            }
+            if mine.value == 0 || mine.key == theirs.key {
+                mine.value += theirs.value;
+                if mine.key != theirs.key {
+                    mine.key = theirs.key; // previously-empty bucket
+                }
+                continue;
+            }
+            let total = mine.value + theirs.value;
+            if rng.coin(theirs.value, total) {
+                mine.key = theirs.key;
+            }
+            mine.value = total;
+        }
+    }
+}
+
+impl Sketch for BasicCocoSketch {
+    fn update(&mut self, key: &KeyBytes, w: u64) {
+        debug_assert!(w > 0, "zero-weight packets are meaningless");
+        // Pass 1: an existing record absorbs the packet with zero
+        // variance increment.
+        let mut min_slot = usize::MAX;
+        let mut min_value = u64::MAX;
+        let mut ties = 0u64;
+        for i in 0..self.d {
+            let s = self.slot(i, key);
+            let b = &self.buckets[s];
+            if b.value > 0 && b.key == *key {
+                self.buckets[s].value += w;
+                return;
+            }
+            // Track the minimum with uniform tie-breaking (reservoir
+            // over tied slots, driven by the sketch RNG).
+            if b.value < min_value {
+                min_value = b.value;
+                min_slot = s;
+                ties = 1;
+            } else if b.value == min_value && self.tie_break == TieBreak::Random {
+                ties += 1;
+                if self.rng.below(ties) == 0 {
+                    min_slot = s;
+                }
+            }
+        }
+        // Pass 2: bump the minimum candidate and stochastically take it
+        // over (Eq. 3).
+        let b = &mut self.buckets[min_slot];
+        b.value += w;
+        let value_after = b.value;
+        if self.rng.coin(w, value_after) {
+            self.buckets[min_slot].key = *key;
+        }
+    }
+
+    fn query(&self, key: &KeyBytes) -> u64 {
+        for i in 0..self.d {
+            let b = &self.buckets[self.slot(i, key)];
+            if b.value > 0 && b.key == *key {
+                return b.value;
+            }
+        }
+        0
+    }
+
+    fn records(&self) -> Vec<(KeyBytes, u64)> {
+        self.buckets
+            .iter()
+            .filter(|b| b.value > 0)
+            .map(|b| (b.key, b.value))
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.d * self.l * (self.key_bytes + COUNTER_BYTES)
+    }
+
+    fn name(&self) -> &'static str {
+        "CocoSketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn single_flow_exact() {
+        let mut s = BasicCocoSketch::new(2, 64, 4, 1);
+        for _ in 0..50 {
+            s.update(&k(1), 2);
+        }
+        assert_eq!(s.query(&k(1)), 100);
+    }
+
+    #[test]
+    fn value_conservation() {
+        // Sum of bucket values == total stream weight, always.
+        let mut s = BasicCocoSketch::new(3, 16, 4, 2);
+        let mut rng = hashkit::XorShift64Star::new(77);
+        let mut total = 0u64;
+        for _ in 0..30_000 {
+            let key = (rng.next_u64() % 3_000) as u32;
+            let w = 1 + rng.next_u64() % 5;
+            s.update(&k(key), w);
+            total += w;
+        }
+        assert_eq!(s.total_value(), total);
+    }
+
+    #[test]
+    fn no_duplicate_keys_across_buckets() {
+        // A key occupies at most one bucket at any time.
+        let mut s = BasicCocoSketch::new(4, 8, 4, 3);
+        let mut rng = hashkit::XorShift64Star::new(5);
+        for _ in 0..50_000 {
+            s.update(&k((rng.next_u64() % 300) as u32), 1);
+        }
+        let recs = s.records();
+        let mut seen = std::collections::HashSet::new();
+        for (key, _) in &recs {
+            assert!(seen.insert(*key), "key {key:?} recorded twice");
+        }
+    }
+
+    #[test]
+    fn heavy_flows_recorded_and_accurate() {
+        let mut s = BasicCocoSketch::with_memory(32 * 1024, 2, 4, 4);
+        let mut rng = hashkit::XorShift64Star::new(6);
+        // 10 heavy flows (5k each) + noise.
+        for _ in 0..5_000 {
+            for h in 0..10u32 {
+                s.update(&k(h), 1);
+            }
+            for _ in 0..10 {
+                s.update(&k(1_000 + (rng.next_u64() % 20_000) as u32), 1);
+            }
+        }
+        for h in 0..10u32 {
+            let est = s.query(&k(h));
+            let rel = (est as f64 - 5_000.0).abs() / 5_000.0;
+            assert!(rel < 0.2, "heavy flow {h}: estimate {est}");
+        }
+    }
+
+    #[test]
+    fn unbiasedness_over_trials() {
+        // E[f̂(e)] = f(e) (Lemma 3): average a small flow's estimate over
+        // many independent sketches. Unrecorded flows contribute 0,
+        // which is exactly how the expectation is defined.
+        let true_size = 40u64;
+        let trials = 400u32;
+        let mut acc = 0f64;
+        for t in 0..trials {
+            let mut s = BasicCocoSketch::new(2, 8, 4, 9_000 + u64::from(t));
+            let mut rng = hashkit::XorShift64Star::new(7_000 + u64::from(t));
+            let mut sent = 0;
+            while sent < true_size {
+                s.update(&k(0), 1);
+                sent += 1;
+                for _ in 0..15 {
+                    s.update(&k(1 + (rng.next_u64() % 500) as u32), 1);
+                }
+            }
+            acc += s.query(&k(0)) as f64;
+        }
+        let mean = acc / f64::from(trials);
+        let rel = (mean - true_size as f64).abs() / true_size as f64;
+        assert!(rel < 0.15, "mean {mean} vs true {true_size}");
+    }
+
+    #[test]
+    fn degenerates_to_uss_when_l_is_one() {
+        // With l=1 every key maps to all d buckets, so the candidate set
+        // is the whole sketch — exactly USS with d counters. Check the
+        // signature USS property: the min counter value matches a true
+        // USS run cannot be done bit-for-bit (different RNG draws), so
+        // check the structural property instead: all d buckets are
+        // candidates for every key.
+        let mut s = BasicCocoSketch::new(8, 1, 4, 10);
+        for i in 0..8u32 {
+            s.update(&k(i), 1);
+        }
+        // 8 distinct flows / 8 buckets: each must claim its own bucket
+        // (each insert finds a zero-value bucket and wins it w.p. 1).
+        let recs = s.records();
+        assert_eq!(recs.len(), 8);
+        for i in 0..8u32 {
+            assert_eq!(s.query(&k(i)), 1);
+        }
+    }
+
+    #[test]
+    fn subset_sums_track_truth() {
+        let mut s = BasicCocoSketch::with_memory(16 * 1024, 2, 4, 11);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        let mut rng = hashkit::XorShift64Star::new(12);
+        for _ in 0..60_000 {
+            // Zipf-ish synthetic mix.
+            let r = rng.next_u64() % 100;
+            let key = if r < 50 {
+                (rng.next_u64() % 10) as u32
+            } else {
+                10 + (rng.next_u64() % 5_000) as u32
+            };
+            s.update(&k(key), 1);
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        let true_low: u64 = truth.iter().filter(|(id, _)| **id < 10).map(|(_, &v)| v).sum();
+        let est_low: u64 = s
+            .records()
+            .iter()
+            .filter(|(key, _)| u32::from_be_bytes(key.as_slice().try_into().unwrap()) < 10)
+            .map(|&(_, v)| v)
+            .sum();
+        let rel = (est_low as f64 - true_low as f64).abs() / true_low as f64;
+        assert!(rel < 0.1, "subset estimate {est_low} vs {true_low}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut s = BasicCocoSketch::new(2, 32, 4, seed);
+            for i in 0..10_000u32 {
+                s.update(&k(i % 200), 1);
+            }
+            let mut r = s.records();
+            r.sort_unstable();
+            r
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn with_memory_dims() {
+        let s = BasicCocoSketch::with_memory(500_000, 2, 13, 1);
+        let (d, l) = s.dims();
+        assert_eq!(d, 2);
+        assert_eq!(l, 500_000 / (2 * 17));
+        assert!(s.memory_bytes() <= 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_arrays_panics() {
+        BasicCocoSketch::new(0, 8, 4, 1);
+    }
+
+    #[test]
+    fn query_untracked_is_zero() {
+        let s = BasicCocoSketch::new(2, 8, 4, 1);
+        assert_eq!(s.query(&k(5)), 0);
+        assert!(s.records().is_empty());
+    }
+}

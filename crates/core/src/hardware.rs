@@ -1,0 +1,397 @@
+//! The hardware-friendly CocoSketch (§4.2): circular dependencies
+//! removed for RMT/FPGA pipelines.
+//!
+//! Two changes relative to [`BasicCocoSketch`](crate::BasicCocoSketch):
+//!
+//! 1. **Across buckets** — the `d` candidate buckets no longer compare
+//!    values (whether one updates would depend on the others, a circular
+//!    dependency an RMT pipeline cannot express). Instead each array
+//!    runs its own independent `d = 1` instance of stochastic variance
+//!    minimization; the query combines the per-array estimates of the
+//!    arrays that record the key by taking their **median**.
+//! 2. **Within a bucket** — the value update no longer depends on the
+//!    key: the counter is *always* incremented by `w` (Theorem 1 shows
+//!    this is the variance-optimal move whether or not the keys match),
+//!    and the key is then replaced with probability `w / value`
+//!    (replacing a key with itself is a no-op, so no key comparison is
+//!    needed on the value path). Key and value can live in different
+//!    pipeline stages.
+//!
+//! The [`DivisionMode`] selects how the replacement probability is
+//! computed: exactly (FPGA) or with Tofino's 4-bit approximate division
+//! (P4) — see [`crate::probability`].
+
+use hashkit::{HashFamily, XorShift64Star};
+use sketches::{Sketch, COUNTER_BYTES};
+use traffic::KeyBytes;
+
+use crate::probability::{approx_threshold, exact_threshold};
+
+/// How the `w / value` replacement probability is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivisionMode {
+    /// Exact threshold `w * 2^32 / value` (the FPGA implementation).
+    Exact,
+    /// Tofino math-unit approximation from the top 4 significant bits
+    /// of `value` (the P4 implementation, §6.2).
+    ApproxTofino,
+}
+
+/// How the `d` per-array estimates combine into one answer.
+///
+/// The paper uses the median (§4.2) to control the error of the
+/// independent `d = 1` instances; the mean is the other natural choice
+/// (fully unbiased, but one colliding array drags the estimate). The
+/// `ablation` bench compares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Combine {
+    /// Median of the per-array estimates (even `d`: the two middle
+    /// values are averaged).
+    #[default]
+    Median,
+    /// Arithmetic mean of the per-array estimates.
+    Mean,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    key: KeyBytes,
+    value: u64,
+}
+
+/// Hardware-friendly CocoSketch: `d` fully independent arrays.
+#[derive(Debug, Clone)]
+pub struct HardwareCocoSketch {
+    buckets: Vec<Bucket>,
+    hashes: HashFamily,
+    rng: XorShift64Star,
+    d: usize,
+    l: usize,
+    key_bytes: usize,
+    division: DivisionMode,
+    combine: Combine,
+}
+
+impl HardwareCocoSketch {
+    /// A sketch with `d` independent arrays of `l` buckets.
+    pub fn new(d: usize, l: usize, key_bytes: usize, division: DivisionMode, seed: u64) -> Self {
+        assert!(d > 0 && l > 0, "CocoSketch dimensions must be positive");
+        Self {
+            buckets: vec![Bucket::default(); d * l],
+            hashes: HashFamily::new(d, seed),
+            rng: XorShift64Star::new(seed ^ 0x4877_5357),
+            d,
+            l,
+            key_bytes,
+            division,
+            combine: Combine::default(),
+        }
+    }
+
+    /// Override how per-array estimates are combined (see [`Combine`]).
+    pub fn set_combine(&mut self, combine: Combine) {
+        self.combine = combine;
+    }
+
+    /// Size to a memory budget (key + 4-byte counter per bucket).
+    pub fn with_memory(
+        mem_bytes: usize,
+        d: usize,
+        key_bytes: usize,
+        division: DivisionMode,
+        seed: u64,
+    ) -> Self {
+        let bucket_bytes = key_bytes + COUNTER_BYTES;
+        let l = (mem_bytes / (d * bucket_bytes)).max(1);
+        Self::new(d, l, key_bytes, division, seed)
+    }
+
+    /// (number of arrays, buckets per array).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.d, self.l)
+    }
+
+    /// The division mode this instance models.
+    pub fn division(&self) -> DivisionMode {
+        self.division
+    }
+
+    #[inline]
+    fn slot(&self, array: usize, key: &KeyBytes) -> usize {
+        array * self.l + self.hashes.index(array, key.as_slice(), self.l)
+    }
+
+    /// Sum of values in one array. Each array independently receives
+    /// every packet's weight exactly once, so each array's total equals
+    /// the stream total (per-array conservation).
+    pub fn array_total(&self, array: usize) -> u64 {
+        self.buckets[array * self.l..(array + 1) * self.l]
+            .iter()
+            .map(|b| b.value)
+            .sum()
+    }
+
+    /// Combine the per-array estimates for `key` (0 where unrecorded).
+    /// Median by default; for even `d` the two middle values are
+    /// averaged, which keeps the `d = 2` default unbiased.
+    fn median_estimate(&self, estimates: &mut [u64]) -> u64 {
+        if estimates.is_empty() {
+            return 0;
+        }
+        let n = estimates.len();
+        match self.combine {
+            Combine::Median => {
+                estimates.sort_unstable();
+                if n % 2 == 1 {
+                    estimates[n / 2]
+                } else {
+                    (estimates[n / 2 - 1] + estimates[n / 2]) / 2
+                }
+            }
+            Combine::Mean => estimates.iter().sum::<u64>() / n as u64,
+        }
+    }
+}
+
+impl Sketch for HardwareCocoSketch {
+    fn update(&mut self, key: &KeyBytes, w: u64) {
+        debug_assert!(w > 0);
+        for i in 0..self.d {
+            let s = self.slot(i, key);
+            // Value path: unconditional increment (no key dependency).
+            self.buckets[s].value += w;
+            let value = self.buckets[s].value;
+            // Key path: replace with probability w / value. Skipping the
+            // draw when the key already matches is an optimization only —
+            // replacing a key with itself is a no-op.
+            if self.buckets[s].key != *key {
+                let threshold = match self.division {
+                    DivisionMode::Exact => exact_threshold(w, value),
+                    DivisionMode::ApproxTofino => approx_threshold(w, value),
+                };
+                let draw = self.rng.next_u64() >> 32;
+                if draw < threshold {
+                    self.buckets[s].key = *key;
+                }
+            }
+        }
+    }
+
+    fn query(&self, key: &KeyBytes) -> u64 {
+        // "Since one flow may appear in multiple arrays, we take the
+        // median estimated size in different arrays" (§4.3): the median
+        // runs over the arrays that *record* the key. A flow recorded
+        // nowhere estimates 0. (Counting absent arrays as 0 would halve
+        // every d=2 estimate whose flow lost one array to a collision —
+        // unbiased in expectation but far less accurate per flow.)
+        let mut estimates: Vec<u64> = (0..self.d)
+            .filter_map(|i| {
+                let b = &self.buckets[self.slot(i, key)];
+                (b.value > 0 && b.key == *key).then_some(b.value)
+            })
+            .collect();
+        self.median_estimate(&mut estimates)
+    }
+
+    fn records(&self) -> Vec<(KeyBytes, u64)> {
+        // A flow may be recorded in several arrays; deduplicate and give
+        // each distinct key its median estimate (§4.3).
+        let mut keys: Vec<KeyBytes> = self
+            .buckets
+            .iter()
+            .filter(|b| b.value > 0)
+            .map(|b| b.key)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter().map(|k| (k, self.query(&k))).collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.d * self.l * (self.key_bytes + COUNTER_BYTES)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.division {
+            DivisionMode::Exact => "CocoSketch-HW",
+            DivisionMode::ApproxTofino => "CocoSketch-P4",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    fn hw(d: usize, l: usize, seed: u64) -> HardwareCocoSketch {
+        HardwareCocoSketch::new(d, l, 4, DivisionMode::Exact, seed)
+    }
+
+    #[test]
+    fn single_flow_exact() {
+        let mut s = hw(2, 64, 1);
+        for _ in 0..100 {
+            s.update(&k(1), 1);
+        }
+        assert_eq!(s.query(&k(1)), 100);
+    }
+
+    #[test]
+    fn per_array_value_conservation() {
+        let mut s = hw(3, 32, 2);
+        let mut rng = hashkit::XorShift64Star::new(4);
+        let mut total = 0u64;
+        for _ in 0..20_000 {
+            let w = 1 + rng.next_u64() % 3;
+            s.update(&k((rng.next_u64() % 1_000) as u32), w);
+            total += w;
+        }
+        for i in 0..3 {
+            assert_eq!(s.array_total(i), total, "array {i}");
+        }
+    }
+
+    #[test]
+    fn median_combines_arrays() {
+        // d=3: even if one array loses the key to a collision, the
+        // median of (v, v, 0) is still v.
+        let mut s = hw(3, 512, 3);
+        for _ in 0..1_000 {
+            s.update(&k(42), 1);
+        }
+        assert_eq!(s.query(&k(42)), 1_000);
+    }
+
+    #[test]
+    fn unbiasedness_with_d1() {
+        // Lemma 4: per-array estimates (match ? value : 0) are unbiased.
+        let true_size = 30u64;
+        let trials = 600u32;
+        let mut acc = 0f64;
+        for t in 0..trials {
+            let mut s = HardwareCocoSketch::new(1, 4, 4, DivisionMode::Exact, 40_000 + u64::from(t));
+            let mut rng = hashkit::XorShift64Star::new(90_000 + u64::from(t));
+            for _ in 0..true_size {
+                s.update(&k(0), 1);
+                for _ in 0..10 {
+                    s.update(&k(1 + (rng.next_u64() % 200) as u32), 1);
+                }
+            }
+            acc += s.query(&k(0)) as f64;
+        }
+        let mean = acc / f64::from(trials);
+        let rel = (mean - true_size as f64).abs() / true_size as f64;
+        assert!(rel < 0.2, "mean {mean} vs true {true_size}");
+    }
+
+    #[test]
+    fn heavy_flows_accurate() {
+        let mut s = HardwareCocoSketch::with_memory(32 * 1024, 2, 4, DivisionMode::Exact, 5);
+        let mut rng = hashkit::XorShift64Star::new(6);
+        for _ in 0..5_000 {
+            for h in 0..5u32 {
+                s.update(&k(h), 1);
+            }
+            for _ in 0..5 {
+                s.update(&k(1_000 + (rng.next_u64() % 10_000) as u32), 1);
+            }
+        }
+        for h in 0..5u32 {
+            let est = s.query(&k(h));
+            let rel = (est as f64 - 5_000.0).abs() / 5_000.0;
+            assert!(rel < 0.2, "flow {h}: {est}");
+        }
+    }
+
+    #[test]
+    fn p4_mode_tracks_exact_mode() {
+        // Figure 18a: the approximate division costs < 1% accuracy. At
+        // unit-test scale, require the heavy-flow estimates of both
+        // modes to be close.
+        let run = |mode| {
+            let mut s = HardwareCocoSketch::with_memory(16 * 1024, 2, 4, mode, 7);
+            let mut rng = hashkit::XorShift64Star::new(8);
+            for _ in 0..3_000 {
+                for h in 0..5u32 {
+                    s.update(&k(h), 1);
+                }
+                s.update(&k(1_000 + (rng.next_u64() % 5_000) as u32), 1);
+            }
+            (0..5u32).map(|h| s.query(&k(h))).collect::<Vec<_>>()
+        };
+        let exact = run(DivisionMode::Exact);
+        let approx = run(DivisionMode::ApproxTofino);
+        for (e, a) in exact.iter().zip(&approx) {
+            let rel = (*e as f64 - *a as f64).abs() / (*e as f64).max(1.0);
+            assert!(rel < 0.15, "exact {e} vs approx {a}");
+        }
+    }
+
+    #[test]
+    fn records_deduplicate_multi_array_keys() {
+        let mut s = hw(4, 256, 9);
+        for _ in 0..500 {
+            s.update(&k(1), 1);
+        }
+        let recs = s.records();
+        let occurrences = recs.iter().filter(|(key, _)| *key == k(1)).count();
+        assert_eq!(occurrences, 1, "records must deduplicate");
+        assert_eq!(recs.iter().find(|(key, _)| *key == k(1)).unwrap().1, 500);
+    }
+
+    #[test]
+    fn even_d_median_averages_middle() {
+        let mut s = hw(1, 8, 10);
+        s.update(&k(1), 100);
+        // The median helper averages the middle pair for even counts
+        // and returns 0 for a flow recorded nowhere.
+        let mut est = vec![100u64, 50];
+        assert_eq!(s.median_estimate(&mut est), 75);
+        let mut odd = vec![100u64, 10, 80];
+        assert_eq!(s.median_estimate(&mut odd), 80);
+        let mut none: Vec<u64> = vec![];
+        assert_eq!(s.median_estimate(&mut none), 0);
+    }
+
+    #[test]
+    fn single_array_loss_does_not_halve_estimate() {
+        // A flow recorded in one of two arrays estimates its recorded
+        // value, not half of it (§4.3 median-over-recording-arrays).
+        let mut s = hw(2, 1, 11);
+        // Two flows on one bucket per array: whoever loses the key in
+        // one array must still be estimated from the array it holds.
+        for _ in 0..500 {
+            s.update(&k(1), 1);
+        }
+        let est = s.query(&k(1));
+        assert!(est >= 400, "estimate {est} should not collapse");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut s = HardwareCocoSketch::new(2, 32, 4, DivisionMode::ApproxTofino, seed);
+            for i in 0..10_000u32 {
+                s.update(&k(i % 150), 1);
+            }
+            let mut r = s.records();
+            r.sort_unstable();
+            r
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn name_reflects_mode() {
+        assert_eq!(hw(1, 1, 1).name(), "CocoSketch-HW");
+        assert_eq!(
+            HardwareCocoSketch::new(1, 1, 4, DivisionMode::ApproxTofino, 1).name(),
+            "CocoSketch-P4"
+        );
+    }
+}

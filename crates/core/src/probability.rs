@@ -1,0 +1,147 @@
+//! Replacement-probability arithmetic, including the Tofino math-unit
+//! approximation (§6.2).
+//!
+//! The hardware-friendly update replaces a bucket's key with probability
+//! `w / value`. On FPGA this is evaluated exactly: draw a 32-bit random
+//! number `r` and replace iff `r < w * 2^32 / value`. Tofino's math unit
+//! cannot divide two variables; it approximates `2^32 / value` using only
+//! the *highest four significant bits* of `value`. This module models
+//! that approximation bit-exactly so the P4 variant's accuracy can be
+//! measured in software (Figure 18a shows the resulting gap is < 1%).
+
+/// `floor(2^32 / m)` for mantissas `m` in `8..=15` — the lookup table a
+/// Tofino math unit effectively applies after normalizing the operand.
+const RECIP_TABLE: [u64; 8] = [
+    (1u64 << 32) / 8,
+    (1u64 << 32) / 9,
+    (1u64 << 32) / 10,
+    (1u64 << 32) / 11,
+    (1u64 << 32) / 12,
+    (1u64 << 32) / 13,
+    (1u64 << 32) / 14,
+    (1u64 << 32) / 15,
+];
+
+/// Exact threshold: `floor(w * 2^32 / value)`, saturated to `2^32`.
+///
+/// Replacement succeeds iff a uniform 32-bit draw is below the returned
+/// threshold, so a result of `2^32` means "always replace".
+pub fn exact_threshold(w: u64, value: u64) -> u64 {
+    debug_assert!(value > 0);
+    if w >= value {
+        return 1 << 32;
+    }
+    ((w as u128 * (1u128 << 32)) / value as u128) as u64
+}
+
+/// Tofino-style approximate reciprocal: `~2^32 / value` computed from
+/// the top four significant bits of `value`.
+///
+/// For `value < 8` the mantissa is the value itself (exact). For larger
+/// values the low bits are truncated, so the approximation overestimates
+/// the reciprocal by at most a factor of `16/15 ... 9/8` within one
+/// mantissa step — a relative error below 12.5%, and below ~6% on
+/// average, matching the paper's "difference usually below 0.1p".
+pub fn approx_reciprocal(value: u64) -> u64 {
+    debug_assert!(value > 0);
+    if value < 8 {
+        return (1u64 << 32) / value;
+    }
+    let msb = 63 - value.leading_zeros() as u64; // index of highest set bit, >= 3
+    let shift = msb - 3;
+    let mantissa = (value >> shift) as usize; // in 8..=15
+    RECIP_TABLE[mantissa - 8] >> shift
+}
+
+/// Approximate threshold for probability `w / value` on Tofino:
+/// `w * approx(2^32 / value)`, saturated.
+pub fn approx_threshold(w: u64, value: u64) -> u64 {
+    if w >= value {
+        return 1 << 32;
+    }
+    (w.saturating_mul(approx_reciprocal(value))).min(1 << 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_threshold_basics() {
+        assert_eq!(exact_threshold(1, 1), 1 << 32);
+        assert_eq!(exact_threshold(5, 3), 1 << 32, "p >= 1 saturates");
+        assert_eq!(exact_threshold(1, 2), 1 << 31);
+        assert_eq!(exact_threshold(1, 4), 1 << 30);
+    }
+
+    #[test]
+    fn approx_exact_below_eight() {
+        for v in 1..8u64 {
+            assert_eq!(approx_reciprocal(v), (1u64 << 32) / v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn approx_error_bounded() {
+        // Relative error of the approximate reciprocal stays below 12.5%
+        // across the full operating range of bucket values.
+        let mut worst = 0f64;
+        let mut sum = 0f64;
+        let mut n = 0u32;
+        for v in 1..200_000u64 {
+            let exact = (1u64 << 32) as f64 / v as f64;
+            let approx = approx_reciprocal(v) as f64;
+            let rel = (approx - exact).abs() / exact;
+            worst = worst.max(rel);
+            sum += rel;
+            n += 1;
+        }
+        assert!(worst <= 0.125 + 1e-9, "worst relative error {worst}");
+        let avg = sum / f64::from(n);
+        assert!(avg < 0.07, "average relative error {avg}");
+    }
+
+    #[test]
+    fn paper_example_one_over_seventeen() {
+        // §6.2: for p = 1/17 ≈ 5.9%, the approximation error is ~0.37%
+        // of probability mass (i.e. tiny). Check we are in that regime.
+        let exact = exact_threshold(1, 17) as f64;
+        let approx = approx_threshold(1, 17) as f64;
+        let diff_pp = (approx - exact).abs() / (1u64 << 32) as f64;
+        assert!(diff_pp < 0.005, "absolute probability difference {diff_pp}");
+    }
+
+    #[test]
+    fn approx_is_monotone_nonincreasing() {
+        let mut prev = approx_reciprocal(1);
+        for v in 2..10_000u64 {
+            let cur = approx_reciprocal(v);
+            assert!(cur <= prev, "reciprocal must not grow: v={v}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn thresholds_scale_with_w() {
+        let t1 = approx_threshold(1, 1000);
+        let t3 = approx_threshold(3, 1000);
+        assert_eq!(t3, t1 * 3);
+    }
+
+    #[test]
+    fn saturation_at_certainty() {
+        assert_eq!(approx_threshold(10, 10), 1 << 32);
+        assert_eq!(approx_threshold(11, 10), 1 << 32);
+        assert_eq!(exact_threshold(u64::MAX, 1), 1 << 32);
+    }
+
+    #[test]
+    fn power_of_two_values_are_exact() {
+        // Powers of two have mantissa 8 after normalization with zero
+        // truncated bits, so the approximation is exact.
+        for shift in 3..40u64 {
+            let v = 1u64 << shift;
+            assert_eq!(approx_reciprocal(v), (1u64 << 32) / v, "v=2^{shift}");
+        }
+    }
+}

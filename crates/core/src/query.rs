@@ -1,0 +1,202 @@
+//! The arbitrary-partial-key query front-end (§4.3).
+//!
+//! At the end of a measurement window the control plane builds a `(Full
+//! Key, Size)` table from the sketch's records (Step 3 of Figure 1) and
+//! answers partial-key queries by aggregation (Step 4) — the moral
+//! equivalent of
+//!
+//! ```sql
+//! SELECT g(k_F), SUM(Size) FROM table GROUP BY g(k_F)
+//! ```
+//!
+//! where `g` is the partial-key projection of Definition 1. Because the
+//! underlying per-flow estimates are unbiased (Lemma 3/4), the grouped
+//! sums are unbiased estimates of partial-key flow sizes — the property
+//! single-key full-key sketches lack (§2.3, Figure 18b).
+
+use std::collections::HashMap;
+use traffic::{KeyBytes, KeySpec};
+
+/// The recorded `(full key, estimated size)` table of one measurement
+/// window, plus the full-key spec needed to project records onto
+/// partial keys.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    full: KeySpec,
+    rows: Vec<(KeyBytes, u64)>,
+}
+
+impl FlowTable {
+    /// Build the table from a sketch's records (any
+    /// [`sketches::Sketch::records`] output over keys of `full`).
+    pub fn new(full: KeySpec, rows: Vec<(KeyBytes, u64)>) -> Self {
+        debug_assert!(
+            rows.iter().all(|(k, _)| k.len() == full.encoded_len()),
+            "all rows must be encoded under the full-key spec"
+        );
+        Self { full, rows }
+    }
+
+    /// The full-key spec this table is encoded under.
+    pub fn full_spec(&self) -> &KeySpec {
+        &self.full
+    }
+
+    /// Number of recorded full-key flows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no flows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Direct access to the rows.
+    pub fn rows(&self) -> &[(KeyBytes, u64)] {
+        &self.rows
+    }
+
+    /// `SELECT g(k_F), SUM(Size) GROUP BY g(k_F)` — the full partial-key
+    /// result table for `spec`.
+    ///
+    /// # Panics
+    /// Panics if `spec` is not a partial key of the table's full key —
+    /// querying outside the declared key range has no defined meaning.
+    pub fn query_partial(&self, spec: &KeySpec) -> HashMap<KeyBytes, u64> {
+        assert!(
+            spec.is_partial_of(&self.full),
+            "{spec:?} is not a partial key of {:?}",
+            self.full
+        );
+        let mut out: HashMap<KeyBytes, u64> = HashMap::with_capacity(self.rows.len());
+        for (full_key, size) in &self.rows {
+            *out.entry(spec.project_key(&self.full, full_key)).or_insert(0) += size;
+        }
+        out
+    }
+
+    /// Estimated size of a single partial-key flow.
+    pub fn query_flow(&self, spec: &KeySpec, key: &KeyBytes) -> u64 {
+        assert!(
+            spec.is_partial_of(&self.full),
+            "{spec:?} is not a partial key of {:?}",
+            self.full
+        );
+        self.rows
+            .iter()
+            .filter(|(fk, _)| spec.project_key(&self.full, fk) == *key)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// Total estimated traffic (the empty-key query).
+    pub fn total(&self) -> u64 {
+        self.rows.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Partial-key flows at or above `threshold` — the heavy hitters of
+    /// `spec` in one call.
+    pub fn heavy_hitters(&self, spec: &KeySpec, threshold: u64) -> Vec<(KeyBytes, u64)> {
+        self.query_partial(spec)
+            .into_iter()
+            .filter(|&(_, v)| v >= threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::FiveTuple;
+
+    fn table() -> FlowTable {
+        let full = KeySpec::FIVE_TUPLE;
+        // Mirrors Figure 7 of the paper: (SrcIP, SrcPort)-style grouping.
+        let rows = vec![
+            (full.project(&FiveTuple::new(0x13620A1A, 1, 80, 9, 6)), 521),
+            (full.project(&FiveTuple::new(0x22344D0D, 1, 80, 9, 6)), 305),
+            (full.project(&FiveTuple::new(0x13620A1A, 2, 80, 9, 6)), 520),
+            (full.project(&FiveTuple::new(0x22344D11, 1, 118, 9, 6)), 856),
+            (full.project(&FiveTuple::new(0x22344D0D, 1, 123, 9, 6)), 463),
+        ];
+        FlowTable::new(full, rows)
+    }
+
+    #[test]
+    fn figure7_grouping() {
+        let t = table();
+        let by_src = t.query_partial(&KeySpec::SRC_IP);
+        let k = |ip: u32| KeySpec::SRC_IP.project(&FiveTuple::new(ip, 0, 0, 0, 0));
+        assert_eq!(by_src[&k(0x13620A1A)], 1041, "521 + 520");
+        assert_eq!(by_src[&k(0x22344D0D)], 768, "305 + 463");
+        assert_eq!(by_src[&k(0x22344D11)], 856);
+    }
+
+    #[test]
+    fn group_sums_conserve_total() {
+        let t = table();
+        for spec in KeySpec::PAPER_SIX {
+            let grouped = t.query_partial(&spec);
+            let sum: u64 = grouped.values().sum();
+            assert_eq!(sum, t.total(), "partial key {spec}");
+        }
+    }
+
+    #[test]
+    fn query_flow_matches_partial_table() {
+        let t = table();
+        let grouped = t.query_partial(&KeySpec::SRC_IP);
+        for (key, &size) in &grouped {
+            assert_eq!(t.query_flow(&KeySpec::SRC_IP, key), size);
+        }
+    }
+
+    #[test]
+    fn empty_key_returns_total() {
+        let t = table();
+        let grouped = t.query_partial(&KeySpec::EMPTY);
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(grouped[&KeyBytes::EMPTY], t.total());
+    }
+
+    #[test]
+    fn heavy_hitters_filter() {
+        let t = table();
+        let hh = t.heavy_hitters(&KeySpec::SRC_IP, 800);
+        assert_eq!(hh.len(), 2, "1041 and 856 qualify");
+    }
+
+    #[test]
+    fn full_key_query_is_identity() {
+        let t = table();
+        let grouped = t.query_partial(&KeySpec::FIVE_TUPLE);
+        assert_eq!(grouped.len(), t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a partial key")]
+    fn non_partial_query_panics() {
+        let rows = vec![(KeySpec::SRC_IP.project(&FiveTuple::default()), 1)];
+        let t = FlowTable::new(KeySpec::SRC_IP, rows);
+        t.query_partial(&KeySpec::SRC_DST);
+    }
+
+    #[test]
+    fn prefix_queries_work() {
+        let t = table();
+        let by_24 = t.query_partial(&KeySpec::src_prefix(24));
+        // 0x22344D0D and 0x22344D11 share their /24.
+        let k24 = KeySpec::src_prefix(24).project(&FiveTuple::new(0x22344D0D, 0, 0, 0, 0));
+        assert_eq!(by_24[&k24], 305 + 463 + 856);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = FlowTable::new(KeySpec::FIVE_TUPLE, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.total(), 0);
+        assert!(t.query_partial(&KeySpec::SRC_IP).is_empty());
+        assert_eq!(t.query_flow(&KeySpec::SRC_IP, &KeyBytes::new(&[0, 0, 0, 0])), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! NitroSketch-style sampled updates (the §8 future-work extension).
+//!
+//! On software switches the per-packet sketch touch, not accuracy, is
+//! often the bottleneck. NitroSketch's observation (Liu et al.,
+//! SIGCOMM 2019) is that updating the sketch for a geometric sample of
+//! packets, with weights scaled by `1/p`, preserves unbiasedness while
+//! slashing CPU cost. [`SampledCoco`] wraps any inner sketch that way:
+//!
+//! - each arriving packet is processed with probability `p`
+//!   (implemented by geometric skip counting — one RNG draw per
+//!   *processed* packet, not per packet);
+//! - a processed packet's weight is scaled by `1/p`, so every flow's
+//!   expected inserted weight equals its true weight;
+//! - estimates inherit the inner sketch's unbiasedness with variance
+//!   inflated by the sampling, the usual NitroSketch tradeoff.
+
+use hashkit::XorShift64Star;
+use sketches::Sketch;
+use traffic::KeyBytes;
+
+/// A sampling front-end over any [`Sketch`].
+pub struct SampledCoco<S: Sketch> {
+    inner: S,
+    /// Sampling probability in (0, 1].
+    p: f64,
+    /// Packets still to skip before the next processed one.
+    skip: u64,
+    rng: XorShift64Star,
+}
+
+impl<S: Sketch> SampledCoco<S> {
+    /// Wrap `inner`, processing each packet with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(inner: S, p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1], got {p}");
+        let mut s = Self {
+            inner,
+            p,
+            skip: 0,
+            rng: XorShift64Star::new(seed ^ 0x5A4D_504C),
+        };
+        s.skip = s.draw_skip();
+        s
+    }
+
+    /// Geometric skip: number of packets to ignore before the next
+    /// processed one, so that each packet is independently processed
+    /// with probability `p`.
+    fn draw_skip(&mut self) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inverse-CDF of the geometric distribution.
+        let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+
+    /// The sampling probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Access the wrapped sketch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Sketch> Sketch for SampledCoco<S> {
+    fn update(&mut self, key: &KeyBytes, w: u64) {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        self.skip = self.draw_skip();
+        // Scale the weight by 1/p (rounded probabilistically so the
+        // expectation is exact even for non-integer scale factors).
+        let scaled = w as f64 / self.p;
+        let base = scaled.floor() as u64;
+        let frac = scaled - base as f64;
+        let w_scaled = base + u64::from(self.rng.next_f64() < frac);
+        self.inner.update(key, w_scaled.max(1));
+    }
+
+    fn query(&self, key: &KeyBytes) -> u64 {
+        self.inner.query(key)
+    }
+
+    fn records(&self) -> Vec<(KeyBytes, u64)> {
+        self.inner.records()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "CocoSketch-Nitro"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::BasicCocoSketch;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn p_one_processes_everything() {
+        let inner = BasicCocoSketch::new(2, 64, 4, 1);
+        let mut s = SampledCoco::new(inner, 1.0, 2);
+        for _ in 0..500 {
+            s.update(&k(1), 1);
+        }
+        assert_eq!(s.query(&k(1)), 500);
+    }
+
+    #[test]
+    fn sampled_totals_track_stream() {
+        // Total inserted weight ≈ stream weight (scaled sampling).
+        let inner = BasicCocoSketch::new(2, 256, 4, 3);
+        let mut s = SampledCoco::new(inner, 0.25, 4);
+        let n = 200_000u64;
+        for i in 0..n {
+            s.update(&k((i % 100) as u32), 1);
+        }
+        let total = s.inner().total_value();
+        let rel = (total as f64 - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "sampled total {total} vs stream {n}");
+    }
+
+    #[test]
+    fn heavy_flow_estimate_unbiased_under_sampling() {
+        let trials = 200u32;
+        let true_size = 2_000u64;
+        let mut acc = 0f64;
+        for t in 0..trials {
+            let inner = BasicCocoSketch::new(2, 128, 4, u64::from(t));
+            let mut s = SampledCoco::new(inner, 0.1, 1_000 + u64::from(t));
+            for i in 0..true_size * 3 {
+                // watched flow is every third packet
+                if i % 3 == 0 {
+                    s.update(&k(0), 1);
+                } else {
+                    s.update(&k(1 + (i % 100) as u32), 1);
+                }
+            }
+            acc += s.query(&k(0)) as f64;
+        }
+        let mean = acc / f64::from(trials);
+        let rel = (mean - true_size as f64).abs() / true_size as f64;
+        assert!(rel < 0.1, "mean {mean} vs {true_size}");
+    }
+
+    #[test]
+    fn sampling_reduces_inner_updates() {
+        // Count how many records exist after a sampled run of unique
+        // keys: ~p fraction of them should have been touched.
+        let inner = BasicCocoSketch::new(2, 8192, 4, 5);
+        let mut s = SampledCoco::new(inner, 0.1, 6);
+        for i in 0..20_000u32 {
+            s.update(&k(i), 1);
+        }
+        let touched = s.records().len() as f64;
+        assert!(
+            (1_000.0..3_500.0).contains(&touched),
+            "expected ~2000 sampled updates, saw {touched}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling probability")]
+    fn zero_probability_rejected() {
+        SampledCoco::new(BasicCocoSketch::new(1, 1, 4, 1), 0.0, 1);
+    }
+
+    #[test]
+    fn fractional_scaling_is_unbiased() {
+        // p = 0.3 makes 1/p non-integral; the probabilistic rounding
+        // keeps the expected insert at w/p.
+        let trials = 3_000;
+        let inner = BasicCocoSketch::new(1, 4096, 4, 7);
+        let mut s = SampledCoco::new(inner, 0.3, 8);
+        for i in 0..trials {
+            s.update(&k(i as u32 % 64), 1);
+        }
+        let total = s.inner().total_value() as f64;
+        let rel = (total - f64::from(trials)).abs() / f64::from(trials);
+        assert!(rel < 0.15, "total {total} vs {trials}");
+    }
+}

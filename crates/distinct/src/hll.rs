@@ -1,0 +1,200 @@
+//! HyperLogLog (Flajolet et al. 2007).
+//!
+//! `m = 2^p` single-byte registers; each item's 64-bit hash contributes
+//! its leading-zero run to the register its low `p` bits select. The
+//! harmonic-mean estimator with the standard bias constant covers the
+//! large range; linear counting covers the small range. Relative error
+//! is ~`1.04 / sqrt(m)`.
+
+use hashkit::bob_hash64;
+
+/// A HyperLogLog cardinality estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hll {
+    registers: Vec<u8>,
+    p: u8,
+    seed: u32,
+}
+
+impl Hll {
+    /// Create with `2^p` registers (`4 <= p <= 16`).
+    pub fn new(p: u8, seed: u32) -> Self {
+        assert!((4..=16).contains(&p), "p must be in 4..=16, got {p}");
+        Self {
+            registers: vec![0u8; 1 << p],
+            p,
+            seed,
+        }
+    }
+
+    /// Number of registers.
+    pub fn registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Memory footprint in bytes (one byte per register).
+    pub fn memory_bytes(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Bias-correction constant `alpha_m`.
+    fn alpha(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        }
+    }
+
+    /// Observe one item.
+    pub fn add(&mut self, item: &[u8]) {
+        let h = bob_hash64(item, self.seed);
+        let idx = (h & ((1 << self.p) - 1)) as usize;
+        let rest = h >> self.p;
+        // Rank: position of the first 1-bit in the remaining 64-p bits.
+        let rank = (rest.trailing_zeros().min(63 - u32::from(self.p)) + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct items observed.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let raw = self.alpha() * m * m / sum;
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting on empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merge another HLL (same `p` and seed): register-wise max, which
+    /// is exactly the HLL of the union stream.
+    ///
+    /// # Panics
+    /// Panics on incompatible operands.
+    pub fn merge_from(&mut self, other: &Hll) {
+        assert_eq!(self.p, other.p, "register counts differ");
+        assert_eq!(self.seed, other.seed, "hash seeds differ");
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.registers.fill(0);
+    }
+
+    /// True when no item was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(h: &mut Hll, start: u64, n: u64) {
+        for i in start..start + n {
+            h.add(&i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn accuracy_across_ranges() {
+        for &n in &[100u64, 1_000, 10_000, 100_000] {
+            let mut h = Hll::new(12, 1);
+            fill(&mut h, 0, n);
+            let est = h.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            // 1.04/sqrt(4096) ~ 1.6%; allow 5 sigma.
+            assert!(rel < 0.08, "n={n}: estimate {est} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = Hll::new(10, 2);
+        for _ in 0..50 {
+            fill(&mut h, 0, 100);
+        }
+        let est = h.estimate();
+        assert!((est - 100.0).abs() < 15.0, "estimate {est}");
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = Hll::new(8, 3);
+        assert!(h.is_empty());
+        assert!(h.estimate() < 1.0);
+    }
+
+    #[test]
+    fn small_range_linear_counting() {
+        let mut h = Hll::new(12, 4);
+        fill(&mut h, 0, 10);
+        let est = h.estimate();
+        assert!((est - 10.0).abs() < 2.0, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Hll::new(11, 5);
+        let mut b = Hll::new(11, 5);
+        fill(&mut a, 0, 5_000);
+        fill(&mut b, 3_000, 5_000); // overlap 2_000, union 8_000
+        a.merge_from(&b);
+        let est = a.estimate();
+        let rel = (est - 8_000.0).abs() / 8_000.0;
+        assert!(rel < 0.08, "merged estimate {est}");
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = Hll::new(10, 6);
+        fill(&mut a, 0, 1_000);
+        let before = a.clone();
+        a.merge_from(&before.clone());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "register counts differ")]
+    fn merge_incompatible_p_panics() {
+        let mut a = Hll::new(10, 1);
+        a.merge_from(&Hll::new(11, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn invalid_p_rejected() {
+        Hll::new(3, 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Hll::new(8, 7);
+        fill(&mut h, 0, 100);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn seeds_give_independent_estimators() {
+        // Different seeds: same data, different register patterns.
+        let mut a = Hll::new(8, 1);
+        let mut b = Hll::new(8, 2);
+        fill(&mut a, 0, 1_000);
+        fill(&mut b, 0, 1_000);
+        assert_ne!(a.registers, b.registers);
+    }
+}

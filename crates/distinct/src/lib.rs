@@ -1,0 +1,28 @@
+//! Distinct counting: the measurement dimension CocoSketch's paper
+//! leaves as future work (§8, the BeauCoup comparison).
+//!
+//! Two pieces:
+//!
+//! - [`Hll`]: a from-scratch HyperLogLog cardinality estimator (with
+//!   linear-counting small-range correction and lossless merge) — the
+//!   standard building block for "count distinct X" questions such as
+//!   the SYN-flood detection use case of the paper's introduction;
+//! - [`SpreaderSketch`]: an exploratory CocoSketch-style structure for
+//!   *super-spreader* detection (sources contacting many distinct
+//!   destinations): `d` hashed arrays of (key, HLL) buckets where an
+//!   untracked source claims the bucket with the smallest distinct
+//!   estimate with probability `1 / (estimate + 1)` — stochastic
+//!   variance minimization transplanted from sizes to cardinalities.
+//!   It inherits the power-of-d update cost; unlike flow sizes,
+//!   cardinality merges are not additive, so its guarantees are
+//!   empirical (see the module tests), not the paper's theorems.
+
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hll;
+pub mod spreader;
+
+pub use hll::Hll;
+pub use spreader::SpreaderSketch;

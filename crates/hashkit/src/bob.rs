@@ -1,0 +1,185 @@
+//! Bob Jenkins' `lookup2` hash ("Bob Hash" / evahash).
+//!
+//! This is the hash function the CocoSketch reference implementation uses
+//! for all sketch arrays (`http://burtleburtle.net/bob/hash/evahash.html`,
+//! paper reference [83]). It consumes the key 12 bytes at a time, mixing
+//! three 32-bit lanes, and folds the trailing bytes into the final mix.
+//!
+//! The function is deterministic, seedable (the seed is the original
+//! `initval` parameter), and distributes well enough that two instances
+//! with different seeds behave as independent hash functions for sketching
+//! purposes — exactly the property multi-array sketches need.
+
+/// One round of Jenkins' 96-bit `mix`.
+///
+/// Identical to the C macro: every lane is reversibly mixed with the other
+/// two, so no entropy is lost between rounds.
+#[inline(always)]
+fn mix(mut a: u32, mut b: u32, mut c: u32) -> (u32, u32, u32) {
+    a = a.wrapping_sub(b).wrapping_sub(c) ^ (c >> 13);
+    b = b.wrapping_sub(c).wrapping_sub(a) ^ (a << 8);
+    c = c.wrapping_sub(a).wrapping_sub(b) ^ (b >> 13);
+    a = a.wrapping_sub(b).wrapping_sub(c) ^ (c >> 12);
+    b = b.wrapping_sub(c).wrapping_sub(a) ^ (a << 16);
+    c = c.wrapping_sub(a).wrapping_sub(b) ^ (b >> 5);
+    a = a.wrapping_sub(b).wrapping_sub(c) ^ (c >> 3);
+    b = b.wrapping_sub(c).wrapping_sub(a) ^ (a << 10);
+    c = c.wrapping_sub(a).wrapping_sub(b) ^ (b >> 15);
+    (a, b, c)
+}
+
+/// Read up to 4 little-endian bytes starting at `data[i]`, zero-padded.
+#[inline(always)]
+fn le_partial(data: &[u8], i: usize) -> u32 {
+    let mut v = 0u32;
+    for (shift, &byte) in data[i..].iter().take(4).enumerate() {
+        v |= u32::from(byte) << (8 * shift);
+    }
+    v
+}
+
+/// 32-bit Bob Jenkins `lookup2` hash of `data` with the given `seed`.
+///
+/// Every bit of the key affects every bit of the result; different seeds
+/// give effectively independent functions.
+///
+/// ```
+/// use hashkit::bob_hash;
+/// let h1 = bob_hash(b"10.0.0.1:443", 1);
+/// let h2 = bob_hash(b"10.0.0.1:443", 2);
+/// assert_eq!(h1, bob_hash(b"10.0.0.1:443", 1)); // deterministic
+/// assert_ne!(h1, h2); // seed-dependent
+/// ```
+#[inline]
+pub fn bob_hash(data: &[u8], seed: u32) -> u32 {
+    let golden = 0x9e37_79b9u32;
+    let mut a = golden;
+    let mut b = golden;
+    let mut c = seed;
+
+    let mut i = 0usize;
+    while data.len() - i >= 12 {
+        a = a.wrapping_add(u32::from_le_bytes(data[i..i + 4].try_into().unwrap()));
+        b = b.wrapping_add(u32::from_le_bytes(data[i + 4..i + 8].try_into().unwrap()));
+        c = c.wrapping_add(u32::from_le_bytes(data[i + 8..i + 12].try_into().unwrap()));
+        let (x, y, z) = mix(a, b, c);
+        a = x;
+        b = y;
+        c = z;
+        i += 12;
+    }
+
+    // Trailing bytes: c's low byte is reserved for the length, as in the
+    // original (the first byte of c is the length, so keys that are
+    // prefixes of each other hash differently).
+    c = c.wrapping_add(data.len() as u32);
+    let rem = data.len() - i;
+    a = a.wrapping_add(le_partial(data, i));
+    if rem > 4 {
+        b = b.wrapping_add(le_partial(data, i + 4));
+    }
+    if rem > 8 {
+        // Shift by one byte: the length already occupies c's low byte.
+        c = c.wrapping_add(le_partial(data, i + 8) << 8);
+    }
+    let (_, _, c) = mix(a, b, c);
+    c
+}
+
+/// 64-bit hash assembled from two independently seeded [`bob_hash`] calls.
+///
+/// Used where 32 bits of hash space is not enough (e.g. deriving both a
+/// bucket index and a replacement-probability coin from one logical hash).
+#[inline]
+pub fn bob_hash64(data: &[u8], seed: u32) -> u64 {
+    let lo = bob_hash(data, seed);
+    let hi = bob_hash(data, seed ^ 0xdead_beef);
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let k = b"192.168.0.1 -> 10.0.0.1";
+        assert_eq!(bob_hash(k, 7), bob_hash(k, 7));
+        assert_eq!(bob_hash64(k, 7), bob_hash64(k, 7));
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let k = b"flow-key";
+        let outs: Vec<u32> = (0..16).map(|s| bob_hash(k, s)).collect();
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len(), "seeds should not collide: {outs:?}");
+    }
+
+    #[test]
+    fn length_is_mixed_in() {
+        // A key and its zero-extension must not collide systematically.
+        assert_ne!(bob_hash(b"ab", 1), bob_hash(b"ab\0", 1));
+        assert_ne!(bob_hash(b"", 1), bob_hash(b"\0", 1));
+    }
+
+    #[test]
+    fn empty_key_is_fine() {
+        let _ = bob_hash(b"", 0);
+        let _ = bob_hash64(b"", u32::MAX);
+    }
+
+    #[test]
+    fn handles_all_block_remainders() {
+        // Exercise every remainder 0..12 around the 12-byte block size.
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            assert!(seen.insert(bob_hash(&data[..len], 3)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn avalanche_is_reasonable() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let base = b"0123456789abcdef";
+        let h0 = bob_hash(base, 42);
+        let mut total_flips = 0u32;
+        let mut samples = 0u32;
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut k = *base;
+                k[byte] ^= 1 << bit;
+                total_flips += (h0 ^ bob_hash(&k, 42)).count_ones();
+                samples += 1;
+            }
+        }
+        let avg = f64::from(total_flips) / f64::from(samples);
+        assert!((10.0..22.0).contains(&avg), "avalanche average {avg} out of range");
+    }
+
+    #[test]
+    fn bucket_distribution_is_roughly_uniform() {
+        // Chi-square-ish sanity check: hash sequential keys into 64 buckets.
+        const BUCKETS: usize = 64;
+        const N: usize = 64 * 1000;
+        let mut counts = [0u32; BUCKETS];
+        for i in 0..N {
+            let k = (i as u64).to_le_bytes();
+            counts[bob_hash(&k, 11) as usize % BUCKETS] += 1;
+        }
+        let expected = (N / BUCKETS) as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - expected;
+                d * d / expected
+            })
+            .sum();
+        // 63 degrees of freedom; 120 is far beyond the 0.999 quantile (~104)
+        // but leaves slack so the test is not flaky across platforms.
+        assert!(chi2 < 120.0, "chi2 {chi2} too high, counts {counts:?}");
+    }
+}

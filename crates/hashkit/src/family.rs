@@ -1,0 +1,115 @@
+//! Families of independently seeded hash functions.
+
+use crate::bob::bob_hash;
+use crate::rng::SplitMix64;
+
+/// `d` seeded hash functions, one per sketch array.
+///
+/// Seeds are expanded from a single master seed with [`SplitMix64`], so a
+/// whole multi-array sketch is reproducible from one integer. Index
+/// computation ([`HashFamily::index`]) reduces the 32-bit hash modulo the
+/// array length; for the array lengths used in sketching (≤ a few million)
+/// the modulo bias is negligible.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    seeds: Vec<u32>,
+}
+
+impl HashFamily {
+    /// Create `d` hash functions from a master seed.
+    pub fn new(d: usize, master_seed: u64) -> Self {
+        let mut rng = SplitMix64::new(master_seed);
+        let seeds = (0..d).map(|_| rng.next_u32()).collect();
+        Self { seeds }
+    }
+
+    /// Number of functions in the family.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// True when the family is empty (a zero-array sketch; degenerate but
+    /// allowed so constructors can validate and report it themselves).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Hash `key` with the `i`-th function.
+    #[inline]
+    pub fn hash(&self, i: usize, key: &[u8]) -> u32 {
+        bob_hash(key, self.seeds[i])
+    }
+
+    /// Bucket index of `key` in an array of `len` buckets under the `i`-th
+    /// function.
+    #[inline]
+    pub fn index(&self, i: usize, key: &[u8], len: usize) -> usize {
+        debug_assert!(len > 0);
+        (self.hash(i, key) as usize) % len
+    }
+
+    /// The raw seed of the `i`-th function (exposed for hardware-model
+    /// resource accounting, which charges per configured hash unit).
+    #[inline]
+    pub fn seed(&self, i: usize) -> u32 {
+        self.seeds[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_from_master_seed() {
+        let a = HashFamily::new(4, 42);
+        let b = HashFamily::new(4, 42);
+        for i in 0..4 {
+            assert_eq!(a.hash(i, b"key"), b.hash(i, b"key"));
+        }
+    }
+
+    #[test]
+    fn functions_differ() {
+        let f = HashFamily::new(8, 9);
+        let hashes: Vec<u32> = (0..8).map(|i| f.hash(i, b"same-key")).collect();
+        let mut uniq = hashes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), hashes.len(), "{hashes:?}");
+    }
+
+    #[test]
+    fn index_in_bounds() {
+        let f = HashFamily::new(3, 1);
+        for i in 0..3 {
+            for k in 0u32..1000 {
+                assert!(f.index(i, &k.to_le_bytes(), 17) < 17);
+            }
+        }
+    }
+
+    #[test]
+    fn independence_proxy_low_pairwise_collision() {
+        // Two functions should collide on 64 buckets at roughly 1/64 rate.
+        let f = HashFamily::new(2, 123);
+        let n = 20_000;
+        let collisions = (0..n)
+            .filter(|k: &u32| {
+                let kb = k.to_le_bytes();
+                f.index(0, &kb, 64) == f.index(1, &kb, 64)
+            })
+            .count() as f64;
+        let rate = collisions / f64::from(n);
+        assert!((rate - 1.0 / 64.0).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn empty_family() {
+        let f = HashFamily::new(0, 0);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded non-cryptographic hashing and fast in-sketch randomness.
+//!
+//! The CocoSketch paper's CPU implementation hashes flow keys with the
+//! 32-bit Bob Jenkins hash ("Bob Hash", a.k.a. `lookup2`/evahash) under
+//! different seeds, one seed per sketch array. This crate provides:
+//!
+//! - [`bob_hash`]: a faithful implementation of Jenkins' `lookup2` with a
+//!   caller-supplied seed (the `initval` of the original C code);
+//! - [`bob_hash64`]: a 64-bit variant built from two independently seeded
+//!   32-bit invocations, used where a larger hash space is needed;
+//! - [`HashFamily`]: `d` pairwise-independent-in-practice seeded hash
+//!   functions, the building block for multi-array sketches;
+//! - [`SplitMix64`] and [`XorShift64Star`]: tiny, allocation-free PRNGs for
+//!   seed derivation and for the probabilistic key-replacement decisions in
+//!   the sketch hot path (where pulling in a full RNG crate would be
+//!   overkill and non-deterministic).
+//!
+//! Everything here is deterministic given its seeds; experiments built on
+//! top are bit-reproducible.
+
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bob;
+mod family;
+mod rng;
+
+pub use bob::{bob_hash, bob_hash64};
+pub use family::HashFamily;
+pub use rng::{SplitMix64, XorShift64Star};

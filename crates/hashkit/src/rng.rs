@@ -1,0 +1,172 @@
+//! Tiny deterministic PRNGs for seed derivation and hot-path coin flips.
+//!
+//! Sketch updates need randomness (the stochastic key replacement at the
+//! heart of unbiased SpaceSaving-style algorithms), but the packet loop
+//! cannot afford a heavyweight RNG, and experiments must be reproducible.
+//! These generators are a few ALU ops per draw and fully determined by
+//! their seed.
+
+/// SplitMix64: the standard seed-expansion generator.
+///
+/// Used to derive independent sub-seeds (per sketch array, per thread)
+/// from one experiment seed. Passes through zero state safely because the
+/// increment is odd.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from an arbitrary 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output (high bits, which are the best-mixed).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// xorshift64*: the in-sketch coin-flip generator.
+///
+/// Three shifts and one multiply per draw; quality is more than sufficient
+/// for Bernoulli trials with probabilities derived from counter values.
+/// The state must be non-zero; construction guarantees it.
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Create from a seed; a zero seed is remapped to a fixed constant so
+    /// the generator never gets stuck at zero.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x853c_49e6_748f_ea9b } else { seed },
+        }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform `f64` in `[0, 1)` built from the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: returns `true` with probability `num / den`.
+    ///
+    /// `den == 0` is treated as certain success (the convention the sketch
+    /// update wants for empty buckets). Probabilities ≥ 1 always succeed.
+    #[inline]
+    pub fn coin(&mut self, num: u64, den: u64) -> bool {
+        if num >= den {
+            return true;
+        }
+        // Map the draw into [0, den): success iff draw < num. The modulo
+        // bias is ≤ den/2^64, negligible for counter-sized denominators.
+        self.next_u64() % den < num
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic_and_distinct() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let mut c = SplitMix64::new(2);
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert_ne!(x, c.next_u64());
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_recovers() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = XorShift64Star::new(99);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn coin_edge_cases() {
+        let mut r = XorShift64Star::new(5);
+        assert!(r.coin(1, 0), "den=0 means certain success");
+        assert!(r.coin(5, 5), "p=1 always succeeds");
+        assert!(r.coin(7, 3), "p>1 always succeeds");
+        for _ in 0..1000 {
+            assert!(!r.coin(0, 10), "p=0 never succeeds");
+        }
+    }
+
+    #[test]
+    fn coin_frequency_matches_probability() {
+        let mut r = XorShift64Star::new(2024);
+        let trials = 200_000u32;
+        let hits = (0..trials).filter(|_| r.coin(1, 4)).count() as f64;
+        let freq = hits / f64::from(trials);
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = XorShift64Star::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn splitmix_mean_is_centered() {
+        let mut r = SplitMix64::new(31337);
+        let n = 100_000;
+        let mean = (0..n).map(|_| (r.next_u64() >> 11) as f64).sum::<f64>()
+            / n as f64
+            / (1u64 << 53) as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Classical (discounted) hierarchical heavy hitters.
+//!
+//! The multi-level task of Figures 11/12 reports every prefix whose
+//! *total* count crosses the threshold. The classical HHH definition
+//! (Zhang et al., IMC 2004) is stricter: a prefix is an HHH only if its
+//! count *after discounting the counts of its HHH descendants* still
+//! crosses the threshold — so a /16 is not an HHH merely because it
+//! contains one giant /32.
+//!
+//! Because CocoSketch recovers a complete per-level count table from
+//! one sketch, the discounted semantics is a pure post-processing pass;
+//! this module implements it for 1-d prefix hierarchies, generic over
+//! exact or estimated tables.
+
+use std::collections::HashMap;
+use traffic::{KeyBytes, KeySpec};
+
+/// One detected hierarchical heavy hitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HhhItem {
+    /// Prefix length of the level this HHH lives at.
+    pub prefix_bits: u8,
+    /// The prefix key (encoded under `KeySpec::src_prefix(prefix_bits)`).
+    pub key: KeyBytes,
+    /// Total (undiscounted) size of the prefix.
+    pub total: u64,
+    /// Discounted size: total minus the totals of descendant HHHs.
+    pub discounted: u64,
+}
+
+/// Compute 1-d discounted HHHs from per-level source-IP count tables.
+///
+/// `levels` maps prefix length → count table; any subset of lengths in
+/// `0..=32` may be present (missing levels are skipped). Levels are
+/// processed longest-prefix first; a prefix qualifies when its count
+/// minus the *total* counts of already-selected descendant HHHs is at
+/// least `threshold`.
+pub fn discounted_hhh(
+    levels: &HashMap<u8, HashMap<KeyBytes, u64>>,
+    threshold: u64,
+) -> Vec<HhhItem> {
+    let mut result: Vec<HhhItem> = Vec::new();
+    let mut lengths: Vec<u8> = levels.keys().copied().collect();
+    lengths.sort_unstable_by(|a, b| b.cmp(a)); // longest first
+
+    for &bits in &lengths {
+        let spec = KeySpec::src_prefix(bits);
+        let counts = &levels[&bits];
+        for (key, &total) in counts {
+            // Discount every already-selected HHH that is a descendant
+            // of this prefix (longer prefix projecting onto `key`).
+            let discount: u64 = result
+                .iter()
+                .filter(|item| {
+                    item.prefix_bits > bits
+                        && spec.project_key(&KeySpec::src_prefix(item.prefix_bits), &item.key)
+                            == *key
+                })
+                .map(|item| item.total)
+                .sum();
+            let discounted = total.saturating_sub(discount);
+            if discounted >= threshold {
+                result.push(HhhItem {
+                    prefix_bits: bits,
+                    key: *key,
+                    total,
+                    discounted,
+                });
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::FiveTuple;
+
+    /// Build per-level tables from explicit (ip, count) flows.
+    fn levels_from(flows: &[(u32, u64)], lengths: &[u8]) -> HashMap<u8, HashMap<KeyBytes, u64>> {
+        let mut out: HashMap<u8, HashMap<KeyBytes, u64>> = HashMap::new();
+        for &bits in lengths {
+            let spec = KeySpec::src_prefix(bits);
+            let table = out.entry(bits).or_default();
+            for &(ip, count) in flows {
+                *table
+                    .entry(spec.project(&FiveTuple::new(ip, 0, 0, 0, 0)))
+                    .or_insert(0) += count;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_giant_does_not_promote_ancestors() {
+        // One /32 with 1000; its /24 holds nothing else. Classical HHH
+        // must report the /32 only.
+        let levels = levels_from(&[(0x0A000001, 1_000)], &[32, 24]);
+        let hhh = discounted_hhh(&levels, 500);
+        assert_eq!(hhh.len(), 1);
+        assert_eq!(hhh[0].prefix_bits, 32);
+        assert_eq!(hhh[0].discounted, 1_000);
+    }
+
+    #[test]
+    fn aggregate_of_small_flows_is_hhh() {
+        // 300 flows of 3 within one /24: no /32 qualifies, the /24 does.
+        let flows: Vec<(u32, u64)> = (0..300u32).map(|i| (0x0A000000 + (i % 250), 3)).collect();
+        let levels = levels_from(&flows, &[32, 24]);
+        let hhh = discounted_hhh(&levels, 500);
+        assert_eq!(hhh.len(), 1);
+        assert_eq!(hhh[0].prefix_bits, 24);
+        assert_eq!(hhh[0].total, 900);
+    }
+
+    #[test]
+    fn mixed_case_discounts_partially() {
+        // A heavy /32 (600) plus background (500) in the same /24 with
+        // threshold 400: both the /32 and the /24 (discounted to 500)
+        // qualify.
+        let mut flows = vec![(0x0A000001u32, 600u64)];
+        for i in 0..100u32 {
+            flows.push((0x0A000002 + i, 5));
+        }
+        let levels = levels_from(&flows, &[32, 24]);
+        let hhh = discounted_hhh(&levels, 400);
+        assert_eq!(hhh.len(), 2, "{hhh:?}");
+        let l24 = hhh.iter().find(|h| h.prefix_bits == 24).unwrap();
+        assert_eq!(l24.total, 1_100);
+        assert_eq!(l24.discounted, 500, "the /32's 600 is discounted");
+    }
+
+    #[test]
+    fn empty_levels_yield_nothing() {
+        let hhh = discounted_hhh(&HashMap::new(), 10);
+        assert!(hhh.is_empty());
+    }
+
+    #[test]
+    fn discount_crosses_multiple_levels() {
+        // A giant /32 in one /24 and an aggregate-heavy sibling /24:
+        // both are HHHs, and together they fully discount their /16.
+        let mut flows = vec![(0x0A000001u32, 1_000u64)];
+        for i in 0..200u32 {
+            flows.push((0x0A000100 + i, 2)); // sibling /24, 400 total
+        }
+        let levels = levels_from(&flows, &[32, 24, 16]);
+        let hhh = discounted_hhh(&levels, 300);
+        assert!(hhh.iter().any(|h| h.prefix_bits == 32 && h.total == 1_000));
+        let l24 = hhh
+            .iter()
+            .find(|h| h.prefix_bits == 24 && h.total == 400)
+            .expect("the mice /24 aggregates to 400 >= 300");
+        assert_eq!(l24.discounted, 400, "no /32 HHH inside the mice /24");
+        // The /16 holds 1400 but its two HHH children discount all of it.
+        assert!(
+            !hhh.iter().any(|h| h.prefix_bits == 16),
+            "fully discounted /16 must not be reported: {hhh:?}"
+        );
+        // The giant's own /24 is fully discounted by the /32 too.
+        assert_eq!(hhh.iter().filter(|h| h.prefix_bits == 24).count(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Prefix hierarchies used by the HHH experiments.
+
+use traffic::KeySpec;
+
+/// The 1-d source-IP hierarchy in bit granularity: /32 down to /1 plus
+/// the empty key — 33 levels, exactly the configuration of Figure 11.
+pub fn src_hierarchy() -> Vec<KeySpec> {
+    (0..=32u8).rev().map(KeySpec::src_prefix).collect()
+}
+
+/// The 2-d source/destination hierarchy in bit granularity: all
+/// (src bits, dst bits) pairs in `0..=32`^2 — 1089 levels (Figure 12).
+pub fn two_d_hierarchy() -> Vec<KeySpec> {
+    let mut out = Vec::with_capacity(33 * 33);
+    for s in (0..=32u8).rev() {
+        for d in (0..=32u8).rev() {
+            out.push(KeySpec::src_dst_prefix(s, d));
+        }
+    }
+    out
+}
+
+/// A reduced 1-d hierarchy in byte granularity (5 levels), for fast
+/// unit tests and examples.
+pub fn src_hierarchy_bytes() -> Vec<KeySpec> {
+    vec![
+        KeySpec::src_prefix(32),
+        KeySpec::src_prefix(24),
+        KeySpec::src_prefix(16),
+        KeySpec::src_prefix(8),
+        KeySpec::EMPTY,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_has_33_levels() {
+        let h = src_hierarchy();
+        assert_eq!(h.len(), 33);
+        assert_eq!(h[0], KeySpec::src_prefix(32));
+        assert_eq!(h[32], KeySpec::src_prefix(0));
+        assert_eq!(h[32], KeySpec::EMPTY, "prefix length 0 is the empty key");
+    }
+
+    #[test]
+    fn two_d_has_1089_levels() {
+        let h = two_d_hierarchy();
+        assert_eq!(h.len(), 1089);
+        assert_eq!(h[0], KeySpec::SRC_DST);
+        assert_eq!(*h.last().unwrap(), KeySpec::EMPTY);
+    }
+
+    #[test]
+    fn every_level_is_partial_of_the_root() {
+        for spec in src_hierarchy() {
+            assert!(spec.is_partial_of(&KeySpec::SRC_IP));
+        }
+        for spec in two_d_hierarchy() {
+            assert!(spec.is_partial_of(&KeySpec::SRC_DST));
+        }
+    }
+
+    #[test]
+    fn levels_nest() {
+        let h = src_hierarchy();
+        for w in h.windows(2) {
+            assert!(w[1].is_partial_of(&w[0]), "{} ≺ {}", w[1], w[0]);
+        }
+    }
+}

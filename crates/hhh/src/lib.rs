@@ -1,0 +1,26 @@
+//! Hierarchical heavy hitters over arbitrary partial key queries.
+//!
+//! The paper's Figures 11 and 12 evaluate CocoSketch against R-HHH on
+//! multi-level heavy-hitter detection: every prefix length of the source
+//! IP (33 keys, "1-d") or of the source/destination pair (33 x 33 =
+//! 1089 keys, "2-d") is a separate key, and the task reports the heavy
+//! flows of every level. CocoSketch serves all levels from one sketch
+//! via partial-key aggregation; R-HHH keeps a structure per level.
+//!
+//! - [`hierarchy`] builds the level lists;
+//! - [`multilevel`] runs the detection (sketch-backed and exact);
+//! - [`discounted`] implements classical *discounted* HHH semantics
+//!   (counts excluding descendant HHHs) on top of any per-level count
+//!   table — the paper's use cases (§2.2) cite this form, and it falls
+//!   out of partial-key queries for free.
+
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod discounted;
+pub mod hierarchy;
+pub mod multilevel;
+
+pub use hierarchy::{src_hierarchy, two_d_hierarchy};
+pub use multilevel::{exact_multilevel, multilevel_from_table, LevelReport};

@@ -1,0 +1,243 @@
+//! FPGA datapath model (Alveo U280-class device).
+//!
+//! The paper's FPGA implementation (§6.1) pipelines hash computation,
+//! value-array access, replacement-probability calculation and
+//! key-array access; BRAM accesses take two cycles, everything else
+//! one. This module models exactly that structure:
+//!
+//! - **Throughput** = clock / II, where the *initiation interval* (II)
+//!   is 1 for a fully pipelined (acyclic) update and equals the
+//!   feedback-loop latency when the update of one packet must observe
+//!   the completed update of the previous one (the basic CocoSketch's
+//!   circular dependency). Clock frequency derates with memory size
+//!   (larger BRAM fan-out, longer routes), calibrated to the paper's
+//!   150 Mpps at 2 MB for the hardware-friendly variant.
+//! - **Resources**: BRAM tiles (36 Kbit each), LUTs and slice
+//!   registers, charged per pipeline component, with totals of a
+//!   U280-class part.
+
+use crate::program::Program;
+
+/// Per-operation pipeline latencies in cycles (§6.1: "accessing one
+/// BRAM Tile needs two cycles while other operations such as hash
+/// computation and probability calculation take one cycle").
+const LAT_HASH: u64 = 1;
+const LAT_BRAM: u64 = 2;
+const LAT_PROB: u64 = 1;
+const LAT_COMPARE: u64 = 1;
+
+/// Bytes per BRAM tile (36 Kbit).
+const BRAM_TILE_BYTES: usize = 36 * 1024 / 8;
+
+/// Device totals for an Alveo U280-class card.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaConfig {
+    /// Achievable clock at the smallest memory footprint, MHz.
+    pub base_clock_mhz: f64,
+    /// BRAM tiles on the device (U280: 2016 x 36Kb).
+    pub bram_tiles: usize,
+    /// Slice LUTs on the device (U280: ~1.3M).
+    pub luts: usize,
+    /// Slice registers on the device (U280: ~2.6M).
+    pub registers: usize,
+}
+
+impl Default for FpgaConfig {
+    fn default() -> Self {
+        Self {
+            base_clock_mhz: 300.0,
+            bram_tiles: 2016,
+            luts: 1_303_680,
+            registers: 2_607_360,
+        }
+    }
+}
+
+/// The synthesis "report" for one program.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaReport {
+    /// Achieved clock after memory-size derating, MHz.
+    pub clock_mhz: f64,
+    /// Initiation interval in cycles (1 = fully pipelined).
+    pub initiation_interval: u64,
+    /// Packets per second the pipeline sustains.
+    pub throughput_mpps: f64,
+    /// BRAM tiles used.
+    pub bram_tiles: usize,
+    /// LUTs used.
+    pub luts: usize,
+    /// Slice registers used.
+    pub registers: usize,
+}
+
+impl FpgaReport {
+    /// Resource fractions (registers, LUTs, BRAM) — Figure 15c's bars.
+    pub fn fractions(&self, config: &FpgaConfig) -> [f64; 3] {
+        [
+            self.registers as f64 / config.registers as f64,
+            self.luts as f64 / config.luts as f64,
+            self.bram_tiles as f64 / config.bram_tiles as f64,
+        ]
+    }
+}
+
+/// Clock derating with total memory: doubling the BRAM footprint
+/// stretches routing; calibrated so the hardware-friendly CocoSketch
+/// reaches ~150 Mpps at 2 MB (Figure 15b) from a 300 MHz base.
+fn clock_mhz(config: &FpgaConfig, mem_bytes: usize) -> f64 {
+    let mem_mb = mem_bytes as f64 / (1024.0 * 1024.0);
+    config.base_clock_mhz / (1.0 + mem_mb / 2.0)
+}
+
+/// Latency of one array's update path: value access, probability,
+/// key access (+ the RNG compare folded into the probability stage).
+fn array_update_latency() -> u64 {
+    LAT_BRAM + LAT_PROB + LAT_BRAM
+}
+
+/// The feedback-loop latency when the program's arrays form a
+/// dependency cycle: the read-decide-write chain must drain before the
+/// next packet may enter. Hashing is outside the loop (it depends only
+/// on the packet); the probability calculation overlaps the last level
+/// of the comparison tree.
+fn loop_latency(program: &Program) -> u64 {
+    let d = program.arrays.len().max(2) as u64;
+    let compare_tree = (64 - (d - 1).leading_zeros()) as u64; // ceil(log2(d))
+    LAT_BRAM + compare_tree.max(LAT_COMPARE + LAT_PROB - 1) + LAT_BRAM
+}
+
+/// "Synthesize" a program: derive clock, II, throughput and resources.
+pub fn synthesize(program: &Program, config: &FpgaConfig) -> FpgaReport {
+    let mem = program.total_bytes();
+    let cyclic = program.find_cycle().is_some();
+    let initiation_interval = if cyclic { loop_latency(program) } else { 1 };
+    // A cyclic design also closes its timing through the whole loop, so
+    // it reaches a lower clock (the paper: "a significantly lower clock
+    // frequency ... too many operations are performed in one stage").
+    let clock = if cyclic {
+        clock_mhz(config, mem) * 0.9
+    } else {
+        clock_mhz(config, mem)
+    };
+    let throughput_mpps = clock / initiation_interval as f64;
+
+    // BRAM: data tiles plus one control tile per array.
+    let bram_tiles: usize = program
+        .arrays
+        .iter()
+        .map(|a| a.bytes.div_ceil(BRAM_TILE_BYTES) + 1)
+        .sum();
+    // Logic: per hash call, per array update path, per RNG; pipeline
+    // registers scale with the number of in-flight stages.
+    let hash_luts = 2_500 * program.hash_calls;
+    let array_luts = 3_000 * program.arrays.len();
+    let rng_luts = if program.needs_rng { 1_500 } else { 0 };
+    let luts = hash_luts + array_luts + rng_luts + 1_000 * program.extra_gateways;
+    let depth = (LAT_HASH + array_update_latency()) as usize;
+    let registers = luts + 900 * depth * program.arrays.len();
+
+    FpgaReport {
+        clock_mhz: clock,
+        initiation_interval,
+        throughput_mpps,
+        bram_tiles,
+        luts,
+        registers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::library::*;
+
+    const MB: usize = 1024 * 1024;
+
+    #[test]
+    fn figure15b_hardware_hits_150mpps_at_2mb() {
+        let p = coco_hardware(2 * MB, 2, FIVE_TUPLE_BITS);
+        let r = synthesize(&p, &FpgaConfig::default());
+        assert_eq!(r.initiation_interval, 1);
+        assert!(
+            (r.throughput_mpps - 150.0).abs() < 10.0,
+            "throughput {} Mpps",
+            r.throughput_mpps
+        );
+    }
+
+    #[test]
+    fn figure15b_basic_is_about_5x_slower() {
+        let cfg = FpgaConfig::default();
+        let hw = synthesize(&coco_hardware(2 * MB, 2, FIVE_TUPLE_BITS), &cfg);
+        let basic = synthesize(&coco_basic(2 * MB, 2, FIVE_TUPLE_BITS), &cfg);
+        let speedup = hw.throughput_mpps / basic.throughput_mpps;
+        assert!(
+            (4.0..8.0).contains(&speedup),
+            "speedup {speedup} (hw {} vs basic {})",
+            hw.throughput_mpps,
+            basic.throughput_mpps
+        );
+        assert!(basic.throughput_mpps > 20.0 && basic.throughput_mpps < 40.0);
+    }
+
+    #[test]
+    fn throughput_decreases_with_memory() {
+        let cfg = FpgaConfig::default();
+        let sizes = [MB / 4, MB / 2, MB, 2 * MB];
+        let rates: Vec<f64> = sizes
+            .iter()
+            .map(|&m| synthesize(&coco_hardware(m, 2, FIVE_TUPLE_BITS), &cfg).throughput_mpps)
+            .collect();
+        assert!(
+            rates.windows(2).all(|w| w[0] > w[1]),
+            "monotone decreasing: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn figure15c_coco_bram_under_6_percent() {
+        // §7.4: CocoSketch needs 5.8% of Block RAM at its 90%-F1 config
+        // (~0.5MB); 6 Elastic sketches need 34%.
+        let cfg = FpgaConfig::default();
+        let coco = synthesize(&coco_hardware(MB / 2, 2, FIVE_TUPLE_BITS), &cfg);
+        let [_, _, bram] = coco.fractions(&cfg);
+        assert!((0.04..0.07).contains(&bram), "coco BRAM fraction {bram}");
+        let elastic_six = 6 * synthesize(&elastic(MB / 2 + 80_000, FIVE_TUPLE_BITS), &cfg).bram_tiles;
+        let frac6 = elastic_six as f64 / cfg.bram_tiles as f64;
+        assert!((0.25..0.45).contains(&frac6), "6x elastic BRAM {frac6}");
+    }
+
+    #[test]
+    fn registers_gap_vs_six_elastic() {
+        // Fig 15c: CocoSketch's slice registers are ~45x smaller than
+        // six Elastic instances'. Require a large gap (order 10x+).
+        let cfg = FpgaConfig::default();
+        let coco = synthesize(&coco_hardware(MB / 2, 2, FIVE_TUPLE_BITS), &cfg);
+        let elastic6 = 6 * synthesize(&elastic(MB / 2, FIVE_TUPLE_BITS), &cfg).registers;
+        assert!(
+            elastic6 as f64 / coco.registers as f64 > 2.0,
+            "coco {} vs 6x elastic {}",
+            coco.registers,
+            elastic6
+        );
+    }
+
+    #[test]
+    fn acyclic_programs_fully_pipeline() {
+        let cfg = FpgaConfig::default();
+        for p in [
+            count_min(MB, 3, FIVE_TUPLE_BITS),
+            coco_hardware(MB, 4, FIVE_TUPLE_BITS),
+        ] {
+            assert_eq!(synthesize(&p, &cfg).initiation_interval, 1, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn resources_within_device() {
+        let cfg = FpgaConfig::default();
+        let r = synthesize(&coco_hardware(2 * MB, 2, FIVE_TUPLE_BITS), &cfg);
+        let fr = r.fractions(&cfg);
+        assert!(fr.iter().all(|f| *f < 1.0), "{fr:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Hardware platform models: an RMT match-action pipeline (Tofino-like)
+//! and an FPGA datapath (Alveo-like).
+//!
+//! The paper's hardware results are of two kinds, and this crate
+//! reproduces both without the hardware:
+//!
+//! 1. **Feasibility** — does an algorithm's update logic fit a
+//!    unidirectional match-action pipeline at all? [`rmt`] builds a
+//!    dataflow-graph representation of each sketch's per-packet update
+//!    ([`program::Program`]), detects circular dependencies (the §3.3
+//!    obstruction), and places programs into stages under per-stage
+//!    resource budgets.
+//! 2. **Resource and throughput accounting** — Table 2, Figure 15b/c/d.
+//!    [`rmt`] charges hash-distribution units, stateful ALUs, gateways,
+//!    SRAM and Map RAM; [`fpga`] models initiation intervals, clock
+//!    derating with memory size, and BRAM/LUT/register budgets.
+//!
+//! The cost derivations are structural (e.g. a 104-bit key needs
+//! `ceil(104/24) = 5` hash-distribution units per hash call; a register
+//! array of `B` bytes needs `ceil(B / 16KiB)` SRAM blocks plus one Map
+//! RAM block each to be stateful); where the paper reports a calibration
+//! point (Table 2, §7.4), the derived numbers are tested against it.
+
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fpga;
+pub mod program;
+pub mod rmt;
+
+pub use program::{Program, RegisterArray};
+pub use rmt::{PlaceError, Placement, ResourceUsage, RmtConfig};

@@ -1,0 +1,298 @@
+//! Dataflow-graph descriptions of per-packet sketch update logic.
+//!
+//! A [`Program`] is the hardware-relevant skeleton of a sketch: its
+//! stateful register arrays, the data dependencies *between* those
+//! arrays' updates, its hash calls, and a few scalar facts (key width,
+//! whether it needs a random-number source). Both platform models
+//! consume this one representation.
+
+/// One stateful register array (a row of a sketch, a key array, ...).
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    /// Human-readable role ("cm row 0", "key part", "value part").
+    pub name: String,
+    /// Bytes of state.
+    pub bytes: usize,
+    /// Width of one entry in bits (a stateful ALU handles up to 64).
+    pub entry_bits: u32,
+    /// Stateful ALUs this array's per-packet update occupies.
+    pub salus: usize,
+}
+
+/// A directed dependency: updating array `from` requires having read
+/// array `to` *in the same packet's pass* (e.g. "which bucket do I
+/// increment" depends on the other candidates' values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// The array whose update consumes the value.
+    pub from: usize,
+    /// The array whose value is consumed.
+    pub to: usize,
+}
+
+/// The per-packet update logic of one sketch instance.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Algorithm name (for reports).
+    pub name: String,
+    /// Stateful arrays.
+    pub arrays: Vec<RegisterArray>,
+    /// Read-before-update dependencies between arrays.
+    pub deps: Vec<Dep>,
+    /// Independent hash computations per packet.
+    pub hash_calls: usize,
+    /// Bits of key hashed per call.
+    pub key_bits: u32,
+    /// Whether the update needs a hardware random number per packet
+    /// (charged one hash-distribution unit and one gateway).
+    pub needs_rng: bool,
+    /// Extra conditional branches (gateways) beyond the per-hash ones.
+    pub extra_gateways: usize,
+    /// Stateful ALUs for fixed per-sketch logic (threshold compare,
+    /// report registers) beyond the per-array costs.
+    pub extra_salus: usize,
+}
+
+impl Program {
+    /// Total stateful memory.
+    pub fn total_bytes(&self) -> usize {
+        self.arrays.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Detect a dependency cycle among arrays; returns one cycle's array
+    /// indices if present. This is the §3.3 obstruction: a cyclic
+    /// dataflow cannot be laid out in a unidirectional pipeline.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.arrays.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for d in &self.deps {
+            adj[d.from].push(d.to);
+        }
+        let mut marks = vec![Mark::White; n];
+        let mut stack: Vec<usize> = Vec::new();
+
+        fn dfs(
+            v: usize,
+            adj: &[Vec<usize>],
+            marks: &mut [Mark],
+            stack: &mut Vec<usize>,
+        ) -> Option<Vec<usize>> {
+            marks[v] = Mark::Grey;
+            stack.push(v);
+            for &w in &adj[v] {
+                match marks[w] {
+                    Mark::Grey => {
+                        // Cycle: the suffix of the stack from w.
+                        let pos = stack.iter().position(|&x| x == w).unwrap();
+                        return Some(stack[pos..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(w, adj, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            stack.pop();
+            marks[v] = Mark::Black;
+            None
+        }
+
+        (0..n).find_map(|v| {
+            if marks[v] == Mark::White {
+                dfs(v, &adj, &mut marks, &mut stack)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Pre-built programs for the algorithms the paper deploys in hardware.
+pub mod library {
+    use super::{Dep, Program, RegisterArray};
+
+    /// The 5-tuple key width the hardware experiments use.
+    pub const FIVE_TUPLE_BITS: u32 = 104;
+
+    fn array(name: &str, bytes: usize, entry_bits: u32, salus: usize) -> RegisterArray {
+        RegisterArray {
+            name: name.to_string(),
+            bytes,
+            entry_bits,
+            salus,
+        }
+    }
+
+    /// Count-Min with `depth` rows over `mem_bytes` (Table 2's single-key
+    /// sketch, depth 3 in the §7.1 configuration).
+    pub fn count_min(mem_bytes: usize, depth: usize, key_bits: u32) -> Program {
+        let per_row = mem_bytes / depth.max(1);
+        Program {
+            name: format!("CountMin(d={depth})"),
+            // Each row costs two stateful ALUs: the counter
+            // read-modify-write plus the heavy-candidate comparison that
+            // feeds the report logic.
+            arrays: (0..depth)
+                .map(|i| array(&format!("cm row {i}"), per_row, 64, 2))
+                .collect(),
+            deps: Vec::new(), // rows are independent
+            hash_calls: depth,
+            key_bits,
+            needs_rng: false,
+            extra_gateways: 0,
+            // Threshold compare + report registers.
+            extra_salus: 2,
+        }
+    }
+
+    /// R-HHH's per-packet work: a Count-Min update on the sampled level
+    /// plus the level-sampling randomness (one more hash).
+    pub fn rhhh(mem_bytes: usize, depth: usize, key_bits: u32) -> Program {
+        let mut p = count_min(mem_bytes, depth, key_bits);
+        p.name = "R-HHH".to_string();
+        p.needs_rng = true; // the level die roll
+        p
+    }
+
+    /// Hardware-friendly CocoSketch with `d` independent arrays: each
+    /// array packs key and value into one wide stateful entry (§4.2 —
+    /// key and value updated in sequence within one array, no cross-
+    /// array dependency).
+    pub fn coco_hardware(mem_bytes: usize, d: usize, key_bits: u32) -> Program {
+        let per_array = mem_bytes / d.max(1);
+        Program {
+            name: format!("CocoSketch-HW(d={d})"),
+            // One stateful ALU per array: with key and value in
+            // separate pipeline stages of the same array (§3.3), each
+            // array's per-packet work is a single paired RMW.
+            arrays: (0..d)
+                .map(|i| array(&format!("coco array {i}"), per_array, 64, 1))
+                .collect(),
+            deps: Vec::new(), // the whole point of §4.2
+            hash_calls: d,
+            key_bits,
+            needs_rng: true,
+            extra_gateways: 0,
+            // The replacement-probability comparison.
+            extra_salus: 1,
+        }
+    }
+
+    /// Basic CocoSketch as one would naively map it to hardware: the
+    /// update of every array depends on the values of all others (the
+    /// min comparison), a dependency cycle for `d >= 2`.
+    pub fn coco_basic(mem_bytes: usize, d: usize, key_bits: u32) -> Program {
+        let mut p = coco_hardware(mem_bytes, d, key_bits);
+        p.name = format!("CocoSketch-Basic(d={d})");
+        for i in 0..d {
+            for j in 0..d {
+                if i != j {
+                    p.deps.push(Dep { from: i, to: j });
+                }
+            }
+        }
+        p
+    }
+
+    /// Elastic sketch: heavy part (key, vote+, vote-, flag in paired
+    /// wide entries) plus the light byte-counter row. The light-part
+    /// update depends on the heavy part's eviction decision.
+    pub fn elastic(mem_bytes: usize, key_bits: u32) -> Program {
+        let heavy = mem_bytes / 2;
+        Program {
+            name: "Elastic".to_string(),
+            arrays: vec![
+                // Key matching needs two paired 52-bit compares.
+                array("heavy keys+flags", heavy / 2, 64, 2),
+                // vote+ and vote- are two RMWs each (read for the λ test,
+                // write back).
+                array("heavy votes", heavy / 2, 64, 4),
+                array("light counters", mem_bytes - heavy, 8, 1),
+            ],
+            deps: vec![
+                // Light insert depends on the heavy eviction decision,
+                // which reads both heavy arrays; vote update reads keys.
+                Dep { from: 2, to: 0 },
+                Dep { from: 2, to: 1 },
+                Dep { from: 1, to: 0 },
+            ],
+            hash_calls: 3, // heavy index, light index, plus vote compare hash
+            key_bits,
+            needs_rng: false,
+            extra_gateways: 2, // λ-threshold eviction test, flag set
+            // Eviction bookkeeping (moving votes to the light part).
+            extra_salus: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+
+    #[test]
+    fn count_min_is_acyclic() {
+        let p = count_min(500_000, 3, FIVE_TUPLE_BITS);
+        assert!(p.find_cycle().is_none());
+        assert_eq!(p.arrays.len(), 3);
+        assert!(p.total_bytes() <= 500_000);
+    }
+
+    #[test]
+    fn basic_coco_has_cycle_iff_d_gt_1() {
+        let p1 = coco_basic(500_000, 1, FIVE_TUPLE_BITS);
+        assert!(p1.find_cycle().is_none(), "d=1 has no cross-array dependency");
+        let p2 = coco_basic(500_000, 2, FIVE_TUPLE_BITS);
+        let cycle = p2.find_cycle().expect("d=2 must cycle");
+        assert!(cycle.len() >= 2);
+        let p4 = coco_basic(500_000, 4, FIVE_TUPLE_BITS);
+        assert!(p4.find_cycle().is_some());
+    }
+
+    #[test]
+    fn hardware_coco_is_acyclic() {
+        for d in 1..=4 {
+            let p = coco_hardware(500_000, d, FIVE_TUPLE_BITS);
+            assert!(p.find_cycle().is_none(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn elastic_is_acyclic_but_deep() {
+        let p = elastic(500_000, FIVE_TUPLE_BITS);
+        assert!(p.find_cycle().is_none());
+        // The dependency chain forces heavy parts before the light part.
+        assert!(p.deps.len() >= 3);
+    }
+
+    #[test]
+    fn cycle_finder_reports_an_actual_cycle() {
+        let p = coco_basic(1000, 3, 32);
+        let cycle = p.find_cycle().unwrap();
+        // Every consecutive pair in the reported cycle is a real edge.
+        for w in cycle.windows(2) {
+            assert!(p.deps.contains(&Dep { from: w[0], to: w[1] }));
+        }
+        assert!(p
+            .deps
+            .contains(&Dep { from: *cycle.last().unwrap(), to: cycle[0] }));
+    }
+
+    #[test]
+    fn rhhh_adds_sampling_randomness() {
+        let cm = count_min(500_000, 3, FIVE_TUPLE_BITS);
+        let r = rhhh(500_000, 3, FIVE_TUPLE_BITS);
+        assert_eq!(r.hash_calls, cm.hash_calls, "same per-level hashing");
+        assert!(r.needs_rng, "plus the level die roll");
+        assert!(!cm.needs_rng);
+    }
+}

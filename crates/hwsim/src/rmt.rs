@@ -1,0 +1,480 @@
+//! RMT (reconfigurable match-action) pipeline model.
+//!
+//! Models a Tofino-class switch: a fixed number of unidirectional
+//! stages, each with its own stateful-ALU and memory budget, plus
+//! pooled hash-distribution units and gateways. Two operations:
+//!
+//! - [`ResourceUsage::of`] charges a [`Program`] for the five resources
+//!   Table 2 reports, using structural rules (documented below) that
+//!   are *tested against* the paper's reported fractions;
+//! - [`place`] lays a program's arrays out into stages, rejecting
+//!   cyclic dataflow (§3.3) and over-budget stages. [`fit_count`]
+//!   repeats placement to find how many instances of a sketch a switch
+//!   can host — the "at most four single-key sketches" result.
+
+use crate::program::Program;
+
+/// Bits of hash output one hash-distribution unit supplies.
+const HASH_UNIT_BITS: u32 = 24;
+/// Bytes of one SRAM block.
+const SRAM_BLOCK_BYTES: usize = 16 * 1024;
+
+/// Switch dimensions. Defaults model a Tofino-class device and are
+/// chosen so that the §7.1 Count-Min configuration reproduces Table 2:
+/// 12 stages; 6 hash-distribution units, 4 stateful ALUs, 16 gateways,
+/// 80 SRAM blocks and 48 Map RAM blocks per stage.
+#[derive(Debug, Clone, Copy)]
+pub struct RmtConfig {
+    /// Match-action stages in the pipeline.
+    pub stages: usize,
+    /// Hash-distribution units per stage (pooled across the pipeline).
+    pub hash_dist_per_stage: usize,
+    /// Stateful ALUs per stage (a hard per-stage constraint).
+    pub salus_per_stage: usize,
+    /// Gateways per stage (pooled).
+    pub gateways_per_stage: usize,
+    /// SRAM blocks per stage.
+    pub sram_per_stage: usize,
+    /// Map RAM blocks per stage.
+    pub map_ram_per_stage: usize,
+}
+
+impl Default for RmtConfig {
+    fn default() -> Self {
+        Self {
+            stages: 12,
+            hash_dist_per_stage: 6,
+            salus_per_stage: 4,
+            gateways_per_stage: 16,
+            sram_per_stage: 80,
+            map_ram_per_stage: 48,
+        }
+    }
+}
+
+impl RmtConfig {
+    /// Total hash-distribution units.
+    pub fn hash_dist_total(&self) -> usize {
+        self.stages * self.hash_dist_per_stage
+    }
+    /// Total stateful ALUs (48 on the default config — the "48 ALUs"
+    /// of the paper's introduction).
+    pub fn salus_total(&self) -> usize {
+        self.stages * self.salus_per_stage
+    }
+    /// Total gateways.
+    pub fn gateways_total(&self) -> usize {
+        self.stages * self.gateways_per_stage
+    }
+    /// Total SRAM blocks.
+    pub fn sram_total(&self) -> usize {
+        self.stages * self.sram_per_stage
+    }
+    /// Total Map RAM blocks.
+    pub fn map_ram_total(&self) -> usize {
+        self.stages * self.map_ram_per_stage
+    }
+}
+
+/// Absolute resource demand of one program instance.
+///
+/// Charging rules (each structural, calibrated against Table 2):
+/// - **hash-distribution units**: every hash call needs
+///   `ceil(key_bits / 24)` units (one unit distributes 24 hash bits);
+///   a random-number source occupies one more unit;
+/// - **stateful ALUs**: per-array costs plus fixed per-sketch logic,
+///   as declared by the program;
+/// - **gateways**: one per hash-distribution unit (to steer the
+///   distributed chunks) plus the program's explicit branches;
+/// - **SRAM blocks**: `ceil(bytes / 16KiB)` per array, plus one block
+///   per stateful ALU for its spill/metadata bank;
+/// - **Map RAM**: pairs the SRAM blocks (Map RAM is what turns plain
+///   SRAM into counters/registers), so it equals the SRAM charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Hash-distribution units.
+    pub hash_dist: usize,
+    /// Stateful ALUs.
+    pub salus: usize,
+    /// Gateways.
+    pub gateways: usize,
+    /// SRAM blocks.
+    pub sram_blocks: usize,
+    /// Map RAM blocks.
+    pub map_ram_blocks: usize,
+}
+
+impl ResourceUsage {
+    /// Charge `program` under the rules above.
+    pub fn of(program: &Program) -> Self {
+        let units_per_hash = program.key_bits.div_ceil(HASH_UNIT_BITS) as usize;
+        let hash_dist = program.hash_calls * units_per_hash + usize::from(program.needs_rng);
+        let salus: usize =
+            program.arrays.iter().map(|a| a.salus).sum::<usize>() + program.extra_salus;
+        let gateways = hash_dist + program.extra_gateways;
+        let sram_blocks: usize = program
+            .arrays
+            .iter()
+            .map(|a| a.bytes.div_ceil(SRAM_BLOCK_BYTES))
+            .sum::<usize>()
+            + salus;
+        Self {
+            hash_dist,
+            salus,
+            gateways,
+            sram_blocks,
+            map_ram_blocks: sram_blocks,
+        }
+    }
+
+    /// Usage as fractions of `config`'s totals, in the order
+    /// (hash dist, SALU, gateway, Map RAM, SRAM) — Table 2's rows.
+    pub fn fractions(&self, config: &RmtConfig) -> [f64; 5] {
+        [
+            self.hash_dist as f64 / config.hash_dist_total() as f64,
+            self.salus as f64 / config.salus_total() as f64,
+            self.gateways as f64 / config.gateways_total() as f64,
+            self.map_ram_blocks as f64 / config.map_ram_total() as f64,
+            self.sram_blocks as f64 / config.sram_total() as f64,
+        ]
+    }
+
+    /// The scarcest resource (name, fraction) — Table 2's bold row.
+    pub fn bottleneck(&self, config: &RmtConfig) -> (&'static str, f64) {
+        const NAMES: [&str; 5] = ["Hash Distribution Unit", "Stateful ALU", "Gateway", "Map RAM", "SRAM"];
+        let fr = self.fractions(config);
+        let (i, &f) = fr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        (NAMES[i], f)
+    }
+}
+
+/// A successful stage assignment.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Stage index of each array, in program order.
+    pub array_stage: Vec<usize>,
+    /// Pipeline stages actually occupied.
+    pub stages_used: usize,
+}
+
+/// Why a program cannot be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The per-packet dataflow is cyclic — no unidirectional layout
+    /// exists (§3.3). Carries one offending cycle (array indices).
+    CircularDependency(Vec<usize>),
+    /// A resource pool is exhausted: (resource name, needed, available).
+    InsufficientResources(&'static str, usize, usize),
+    /// The dependency chains need more stages than the pipeline has.
+    TooManyStages,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::CircularDependency(c) => {
+                write!(f, "circular dependency among arrays {c:?}")
+            }
+            PlaceError::InsufficientResources(what, need, have) => {
+                write!(f, "insufficient {what}: need {need}, have {have}")
+            }
+            PlaceError::TooManyStages => write!(f, "dependency chains exceed pipeline depth"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Remaining capacity during (multi-instance) placement.
+#[derive(Debug, Clone)]
+struct Capacity {
+    salus_left: Vec<usize>,
+    sram_left: Vec<usize>,
+    map_ram_left: Vec<usize>,
+    hash_dist_left: usize,
+    gateways_left: usize,
+}
+
+impl Capacity {
+    fn full(config: &RmtConfig) -> Self {
+        Self {
+            salus_left: vec![config.salus_per_stage; config.stages],
+            sram_left: vec![config.sram_per_stage; config.stages],
+            map_ram_left: vec![config.map_ram_per_stage; config.stages],
+            hash_dist_left: config.hash_dist_total(),
+            gateways_left: config.gateways_total(),
+        }
+    }
+}
+
+/// Topological order of the arrays (dependencies first), or the cycle.
+fn topo_order(program: &Program) -> Result<Vec<usize>, PlaceError> {
+    if let Some(cycle) = program.find_cycle() {
+        return Err(PlaceError::CircularDependency(cycle));
+    }
+    let n = program.arrays.len();
+    // Kahn's algorithm over the "reads from" edges: an array can only be
+    // placed after everything it reads.
+    let mut indegree = vec![0usize; n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for d in &program.deps {
+        indegree[d.from] += 1;
+        rev[d.to].push(d.from);
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &w in &rev[v] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "cycle already excluded");
+    Ok(order)
+}
+
+/// Place one instance against mutable remaining capacity.
+fn place_into(
+    program: &Program,
+    config: &RmtConfig,
+    cap: &mut Capacity,
+) -> Result<Placement, PlaceError> {
+    let usage = ResourceUsage::of(program);
+    if usage.hash_dist > cap.hash_dist_left {
+        return Err(PlaceError::InsufficientResources(
+            "hash distribution units",
+            usage.hash_dist,
+            cap.hash_dist_left,
+        ));
+    }
+    if usage.gateways > cap.gateways_left {
+        return Err(PlaceError::InsufficientResources(
+            "gateways",
+            usage.gateways,
+            cap.gateways_left,
+        ));
+    }
+
+    let order = topo_order(program)?;
+    let n = program.arrays.len();
+    let mut stage_of = vec![usize::MAX; n];
+    // Dry-run on a copy so a failed instance does not leak partial
+    // charges into the shared capacity.
+    let mut trial = cap.clone();
+    for &idx in &order {
+        let min_stage = program
+            .deps
+            .iter()
+            .filter(|d| d.from == idx)
+            .map(|d| stage_of[d.to] + 1)
+            .max()
+            .unwrap_or(0);
+        let arr = &program.arrays[idx];
+        let sram = arr.bytes.div_ceil(SRAM_BLOCK_BYTES) + arr.salus;
+        let mut placed = false;
+        for s in min_stage..config.stages {
+            if trial.salus_left[s] >= arr.salus
+                && trial.sram_left[s] >= sram
+                && trial.map_ram_left[s] >= sram
+            {
+                trial.salus_left[s] -= arr.salus;
+                trial.sram_left[s] -= sram;
+                trial.map_ram_left[s] -= sram;
+                stage_of[idx] = s;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return if min_stage >= config.stages {
+                Err(PlaceError::TooManyStages)
+            } else {
+                Err(PlaceError::InsufficientResources(
+                    "per-stage SALU/SRAM",
+                    sram,
+                    0,
+                ))
+            };
+        }
+    }
+    // Commit: the extra per-sketch SALUs go to the last used stage that
+    // still has room; charge them against the pooled view by deducting
+    // from whichever stages have spares.
+    let mut extra = program.extra_salus;
+    for s in (0..config.stages).rev() {
+        if extra == 0 {
+            break;
+        }
+        let take = extra.min(trial.salus_left[s]);
+        trial.salus_left[s] -= take;
+        extra -= take;
+    }
+    if extra > 0 {
+        return Err(PlaceError::InsufficientResources("stateful ALUs", extra, 0));
+    }
+    *cap = trial;
+    cap.hash_dist_left -= usage.hash_dist;
+    cap.gateways_left -= usage.gateways;
+    let stages_used = stage_of.iter().map(|&s| s + 1).max().unwrap_or(0);
+    Ok(Placement {
+        array_stage: stage_of,
+        stages_used,
+    })
+}
+
+/// Place one program instance on an empty switch.
+pub fn place(program: &Program, config: &RmtConfig) -> Result<Placement, PlaceError> {
+    let mut cap = Capacity::full(config);
+    place_into(program, config, &mut cap)
+}
+
+/// How many instances of `program` fit one switch (0 if even one does
+/// not place).
+pub fn fit_count(program: &Program, config: &RmtConfig) -> usize {
+    let mut cap = Capacity::full(config);
+    let mut count = 0;
+    while place_into(program, config, &mut cap).is_ok() {
+        count += 1;
+        if count > 1_000 {
+            break; // degenerate zero-cost program; avoid spinning
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::library::*;
+
+    fn cfg() -> RmtConfig {
+        RmtConfig::default()
+    }
+
+    #[test]
+    fn table2_count_min_fractions() {
+        // Table 2: Count-Min at the §7.1 config (500KB, depth 3) uses
+        // 20.83% hash distribution units, 16.67% SALUs, 7.81% gateways,
+        // 7.11% Map RAM, 4.27% SRAM.
+        let p = count_min(500_000, 3, FIVE_TUPLE_BITS);
+        let fr = ResourceUsage::of(&p).fractions(&cfg());
+        let expect = [0.2083, 0.1667, 0.0781, 0.0711, 0.0427];
+        for (got, want) in fr.iter().zip(&expect) {
+            assert!(
+                (got - want).abs() < 0.005,
+                "fractions {fr:?} vs Table 2 {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_rhhh_fractions() {
+        // Table 2, R-HHH column: 22.22% / 16.67% / 8.33% / 7.11% / 4.27%.
+        let p = rhhh(500_000, 3, FIVE_TUPLE_BITS);
+        let fr = ResourceUsage::of(&p).fractions(&cfg());
+        let expect = [0.2222, 0.1667, 0.0833, 0.0711, 0.0427];
+        for (got, want) in fr.iter().zip(&expect) {
+            assert!(
+                (got - want).abs() < 0.005,
+                "fractions {fr:?} vs Table 2 {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_dist_is_the_bottleneck() {
+        let p = count_min(500_000, 3, FIVE_TUPLE_BITS);
+        let (name, frac) = ResourceUsage::of(&p).bottleneck(&cfg());
+        assert_eq!(name, "Hash Distribution Unit");
+        assert!(frac > 0.2);
+    }
+
+    #[test]
+    fn at_most_four_count_min_sketches_fit() {
+        // Table 2 caption: "A Tofino switch cannot support more than
+        // four single-key sketches."
+        let p = count_min(500_000, 3, FIVE_TUPLE_BITS);
+        assert_eq!(fit_count(&p, &cfg()), 4);
+    }
+
+    #[test]
+    fn basic_coco_rejected_for_circularity() {
+        let p = coco_basic(500_000, 2, FIVE_TUPLE_BITS);
+        match place(&p, &cfg()) {
+            Err(PlaceError::CircularDependency(cycle)) => assert!(cycle.len() >= 2),
+            other => panic!("expected circular-dependency rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hardware_coco_places() {
+        let p = coco_hardware(500_000, 2, FIVE_TUPLE_BITS);
+        let placement = place(&p, &cfg()).expect("hardware-friendly variant must place");
+        assert!(placement.stages_used <= cfg().stages);
+    }
+
+    #[test]
+    fn coco_salu_fraction_matches_section_7_4() {
+        // §7.4: "CocoSketch only needs 6.25% Stateful ALUs".
+        let p = coco_hardware(500_000, 2, FIVE_TUPLE_BITS);
+        let fr = ResourceUsage::of(&p).fractions(&cfg());
+        assert!((fr[1] - 0.0625).abs() < 0.001, "SALU fraction {}", fr[1]);
+    }
+
+    #[test]
+    fn elastic_salu_fraction_matches_figure_15d() {
+        // Fig 15d: Elastic needs 18.75% SALUs per key, so at most 4 fit.
+        let p = elastic(500_000, FIVE_TUPLE_BITS);
+        let fr = ResourceUsage::of(&p).fractions(&cfg());
+        assert!((fr[1] - 0.1875).abs() < 0.001, "SALU fraction {}", fr[1]);
+        assert_eq!(fit_count(&p, &cfg()), 4, "at most 4 Elastic sketches");
+    }
+
+    #[test]
+    fn elastic_dependency_chain_spans_stages() {
+        let p = elastic(500_000, FIVE_TUPLE_BITS);
+        let placement = place(&p, &cfg()).unwrap();
+        // light part strictly after both heavy parts.
+        assert!(placement.array_stage[2] > placement.array_stage[0]);
+        assert!(placement.array_stage[2] > placement.array_stage[1]);
+    }
+
+    #[test]
+    fn coco_fits_many_instances() {
+        // CocoSketch's small footprint means several instances co-exist
+        // (though one is enough for any number of keys).
+        let p = coco_hardware(500_000, 2, FIVE_TUPLE_BITS);
+        assert!(fit_count(&p, &cfg()) >= 6);
+    }
+
+    #[test]
+    fn oversized_program_rejected_cleanly() {
+        // 100MB cannot fit: SRAM exhausted.
+        let p = count_min(100_000_000, 3, FIVE_TUPLE_BITS);
+        assert!(matches!(
+            place(&p, &cfg()),
+            Err(PlaceError::InsufficientResources(..)) | Err(PlaceError::TooManyStages)
+        ));
+        assert_eq!(fit_count(&p, &cfg()), 0);
+    }
+
+    #[test]
+    fn placement_respects_dependencies_generally() {
+        let p = elastic(300_000, FIVE_TUPLE_BITS);
+        let placement = place(&p, &cfg()).unwrap();
+        for d in &p.deps {
+            assert!(
+                placement.array_stage[d.from] > placement.array_stage[d.to],
+                "dep {d:?} violated: {:?}",
+                placement.array_stage
+            );
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The simulated OVS datapath: producer, rings, polling shards, merge.
+//!
+//! Architecture (App. B of the paper): the datapath thread writes each
+//! packet's header into the ring buffer of the Rx queue its flow
+//! RSS-hashes to; one measurement thread per queue polls its ring and
+//! updates a private CocoSketch shard; at window end the shards merge.
+//!
+//! Because every packet lands in exactly one shard and CocoSketch
+//! estimates are unbiased, summing the shards' flow tables key-wise
+//! yields an unbiased table for the whole stream — sharding costs no
+//! correctness, only a little extra memory fragmentation.
+//!
+//! Throughput reporting: `measured_mpps` is the wall-clock rate of this
+//! run (on a single-core host, threads interleave and it will not
+//! scale); `modeled_mpps` applies the Figure 15a model — per-thread
+//! capacity x threads, capped at the NIC line rate — to the measured
+//! single-shard capacity. DESIGN.md documents this substitution.
+
+use crate::nic::NicModel;
+use crate::ring::SpscRing;
+use cocosketch::BasicCocoSketch;
+use hashkit::bob_hash;
+use sketches::Sketch;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use traffic::{FiveTuple, KeyBytes, KeySpec, Trace};
+
+/// One ring entry: the parsed header fields the measurement process
+/// needs (what the paper's datapath writes into shared memory).
+#[derive(Clone, Copy, Debug)]
+struct PacketRecord {
+    flow: FiveTuple,
+    weight: u32,
+}
+
+/// Datapath configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OvsConfig {
+    /// Measurement threads (= Rx queues = rings = sketch shards).
+    pub threads: usize,
+    /// Ring capacity per queue (power of two).
+    pub ring_capacity: usize,
+    /// Total sketch memory, split evenly across shards.
+    pub mem_bytes: usize,
+    /// The modeled NIC.
+    pub nic: NicModel,
+    /// Seed for the shard sketches.
+    pub seed: u64,
+}
+
+impl Default for OvsConfig {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            ring_capacity: 4096,
+            mem_bytes: 512 * 1024,
+            nic: NicModel::forty_gbe(),
+            seed: 0xC0C0,
+        }
+    }
+}
+
+/// The outcome of one datapath run.
+#[derive(Debug)]
+pub struct OvsRun {
+    /// Merged (full key, estimate) table across shards.
+    pub merged: HashMap<KeyBytes, u64>,
+    /// Packets processed (always the full trace; the producer retries
+    /// on ring backpressure rather than dropping).
+    pub processed: u64,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Wall-clock packet rate of this run.
+    pub measured_mpps: f64,
+    /// Per-shard processed counts (for load-balance diagnostics).
+    pub per_thread: Vec<u64>,
+}
+
+/// The simulated switch.
+pub struct OvsSim {
+    config: OvsConfig,
+}
+
+impl OvsSim {
+    /// Create a datapath with the given configuration.
+    pub fn new(config: OvsConfig) -> Self {
+        assert!(config.threads > 0, "need at least one measurement thread");
+        Self { config }
+    }
+
+    /// RSS: which queue a flow's packets go to.
+    fn queue_of(flow: &FiveTuple, threads: usize) -> usize {
+        if threads == 1 {
+            return 0;
+        }
+        let key = KeySpec::FIVE_TUPLE.project(flow);
+        bob_hash(key.as_slice(), 0x5255) as usize % threads
+    }
+
+    /// Replay `trace` through rings and shards; block until every
+    /// packet is processed and return the merged table.
+    pub fn run(&self, trace: &Trace) -> OvsRun {
+        let cfg = self.config;
+        let full = KeySpec::FIVE_TUPLE;
+        let rings: Vec<Arc<SpscRing<PacketRecord>>> = (0..cfg.threads)
+            .map(|_| Arc::new(SpscRing::new(cfg.ring_capacity)))
+            .collect();
+        let done = Arc::new(AtomicBool::new(false));
+        let per_shard_mem = cfg.mem_bytes / cfg.threads;
+
+        let start = Instant::now();
+        let consumers: Vec<_> = rings
+            .iter()
+            .enumerate()
+            .map(|(i, ring)| {
+                let ring = Arc::clone(ring);
+                let done = Arc::clone(&done);
+                let seed = cfg.seed.wrapping_add(i as u64 * 0x9E37);
+                std::thread::spawn(move || {
+                    let mut sketch =
+                        BasicCocoSketch::with_memory(per_shard_mem, 2, full.key_bytes(), seed);
+                    let mut processed = 0u64;
+                    loop {
+                        match ring.pop() {
+                            Some(rec) => {
+                                sketch.update(&full.project(&rec.flow), u64::from(rec.weight));
+                                processed += 1;
+                            }
+                            None => {
+                                if done.load(Ordering::Acquire) && ring.is_empty() {
+                                    break;
+                                }
+                                // PMD discipline: busy-poll, yield a
+                                // little on a starved queue so single-
+                                // core hosts make progress.
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    (sketch.records(), processed)
+                })
+            })
+            .collect();
+
+        // Producer: the datapath itself.
+        for p in &trace.packets {
+            let q = Self::queue_of(&p.flow, cfg.threads);
+            let mut rec = PacketRecord {
+                flow: p.flow,
+                weight: p.weight,
+            };
+            loop {
+                match rings[q].push(rec) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        rec = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+
+        let mut merged: HashMap<KeyBytes, u64> = HashMap::new();
+        let mut per_thread = Vec::with_capacity(cfg.threads);
+        for c in consumers {
+            let (records, processed) = c.join().expect("measurement thread panicked");
+            per_thread.push(processed);
+            for (k, v) in records {
+                *merged.entry(k).or_insert(0) += v;
+            }
+        }
+        let elapsed = start.elapsed();
+        let processed: u64 = per_thread.iter().sum();
+        OvsRun {
+            merged,
+            processed,
+            elapsed,
+            measured_mpps: processed as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6,
+            per_thread,
+        }
+    }
+}
+
+/// The Figure 15a throughput model: `threads` independent polling
+/// threads, each with `per_thread_mpps` capacity, behind a NIC.
+pub fn modeled_mpps(per_thread_mpps: f64, threads: usize, nic: &NicModel) -> f64 {
+    nic.cap_mpps(per_thread_mpps * threads as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::gen::{generate, TraceConfig};
+    use traffic::truth;
+
+    fn trace() -> Trace {
+        generate(&TraceConfig {
+            packets: 40_000,
+            flows: 2_000,
+            ..TraceConfig::default()
+        })
+    }
+
+    #[test]
+    fn processes_every_packet() {
+        let t = trace();
+        let run = OvsSim::new(OvsConfig::default()).run(&t);
+        assert_eq!(run.processed, t.len() as u64);
+        assert_eq!(run.per_thread.iter().sum::<u64>(), t.len() as u64);
+    }
+
+    #[test]
+    fn merged_total_equals_stream_weight() {
+        // Shard conservation: each shard conserves its packets' weight,
+        // so the merged table conserves the whole stream.
+        let t = trace();
+        let run = OvsSim::new(OvsConfig::default()).run(&t);
+        let total: u64 = run.merged.values().sum();
+        assert_eq!(total, t.total_weight());
+    }
+
+    #[test]
+    fn heavy_flows_survive_sharding() {
+        let t = trace();
+        let run = OvsSim::new(OvsConfig {
+            threads: 3,
+            ..OvsConfig::default()
+        })
+        .run(&t);
+        let exact = truth::exact_counts(&t, &KeySpec::FIVE_TUPLE);
+        let (big_key, big) = exact.iter().max_by_key(|&(_, v)| v).unwrap();
+        let got = run.merged.get(big_key).copied().unwrap_or(0);
+        let rel = (got as f64 - *big as f64).abs() / *big as f64;
+        assert!(rel < 0.2, "top flow {big} merged as {got}");
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let t = trace();
+        let run = OvsSim::new(OvsConfig {
+            threads: 1,
+            ..OvsConfig::default()
+        })
+        .run(&t);
+        assert_eq!(run.processed, t.len() as u64);
+        assert_eq!(run.per_thread.len(), 1);
+    }
+
+    #[test]
+    fn rss_is_deterministic_and_partitioned() {
+        let f = FiveTuple::new(1, 2, 3, 4, 6);
+        let q = OvsSim::queue_of(&f, 4);
+        assert_eq!(q, OvsSim::queue_of(&f, 4));
+        assert!(q < 4);
+    }
+
+    #[test]
+    fn small_ring_backpressure_is_lossless() {
+        let t = trace();
+        let run = OvsSim::new(OvsConfig {
+            threads: 2,
+            ring_capacity: 16,
+            ..OvsConfig::default()
+        })
+        .run(&t);
+        assert_eq!(run.processed, t.len() as u64, "retries, not drops");
+    }
+
+    #[test]
+    fn model_caps_at_nic() {
+        let nic = NicModel::forty_gbe();
+        assert_eq!(modeled_mpps(5.0, 1, &nic), 5.0);
+        assert_eq!(modeled_mpps(5.0, 2, &nic), 10.0);
+        let capped = modeled_mpps(8.0, 4, &nic);
+        assert!(capped < 15.0, "32 offered, capped at line rate: {capped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement thread")]
+    fn zero_threads_rejected() {
+        OvsSim::new(OvsConfig {
+            threads: 0,
+            ..OvsConfig::default()
+        });
+    }
+}

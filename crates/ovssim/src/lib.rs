@@ -1,0 +1,26 @@
+//! Software-switch datapath simulation (the OVS deployment, §6/App. B).
+//!
+//! The paper integrates CocoSketch into Open vSwitch via DPDK: the
+//! datapath writes packet headers into shared-memory *ring buffers*,
+//! and dedicated measurement threads poll those rings, each updating
+//! its own sketch shard (one Rx queue per thread, pinned PMD-style).
+//!
+//! This crate builds that architecture for real — lock-free SPSC rings
+//! ([`ring::SpscRing`]), a producer thread distributing packets RSS-
+//! style, polling consumer threads owning [`cocosketch`] shards, and a
+//! final shard merge — and models only what cannot exist on a dev box:
+//! the 40 GbE NIC line rate, as a throughput cap ([`nic`]).
+
+
+#![warn(missing_docs)]
+// Unlike the sibling crates, this one cannot `forbid(unsafe_code)`:
+// the SPSC ring needs two `unsafe` slot accesses, each with a documented
+// ownership argument (see `ring.rs`).
+
+pub mod datapath;
+pub mod nic;
+pub mod ring;
+
+pub use datapath::{OvsConfig, OvsRun, OvsSim};
+pub use nic::NicModel;
+pub use ring::SpscRing;

@@ -1,0 +1,192 @@
+//! A lock-free single-producer single-consumer ring buffer.
+//!
+//! The shared-memory channel between the OVS datapath and a measurement
+//! thread: fixed power-of-two capacity, cache-line-padded head/tail
+//! indices so producer and consumer never false-share, and wait-free
+//! `push`/`pop` (each fails rather than blocks when full/empty — the
+//! poll-mode-driver discipline).
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded SPSC ring of `Copy` items.
+///
+/// Safety model: exactly one thread calls [`push`](Self::push) and
+/// exactly one thread calls [`pop`](Self::pop). Slot ownership is
+/// transferred through the acquire/release pair on `head`/`tail`; a
+/// slot is written only while it is invisible to the consumer and read
+/// only after the release-store that published it.
+pub struct SpscRing<T: Copy + Send> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the producer will write (only the producer mutates).
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the consumer will read (only the consumer mutates).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// The ring hands each slot to exactly one side at a time (see the
+// ordering argument on push/pop), so sharing the struct is sound for
+// Send item types.
+unsafe impl<T: Copy + Send> Sync for SpscRing<T> {}
+
+impl<T: Copy + Send> SpscRing<T> {
+    /// A ring holding up to `capacity` items; `capacity` must be a
+    /// power of two (DPDK's rte_ring discipline — index masking stays
+    /// branch-free).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
+        let buf: Vec<UnsafeCell<MaybeUninit<T>>> =
+            (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Self {
+            buf: buf.into_boxed_slice(),
+            mask: capacity - 1,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Items currently queued (approximate under concurrency, exact
+    /// when quiescent).
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: enqueue `item`, or return it back when full.
+    #[inline]
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) > self.mask {
+            return Err(item);
+        }
+        // The slot is outside the consumer's visible window until the
+        // release-store below.
+        unsafe {
+            (*self.buf[head & self.mask].get()).write(item);
+        }
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: dequeue one item, `None` when empty.
+    #[inline]
+    pub fn pop(&self) -> Option<T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        // The acquire-load of head ordered the producer's write before
+        // this read.
+        let item = unsafe { (*self.buf[tail & self.mask].get()).assume_init() };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let r: SpscRing<u32> = SpscRing::new(8);
+        for i in 0..8 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.push(99), Err(99), "full ring rejects");
+        for i in 0..8 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let r: SpscRing<u32> = SpscRing::new(4);
+        for round in 0..10u32 {
+            for i in 0..4 {
+                r.push(round * 4 + i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(r.pop(), Some(round * 4 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let r: SpscRing<u8> = SpscRing::new(4);
+        assert!(r.is_empty());
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.len(), 2);
+        r.pop();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = SpscRing::<u8>::new(6);
+    }
+
+    #[test]
+    fn cross_thread_transfers_everything_in_order() {
+        let ring: Arc<SpscRing<u64>> = Arc::new(SpscRing::new(256));
+        let n: u64 = 500_000;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    let mut item = i;
+                    loop {
+                        match ring.push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut expected = 0u64;
+                let mut sum = 0u64;
+                while expected < n {
+                    if let Some(v) = ring.pop() {
+                        assert_eq!(v, expected, "FIFO order violated");
+                        sum += v;
+                        expected += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                sum
+            })
+        };
+        producer.join().unwrap();
+        let sum = consumer.join().unwrap();
+        assert_eq!(sum, n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Count sketch (Charikar, Chen & Farach-Colton 2004) and the C-Heap
+//! heavy-hitter baseline.
+
+use hashkit::HashFamily;
+use traffic::KeyBytes;
+
+use crate::topk::TopK;
+use crate::traits::{buckets_for, Sketch, COUNTER_BYTES};
+
+/// Count sketch: like Count-Min but each update is multiplied by a
+/// per-row random sign, and the query is the *median* across rows —
+/// an unbiased point estimate with two-sided error.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    rows: Vec<Vec<i64>>,
+    index_hashes: HashFamily,
+    sign_hashes: HashFamily,
+    width: usize,
+}
+
+impl CountSketch {
+    /// A `depth` x `width` Count sketch.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0 && width > 0, "CountSketch dimensions must be positive");
+        Self {
+            rows: vec![vec![0i64; width]; depth],
+            index_hashes: HashFamily::new(depth, seed),
+            sign_hashes: HashFamily::new(depth, seed ^ 0x5153_5153),
+            width,
+        }
+    }
+
+    /// Size to a memory budget with the given depth.
+    pub fn with_memory(mem_bytes: usize, depth: usize, seed: u64) -> Self {
+        let width = buckets_for(mem_bytes / depth.max(1), COUNTER_BYTES);
+        Self::new(depth, width, seed)
+    }
+
+    #[inline]
+    fn sign(&self, i: usize, key: &KeyBytes) -> i64 {
+        if self.sign_hashes.hash(i, key.as_slice()) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Add `w` to `key`.
+    #[inline]
+    pub fn insert(&mut self, key: &KeyBytes, w: u64) {
+        for i in 0..self.rows.len() {
+            let j = self.index_hashes.index(i, key.as_slice(), self.width);
+            self.rows[i][j] += self.sign(i, key) * w as i64;
+        }
+    }
+
+    /// Unbiased point estimate (median over rows, clamped at 0).
+    #[inline]
+    pub fn estimate(&self, key: &KeyBytes) -> u64 {
+        let mut ests: Vec<i64> = (0..self.rows.len())
+            .map(|i| {
+                let j = self.index_hashes.index(i, key.as_slice(), self.width);
+                self.rows[i][j] * self.sign(i, key)
+            })
+            .collect();
+        ests.sort_unstable();
+        let n = ests.len();
+        let med = if n % 2 == 1 {
+            ests[n / 2]
+        } else {
+            (ests[n / 2 - 1] + ests[n / 2]) / 2
+        };
+        med.max(0) as u64
+    }
+
+    /// Rows x width.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows.len(), self.width)
+    }
+
+    /// Modeled memory of the counter arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * self.width * COUNTER_BYTES
+    }
+}
+
+/// Count sketch + top-k heap: the paper's "C-Heap" baseline.
+#[derive(Debug, Clone)]
+pub struct CountHeap {
+    cs: CountSketch,
+    heap: TopK,
+}
+
+impl CountHeap {
+    /// Rows used by the evaluation configuration.
+    pub const DEFAULT_DEPTH: usize = 3;
+    const HEAP_SHARE: f64 = 0.25;
+
+    /// Build from a total memory budget.
+    pub fn with_memory(mem_bytes: usize, key_bytes: usize, seed: u64) -> Self {
+        let heap_mem = (mem_bytes as f64 * Self::HEAP_SHARE) as usize;
+        let heap_cap = buckets_for(heap_mem, key_bytes + COUNTER_BYTES);
+        Self {
+            cs: CountSketch::with_memory(mem_bytes - heap_mem, Self::DEFAULT_DEPTH, seed),
+            heap: TopK::new(heap_cap, key_bytes),
+        }
+    }
+}
+
+impl Sketch for CountHeap {
+    fn update(&mut self, key: &KeyBytes, w: u64) {
+        self.cs.insert(key, w);
+        let est = self.cs.estimate(key);
+        if est > self.heap.min_tracked() || self.heap.get(key).is_some() {
+            self.heap.offer(*key, est);
+        }
+    }
+
+    fn query(&self, key: &KeyBytes) -> u64 {
+        self.heap.get(key).unwrap_or_else(|| self.cs.estimate(key))
+    }
+
+    fn records(&self) -> Vec<(KeyBytes, u64)> {
+        self.heap.entries()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cs.memory_bytes() + self.heap.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "C-Heap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn exact_when_alone() {
+        let mut cs = CountSketch::new(3, 4096, 9);
+        cs.insert(&k(1), 123);
+        assert_eq!(cs.estimate(&k(1)), 123);
+    }
+
+    #[test]
+    fn unbiased_under_load() {
+        // Mean estimate over many flows should track true size closely
+        // even with collisions (signs cancel in expectation).
+        let mut cs = CountSketch::new(5, 256, 4);
+        for i in 0..2_000u32 {
+            cs.insert(&k(i), 10);
+        }
+        let mean: f64 =
+            (0..2_000u32).map(|i| cs.estimate(&k(i)) as f64).sum::<f64>() / 2_000.0;
+        assert!((mean - 10.0).abs() < 3.0, "mean estimate {mean}");
+    }
+
+    #[test]
+    fn estimate_clamps_negative_to_zero() {
+        let mut cs = CountSketch::new(1, 1, 5);
+        // Everything lands in one bucket; some key's sign will make the
+        // single-row estimate negative.
+        cs.insert(&k(1), 100);
+        let victim = (2..100u32)
+            .find(|&i| cs.estimate(&k(i)) == 0)
+            .expect("some key must see the negative or zero side");
+        assert_eq!(cs.estimate(&k(victim)), 0);
+    }
+
+    #[test]
+    fn heavy_hitters_found() {
+        let mut s = CountHeap::with_memory(64 * 1024, 4, 77);
+        for rep in 0..1000u32 {
+            for h in 0..5u32 {
+                s.update(&k(h), 1);
+            }
+            s.update(&k(1000 + rep % 500), 1);
+        }
+        for h in 0..5u32 {
+            let est = s.query(&k(h));
+            assert!(
+                (800..=1200).contains(&est),
+                "heavy flow {h} estimate {est} should be near 1000"
+            );
+        }
+    }
+
+    #[test]
+    fn with_memory_dims() {
+        let cs = CountSketch::with_memory(3_000, 3, 1);
+        assert_eq!(cs.dims(), (3, 250));
+        assert_eq!(cs.memory_bytes(), 3_000);
+    }
+
+    #[test]
+    fn even_depth_median_averages() {
+        let mut cs = CountSketch::new(2, 4096, 10);
+        cs.insert(&k(5), 40);
+        assert_eq!(cs.estimate(&k(5)), 40);
+    }
+
+    #[test]
+    fn memory_within_budget() {
+        let s = CountHeap::with_memory(100_000, 13, 2);
+        assert!(s.memory_bytes() <= 100_000);
+    }
+}

@@ -1,0 +1,261 @@
+//! Elastic Sketch (Yang et al., SIGCOMM 2018), software version.
+//!
+//! A *heavy part* (hash table of vote-based buckets) separates elephants
+//! from mice; a *light part* (single-row 8-bit Count-Min) absorbs the
+//! mice and the evicted prefixes of elephants. This is the strongest
+//! single-key baseline in the CocoSketch evaluation and the comparison
+//! point for the hardware experiments.
+
+use hashkit::HashFamily;
+use traffic::KeyBytes;
+
+use crate::traits::{buckets_for, Sketch, COUNTER_BYTES};
+
+/// The eviction threshold λ: a resident flow is ousted once negative
+/// votes reach λ× its positive votes (the value used in the Elastic
+/// Sketch paper).
+const LAMBDA: u64 = 8;
+
+/// One heavy-part bucket.
+#[derive(Debug, Clone, Copy, Default)]
+struct HeavyBucket {
+    key: KeyBytes,
+    vote_pos: u64,
+    vote_neg: u64,
+    /// True when part of this flow's traffic may live in the light part
+    /// (it took the bucket over from an evicted flow).
+    flag: bool,
+    occupied: bool,
+}
+
+/// Software Elastic sketch: heavy hash table + light 8-bit CM row.
+#[derive(Debug, Clone)]
+pub struct ElasticSketch {
+    heavy: Vec<HeavyBucket>,
+    light: Vec<u8>,
+    hashes: HashFamily,
+    key_bytes: usize,
+}
+
+impl ElasticSketch {
+    /// Share of the budget given to the heavy part.
+    const HEAVY_SHARE: f64 = 0.5;
+
+    /// Explicit sizes: `heavy_buckets` vote buckets, `light_counters`
+    /// 8-bit counters.
+    pub fn new(heavy_buckets: usize, light_counters: usize, key_bytes: usize, seed: u64) -> Self {
+        assert!(heavy_buckets > 0 && light_counters > 0, "Elastic parts must be non-empty");
+        Self {
+            heavy: vec![HeavyBucket::default(); heavy_buckets],
+            light: vec![0u8; light_counters],
+            hashes: HashFamily::new(2, seed),
+            key_bytes,
+        }
+    }
+
+    /// Size to a memory budget. A heavy bucket stores the key, two vote
+    /// counters and a flag bit (charged one byte); light counters are one
+    /// byte each.
+    pub fn with_memory(mem_bytes: usize, key_bytes: usize, seed: u64) -> Self {
+        let heavy_mem = (mem_bytes as f64 * Self::HEAVY_SHARE) as usize;
+        let heavy_bucket_bytes = key_bytes + 2 * COUNTER_BYTES + 1;
+        let heavy = buckets_for(heavy_mem, heavy_bucket_bytes);
+        let light = (mem_bytes - heavy * heavy_bucket_bytes).max(1);
+        Self::new(heavy, light, key_bytes, seed)
+    }
+
+    fn heavy_bucket_bytes(&self) -> usize {
+        self.key_bytes + 2 * COUNTER_BYTES + 1
+    }
+
+    #[inline]
+    fn light_insert(&mut self, key: &KeyBytes, w: u64) {
+        let j = self.hashes.index(1, key.as_slice(), self.light.len());
+        self.light[j] = self.light[j].saturating_add(w.min(255) as u8);
+    }
+
+    #[inline]
+    fn light_query(&self, key: &KeyBytes) -> u64 {
+        let j = self.hashes.index(1, key.as_slice(), self.light.len());
+        u64::from(self.light[j])
+    }
+}
+
+impl Sketch for ElasticSketch {
+    fn update(&mut self, key: &KeyBytes, w: u64) {
+        let i = self.hashes.index(0, key.as_slice(), self.heavy.len());
+        let b = &mut self.heavy[i];
+        if !b.occupied {
+            *b = HeavyBucket {
+                key: *key,
+                vote_pos: w,
+                vote_neg: 0,
+                flag: false,
+                occupied: true,
+            };
+            return;
+        }
+        if b.key == *key {
+            b.vote_pos += w;
+            return;
+        }
+        b.vote_neg += w;
+        if b.vote_neg >= LAMBDA * b.vote_pos {
+            // Ostracism: the resident flow is demoted to the light part
+            // and the challenger takes the bucket. Its earlier packets
+            // (if any) are in the light part, hence the flag.
+            let evicted_key = b.key;
+            let evicted_votes = b.vote_pos;
+            *b = HeavyBucket {
+                key: *key,
+                vote_pos: w,
+                vote_neg: 1,
+                flag: true,
+                occupied: true,
+            };
+            // Move the evicted flow's votes into the light part in
+            // saturating 255-sized steps (8-bit counters).
+            let mut rest = evicted_votes;
+            while rest > 0 {
+                let step = rest.min(255);
+                self.light_insert(&evicted_key, step);
+                rest -= step;
+            }
+        } else {
+            self.light_insert(key, w);
+        }
+    }
+
+    fn query(&self, key: &KeyBytes) -> u64 {
+        let i = self.hashes.index(0, key.as_slice(), self.heavy.len());
+        let b = &self.heavy[i];
+        if b.occupied && b.key == *key {
+            b.vote_pos + if b.flag { self.light_query(key) } else { 0 }
+        } else {
+            self.light_query(key)
+        }
+    }
+
+    fn records(&self) -> Vec<(KeyBytes, u64)> {
+        self.heavy
+            .iter()
+            .filter(|b| b.occupied)
+            .map(|b| {
+                let light = if b.flag { self.light_query(&b.key) } else { 0 };
+                (b.key, b.vote_pos + light)
+            })
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.heavy.len() * self.heavy_bucket_bytes() + self.light.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Elastic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn single_flow_exact() {
+        let mut e = ElasticSketch::new(64, 1024, 4, 1);
+        for _ in 0..100 {
+            e.update(&k(1), 1);
+        }
+        assert_eq!(e.query(&k(1)), 100);
+    }
+
+    #[test]
+    fn heavy_flow_beats_challengers() {
+        let mut e = ElasticSketch::new(1, 1024, 4, 2);
+        // Interleave a dominant flow with scattered mice; with one bucket
+        // everyone collides, but the elephant's votes grow faster than
+        // λ× the mice's.
+        for step in 0..10_000u32 {
+            e.update(&k(1), 1);
+            if step % 10 == 0 {
+                e.update(&k(100 + step), 1);
+            }
+        }
+        let est = e.query(&k(1));
+        assert!(est >= 10_000, "elephant estimate {est}");
+    }
+
+    #[test]
+    fn eviction_moves_votes_to_light() {
+        let mut e = ElasticSketch::new(1, 1024, 4, 3);
+        e.update(&k(1), 2); // resident with 2 votes
+        // Challenger floods: vote_neg reaches λ * vote_pos.
+        for _ in 0..16 {
+            e.update(&k(2), 1);
+        }
+        // k2 must now own the bucket; k1's votes live in the light part.
+        let recs = e.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].0, k(2));
+        assert!(e.query(&k(1)) >= 2, "evicted votes must be queryable");
+    }
+
+    #[test]
+    fn flag_adds_light_share() {
+        let mut e = ElasticSketch::new(1, 1024, 4, 4);
+        // k1 becomes resident, k2 sends some pre-takeover packets (to the
+        // light part), then evicts k1 and keeps counting.
+        e.update(&k(1), 1);
+        for _ in 0..8 {
+            e.update(&k(2), 1);
+        }
+        for _ in 0..50 {
+            e.update(&k(2), 1);
+        }
+        let est = e.query(&k(2));
+        assert!(est >= 55, "flagged flow should add its light-part share, got {est}");
+    }
+
+    #[test]
+    fn mice_land_in_light_part() {
+        let mut e = ElasticSketch::new(1, 4096, 4, 5);
+        e.update(&k(1), 100); // strong resident
+        e.update(&k(2), 3); // mouse, no eviction
+        assert_eq!(e.query(&k(2)), 3);
+        assert_eq!(e.query(&k(1)), 100);
+    }
+
+    #[test]
+    fn light_counters_saturate() {
+        let mut e = ElasticSketch::new(1, 1, 4, 6);
+        e.update(&k(1), 1);
+        for _ in 0..600 {
+            e.update(&k(2), 1); // all overflow into the single light counter
+        }
+        // 8-bit counter: the light estimate cannot exceed 255.
+        assert!(e.light_query(&k(2)) <= 255);
+    }
+
+    #[test]
+    fn memory_within_budget() {
+        let e = ElasticSketch::with_memory(100_000, 13, 7);
+        let m = e.memory_bytes();
+        assert!(m <= 100_000, "memory {m}");
+        assert!(m >= 95_000, "memory {m} leaves too much unused");
+    }
+
+    #[test]
+    fn records_report_occupied_only() {
+        let mut e = ElasticSketch::new(64, 64, 4, 8);
+        e.update(&k(1), 5);
+        e.update(&k(2), 7);
+        let recs = e.records();
+        assert_eq!(recs.len(), 2);
+        let total: u64 = recs.iter().map(|&(_, v)| v).sum();
+        assert_eq!(total, 12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Baseline single-key sketches from the CocoSketch evaluation (§7).
+//!
+//! Every algorithm CocoSketch is compared against is implemented here,
+//! from scratch, behind the common [`Sketch`] trait:
+//!
+//! - [`cm::CmHeap`] — Count-Min sketch + top-k min-heap ("CM-Heap");
+//! - [`count::CountHeap`] — Count sketch + top-k min-heap ("C-Heap");
+//! - [`spacesaving::SpaceSaving`] — SpaceSaving on a Stream-Summary ("SS");
+//! - [`uss::UnbiasedSpaceSaving`] — Unbiased SpaceSaving (Ting, SIGMOD'18),
+//!   with the hash-table + ordered-bucket-list acceleration the paper
+//!   grants it ("USS");
+//! - [`elastic::ElasticSketch`] — the software Elastic sketch;
+//! - [`univmon::UnivMon`] — UnivMon's level hierarchy of Count sketches;
+//! - [`rhhh::Rhhh`] — Randomized HHH (one random level updated per packet).
+//!
+//! All constructors take a *memory budget in modeled device bytes*
+//! (counters are charged 4 bytes, keys their encoded width, auxiliary
+//! index structures at their real size) so that the "same memory" axes of
+//! the paper's figures are apples-to-apples.
+
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cm;
+pub mod count;
+pub mod elastic;
+pub mod rhhh;
+pub mod spacesaving;
+pub mod stream_summary;
+pub mod topk;
+pub mod traits;
+pub mod univmon;
+pub mod uss;
+
+pub use cm::{CmHeap, CountMin};
+pub use count::{CountHeap, CountSketch};
+pub use elastic::ElasticSketch;
+pub use rhhh::Rhhh;
+pub use spacesaving::SpaceSaving;
+pub use traits::{buckets_for, Sketch, COUNTER_BYTES};
+pub use univmon::UnivMon;
+pub use uss::{NaiveUss, UnbiasedSpaceSaving};

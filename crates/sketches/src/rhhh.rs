@@ -1,0 +1,186 @@
+//! Randomized Hierarchical Heavy Hitters (Ben-Basat et al., SIGCOMM
+//! 2017) — "R-HHH".
+//!
+//! R-HHH keeps one heavy-hitter structure per hierarchy level but, to
+//! reach constant update time, flips a uniform die per packet and
+//! updates only the selected level. Estimates are scaled back by the
+//! number of levels `H`. The constant-time update is bought with
+//! sampling noise: reaching a given error bound needs ~H× the memory —
+//! the tradeoff Figures 11 and 12 of the CocoSketch paper demonstrate.
+//!
+//! Per-level structures are SpaceSaving instances, as in the original
+//! R-HHH design.
+
+use hashkit::XorShift64Star;
+use traffic::{FiveTuple, KeyBytes, KeySpec};
+
+use crate::spacesaving::SpaceSaving;
+use crate::stream_summary::StreamSummary;
+use crate::traits::Sketch;
+
+/// R-HHH over an explicit list of hierarchy levels.
+#[derive(Debug, Clone)]
+pub struct Rhhh {
+    levels: Vec<SpaceSaving>,
+    specs: Vec<KeySpec>,
+    rng: XorShift64Star,
+    /// Packets seen (all levels together), for diagnostics.
+    packets: u64,
+}
+
+impl Rhhh {
+    /// Build one SpaceSaving per level, splitting `mem_bytes` evenly.
+    ///
+    /// `specs` is the hierarchy (e.g. the 33 source-IP prefix lengths for
+    /// 1-d HHH, or the 33x33 grid for 2-d).
+    pub fn with_memory(mem_bytes: usize, specs: Vec<KeySpec>, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "R-HHH needs at least one level");
+        let per_level = mem_bytes / specs.len();
+        let levels = specs
+            .iter()
+            .map(|spec| {
+                let key_bytes = spec.encoded_len().max(1);
+                let cap = (per_level / StreamSummary::bytes_per_item(key_bytes)).max(1);
+                SpaceSaving::new(cap, key_bytes)
+            })
+            .collect();
+        Self {
+            levels,
+            specs,
+            rng: XorShift64Star::new(seed),
+            packets: 0,
+        }
+    }
+
+    /// Number of hierarchy levels `H`.
+    pub fn num_levels(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Process one packet: exactly one uniformly chosen level is updated
+    /// (the R-HHH constant-time trick).
+    pub fn update(&mut self, flow: &FiveTuple, w: u64) {
+        self.packets += 1;
+        let lvl = self.rng.below(self.levels.len() as u64) as usize;
+        let key = self.specs[lvl].project(flow);
+        self.levels[lvl].update(&key, w);
+    }
+
+    /// Estimated size of `key` at hierarchy level `level`, unscaled
+    /// sample count multiplied by `H` to undo the per-packet sampling.
+    pub fn query(&self, level: usize, key: &KeyBytes) -> u64 {
+        self.levels[level].query(key) * self.num_levels() as u64
+    }
+
+    /// Recorded flows of one level, estimates rescaled by `H`.
+    pub fn records_for(&self, level: usize) -> Vec<(KeyBytes, u64)> {
+        let h = self.num_levels() as u64;
+        self.levels[level]
+            .records()
+            .into_iter()
+            .map(|(k, v)| (k, v * h))
+            .collect()
+    }
+
+    /// The hierarchy this instance was built for.
+    pub fn specs(&self) -> &[KeySpec] {
+        &self.specs
+    }
+
+    /// Modeled memory across all levels.
+    pub fn memory_bytes(&self) -> usize {
+        self.levels.iter().map(Sketch::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_hierarchy() -> Vec<KeySpec> {
+        // 8 levels is enough structure for unit tests (full runs use 33).
+        (0..8u8).map(|b| KeySpec::src_prefix(32 - b * 4)).collect()
+    }
+
+    fn flow(ip: u32) -> FiveTuple {
+        FiveTuple::new(ip, 1, 1, 1, 6)
+    }
+
+    #[test]
+    fn scaling_unbiases_sampling() {
+        // One dominant source: its estimate at the full-IP level should
+        // approach the true size despite 1/H sampling.
+        let mut r = Rhhh::with_memory(64 * 1024, src_hierarchy(), 42);
+        let n = 80_000u64;
+        for _ in 0..n {
+            r.update(&flow(0x0A000001), 1);
+        }
+        let key = KeySpec::src_prefix(32).project(&flow(0x0A000001));
+        let est = r.query(0, &key);
+        let rel = (est as f64 - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "estimate {est} vs true {n}");
+    }
+
+    #[test]
+    fn levels_split_updates_roughly_evenly() {
+        let mut r = Rhhh::with_memory(64 * 1024, src_hierarchy(), 7);
+        for i in 0..40_000u32 {
+            r.update(&flow(i), 1);
+        }
+        // Every level should have recorded something; the raw per-level
+        // totals should be near n/H.
+        for lvl in 0..r.num_levels() {
+            let total: u64 = r.levels[lvl].records().iter().map(|&(_, v)| v).sum();
+            let expect = 40_000.0 / 8.0;
+            assert!(
+                (total as f64 - expect).abs() < expect * 0.25,
+                "level {lvl} saw {total}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_levels_aggregate() {
+        // Two /32 sources under one /28: the /28 level should see both.
+        let mut r = Rhhh::with_memory(64 * 1024, src_hierarchy(), 3);
+        for _ in 0..30_000 {
+            r.update(&flow(0x0A000001), 1);
+            r.update(&flow(0x0A000002), 1);
+        }
+        let spec28 = KeySpec::src_prefix(28);
+        let lvl = r.specs().iter().position(|s| *s == spec28).unwrap();
+        let key = spec28.project(&flow(0x0A000001));
+        let est = r.query(lvl, &key);
+        let true_size = 60_000f64;
+        assert!(
+            (est as f64 - true_size).abs() / true_size < 0.1,
+            "/28 estimate {est} vs {true_size}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut r = Rhhh::with_memory(16 * 1024, src_hierarchy(), seed);
+            for i in 0..5_000u32 {
+                r.update(&flow(i % 100), 1);
+            }
+            let mut recs = r.records_for(0);
+            recs.sort_unstable();
+            recs
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_panics() {
+        Rhhh::with_memory(1024, vec![], 1);
+    }
+
+    #[test]
+    fn memory_split_across_levels() {
+        let r = Rhhh::with_memory(330_000, src_hierarchy(), 1);
+        assert!(r.memory_bytes() <= 330_000);
+    }
+}

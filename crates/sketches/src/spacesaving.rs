@@ -1,0 +1,164 @@
+//! SpaceSaving (Metwally, Agrawal & El Abbadi 2005): the classic
+//! deterministic top-k counter scheme.
+//!
+//! On a full summary, an unseen flow always steals the minimum counter
+//! and inherits its count (the overestimate that gives SpaceSaving its
+//! `f(e) ≤ f̂(e) ≤ f(e) + N/m` guarantee). Estimates are biased upward —
+//! that bias is exactly what Unbiased SpaceSaving (and CocoSketch)
+//! remove for subset-sum workloads.
+
+use traffic::KeyBytes;
+
+use crate::stream_summary::StreamSummary;
+use crate::traits::Sketch;
+
+/// SpaceSaving over a [`StreamSummary`].
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    summary: StreamSummary,
+}
+
+impl SpaceSaving {
+    /// Track at most `capacity` flows.
+    pub fn new(capacity: usize, key_bytes: usize) -> Self {
+        Self {
+            summary: StreamSummary::new(capacity, key_bytes),
+        }
+    }
+
+    /// Size to a memory budget (charged at the Stream-Summary's real
+    /// per-item cost, auxiliary structures included).
+    pub fn with_memory(mem_bytes: usize, key_bytes: usize) -> Self {
+        let cap = (mem_bytes / StreamSummary::bytes_per_item(key_bytes)).max(1);
+        Self::new(cap, key_bytes)
+    }
+
+    /// Tracked-flow capacity.
+    pub fn capacity(&self) -> usize {
+        self.summary.capacity()
+    }
+}
+
+impl Sketch for SpaceSaving {
+    fn update(&mut self, key: &KeyBytes, w: u64) {
+        if self.summary.increment(key, w) {
+            return;
+        }
+        if !self.summary.is_full() {
+            self.summary.insert(*key, w);
+        } else {
+            // Steal the minimum counter: new count = c_min + w.
+            self.summary.bump_min(w, Some(*key));
+        }
+    }
+
+    fn query(&self, key: &KeyBytes) -> u64 {
+        self.summary.get(key).unwrap_or(0)
+    }
+
+    fn records(&self) -> Vec<(KeyBytes, u64)> {
+        self.summary.entries()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.summary.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn tracks_exact_until_full() {
+        let mut ss = SpaceSaving::new(4, 4);
+        for rep in 0..3 {
+            for i in 0..4u32 {
+                ss.update(&k(i), u64::from(i) + 1);
+            }
+            let _ = rep;
+        }
+        for i in 0..4u32 {
+            assert_eq!(ss.query(&k(i)), 3 * (u64::from(i) + 1));
+        }
+    }
+
+    #[test]
+    fn overestimates_never_underestimate() {
+        // SpaceSaving guarantee: estimate >= true count for tracked flows.
+        let mut ss = SpaceSaving::new(8, 4);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = hashkit::XorShift64Star::new(3);
+        for _ in 0..10_000 {
+            let key = (rng.next_u64() % 64) as u32;
+            ss.update(&k(key), 1);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (key, est) in ss.records() {
+            let id = u32::from_be_bytes(key.as_slice().try_into().unwrap());
+            assert!(est >= truth[&id], "flow {id}: est {est} < true {}", truth[&id]);
+        }
+    }
+
+    #[test]
+    fn error_bound_n_over_m() {
+        // Estimate error is at most N/m.
+        let mut ss = SpaceSaving::new(16, 4);
+        let mut rng = hashkit::XorShift64Star::new(5);
+        let mut truth = std::collections::HashMap::new();
+        let n = 20_000u64;
+        for _ in 0..n {
+            let key = (rng.next_u64() % 100) as u32;
+            ss.update(&k(key), 1);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        let bound = n / 16;
+        for (key, est) in ss.records() {
+            let id = u32::from_be_bytes(key.as_slice().try_into().unwrap());
+            assert!(
+                est - truth[&id] <= bound,
+                "flow {id}: overshoot {} > bound {bound}",
+                est - truth[&id]
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_flows_survive_churn() {
+        let mut ss = SpaceSaving::new(8, 4);
+        let mut rng = hashkit::XorShift64Star::new(11);
+        for step in 0..50_000u64 {
+            // One dominant flow amid a storm of one-hit wonders.
+            if step % 3 == 0 {
+                ss.update(&k(7), 1);
+            } else {
+                ss.update(&k(1000 + (rng.next_u64() % 100_000) as u32), 1);
+            }
+        }
+        assert!(ss.query(&k(7)) >= 50_000 / 3, "heavy flow must stay tracked");
+    }
+
+    #[test]
+    fn with_memory_capacity() {
+        let ss = SpaceSaving::with_memory(10_000, 13);
+        assert_eq!(
+            ss.capacity(),
+            10_000 / StreamSummary::bytes_per_item(13)
+        );
+    }
+
+    #[test]
+    fn untracked_queries_zero() {
+        let ss = SpaceSaving::new(4, 4);
+        assert_eq!(ss.query(&k(1)), 0);
+        assert!(ss.records().is_empty());
+    }
+}

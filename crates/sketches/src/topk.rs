@@ -1,0 +1,266 @@
+//! An indexed min-heap tracking the top-k flows by estimated size.
+//!
+//! Count-Min and Count sketches cannot enumerate flows, so their
+//! heavy-hitter deployments pair them with a small heap of the largest
+//! estimates seen so far (the paper's "CM-Heap"/"C-Heap" baselines).
+//! The heap keeps the k largest estimates; the auxiliary position map
+//! makes in-place estimate updates O(log k).
+
+use std::collections::HashMap;
+use traffic::KeyBytes;
+
+use crate::traits::COUNTER_BYTES;
+
+/// Min-heap of the top-`capacity` (key, estimate) pairs.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    /// Heap array: `heap[0]` is the smallest tracked estimate.
+    heap: Vec<(KeyBytes, u64)>,
+    /// Position of each tracked key inside `heap`.
+    pos: HashMap<KeyBytes, usize>,
+    capacity: usize,
+    key_bytes: usize,
+}
+
+impl TopK {
+    /// A heap tracking at most `capacity` flows of `key_bytes`-wide keys.
+    pub fn new(capacity: usize, key_bytes: usize) -> Self {
+        assert!(capacity > 0, "top-k capacity must be positive");
+        Self {
+            heap: Vec::with_capacity(capacity),
+            pos: HashMap::with_capacity(capacity * 2),
+            capacity,
+            key_bytes,
+        }
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The smallest tracked estimate (0 when not yet full, so any new
+    /// flow qualifies).
+    pub fn min_tracked(&self) -> u64 {
+        if self.heap.len() < self.capacity {
+            0
+        } else {
+            self.heap[0].1
+        }
+    }
+
+    /// Current estimate of `key`, if tracked.
+    pub fn get(&self, key: &KeyBytes) -> Option<u64> {
+        self.pos.get(key).map(|&i| self.heap[i].1)
+    }
+
+    /// Report a fresh estimate for `key`.
+    ///
+    /// Tracked keys are updated in place. Untracked keys enter if there
+    /// is room or if they beat the current minimum (which is evicted).
+    pub fn offer(&mut self, key: KeyBytes, estimate: u64) {
+        if let Some(&i) = self.pos.get(&key) {
+            let old = self.heap[i].1;
+            self.heap[i].1 = estimate;
+            if estimate > old {
+                self.sift_down(i);
+            } else {
+                self.sift_up(i);
+            }
+            return;
+        }
+        if self.heap.len() < self.capacity {
+            let i = self.heap.len();
+            self.heap.push((key, estimate));
+            self.pos.insert(key, i);
+            self.sift_up(i);
+        } else if estimate > self.heap[0].1 {
+            let evicted = self.heap[0].0;
+            self.pos.remove(&evicted);
+            self.heap[0] = (key, estimate);
+            self.pos.insert(key, 0);
+            self.sift_down(0);
+        }
+    }
+
+    /// All tracked (key, estimate) pairs in unspecified order.
+    pub fn entries(&self) -> Vec<(KeyBytes, u64)> {
+        self.heap.clone()
+    }
+
+    /// Modeled memory: each slot stores a key and a counter.
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity * (self.key_bytes + COUNTER_BYTES)
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos.insert(self.heap[a].0, a);
+        self.pos.insert(self.heap[b].0, b);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].1 < self.heap[parent].1 {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.heap[l].1 < self.heap[smallest].1 {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].1 < self.heap[smallest].1 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    /// Debug-only invariant check: heap order and position map agreement.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for i in 1..self.heap.len() {
+            assert!(self.heap[(i - 1) / 2].1 <= self.heap[i].1, "heap order broken at {i}");
+        }
+        assert_eq!(self.pos.len(), self.heap.len());
+        for (k, &i) in &self.pos {
+            assert_eq!(self.heap[i].0, *k, "pos map desynced at {i}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn tracks_largest() {
+        let mut t = TopK::new(3, 4);
+        for i in 1..=10u32 {
+            t.offer(k(i), u64::from(i) * 10);
+            t.check_invariants();
+        }
+        let mut vals: Vec<u64> = t.entries().iter().map(|e| e.1).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![80, 90, 100]);
+    }
+
+    #[test]
+    fn updates_in_place() {
+        let mut t = TopK::new(2, 4);
+        t.offer(k(1), 10);
+        t.offer(k(2), 20);
+        t.offer(k(1), 50);
+        t.check_invariants();
+        assert_eq!(t.get(&k(1)), Some(50));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.min_tracked(), 20);
+    }
+
+    #[test]
+    fn decreasing_update_sifts_up() {
+        let mut t = TopK::new(3, 4);
+        t.offer(k(1), 100);
+        t.offer(k(2), 200);
+        t.offer(k(3), 300);
+        t.offer(k(3), 5);
+        t.check_invariants();
+        assert_eq!(t.min_tracked(), 5);
+    }
+
+    #[test]
+    fn small_newcomer_rejected_when_full() {
+        let mut t = TopK::new(2, 4);
+        t.offer(k(1), 100);
+        t.offer(k(2), 200);
+        t.offer(k(3), 50);
+        assert_eq!(t.get(&k(3)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn min_tracked_is_zero_until_full() {
+        let mut t = TopK::new(3, 4);
+        assert_eq!(t.min_tracked(), 0);
+        t.offer(k(1), 100);
+        assert_eq!(t.min_tracked(), 0, "not full yet");
+        t.offer(k(2), 5);
+        t.offer(k(3), 7);
+        assert_eq!(t.min_tracked(), 5);
+    }
+
+    #[test]
+    fn eviction_removes_index() {
+        let mut t = TopK::new(1, 4);
+        t.offer(k(1), 10);
+        t.offer(k(2), 20);
+        assert_eq!(t.get(&k(1)), None);
+        assert_eq!(t.get(&k(2)), Some(20));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stress_against_reference() {
+        use hashkit::XorShift64Star;
+        let mut rng = XorShift64Star::new(42);
+        let mut t = TopK::new(16, 4);
+        let mut reference: std::collections::HashMap<u32, u64> = Default::default();
+        // Monotonically growing estimates (as sketches produce): the heap
+        // must end up holding exactly the 16 largest.
+        for _ in 0..20_000 {
+            let key = (rng.next_u64() % 200) as u32;
+            let e = reference.entry(key).or_insert(0);
+            *e += rng.next_u64() % 100;
+            let snapshot = *e;
+            // The sketch-style caller only offers when it may qualify.
+            t.offer(k(key), snapshot);
+            t.check_invariants();
+        }
+        let mut truth: Vec<(u64, u32)> = reference.iter().map(|(&k2, &v)| (v, k2)).collect();
+        truth.sort_unstable_by(|a, b| b.cmp(a));
+        let top_truth: std::collections::HashSet<u32> =
+            truth.iter().take(16).map(|&(_, k2)| k2).collect();
+        let tracked: std::collections::HashSet<u32> = t
+            .entries()
+            .iter()
+            .map(|(kb, _)| u32::from_be_bytes(kb.as_slice().try_into().unwrap()))
+            .collect();
+        // Ties at the boundary can legitimately differ; require high overlap.
+        let overlap = top_truth.intersection(&tracked).count();
+        assert!(overlap >= 14, "only {overlap}/16 of true top flows tracked");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        TopK::new(0, 4);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let t = TopK::new(100, 13);
+        assert_eq!(t.memory_bytes(), 100 * 17);
+    }
+}

@@ -1,0 +1,63 @@
+//! The common sketch interface and the memory model.
+
+use traffic::KeyBytes;
+
+/// Modeled width of a hardware counter in bytes.
+///
+/// The paper's hardware configurations use 32-bit counters; all memory
+/// budgets here charge 4 bytes per counter even though the Rust
+/// implementations use `u64` arithmetic internally (the evaluation traces
+/// never overflow 32 bits, so the accounting matches without the
+/// implementations having to saturate).
+pub const COUNTER_BYTES: usize = 4;
+
+/// How many buckets of `bucket_bytes` fit a budget of `mem_bytes`.
+///
+/// Never returns zero: a sketch with no buckets is useless and every
+/// caller would have to special-case it, so the floor is one bucket.
+pub fn buckets_for(mem_bytes: usize, bucket_bytes: usize) -> usize {
+    debug_assert!(bucket_bytes > 0);
+    (mem_bytes / bucket_bytes).max(1)
+}
+
+/// A streaming frequency sketch over one key.
+///
+/// The update path takes pre-projected keys ([`KeyBytes`]), so one sketch
+/// instance serves any [`KeySpec`](traffic::KeySpec); multi-key
+/// orchestration (one instance per key, or CocoSketch's single instance)
+/// lives in the `tasks` crate.
+pub trait Sketch {
+    /// Process one packet: add `w` to flow `key`.
+    fn update(&mut self, key: &KeyBytes, w: u64);
+
+    /// Estimated size of `key`.
+    fn query(&self, key: &KeyBytes) -> u64;
+
+    /// The flows the sketch explicitly tracks, with their estimates —
+    /// the "(Full Key, Size) table" of the paper's Step 3. Heavy-hitter
+    /// reporting and partial-key aggregation both read this.
+    fn records(&self) -> Vec<(KeyBytes, u64)>;
+
+    /// Modeled memory footprint in bytes (see [`COUNTER_BYTES`]).
+    fn memory_bytes(&self) -> usize;
+
+    /// Short algorithm name for tables and figures.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_floor_is_one() {
+        assert_eq!(buckets_for(0, 17), 1);
+        assert_eq!(buckets_for(16, 17), 1);
+    }
+
+    #[test]
+    fn buckets_divide() {
+        assert_eq!(buckets_for(1700, 17), 100);
+        assert_eq!(buckets_for(1716, 17), 100);
+    }
+}

@@ -1,0 +1,188 @@
+//! UnivMon (Liu et al., SIGCOMM 2016): universal streaming with a
+//! hierarchy of sampled Count sketches.
+//!
+//! Level 0 sees every packet; level *i* sees a flow only if *i*
+//! independent hash coins all come up heads, halving the expected flow
+//! population per level. Each level pairs a Count sketch with a top-k
+//! heap. G-sum statistics combine the levels; for the heavy-hitter
+//! tasks evaluated here, level 0's heap carries the answers, and the
+//! deeper levels are the (memory) price of UnivMon's generality — which
+//! is exactly why it trails purpose-built sketches in the paper's
+//! fixed-memory comparisons.
+
+use hashkit::bob_hash64;
+use traffic::KeyBytes;
+
+use crate::count::CountSketch;
+use crate::topk::TopK;
+use crate::traits::{buckets_for, Sketch, COUNTER_BYTES};
+
+/// One sketch level: Count sketch + heap of that level's heavy flows.
+#[derive(Debug, Clone)]
+struct Level {
+    cs: CountSketch,
+    heap: TopK,
+}
+
+/// UnivMon with `levels` sampled Count-sketch layers.
+#[derive(Debug, Clone)]
+pub struct UnivMon {
+    levels: Vec<Level>,
+    sample_seed: u32,
+}
+
+impl UnivMon {
+    /// Levels used by default (UnivMon uses ~log(n) levels; 14 covers
+    /// the 10k–1M flow range of the evaluation traces).
+    pub const DEFAULT_LEVELS: usize = 14;
+    /// Count-sketch rows per level.
+    const DEPTH: usize = 3;
+    /// Heap share of each level's budget.
+    const HEAP_SHARE: f64 = 0.25;
+
+    /// Build with an explicit level count from a total memory budget.
+    pub fn with_levels(mem_bytes: usize, levels: usize, key_bytes: usize, seed: u64) -> Self {
+        assert!(levels > 0, "UnivMon needs at least one level");
+        let per_level = (mem_bytes / levels).max(1);
+        let heap_mem = (per_level as f64 * Self::HEAP_SHARE) as usize;
+        let heap_cap = buckets_for(heap_mem, key_bytes + COUNTER_BYTES);
+        let levels = (0..levels)
+            .map(|i| Level {
+                cs: CountSketch::with_memory(
+                    per_level - heap_mem,
+                    Self::DEPTH,
+                    seed.wrapping_add(i as u64 * 0x9e37),
+                ),
+                heap: TopK::new(heap_cap, key_bytes),
+            })
+            .collect();
+        Self {
+            levels,
+            sample_seed: (seed >> 32) as u32 ^ seed as u32 ^ 0x1234_5678,
+        }
+    }
+
+    /// Build with the default level count.
+    pub fn with_memory(mem_bytes: usize, key_bytes: usize, seed: u64) -> Self {
+        Self::with_levels(mem_bytes, Self::DEFAULT_LEVELS, key_bytes, seed)
+    }
+
+    /// The deepest level this key reaches: the number of consecutive
+    /// ones in its sampling hash (each level-halving coin is one bit).
+    #[inline]
+    fn max_level(&self, key: &KeyBytes) -> usize {
+        let h = bob_hash64(key.as_slice(), self.sample_seed);
+        (h.trailing_ones() as usize).min(self.levels.len() - 1)
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl Sketch for UnivMon {
+    fn update(&mut self, key: &KeyBytes, w: u64) {
+        let z = self.max_level(key);
+        for level in self.levels[..=z].iter_mut() {
+            level.cs.insert(key, w);
+            let est = level.cs.estimate(key);
+            if est > level.heap.min_tracked() || level.heap.get(key).is_some() {
+                level.heap.offer(*key, est);
+            }
+        }
+    }
+
+    fn query(&self, key: &KeyBytes) -> u64 {
+        self.levels[0]
+            .heap
+            .get(key)
+            .unwrap_or_else(|| self.levels[0].cs.estimate(key))
+    }
+
+    fn records(&self) -> Vec<(KeyBytes, u64)> {
+        self.levels[0].heap.entries()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.cs.memory_bytes() + l.heap.memory_bytes())
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "UnivMon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn finds_heavy_hitters_at_level_zero() {
+        let mut u = UnivMon::with_memory(256 * 1024, 4, 1);
+        for rep in 0..1_000u32 {
+            for h in 0..5u32 {
+                u.update(&k(h), 1);
+            }
+            u.update(&k(1_000 + rep % 300), 1);
+        }
+        for h in 0..5u32 {
+            let est = u.query(&k(h));
+            assert!(
+                (900..=1100).contains(&est),
+                "heavy flow {h} estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_halves_population() {
+        // Roughly half of keys reach level 1, a quarter level 2, ...
+        let u = UnivMon::with_memory(64 * 1024, 4, 3);
+        let n = 20_000u32;
+        let mut reach1 = 0u32;
+        let mut reach2 = 0u32;
+        for i in 0..n {
+            let z = u.max_level(&k(i));
+            if z >= 1 {
+                reach1 += 1;
+            }
+            if z >= 2 {
+                reach2 += 1;
+            }
+        }
+        let f1 = f64::from(reach1) / f64::from(n);
+        let f2 = f64::from(reach2) / f64::from(n);
+        assert!((f1 - 0.5).abs() < 0.03, "level-1 fraction {f1}");
+        assert!((f2 - 0.25).abs() < 0.03, "level-2 fraction {f2}");
+    }
+
+    #[test]
+    fn level_membership_is_consistent() {
+        // A key's level is a pure function of the key.
+        let u = UnivMon::with_memory(64 * 1024, 4, 4);
+        for i in 0..100u32 {
+            assert_eq!(u.max_level(&k(i)), u.max_level(&k(i)));
+        }
+    }
+
+    #[test]
+    fn memory_spread_across_levels() {
+        let u = UnivMon::with_memory(500_000, 13, 5);
+        assert_eq!(u.levels(), UnivMon::DEFAULT_LEVELS);
+        assert!(u.memory_bytes() <= 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        UnivMon::with_levels(1024, 0, 4, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Name-addressable factory over every evaluated algorithm.
+
+use cocosketch::Variant;
+use sketches::{
+    CmHeap, CountHeap, ElasticSketch, Sketch, SpaceSaving, UnbiasedSpaceSaving, UnivMon,
+};
+
+/// One algorithm configuration from the paper's comparison set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// CocoSketch, any of its three variants, with `d` arrays.
+    Coco {
+        /// Which implementation (basic / FPGA / P4).
+        variant: Variant,
+        /// Number of candidate arrays.
+        d: usize,
+    },
+    /// SpaceSaving.
+    SpaceSaving,
+    /// Unbiased SpaceSaving (accelerated implementation).
+    Uss,
+    /// Count sketch + heap.
+    CountHeap,
+    /// Count-Min sketch + heap.
+    CmHeap,
+    /// Elastic sketch (software version).
+    Elastic,
+    /// UnivMon.
+    UnivMon,
+}
+
+impl Algo {
+    /// CocoSketch with the paper's default configuration (basic variant,
+    /// `d = 2`).
+    pub const OURS: Algo = Algo::Coco {
+        variant: Variant::Basic,
+        d: 2,
+    };
+
+    /// The single-key baselines of Figures 8–10, in presentation order.
+    pub const BASELINES: [Algo; 6] = [
+        Algo::SpaceSaving,
+        Algo::Uss,
+        Algo::CountHeap,
+        Algo::CmHeap,
+        Algo::Elastic,
+        Algo::UnivMon,
+    ];
+
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Coco { variant, .. } => match variant {
+                Variant::Basic => "Ours",
+                Variant::Fpga => "Ours-HW",
+                Variant::P4 => "Ours-P4",
+            },
+            Algo::SpaceSaving => "SS",
+            Algo::Uss => "USS",
+            Algo::CountHeap => "C-Heap",
+            Algo::CmHeap => "CM-Heap",
+            Algo::Elastic => "Elastic",
+            Algo::UnivMon => "UnivMon",
+        }
+    }
+
+    /// True for CocoSketch configurations.
+    pub fn is_coco(&self) -> bool {
+        matches!(self, Algo::Coco { .. })
+    }
+
+    /// True for algorithms deployed as ONE sketch on the full key, with
+    /// partial keys recovered by aggregation. Per §7.1: "For the
+    /// CocoSketch and USS, we will use one sketch with 500KB memory to
+    /// measure the full key (5-tuple) and get the result of other keys
+    /// by aggregation" — USS's unbiased estimates make the aggregation
+    /// valid, exactly like CocoSketch's.
+    pub fn deploys_on_full_key(&self) -> bool {
+        matches!(self, Algo::Coco { .. } | Algo::Uss)
+    }
+
+    /// Instantiate with a memory budget for keys of `key_bytes` width.
+    pub fn build(&self, mem_bytes: usize, key_bytes: usize, seed: u64) -> Box<dyn Sketch> {
+        match *self {
+            Algo::Coco { variant, d } => variant.build(mem_bytes, d, key_bytes, seed),
+            Algo::SpaceSaving => Box::new(SpaceSaving::with_memory(mem_bytes, key_bytes)),
+            Algo::Uss => Box::new(UnbiasedSpaceSaving::with_memory(mem_bytes, key_bytes, seed)),
+            Algo::CountHeap => Box::new(CountHeap::with_memory(mem_bytes, key_bytes, seed)),
+            Algo::CmHeap => Box::new(CmHeap::with_memory(mem_bytes, key_bytes, seed)),
+            Algo::Elastic => Box::new(ElasticSketch::with_memory(mem_bytes, key_bytes, seed)),
+            Algo::UnivMon => Box::new(UnivMon::with_memory(mem_bytes, key_bytes, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::KeyBytes;
+
+    #[test]
+    fn all_algorithms_build_and_count() {
+        let key = KeyBytes::new(&[1, 2, 3, 4]);
+        let mut algos = vec![Algo::OURS];
+        algos.extend(Algo::BASELINES);
+        for algo in algos {
+            let mut s = algo.build(32 * 1024, 4, 7);
+            for _ in 0..100 {
+                s.update(&key, 1);
+            }
+            assert_eq!(s.query(&key), 100, "{} must count a lone flow exactly", algo.name());
+            assert!(s.memory_bytes() <= 32 * 1024, "{} over budget", algo.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Algo::BASELINES.iter().map(Algo::name).collect();
+        names.push(Algo::OURS.name());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn coco_flag() {
+        assert!(Algo::OURS.is_coco());
+        for b in Algo::BASELINES {
+            assert!(!b.is_coco());
+        }
+    }
+
+    #[test]
+    fn full_key_deployment_set() {
+        // §7.1: exactly CocoSketch and USS run one full-key sketch.
+        assert!(Algo::OURS.deploys_on_full_key());
+        assert!(Algo::Uss.deploys_on_full_key());
+        for b in Algo::BASELINES {
+            if b != Algo::Uss {
+                assert!(!b.deploys_on_full_key(), "{}", b.name());
+            }
+        }
+    }
+}

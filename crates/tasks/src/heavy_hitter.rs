@@ -1,0 +1,145 @@
+//! Heavy-hitter detection over multiple keys (the Figure 8/9/13a task).
+
+use std::collections::HashMap;
+use traffic::{truth, KeyBytes, KeySpec, Trace};
+
+use crate::algo::Algo;
+use crate::metrics::{evaluate, Accuracy};
+use crate::pipeline::Pipeline;
+
+/// Per-key and averaged accuracy of one run.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// Accuracy per measured key, in spec order.
+    pub per_key: Vec<Accuracy>,
+    /// Mean across keys (what the figures plot).
+    pub avg: Accuracy,
+}
+
+impl TaskResult {
+    /// Assemble from per-key scores.
+    pub fn from_per_key(per_key: Vec<Accuracy>) -> Self {
+        let avg = Accuracy::mean(&per_key);
+        Self { per_key, avg }
+    }
+}
+
+/// Absolute heavy-hitter threshold: `frac` of the trace's total weight
+/// (the paper uses `frac = 1e-4`).
+pub fn threshold_of(trace: &Trace, frac: f64) -> u64 {
+    ((trace.total_weight() as f64 * frac).ceil() as u64).max(1)
+}
+
+/// Run heavy-hitter detection with `algo` over `specs` and score it.
+pub fn run(
+    trace: &Trace,
+    specs: &[KeySpec],
+    full: KeySpec,
+    algo: Algo,
+    mem_bytes: usize,
+    threshold_frac: f64,
+    seed: u64,
+) -> TaskResult {
+    let mut pipe = Pipeline::deploy(algo, specs, full, mem_bytes, seed);
+    pipe.run(trace);
+    score(&pipe.estimates(), trace, specs, threshold_of(trace, threshold_frac))
+}
+
+/// Score per-key estimate tables against exact counts.
+pub fn score(
+    estimates: &[HashMap<KeyBytes, u64>],
+    trace: &Trace,
+    specs: &[KeySpec],
+    threshold: u64,
+) -> TaskResult {
+    let truths = truth::exact_counts_multi(trace, specs);
+    score_against(estimates, &truths, threshold)
+}
+
+/// Score against precomputed ground truth (saves the exact-count pass
+/// when sweeping an axis over one workload — e.g. the 1089-key 2-d HHH
+/// memory sweep, where recomputing truth per point would dominate).
+pub fn score_against(
+    estimates: &[HashMap<KeyBytes, u64>],
+    truths: &[HashMap<KeyBytes, u64>],
+    threshold: u64,
+) -> TaskResult {
+    assert_eq!(estimates.len(), truths.len());
+    let per_key = estimates
+        .iter()
+        .zip(truths)
+        .map(|(est, tr)| evaluate(est, tr, threshold))
+        .collect();
+    TaskResult::from_per_key(per_key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::gen::{generate, TraceConfig};
+
+    fn trace() -> Trace {
+        generate(&TraceConfig {
+            packets: 60_000,
+            flows: 4_000,
+            alpha: 1.15,
+            ..TraceConfig::default()
+        })
+    }
+
+    #[test]
+    fn coco_scores_high_on_six_keys() {
+        let t = trace();
+        let r = run(
+            &t,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            Algo::OURS,
+            128 * 1024,
+            1e-3,
+            1,
+        );
+        assert_eq!(r.per_key.len(), 6);
+        assert!(r.avg.f1 > 0.9, "coco avg F1 {}", r.avg.f1);
+        assert!(r.avg.are < 0.15, "coco avg ARE {}", r.avg.are);
+    }
+
+    #[test]
+    fn coco_beats_split_budget_baseline() {
+        // The headline effect: at the same total memory over 6 keys, one
+        // CocoSketch beats one CM-Heap per key.
+        let t = trace();
+        let mem = 48 * 1024;
+        let ours = run(&t, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, Algo::OURS, mem, 1e-3, 1);
+        let cm = run(&t, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, Algo::CmHeap, mem, 1e-3, 1);
+        assert!(
+            ours.avg.f1 >= cm.avg.f1,
+            "ours {} vs cm {}",
+            ours.avg.f1,
+            cm.avg.f1
+        );
+    }
+
+    #[test]
+    fn threshold_scales_with_traffic() {
+        let t = trace();
+        assert_eq!(threshold_of(&t, 1.0), t.total_weight());
+        assert!(threshold_of(&t, 1e-9) >= 1);
+    }
+
+    #[test]
+    fn single_key_degenerates_gracefully() {
+        let t = trace();
+        let r = run(
+            &t,
+            &[KeySpec::FIVE_TUPLE],
+            KeySpec::FIVE_TUPLE,
+            Algo::SpaceSaving,
+            64 * 1024,
+            1e-3,
+            1,
+        );
+        assert_eq!(r.per_key.len(), 1);
+        assert!(r.avg.recall > 0.8, "SS recall {}", r.avg.recall);
+    }
+}

@@ -1,0 +1,36 @@
+//! Measurement tasks, accuracy metrics, and the timing harness.
+//!
+//! This crate is the orchestration layer between workloads
+//! ([`traffic`]), algorithms ([`sketches`], [`cocosketch`]) and the
+//! experiment binaries in `cocosketch-bench`:
+//!
+//! - [`metrics`]: recall / precision / F1 / ARE exactly as §7.1 defines
+//!   them;
+//! - [`algo`]: a name-addressable factory over every evaluated
+//!   algorithm;
+//! - [`pipeline`]: the three multi-key deployment strategies — one
+//!   CocoSketch on the full key, one single-key sketch per key, or
+//!   R-HHH's sampled per-level updates;
+//! - [`heavy_hitter`] / [`heavy_change`] / [`hhh_task`]: the three
+//!   evaluation tasks of §7.2;
+//! - [`timing`]: packet-rate (Mpps) and per-packet-cycle measurement
+//!   for the §7.3 CPU experiments.
+
+
+#![warn(missing_docs)]
+// `deny` rather than `forbid`: the TSC read in `timing` is the one
+// permitted `unsafe` operation (annotated there).
+#![deny(unsafe_code)]
+
+pub mod algo;
+pub mod heavy_change;
+pub mod heavy_hitter;
+pub mod hhh_task;
+pub mod metrics;
+pub mod pipeline;
+pub mod stats;
+pub mod timing;
+
+pub use algo::Algo;
+pub use metrics::Accuracy;
+pub use pipeline::Pipeline;

@@ -1,0 +1,203 @@
+//! Accuracy metrics (§7.1 of the paper).
+
+use std::collections::HashMap;
+use traffic::KeyBytes;
+
+/// The four accuracy metrics of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Correctly reported / correct flows.
+    pub recall: f64,
+    /// Correctly reported / reported flows.
+    pub precision: f64,
+    /// Harmonic mean of recall and precision.
+    pub f1: f64,
+    /// Average Relative Error over the true heavy set: missing flows
+    /// count with estimate 0.
+    pub are: f64,
+}
+
+impl Accuracy {
+    /// A perfect score (the value an empty truth set defaults to, so
+    /// averaging over keys is not poisoned by degenerate levels).
+    pub const PERFECT: Accuracy = Accuracy {
+        recall: 1.0,
+        precision: 1.0,
+        f1: 1.0,
+        are: 0.0,
+    };
+
+    /// Mean of several per-key accuracies (the paper reports metric
+    /// averages across the measured keys).
+    pub fn mean(items: &[Accuracy]) -> Accuracy {
+        assert!(!items.is_empty(), "cannot average zero accuracies");
+        let n = items.len() as f64;
+        Accuracy {
+            recall: items.iter().map(|a| a.recall).sum::<f64>() / n,
+            precision: items.iter().map(|a| a.precision).sum::<f64>() / n,
+            f1: items.iter().map(|a| a.f1).sum::<f64>() / n,
+            are: items.iter().map(|a| a.are).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Score estimated sizes against exact ones at a heavy threshold.
+///
+/// - the *correct* flows are those with `truth[k] >= threshold`;
+/// - the *reported* flows are those with `estimates[k] >= threshold`;
+/// - ARE is averaged over the correct flows, with unreported flows
+///   contributing their full relative error (estimate 0).
+pub fn evaluate(
+    estimates: &HashMap<KeyBytes, u64>,
+    truth: &HashMap<KeyBytes, u64>,
+    threshold: u64,
+) -> Accuracy {
+    let correct: Vec<(&KeyBytes, u64)> = truth
+        .iter()
+        .filter(|&(_, &v)| v >= threshold)
+        .map(|(k, &v)| (k, v))
+        .collect();
+    let reported: Vec<(&KeyBytes, u64)> = estimates
+        .iter()
+        .filter(|&(_, &v)| v >= threshold)
+        .map(|(k, &v)| (k, v))
+        .collect();
+    if correct.is_empty() {
+        // Degenerate level: nothing to find. Precision still suffers if
+        // the sketch invents heavy flows.
+        return if reported.is_empty() {
+            Accuracy::PERFECT
+        } else {
+            Accuracy {
+                recall: 1.0,
+                precision: 0.0,
+                f1: 0.0,
+                are: 0.0,
+            }
+        };
+    }
+
+    let hits = correct
+        .iter()
+        .filter(|(k, _)| estimates.get(*k).copied().unwrap_or(0) >= threshold)
+        .count() as f64;
+    let recall = hits / correct.len() as f64;
+    let precision = if reported.is_empty() {
+        // Nothing reported: vacuous precision, but recall is 0 then.
+        1.0
+    } else {
+        hits / reported.len() as f64
+    };
+    let f1 = if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    };
+    let are = correct
+        .iter()
+        .map(|(k, v)| {
+            let est = estimates.get(*k).copied().unwrap_or(0);
+            (est as f64 - *v as f64).abs() / *v as f64
+        })
+        .sum::<f64>()
+        / correct.len() as f64;
+    Accuracy {
+        recall,
+        precision,
+        f1,
+        are,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    fn map(pairs: &[(u32, u64)]) -> HashMap<KeyBytes, u64> {
+        pairs.iter().map(|&(i, v)| (k(i), v)).collect()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let truth = map(&[(1, 100), (2, 200), (3, 5)]);
+        let est = truth.clone();
+        let a = evaluate(&est, &truth, 50);
+        assert_eq!(a.recall, 1.0);
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.f1, 1.0);
+        assert_eq!(a.are, 0.0);
+    }
+
+    #[test]
+    fn missed_flow_costs_recall_and_are() {
+        let truth = map(&[(1, 100), (2, 100)]);
+        let est = map(&[(1, 100)]);
+        let a = evaluate(&est, &truth, 50);
+        assert_eq!(a.recall, 0.5);
+        assert_eq!(a.precision, 1.0);
+        assert!((a.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.are, 0.5, "missing flow contributes |0-100|/100 / 2");
+    }
+
+    #[test]
+    fn false_positive_costs_precision() {
+        let truth = map(&[(1, 100)]);
+        let est = map(&[(1, 100), (9, 999)]);
+        let a = evaluate(&est, &truth, 50);
+        assert_eq!(a.recall, 1.0);
+        assert_eq!(a.precision, 0.5);
+    }
+
+    #[test]
+    fn under_threshold_estimate_is_a_miss() {
+        let truth = map(&[(1, 100)]);
+        let est = map(&[(1, 40)]);
+        let a = evaluate(&est, &truth, 50);
+        assert_eq!(a.recall, 0.0);
+        assert_eq!(a.f1, 0.0);
+        assert!((a.are - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_perfect_when_silent() {
+        let truth = map(&[(1, 10)]);
+        let a = evaluate(&HashMap::new(), &truth, 50);
+        assert_eq!(a, Accuracy::PERFECT);
+        let noisy = map(&[(9, 100)]);
+        let b = evaluate(&noisy, &truth, 50);
+        assert_eq!(b.precision, 0.0);
+    }
+
+    #[test]
+    fn mean_averages_fields() {
+        let a = Accuracy {
+            recall: 1.0,
+            precision: 0.5,
+            f1: 0.6,
+            are: 0.2,
+        };
+        let m = Accuracy::mean(&[a, Accuracy::PERFECT]);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+        assert!((m.precision - 0.75).abs() < 1e-12);
+        assert!((m.f1 - 0.8).abs() < 1e-12);
+        assert!((m.are - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero accuracies")]
+    fn mean_of_none_panics() {
+        Accuracy::mean(&[]);
+    }
+
+    #[test]
+    fn are_uses_truth_denominator() {
+        let truth = map(&[(1, 100)]);
+        let est = map(&[(1, 150)]);
+        let a = evaluate(&est, &truth, 50);
+        assert!((a.are - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Multi-key deployment strategies.
+//!
+//! Given a set of keys to measure, the evaluation deploys algorithms in
+//! one of three ways (§7.1):
+//!
+//! - **CocoSketch**: one sketch on the full key; partial keys recovered
+//!   at query time by aggregation. Per-packet cost is independent of
+//!   the number of keys.
+//! - **Per-key single-key sketches**: one instance per key, every
+//!   instance updated on every packet (cost grows linearly in keys).
+//! - **R-HHH**: one SpaceSaving per key but only one, randomly chosen,
+//!   updated per packet (constant cost, sampling noise).
+
+use cocosketch::FlowTable;
+use sketches::{Rhhh, Sketch};
+use std::collections::HashMap;
+use traffic::{FiveTuple, KeyBytes, KeySpec, Trace};
+
+use crate::algo::Algo;
+
+/// A deployed multi-key measurement pipeline.
+pub enum Pipeline {
+    /// One CocoSketch on `full`; `specs` answered by aggregation.
+    Coco {
+        /// The single full-key sketch.
+        sketch: Box<dyn Sketch>,
+        /// The full key it is deployed on.
+        full: KeySpec,
+        /// The partial keys to answer.
+        specs: Vec<KeySpec>,
+    },
+    /// One single-key sketch per key, all updated per packet.
+    PerKey {
+        /// One instance per entry of `specs`.
+        sketches: Vec<Box<dyn Sketch>>,
+        /// The measured keys.
+        specs: Vec<KeySpec>,
+    },
+    /// R-HHH: per-key SpaceSavings, one sampled update per packet.
+    Rhhh(Rhhh),
+}
+
+impl Pipeline {
+    /// Deploy `algo` for `specs` under a *total* memory budget.
+    ///
+    /// CocoSketch puts the whole budget into one full-key sketch;
+    /// per-key baselines split it evenly across keys (the paper's
+    /// fixed-total-memory comparison).
+    pub fn deploy(algo: Algo, specs: &[KeySpec], full: KeySpec, mem_bytes: usize, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "need at least one key");
+        debug_assert!(specs.iter().all(|s| s.is_partial_of(&full)));
+        if algo.deploys_on_full_key() {
+            Pipeline::Coco {
+                sketch: algo.build(mem_bytes, full.key_bytes(), seed),
+                full,
+                specs: specs.to_vec(),
+            }
+        } else {
+            let per = mem_bytes / specs.len();
+            Pipeline::PerKey {
+                sketches: specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| algo.build(per, spec.key_bytes().max(1), seed + i as u64))
+                    .collect(),
+                specs: specs.to_vec(),
+            }
+        }
+    }
+
+    /// Deploy R-HHH for `specs` (its own strategy; `full` is implicit).
+    pub fn deploy_rhhh(specs: &[KeySpec], mem_bytes: usize, seed: u64) -> Self {
+        Pipeline::Rhhh(Rhhh::with_memory(mem_bytes, specs.to_vec(), seed))
+    }
+
+    /// Process one packet.
+    #[inline]
+    pub fn update(&mut self, flow: &FiveTuple, w: u64) {
+        match self {
+            Pipeline::Coco { sketch, full, .. } => sketch.update(&full.project(flow), w),
+            Pipeline::PerKey { sketches, specs } => {
+                for (sketch, spec) in sketches.iter_mut().zip(specs.iter()) {
+                    sketch.update(&spec.project(flow), w);
+                }
+            }
+            Pipeline::Rhhh(r) => r.update(flow, w),
+        }
+    }
+
+    /// Feed a whole trace.
+    pub fn run(&mut self, trace: &Trace) {
+        for p in &trace.packets {
+            self.update(&p.flow, u64::from(p.weight));
+        }
+    }
+
+    /// Estimated flow tables, one per measured key, in spec order.
+    pub fn estimates(&self) -> Vec<HashMap<KeyBytes, u64>> {
+        match self {
+            Pipeline::Coco { sketch, full, specs } => {
+                let table = FlowTable::new(*full, sketch.records());
+                specs.iter().map(|spec| table.query_partial(spec)).collect()
+            }
+            Pipeline::PerKey { sketches, .. } => sketches
+                .iter()
+                .map(|sketch| {
+                    let mut out: HashMap<KeyBytes, u64> = HashMap::new();
+                    for (k, v) in sketch.records() {
+                        // Defensive sum: no implemented baseline reports
+                        // duplicates, but the trait does not forbid it.
+                        *out.entry(k).or_insert(0) += v;
+                    }
+                    out
+                })
+                .collect(),
+            Pipeline::Rhhh(r) => (0..r.num_levels())
+                .map(|lvl| {
+                    let mut out: HashMap<KeyBytes, u64> = HashMap::new();
+                    for (k, v) in r.records_for(lvl) {
+                        *out.entry(k).or_insert(0) += v;
+                    }
+                    out
+                })
+                .collect(),
+        }
+    }
+
+    /// The measured keys, in estimate order.
+    pub fn specs(&self) -> &[KeySpec] {
+        match self {
+            Pipeline::Coco { specs, .. } | Pipeline::PerKey { specs, .. } => specs,
+            Pipeline::Rhhh(r) => r.specs(),
+        }
+    }
+
+    /// Modeled memory across all deployed structures.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Pipeline::Coco { sketch, .. } => sketch.memory_bytes(),
+            Pipeline::PerKey { sketches, .. } => sketches.iter().map(|s| s.memory_bytes()).sum(),
+            Pipeline::Rhhh(r) => r.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::gen::{generate, TraceConfig};
+    use traffic::truth;
+
+    fn trace() -> Trace {
+        generate(&TraceConfig {
+            packets: 30_000,
+            flows: 2_000,
+            ..TraceConfig::default()
+        })
+    }
+
+    fn spot_check(pipe: &Pipeline, t: &Trace) {
+        let estimates = pipe.estimates();
+        for (spec, est) in pipe.specs().iter().zip(&estimates) {
+            let exact = truth::exact_counts(t, spec);
+            // The biggest true flow should be estimated within 25%.
+            let (big_key, big) = exact.iter().max_by_key(|&(_, v)| v).unwrap();
+            let got = est.get(big_key).copied().unwrap_or(0);
+            let rel = (got as f64 - *big as f64).abs() / *big as f64;
+            assert!(rel < 0.25, "{spec}: top flow {big} estimated {got}");
+        }
+    }
+
+    #[test]
+    fn coco_pipeline_end_to_end() {
+        let t = trace();
+        let mut pipe = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            256 * 1024,
+            1,
+        );
+        pipe.run(&t);
+        assert_eq!(pipe.estimates().len(), 6);
+        spot_check(&pipe, &t);
+    }
+
+    #[test]
+    fn per_key_pipeline_end_to_end() {
+        let t = trace();
+        let mut pipe = Pipeline::deploy(
+            Algo::CmHeap,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            512 * 1024,
+            2,
+        );
+        pipe.run(&t);
+        assert_eq!(pipe.estimates().len(), 6);
+        spot_check(&pipe, &t);
+    }
+
+    #[test]
+    fn rhhh_pipeline_end_to_end() {
+        let t = trace();
+        let specs: Vec<KeySpec> = vec![
+            KeySpec::src_prefix(32),
+            KeySpec::src_prefix(24),
+            KeySpec::src_prefix(16),
+        ];
+        let mut pipe = Pipeline::deploy_rhhh(&specs, 256 * 1024, 3);
+        pipe.run(&t);
+        let estimates = pipe.estimates();
+        assert_eq!(estimates.len(), 3);
+        // R-HHH is sampled: check the top /16 within 30%.
+        let exact = truth::exact_counts(&t, &KeySpec::src_prefix(16));
+        let (big_key, big) = exact.iter().max_by_key(|&(_, v)| v).unwrap();
+        let got = estimates[2].get(big_key).copied().unwrap_or(0);
+        let rel = (got as f64 - *big as f64).abs() / *big as f64;
+        assert!(rel < 0.3, "top /16 {big} estimated {got}");
+    }
+
+    #[test]
+    fn per_key_splits_budget() {
+        let pipe = Pipeline::deploy(
+            Algo::SpaceSaving,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            600_000,
+            4,
+        );
+        assert!(pipe.memory_bytes() <= 600_000);
+        let coco = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 600_000, 4);
+        assert!(coco.memory_bytes() <= 600_000);
+        assert!(
+            coco.memory_bytes() > pipe.memory_bytes() / 2,
+            "coco uses the whole budget in one sketch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_specs_panics() {
+        Pipeline::deploy(Algo::OURS, &[], KeySpec::FIVE_TUPLE, 1024, 1);
+    }
+}

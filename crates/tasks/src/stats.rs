@@ -1,0 +1,177 @@
+//! Derived traffic statistics over arbitrary partial keys.
+//!
+//! Once a flow table exists, several §1/§2.2 use cases beyond plain
+//! heavy hitters are post-processing: traffic entropy (anomaly
+//! detection), flow-size distribution (capacity planning), and top-k
+//! reports. Each works for *any* partial key, inheriting the table's
+//! unbiased per-flow estimates — with the caveat, documented per
+//! function, that flows too small to be recorded are missing, so
+//! mass-weighted statistics (entropy, distribution head) are accurate
+//! while flow-count statistics undercount the tail.
+
+use cocosketch::FlowTable;
+use std::collections::HashMap;
+use traffic::{KeyBytes, KeySpec};
+
+/// Shannon entropy (bits) of the traffic split across the flows of
+/// `spec`: `H = -Σ (f_i/N) log2(f_i/N)`.
+///
+/// Because each term is weighted by the flow's share of traffic, the
+/// unrecorded tail (tiny flows) contributes little; entropy from a
+/// CocoSketch table tracks the exact value closely.
+pub fn entropy(table: &FlowTable, spec: &KeySpec) -> f64 {
+    entropy_of_counts(&table.query_partial(spec))
+}
+
+/// Shannon entropy of an explicit count table.
+pub fn entropy_of_counts(counts: &HashMap<KeyBytes, u64>) -> f64 {
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .values()
+        .filter(|&&v| v > 0)
+        .map(|&v| {
+            let p = v as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The k largest flows of `spec`, descending.
+pub fn top_k(table: &FlowTable, spec: &KeySpec, k: usize) -> Vec<(KeyBytes, u64)> {
+    let mut flows: Vec<(KeyBytes, u64)> = table.query_partial(spec).into_iter().collect();
+    flows.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
+    flows.truncate(k);
+    flows
+}
+
+/// Flow-size distribution: counts of flows in power-of-two size bins
+/// (`bins[i]` = flows with size in `[2^i, 2^{i+1})`).
+///
+/// The head of the distribution (large flows) is reliable; bins below
+/// the sketch's recording granularity undercount, since unrecorded
+/// flows do not appear — the same limitation the paper notes for all
+/// record-based post-processing.
+pub fn size_distribution(table: &FlowTable, spec: &KeySpec) -> Vec<u64> {
+    let counts = table.query_partial(spec);
+    let mut bins = vec![0u64; 64];
+    for &v in counts.values() {
+        if v > 0 {
+            bins[63 - v.leading_zeros() as usize] += 1;
+        }
+    }
+    while bins.len() > 1 && *bins.last().unwrap() == 0 {
+        bins.pop();
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocosketch::BasicCocoSketch;
+    use sketches::Sketch;
+    use traffic::gen::{generate, TraceConfig};
+    use traffic::truth;
+
+    fn k(i: u32) -> KeyBytes {
+        KeyBytes::new(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn entropy_of_uniform_counts() {
+        let counts: HashMap<KeyBytes, u64> = (0..8u32).map(|i| (k(i), 10)).collect();
+        assert!((entropy_of_counts(&counts) - 3.0).abs() < 1e-12, "log2(8) = 3");
+    }
+
+    #[test]
+    fn entropy_of_single_flow_is_zero() {
+        let counts: HashMap<KeyBytes, u64> = [(k(1), 100)].into();
+        assert_eq!(entropy_of_counts(&counts), 0.0);
+        assert_eq!(entropy_of_counts(&HashMap::new()), 0.0);
+    }
+
+    #[test]
+    fn sketch_entropy_tracks_exact() {
+        let t = generate(&TraceConfig {
+            packets: 100_000,
+            flows: 5_000,
+            alpha: 1.1,
+            ..TraceConfig::default()
+        });
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::with_memory(256 * 1024, 2, full.key_bytes(), 1);
+        for p in &t.packets {
+            s.update(&full.project(&p.flow), u64::from(p.weight));
+        }
+        let table = FlowTable::new(full, s.records());
+        for spec in [KeySpec::SRC_IP, KeySpec::src_prefix(16)] {
+            let est = entropy(&table, &spec);
+            let exact = entropy_of_counts(&truth::exact_counts(&t, &spec));
+            assert!(
+                (est - exact).abs() < 0.25,
+                "{spec}: entropy {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let full = KeySpec::SRC_IP;
+        let rows = vec![(k(1), 5u64), (k(2), 50), (k(3), 20)];
+        let table = FlowTable::new(full, rows);
+        let top = top_k(&table, &full, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (k(2), 50));
+        assert_eq!(top[1], (k(3), 20));
+    }
+
+    #[test]
+    fn distribution_bins_by_log2() {
+        let full = KeySpec::SRC_IP;
+        let rows = vec![(k(1), 1u64), (k(2), 3), (k(3), 4), (k(4), 1000)];
+        let table = FlowTable::new(full, rows);
+        let bins = size_distribution(&table, &full);
+        assert_eq!(bins[0], 1, "size 1");
+        assert_eq!(bins[1], 1, "size 3 in [2,4)");
+        assert_eq!(bins[2], 1, "size 4 in [4,8)");
+        assert_eq!(bins[9], 1, "size 1000 in [512,1024)");
+        assert_eq!(bins.len(), 10, "trailing zeros trimmed");
+    }
+
+    #[test]
+    fn distribution_head_matches_exact() {
+        let t = generate(&TraceConfig {
+            packets: 80_000,
+            flows: 4_000,
+            alpha: 1.2,
+            ..TraceConfig::default()
+        });
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::with_memory(256 * 1024, 2, full.key_bytes(), 2);
+        for p in &t.packets {
+            s.update(&full.project(&p.flow), u64::from(p.weight));
+        }
+        let table = FlowTable::new(full, s.records());
+        let est = size_distribution(&table, &full);
+        let exact_counts = truth::exact_counts(&t, &full);
+        let mut exact_bins = vec![0u64; est.len().max(20)];
+        for &v in exact_counts.values() {
+            exact_bins[63 - v.leading_zeros() as usize] += 1;
+        }
+        // Head bins (size >= 64) should be close; tail undercounts.
+        for bin in 6..est.len() {
+            let e = est[bin] as f64;
+            let x = exact_bins[bin] as f64;
+            if x >= 10.0 {
+                assert!(
+                    (e - x).abs() / x < 0.3,
+                    "bin {bin}: est {e} vs exact {x}"
+                );
+            }
+        }
+    }
+}

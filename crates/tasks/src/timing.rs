@@ -1,0 +1,149 @@
+//! Packet-rate and per-packet-cycle measurement (§7.3).
+//!
+//! Two probes, matching the paper's two CPU metrics:
+//!
+//! - [`measure_throughput`]: wall-clock Mpps over a full trace replay
+//!   (no per-packet instrumentation, so the loop runs at full speed);
+//! - [`measure_cycles`]: per-packet TSC deltas, reporting the 95th
+//!   percentile cycles per packet. On non-x86 targets the TSC is
+//!   replaced by a nanosecond clock (1 "cycle" = 1 ns).
+//!
+//! Absolute numbers depend on the host CPU; the figures care about the
+//! *relative* behaviour (CocoSketch flat in the number of keys,
+//! per-key baselines linear).
+
+use traffic::Trace;
+
+use crate::pipeline::Pipeline;
+
+/// One timing measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Million packets per second over the replay.
+    pub mpps: f64,
+    /// Mean nanoseconds per packet.
+    pub avg_ns: f64,
+    /// 95th-percentile cycles per packet (TSC ticks on x86).
+    pub p95_cycles: f64,
+    /// Packets replayed.
+    pub packets: usize,
+}
+
+/// Read the time-stamp counter (x86) or a nanosecond clock elsewhere.
+// SAFETY: `_rdtsc` has no memory-safety preconditions; it only reads a
+// CPU counter register.
+#[allow(unsafe_code)]
+#[inline]
+fn tsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as u64
+    }
+}
+
+/// Throughput-only replay: update the pipeline on every packet and
+/// report Mpps. The median of `trials` runs is returned, as in §7.1
+/// ("median value among 5 independent trials").
+pub fn measure_throughput(pipe_factory: impl Fn() -> Pipeline, trace: &Trace, trials: usize) -> Timing {
+    assert!(trials > 0, "need at least one trial");
+    let mut rates: Vec<f64> = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut pipe = pipe_factory();
+        let start = std::time::Instant::now();
+        pipe.run(trace);
+        let secs = start.elapsed().as_secs_f64().max(1e-12);
+        // Keep the pipeline's final state alive past the timer so the
+        // optimizer cannot discard the updates.
+        std::hint::black_box(pipe.estimates().len());
+        rates.push(trace.len() as f64 / secs);
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    let pps = rates[rates.len() / 2];
+    Timing {
+        mpps: pps / 1e6,
+        avg_ns: 1e9 / pps,
+        p95_cycles: f64::NAN,
+        packets: trace.len(),
+    }
+}
+
+/// Per-packet probe: wrap every update in TSC reads and report the
+/// 95th-percentile delta alongside the (instrumented) rate.
+pub fn measure_cycles(pipe: &mut Pipeline, trace: &Trace) -> Timing {
+    let mut deltas: Vec<u64> = Vec::with_capacity(trace.len());
+    let wall_start = std::time::Instant::now();
+    for p in &trace.packets {
+        let t0 = tsc();
+        pipe.update(&p.flow, u64::from(p.weight));
+        let t1 = tsc();
+        deltas.push(t1.wrapping_sub(t0));
+    }
+    let secs = wall_start.elapsed().as_secs_f64().max(1e-12);
+    deltas.sort_unstable();
+    let idx = ((deltas.len() as f64 * 0.95) as usize).min(deltas.len() - 1);
+    let p95 = deltas[idx] as f64;
+    let pps = trace.len() as f64 / secs;
+    Timing {
+        mpps: pps / 1e6,
+        avg_ns: 1e9 / pps,
+        p95_cycles: p95,
+        packets: trace.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Algo;
+    use traffic::gen::{generate, TraceConfig};
+    use traffic::KeySpec;
+
+    fn trace() -> Trace {
+        generate(&TraceConfig {
+            packets: 20_000,
+            flows: 2_000,
+            ..TraceConfig::default()
+        })
+    }
+
+    #[test]
+    fn throughput_is_positive_and_sane() {
+        let t = trace();
+        let timing = measure_throughput(
+            || Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 64 * 1024, 1),
+            &t,
+            3,
+        );
+        assert!(timing.mpps > 0.0);
+        assert!(timing.avg_ns > 0.0);
+        assert_eq!(timing.packets, t.len());
+    }
+
+    #[test]
+    fn cycle_probe_reports_percentile() {
+        let t = trace();
+        let mut pipe =
+            Pipeline::deploy(Algo::OURS, &[KeySpec::FIVE_TUPLE], KeySpec::FIVE_TUPLE, 64 * 1024, 1);
+        let timing = measure_cycles(&mut pipe, &t);
+        assert!(timing.p95_cycles > 0.0);
+        assert!(timing.p95_cycles.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        measure_throughput(
+            || Pipeline::deploy(Algo::OURS, &[KeySpec::SRC_IP], KeySpec::FIVE_TUPLE, 1024, 1),
+            &trace(),
+            0,
+        );
+    }
+}

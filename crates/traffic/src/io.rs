@@ -1,0 +1,161 @@
+//! Binary trace serialization.
+//!
+//! A minimal fixed-record format so generated workloads can be archived
+//! and replayed bit-identically (e.g. to compare two sketch builds on
+//! exactly the same packets):
+//!
+//! ```text
+//! magic   4 bytes  b"CCT1"
+//! count   u64 LE
+//! record  17 bytes x count:
+//!   src_ip u32 BE | dst_ip u32 BE | src_port u16 BE | dst_port u16 BE |
+//!   proto u8 | weight u32 LE
+//! ```
+
+use crate::key::FiveTuple;
+use crate::packet::{Packet, Trace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CCT1";
+const RECORD: usize = 17;
+
+/// Encode a trace into a byte buffer.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + trace.len() * RECORD);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(trace.len() as u64);
+    for p in &trace.packets {
+        buf.put_u32(p.flow.src_ip);
+        buf.put_u32(p.flow.dst_ip);
+        buf.put_u16(p.flow.src_port);
+        buf.put_u16(p.flow.dst_port);
+        buf.put_u8(p.flow.proto);
+        buf.put_u32_le(p.weight);
+    }
+    buf.freeze()
+}
+
+/// Decode a trace from bytes.
+pub fn decode(mut data: &[u8]) -> io::Result<Trace> {
+    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.len() < 12 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let count = data.get_u64_le() as usize;
+    if data.remaining() != count * RECORD {
+        return Err(err("record section length mismatch"));
+    }
+    let mut packets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let src_ip = data.get_u32();
+        let dst_ip = data.get_u32();
+        let src_port = data.get_u16();
+        let dst_port = data.get_u16();
+        let proto = data.get_u8();
+        let weight = data.get_u32_le();
+        packets.push(Packet {
+            flow: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto),
+            weight,
+        });
+    }
+    Ok(Trace { packets })
+}
+
+/// Write a trace to a file.
+pub fn save(trace: &Trace, path: &Path) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(&encode(trace))
+}
+
+/// Read a trace from a file.
+pub fn load(path: &Path) -> io::Result<Trace> {
+    let mut f = File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TraceConfig};
+
+    #[test]
+    fn roundtrip_bytes() {
+        let t = generate(&TraceConfig {
+            packets: 5_000,
+            flows: 500,
+            ..TraceConfig::default()
+        });
+        let bytes = encode(&t);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(t.packets, back.packets);
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let t = generate(&TraceConfig {
+            packets: 1_000,
+            flows: 100,
+            ..TraceConfig::default()
+        });
+        let dir = std::env::temp_dir().join("cocosketch-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.cct");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(t.packets, back.packets);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        assert_eq!(decode(&encode(&t)).unwrap().packets, t.packets);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&Trace::new()).to_vec();
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = generate(&TraceConfig {
+            packets: 100,
+            flows: 10,
+            ..TraceConfig::default()
+        });
+        let bytes = encode(&t);
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode(&bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode(&Trace::new()).to_vec();
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn preserves_weights() {
+        let t = Trace {
+            packets: vec![Packet {
+                flow: FiveTuple::new(1, 2, 3, 4, 5),
+                weight: 1500,
+            }],
+        };
+        assert_eq!(decode(&encode(&t)).unwrap().packets[0].weight, 1500);
+    }
+}

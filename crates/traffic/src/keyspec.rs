@@ -1,0 +1,388 @@
+//! Key specifications and the partial-key mapping `g(·)`.
+//!
+//! A [`KeySpec`] names one *key* in the paper's sense: a subset of the
+//! 5-tuple fields, where the two IP fields may additionally be truncated
+//! to a prefix. `KeySpec::FIVE_TUPLE` is the usual full key; `SrcIP/24` or
+//! `(SrcIP, DstIP)` are partial keys of it.
+//!
+//! Definition 1 of the paper requires, for `k_P ≺ k_F`, a mapping `g` from
+//! full-key flows to partial-key flows such that sizes aggregate. Here
+//! `g` is [`KeySpec::project`] (from a [`FiveTuple`]) or
+//! [`KeySpec::project_key`] (from an encoded full key): drop the fields
+//! the partial key omits and mask the IPs to the prefix length.
+
+use crate::key::{FiveTuple, KeyBytes, MAX_KEY_BYTES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mask keeping the top `bits` of a 32-bit value.
+#[inline]
+fn prefix_mask(bits: u8) -> u32 {
+    debug_assert!(bits <= 32);
+    if bits == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(bits))
+    }
+}
+
+/// A measurement key: which 5-tuple fields participate, and at what IP
+/// prefix granularity.
+///
+/// `src_ip_bits`/`dst_ip_bits` of 0 mean the field is absent; 1–32 keep
+/// that many leading bits. Ports and protocol are either present or not.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct KeySpec {
+    /// Leading bits of the source IP included in the key (0 = absent).
+    pub src_ip_bits: u8,
+    /// Leading bits of the destination IP included in the key (0 = absent).
+    pub dst_ip_bits: u8,
+    /// Whether the source port participates.
+    pub src_port: bool,
+    /// Whether the destination port participates.
+    pub dst_port: bool,
+    /// Whether the protocol number participates.
+    pub proto: bool,
+}
+
+impl KeySpec {
+    /// The classic 104-bit 5-tuple (the paper's default full key).
+    pub const FIVE_TUPLE: KeySpec = KeySpec {
+        src_ip_bits: 32,
+        dst_ip_bits: 32,
+        src_port: true,
+        dst_port: true,
+        proto: true,
+    };
+    /// (SrcIP, DstIP) pair.
+    pub const SRC_DST: KeySpec = KeySpec {
+        src_ip_bits: 32,
+        dst_ip_bits: 32,
+        src_port: false,
+        dst_port: false,
+        proto: false,
+    };
+    /// (SrcIP, SrcPort) pair.
+    pub const SRC_IP_PORT: KeySpec = KeySpec {
+        src_ip_bits: 32,
+        dst_ip_bits: 0,
+        src_port: true,
+        dst_port: false,
+        proto: false,
+    };
+    /// (DstIP, DstPort) pair.
+    pub const DST_IP_PORT: KeySpec = KeySpec {
+        src_ip_bits: 0,
+        dst_ip_bits: 32,
+        src_port: false,
+        dst_port: true,
+        proto: false,
+    };
+    /// Source IP alone.
+    pub const SRC_IP: KeySpec = KeySpec {
+        src_ip_bits: 32,
+        dst_ip_bits: 0,
+        src_port: false,
+        dst_port: false,
+        proto: false,
+    };
+    /// Destination IP alone.
+    pub const DST_IP: KeySpec = KeySpec {
+        src_ip_bits: 0,
+        dst_ip_bits: 32,
+        src_port: false,
+        dst_port: false,
+        proto: false,
+    };
+    /// The empty key: every packet maps to the single empty-key flow
+    /// (the root level of HHH hierarchies).
+    pub const EMPTY: KeySpec = KeySpec {
+        src_ip_bits: 0,
+        dst_ip_bits: 0,
+        src_port: false,
+        dst_port: false,
+        proto: false,
+    };
+
+    /// The six partial keys evaluated throughout §7 of the paper, in the
+    /// order they are added as "number of keys" grows from 1 to 6.
+    pub const PAPER_SIX: [KeySpec; 6] = [
+        KeySpec::FIVE_TUPLE,
+        KeySpec::SRC_DST,
+        KeySpec::SRC_IP_PORT,
+        KeySpec::DST_IP_PORT,
+        KeySpec::SRC_IP,
+        KeySpec::DST_IP,
+    ];
+
+    /// Source-IP prefix key of the given length (1..=32).
+    pub const fn src_prefix(bits: u8) -> KeySpec {
+        KeySpec {
+            src_ip_bits: bits,
+            dst_ip_bits: 0,
+            src_port: false,
+            dst_port: false,
+            proto: false,
+        }
+    }
+
+    /// (SrcIP/a, DstIP/b) two-dimensional prefix key.
+    pub const fn src_dst_prefix(src_bits: u8, dst_bits: u8) -> KeySpec {
+        KeySpec {
+            src_ip_bits: src_bits,
+            dst_ip_bits: dst_bits,
+            src_port: false,
+            dst_port: false,
+            proto: false,
+        }
+    }
+
+    /// Encoded key width in bytes under this spec.
+    ///
+    /// IP fields always occupy 4 bytes when present (masked, not packed),
+    /// so the same spec always produces the same width.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 0usize;
+        if self.src_ip_bits > 0 {
+            n += 4;
+        }
+        if self.dst_ip_bits > 0 {
+            n += 4;
+        }
+        if self.src_port {
+            n += 2;
+        }
+        if self.dst_port {
+            n += 2;
+        }
+        if self.proto {
+            n += 1;
+        }
+        n
+    }
+
+    /// The paper charges memory per bucket by key width; this is the
+    /// number of key bytes a hardware bucket for this spec stores.
+    pub fn key_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+
+    /// The mapping `g(·)`: project a packet's 5-tuple onto this key.
+    #[inline]
+    pub fn project(&self, ft: &FiveTuple) -> KeyBytes {
+        let mut buf = [0u8; MAX_KEY_BYTES];
+        let mut n = 0usize;
+        if self.src_ip_bits > 0 {
+            let v = ft.src_ip & prefix_mask(self.src_ip_bits);
+            buf[n..n + 4].copy_from_slice(&v.to_be_bytes());
+            n += 4;
+        }
+        if self.dst_ip_bits > 0 {
+            let v = ft.dst_ip & prefix_mask(self.dst_ip_bits);
+            buf[n..n + 4].copy_from_slice(&v.to_be_bytes());
+            n += 4;
+        }
+        if self.src_port {
+            buf[n..n + 2].copy_from_slice(&ft.src_port.to_be_bytes());
+            n += 2;
+        }
+        if self.dst_port {
+            buf[n..n + 2].copy_from_slice(&ft.dst_port.to_be_bytes());
+            n += 2;
+        }
+        if self.proto {
+            buf[n] = ft.proto;
+            n += 1;
+        }
+        KeyBytes::new(&buf[..n])
+    }
+
+    /// Decode a key encoded under this spec back into a [`FiveTuple`]
+    /// with absent fields zeroed.
+    ///
+    /// # Panics
+    /// Panics if `key` does not have this spec's [`encoded_len`].
+    ///
+    /// [`encoded_len`]: KeySpec::encoded_len
+    pub fn decode(&self, key: &KeyBytes) -> FiveTuple {
+        assert_eq!(
+            key.len(),
+            self.encoded_len(),
+            "key width {} does not match spec {:?}",
+            key.len(),
+            self
+        );
+        let b = key.as_slice();
+        let mut n = 0usize;
+        let mut ft = FiveTuple::default();
+        if self.src_ip_bits > 0 {
+            ft.src_ip = u32::from_be_bytes(b[n..n + 4].try_into().unwrap());
+            n += 4;
+        }
+        if self.dst_ip_bits > 0 {
+            ft.dst_ip = u32::from_be_bytes(b[n..n + 4].try_into().unwrap());
+            n += 4;
+        }
+        if self.src_port {
+            ft.src_port = u16::from_be_bytes(b[n..n + 2].try_into().unwrap());
+            n += 2;
+        }
+        if self.dst_port {
+            ft.dst_port = u16::from_be_bytes(b[n..n + 2].try_into().unwrap());
+            n += 2;
+        }
+        if self.proto {
+            ft.proto = b[n];
+        }
+        ft
+    }
+
+    /// Project a key recorded under `full` down to this (partial) spec.
+    ///
+    /// This is `g(·)` applied at query time to the full keys a sketch has
+    /// recorded. The caller must ensure `self.is_partial_of(full)`.
+    #[inline]
+    pub fn project_key(&self, full: &KeySpec, key: &KeyBytes) -> KeyBytes {
+        debug_assert!(self.is_partial_of(full), "{self:?} is not partial of {full:?}");
+        let ft = full.decode(key);
+        self.project(&ft)
+    }
+
+    /// The partial-key relation `self ≺ other` (non-strict: every key is a
+    /// partial key of itself).
+    ///
+    /// Holds iff every field of `self` is derivable from `other`: present
+    /// fields are present there, and prefixes are no longer than the full
+    /// key's.
+    pub fn is_partial_of(&self, other: &KeySpec) -> bool {
+        self.src_ip_bits <= other.src_ip_bits
+            && self.dst_ip_bits <= other.dst_ip_bits
+            && (!self.src_port || other.src_port)
+            && (!self.dst_port || other.dst_port)
+            && (!self.proto || other.proto)
+    }
+}
+
+impl fmt::Display for KeySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        match self.src_ip_bits {
+            0 => {}
+            32 => parts.push("SrcIP".into()),
+            b => parts.push(format!("SrcIP/{b}")),
+        }
+        match self.dst_ip_bits {
+            0 => {}
+            32 => parts.push("DstIP".into()),
+            b => parts.push(format!("DstIP/{b}")),
+        }
+        if self.src_port {
+            parts.push("SrcPort".into());
+        }
+        if self.dst_port {
+            parts.push("DstPort".into());
+        }
+        if self.proto {
+            parts.push("Proto".into());
+        }
+        if parts.is_empty() {
+            write!(f, "(empty)")
+        } else {
+            write!(f, "({})", parts.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft() -> FiveTuple {
+        FiveTuple::new(0xC0A80A01, 0x08080404, 32000, 443, 6)
+    }
+
+    #[test]
+    fn five_tuple_projection_matches_encode() {
+        assert_eq!(KeySpec::FIVE_TUPLE.project(&ft()), ft().encode());
+    }
+
+    #[test]
+    fn encoded_lengths() {
+        assert_eq!(KeySpec::FIVE_TUPLE.encoded_len(), 13);
+        assert_eq!(KeySpec::SRC_DST.encoded_len(), 8);
+        assert_eq!(KeySpec::SRC_IP_PORT.encoded_len(), 6);
+        assert_eq!(KeySpec::DST_IP_PORT.encoded_len(), 6);
+        assert_eq!(KeySpec::SRC_IP.encoded_len(), 4);
+        assert_eq!(KeySpec::EMPTY.encoded_len(), 0);
+        assert_eq!(KeySpec::src_prefix(24).encoded_len(), 4);
+    }
+
+    #[test]
+    fn prefix_projection_masks_low_bits() {
+        let k = KeySpec::src_prefix(24).project(&ft());
+        assert_eq!(k.as_slice(), &[0xC0, 0xA8, 0x0A, 0x00]);
+        let k8 = KeySpec::src_prefix(8).project(&ft());
+        assert_eq!(k8.as_slice(), &[0xC0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn partial_relation() {
+        for spec in KeySpec::PAPER_SIX {
+            assert!(spec.is_partial_of(&KeySpec::FIVE_TUPLE), "{spec}");
+            assert!(KeySpec::EMPTY.is_partial_of(&spec));
+        }
+        assert!(!KeySpec::FIVE_TUPLE.is_partial_of(&KeySpec::SRC_DST));
+        assert!(KeySpec::src_prefix(8).is_partial_of(&KeySpec::src_prefix(24)));
+        assert!(!KeySpec::src_prefix(24).is_partial_of(&KeySpec::src_prefix(8)));
+        assert!(!KeySpec::SRC_IP_PORT.is_partial_of(&KeySpec::SRC_DST));
+    }
+
+    #[test]
+    fn decode_roundtrip_zeroes_absent_fields() {
+        let spec = KeySpec::SRC_IP_PORT;
+        let k = spec.project(&ft());
+        let back = spec.decode(&k);
+        assert_eq!(back.src_ip, ft().src_ip);
+        assert_eq!(back.src_port, ft().src_port);
+        assert_eq!(back.dst_ip, 0);
+        assert_eq!(back.dst_port, 0);
+        assert_eq!(back.proto, 0);
+    }
+
+    #[test]
+    fn project_key_composes_with_project() {
+        // g_{P←F}(g_F(pkt)) == g_P(pkt) for all paper keys.
+        let full = KeySpec::FIVE_TUPLE;
+        let fk = full.project(&ft());
+        for part in KeySpec::PAPER_SIX {
+            assert_eq!(part.project_key(&full, &fk), part.project(&ft()), "{part}");
+        }
+        // And through an intermediate key: SrcIP/8 ≺ SrcIP ≺ 5-tuple.
+        let mid = KeySpec::SRC_IP;
+        let p8 = KeySpec::src_prefix(8);
+        let via_mid = p8.project_key(&mid, &mid.project_key(&full, &fk));
+        assert_eq!(via_mid, p8.project(&ft()));
+    }
+
+    #[test]
+    fn empty_spec_maps_everything_to_one_flow() {
+        let a = KeySpec::EMPTY.project(&ft());
+        let b = KeySpec::EMPTY.project(&FiveTuple::new(1, 2, 3, 4, 5));
+        assert_eq!(a, b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match spec")]
+    fn decode_rejects_wrong_width() {
+        let k = KeySpec::SRC_IP.project(&ft());
+        let _ = KeySpec::SRC_DST.decode(&k);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(KeySpec::FIVE_TUPLE.to_string(), "(SrcIP,DstIP,SrcPort,DstPort,Proto)");
+        assert_eq!(KeySpec::src_prefix(24).to_string(), "(SrcIP/24)");
+        assert_eq!(KeySpec::EMPTY.to_string(), "(empty)");
+    }
+}

@@ -1,0 +1,36 @@
+//! Flow keys, partial-key projection, and synthetic traffic generation.
+//!
+//! This crate is the workload substrate for the CocoSketch reproduction:
+//!
+//! - [`FiveTuple`] / [`KeyBytes`]: packet identifiers and their compact
+//!   byte encodings (the sketches store [`KeyBytes`] values — fixed-size,
+//!   `Copy`, no allocation on the hot path);
+//! - [`KeySpec`]: a *key* in the paper's sense — a subset of 5-tuple
+//!   fields with optional per-IP prefix lengths. [`KeySpec::project`]
+//!   implements the mapping `g(·)` from Definition 1 of the paper, and
+//!   [`KeySpec::is_partial_of`] the partial-key relation `k_P ≺ k_F`;
+//! - [`Trace`] and the [`gen`] / [`presets`] modules: seeded synthetic
+//!   traces with Zipf flow-size skew and hierarchical IP structure,
+//!   standing in for the CAIDA/MAWI captures the paper uses (see
+//!   DESIGN.md for the substitution argument);
+//! - [`truth`]: exact ground-truth counting for any key, heavy-hitter /
+//!   heavy-change sets, used by the accuracy metrics;
+//! - [`io`]: a small binary trace format so generated workloads can be
+//!   saved and replayed bit-identically.
+
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod io;
+pub mod key;
+pub mod keyspec;
+pub mod packet;
+pub mod pcap;
+pub mod presets;
+pub mod truth;
+
+pub use key::{FiveTuple, KeyBytes, MAX_KEY_BYTES};
+pub use keyspec::KeySpec;
+pub use packet::{Packet, Trace};

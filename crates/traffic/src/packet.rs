@@ -1,0 +1,145 @@
+//! Packets and traces.
+
+use crate::key::FiveTuple;
+
+/// One measured packet: a full-key flow identity plus an increment weight.
+///
+/// The weight is the packet count (1) or byte size depending on what the
+/// experiment measures; the paper's default tasks count packets, so the
+/// generators emit `weight = 1` unless asked otherwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// The packet's 5-tuple.
+    pub flow: FiveTuple,
+    /// The increment this packet contributes (1 for packet counting).
+    pub weight: u32,
+}
+
+impl Packet {
+    /// A unit-weight packet of the given flow.
+    pub fn count(flow: FiveTuple) -> Self {
+        Self { flow, weight: 1 }
+    }
+}
+
+/// A replayable packet trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Packets in arrival order.
+    pub packets: Vec<Packet>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total weight across all packets.
+    pub fn total_weight(&self) -> u64 {
+        self.packets.iter().map(|p| u64::from(p.weight)).sum()
+    }
+
+    /// Number of distinct 5-tuple flows.
+    pub fn distinct_flows(&self) -> usize {
+        let mut set: std::collections::HashSet<FiveTuple> =
+            std::collections::HashSet::with_capacity(self.packets.len() / 4);
+        for p in &self.packets {
+            set.insert(p.flow);
+        }
+        set.len()
+    }
+
+    /// Split into `n` equal-length windows (last window takes the
+    /// remainder). Used by heavy-change experiments that compare
+    /// adjacent measurement windows.
+    pub fn windows(&self, n: usize) -> Vec<Trace> {
+        assert!(n > 0, "window count must be positive");
+        let per = self.packets.len() / n;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = i * per;
+            let end = if i == n - 1 { self.packets.len() } else { start + per };
+            out.push(Trace {
+                packets: self.packets[start..end].to_vec(),
+            });
+        }
+        out
+    }
+}
+
+impl FromIterator<Packet> for Trace {
+    fn from_iter<T: IntoIterator<Item = Packet>>(iter: T) -> Self {
+        Trace {
+            packets: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(n: u32) -> Trace {
+        (0..n)
+            .map(|i| Packet::count(FiveTuple::new(i % 5, 0, 0, 0, 6)))
+            .collect()
+    }
+
+    #[test]
+    fn totals_and_distincts() {
+        let t = trace_of(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.total_weight(), 10);
+        assert_eq!(t.distinct_flows(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn windows_partition_exactly() {
+        let t = trace_of(10);
+        let w = t.windows(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].len(), 3);
+        assert_eq!(w[1].len(), 3);
+        assert_eq!(w[2].len(), 4, "last window takes the remainder");
+        let total: usize = w.iter().map(Trace::len).sum();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    fn windows_preserve_order() {
+        let t = trace_of(6);
+        let w = t.windows(2);
+        assert_eq!(w[0].packets, t.packets[..3]);
+        assert_eq!(w[1].packets, t.packets[3..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window count")]
+    fn zero_windows_panics() {
+        trace_of(4).windows(0);
+    }
+
+    #[test]
+    fn weighted_total() {
+        let t: Trace = (1..=4u32)
+            .map(|w| Packet {
+                flow: FiveTuple::default(),
+                weight: w,
+            })
+            .collect();
+        assert_eq!(t.total_weight(), 10);
+        assert_eq!(t.distinct_flows(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Named workload presets mirroring the paper's two traces.
+//!
+//! The paper's CAIDA slice has ~27M packets over 60s; the MAWI slice has
+//! ~13M over 15min with a flatter flow-size law. Running the full sizes
+//! takes minutes per experiment point, so the presets take a `scale`
+//! divisor: `caida_like(10, seed)` is a 1/10-size workload with identical
+//! skew. The figure harness defaults to `scale = 10`; pass `--scale 1`
+//! for full-size runs.
+
+use crate::gen::{self, TraceConfig};
+use crate::packet::Trace;
+
+/// Full-size packet count of the CAIDA-like preset.
+pub const CAIDA_FULL_PACKETS: usize = 27_000_000;
+/// Full-size distinct flows of the CAIDA-like preset.
+pub const CAIDA_FULL_FLOWS: usize = 1_300_000;
+/// Full-size packet count of the MAWI-like preset.
+pub const MAWI_FULL_PACKETS: usize = 13_000_000;
+/// Full-size distinct flows of the MAWI-like preset.
+pub const MAWI_FULL_FLOWS: usize = 800_000;
+
+/// Config of a CAIDA-like workload at `1/scale` of the paper's size.
+pub fn caida_config(scale: usize, seed: u64) -> TraceConfig {
+    assert!(scale > 0);
+    TraceConfig {
+        packets: (CAIDA_FULL_PACKETS / scale).max(1_000),
+        flows: (CAIDA_FULL_FLOWS / scale).max(100),
+        alpha: 1.05,
+        ip_skew: 1.0,
+        seed,
+    }
+}
+
+/// Config of a MAWI-like workload: flatter size law, relatively more
+/// small flows.
+pub fn mawi_config(scale: usize, seed: u64) -> TraceConfig {
+    assert!(scale > 0);
+    TraceConfig {
+        packets: (MAWI_FULL_PACKETS / scale).max(1_000),
+        flows: (MAWI_FULL_FLOWS / scale).max(100),
+        alpha: 0.9,
+        ip_skew: 0.8,
+        seed,
+    }
+}
+
+/// Generate the CAIDA-like trace.
+pub fn caida_like(scale: usize, seed: u64) -> Trace {
+    gen::generate(&caida_config(scale, seed))
+}
+
+/// Generate the MAWI-like trace.
+pub fn mawi_like(scale: usize, seed: u64) -> Trace {
+    gen::generate(&mawi_config(scale, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_sizes() {
+        let c = caida_config(100, 1);
+        assert_eq!(c.packets, 270_000);
+        assert_eq!(c.flows, 13_000);
+        let m = mawi_config(100, 1);
+        assert_eq!(m.packets, 130_000);
+        assert_eq!(m.flows, 8_000);
+    }
+
+    #[test]
+    fn floors_apply_at_extreme_scale() {
+        let c = caida_config(usize::MAX, 1);
+        assert_eq!(c.packets, 1_000);
+        assert_eq!(c.flows, 100);
+    }
+
+    #[test]
+    fn caida_preset_generates() {
+        let t = caida_like(1_000, 7);
+        assert_eq!(t.distinct_flows(), 1_300);
+        assert!(t.len() >= 26_000);
+    }
+
+    #[test]
+    fn mawi_flatter_than_caida() {
+        // At matched sizes, MAWI-like top flow should carry a smaller
+        // share than CAIDA-like (alpha 0.9 vs 1.05).
+        use crate::gen::zipf_sizes;
+        let c = zipf_sizes(100_000, 10_000, 1.05);
+        let m = zipf_sizes(100_000, 10_000, 0.9);
+        assert!(c[0] > m[0], "caida head {} vs mawi head {}", c[0], m[0]);
+    }
+}

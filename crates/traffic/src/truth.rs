@@ -1,0 +1,214 @@
+//! Exact ground truth for accuracy evaluation.
+//!
+//! Every accuracy metric in the paper (recall, precision, F1, ARE)
+//! compares a sketch's answers against exact per-key counts. This module
+//! computes those with plain hash maps — memory-hungry but exact, which
+//! is fine offline.
+
+use crate::key::KeyBytes;
+use crate::keyspec::KeySpec;
+use crate::packet::Trace;
+use std::collections::{HashMap, HashSet};
+
+/// Exact flow sizes of `trace` under `spec`.
+pub fn exact_counts(trace: &Trace, spec: &KeySpec) -> HashMap<KeyBytes, u64> {
+    let mut counts: HashMap<KeyBytes, u64> = HashMap::new();
+    for p in &trace.packets {
+        *counts.entry(spec.project(&p.flow)).or_insert(0) += u64::from(p.weight);
+    }
+    counts
+}
+
+/// Exact counts for several keys at once (single pass over the trace).
+pub fn exact_counts_multi(trace: &Trace, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+    let mut out: Vec<HashMap<KeyBytes, u64>> = specs.iter().map(|_| HashMap::new()).collect();
+    for p in &trace.packets {
+        for (spec, counts) in specs.iter().zip(&mut out) {
+            *counts.entry(spec.project(&p.flow)).or_insert(0) += u64::from(p.weight);
+        }
+    }
+    out
+}
+
+/// Project a full-key count table down to a partial key, aggregating
+/// counts — equivalent to [`exact_counts`]`(trace, spec)` when
+/// `full_counts` is `exact_counts(trace, full)` and `spec ≺ full`, but
+/// it runs over the distinct-flow table instead of the packet stream.
+/// For deep hierarchies (the 1089-level 2-d HHH ground truth) this is
+/// orders of magnitude faster.
+pub fn project_counts(
+    full_counts: &HashMap<KeyBytes, u64>,
+    full: &KeySpec,
+    spec: &KeySpec,
+) -> HashMap<KeyBytes, u64> {
+    assert!(spec.is_partial_of(full), "{spec:?} is not partial of {full:?}");
+    let mut out: HashMap<KeyBytes, u64> = HashMap::with_capacity(full_counts.len());
+    for (key, &count) in full_counts {
+        *out.entry(spec.project_key(full, key)).or_insert(0) += count;
+    }
+    out
+}
+
+/// Multi-level exact counts via one packet pass for the full key and
+/// per-level projection of the resulting flow table.
+pub fn exact_counts_hierarchy(
+    trace: &Trace,
+    full: &KeySpec,
+    hierarchy: &[KeySpec],
+) -> Vec<HashMap<KeyBytes, u64>> {
+    let full_counts = exact_counts(trace, full);
+    hierarchy
+        .iter()
+        .map(|spec| project_counts(&full_counts, full, spec))
+        .collect()
+}
+
+/// Flows whose exact size is at least `threshold`.
+pub fn heavy_hitters(counts: &HashMap<KeyBytes, u64>, threshold: u64) -> HashSet<KeyBytes> {
+    counts
+        .iter()
+        .filter(|(_, &v)| v >= threshold)
+        .map(|(k, _)| *k)
+        .collect()
+}
+
+/// Flows whose size changed by at least `threshold` between two windows.
+///
+/// Flows absent from a window count as size 0 there, so births and deaths
+/// of large flows are changes too.
+pub fn heavy_changes(
+    before: &HashMap<KeyBytes, u64>,
+    after: &HashMap<KeyBytes, u64>,
+    threshold: u64,
+) -> HashSet<KeyBytes> {
+    let mut out = HashSet::new();
+    for (k, &v1) in before {
+        let v2 = after.get(k).copied().unwrap_or(0);
+        if v1.abs_diff(v2) >= threshold {
+            out.insert(*k);
+        }
+    }
+    for (k, &v2) in after {
+        if !before.contains_key(k) && v2 >= threshold {
+            out.insert(*k);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::FiveTuple;
+    use crate::packet::Packet;
+
+    fn tiny_trace() -> Trace {
+        // Flow A (10.0.0.1) x3, flow B (10.0.0.2) x1, same /24.
+        let a = FiveTuple::new(0x0A000001, 1, 1, 1, 6);
+        let b = FiveTuple::new(0x0A000002, 1, 1, 1, 6);
+        Trace {
+            packets: vec![
+                Packet::count(a),
+                Packet::count(b),
+                Packet::count(a),
+                Packet::count(a),
+            ],
+        }
+    }
+
+    #[test]
+    fn exact_counts_full_key() {
+        let counts = exact_counts(&tiny_trace(), &KeySpec::FIVE_TUPLE);
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts.values().copied().max(), Some(3));
+        assert_eq!(counts.values().copied().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn partial_key_aggregates() {
+        // Both flows share the /24, so the prefix key has a single flow of 4.
+        let counts = exact_counts(&tiny_trace(), &KeySpec::src_prefix(24));
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts.values().next(), Some(&4));
+    }
+
+    #[test]
+    fn definition1_consistency() {
+        // Sum over full-key flows mapping to a partial flow == partial count.
+        let t = tiny_trace();
+        let full = exact_counts(&t, &KeySpec::FIVE_TUPLE);
+        let spec = KeySpec::src_prefix(24);
+        let partial = exact_counts(&t, &spec);
+        for (pk, &pv) in &partial {
+            let agg: u64 = full
+                .iter()
+                .filter(|(fk, _)| spec.project_key(&KeySpec::FIVE_TUPLE, fk) == *pk)
+                .map(|(_, &v)| v)
+                .sum();
+            assert_eq!(agg, pv);
+        }
+    }
+
+    #[test]
+    fn multi_matches_single() {
+        let t = tiny_trace();
+        let specs = [KeySpec::FIVE_TUPLE, KeySpec::SRC_IP];
+        let multi = exact_counts_multi(&t, &specs);
+        for (spec, m) in specs.iter().zip(&multi) {
+            assert_eq!(*m, exact_counts(&t, spec));
+        }
+    }
+
+    #[test]
+    fn project_counts_matches_direct_counting() {
+        let t = tiny_trace();
+        let full_counts = exact_counts(&t, &KeySpec::FIVE_TUPLE);
+        for spec in [KeySpec::SRC_IP, KeySpec::src_prefix(24), KeySpec::EMPTY] {
+            let projected = project_counts(&full_counts, &KeySpec::FIVE_TUPLE, &spec);
+            assert_eq!(projected, exact_counts(&t, &spec), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_counts_match_multi() {
+        let t = tiny_trace();
+        let hierarchy = [KeySpec::SRC_IP, KeySpec::src_prefix(16), KeySpec::EMPTY];
+        let fast = exact_counts_hierarchy(&t, &KeySpec::SRC_IP, &hierarchy);
+        let slow = exact_counts_multi(&t, &hierarchy);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "not partial")]
+    fn project_counts_rejects_non_partial() {
+        let full_counts = exact_counts(&tiny_trace(), &KeySpec::SRC_IP);
+        let _ = project_counts(&full_counts, &KeySpec::SRC_IP, &KeySpec::SRC_DST);
+    }
+
+    #[test]
+    fn heavy_hitters_threshold() {
+        let counts = exact_counts(&tiny_trace(), &KeySpec::FIVE_TUPLE);
+        assert_eq!(heavy_hitters(&counts, 3).len(), 1);
+        assert_eq!(heavy_hitters(&counts, 1).len(), 2);
+        assert_eq!(heavy_hitters(&counts, 5).len(), 0);
+    }
+
+    #[test]
+    fn heavy_changes_includes_births_and_deaths() {
+        let a = KeyBytes::new(&[1]);
+        let b = KeyBytes::new(&[2]);
+        let c = KeyBytes::new(&[3]);
+        let before: HashMap<_, _> = [(a, 100u64), (b, 50)].into();
+        let after: HashMap<_, _> = [(b, 45u64), (c, 80)].into();
+        let changes = heavy_changes(&before, &after, 20);
+        assert!(changes.contains(&a), "death of a is a change");
+        assert!(changes.contains(&c), "birth of c is a change");
+        assert!(!changes.contains(&b), "b moved only 5");
+    }
+
+    #[test]
+    fn heavy_changes_empty_when_identical() {
+        let counts = exact_counts(&tiny_trace(), &KeySpec::FIVE_TUPLE);
+        assert!(heavy_changes(&counts, &counts, 1).is_empty());
+    }
+}

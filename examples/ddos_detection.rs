@@ -1,0 +1,100 @@
+//! DDoS detection with late-bound keys (the §2.2 motivation).
+//!
+//! Before an attack you don't know which keys will matter. This
+//! example measures everything under the 5-tuple full key; when the
+//! attack happens, the operator drills down *after the fact*:
+//! victim by DstIP, then the attacked service by (DstIP, DstPort),
+//! then the attacking networks by SrcIP prefix — three keys, zero
+//! reconfiguration, one sketch.
+//!
+//! Run with: `cargo run --release -p cocosketch-bench --example ddos_detection`
+
+use cocosketch::{BasicCocoSketch, FlowTable};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sketches::Sketch;
+use traffic::gen::{generate, TraceConfig};
+use traffic::{FiveTuple, KeySpec, Packet, Trace};
+
+/// Inject a spoofed-source flood toward one victim into background
+/// traffic: many sources from two /16s hammer 203.0.113.80:443.
+fn inject_attack(mut background: Trace, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let victim_ip = u32::from_be_bytes([203, 0, 113, 80]);
+    let attack_pkts = background.len() / 5; // 20% attack volume
+    let botnets = [u32::from_be_bytes([198, 51, 0, 0]), u32::from_be_bytes([192, 0, 0, 0])];
+    for _ in 0..attack_pkts {
+        let net = botnets[rng.gen_range(0..botnets.len())];
+        let src = net | rng.gen_range(0..0xFFFFu32);
+        background.packets.push(Packet::count(FiveTuple::new(
+            src,
+            victim_ip,
+            rng.gen_range(1024..65535),
+            443,
+            6,
+        )));
+    }
+    background.packets.shuffle(&mut rng);
+    background
+}
+
+fn main() {
+    let background = generate(&TraceConfig {
+        packets: 400_000,
+        flows: 30_000,
+        alpha: 1.05,
+        ip_skew: 1.0,
+        seed: 11,
+    });
+    let trace = inject_attack(background, 13);
+    println!("trace: {} packets (attack traffic mixed in)", trace.len());
+
+    // The only deployed state: one CocoSketch on the 5-tuple.
+    let full = KeySpec::FIVE_TUPLE;
+    let mut sketch = BasicCocoSketch::with_memory(1024 * 1024, 2, full.key_bytes(), 99);
+    for p in &trace.packets {
+        sketch.update(&full.project(&p.flow), u64::from(p.weight));
+    }
+    let table = FlowTable::new(full, sketch.records());
+    let total = table.total();
+
+    // Step 1: who is being hit? Query DstIP (never pre-configured).
+    let mut by_dst: Vec<_> = table.query_partial(&KeySpec::DST_IP).into_iter().collect();
+    by_dst.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
+    let (victim_key, victim_traffic) = by_dst[0];
+    let victim = KeySpec::DST_IP.decode(&victim_key);
+    println!(
+        "\n[1] top destination: {} with ~{victim_traffic} packets ({:.1}% of traffic)",
+        std::net::Ipv4Addr::from(victim.dst_ip),
+        100.0 * victim_traffic as f64 / total as f64
+    );
+
+    // Step 2: which service? Drill into (DstIP, DstPort).
+    let mut by_dst_port: Vec<_> = table
+        .query_partial(&KeySpec::DST_IP_PORT)
+        .into_iter()
+        .filter(|(k, _)| KeySpec::DST_IP_PORT.decode(k).dst_ip == victim.dst_ip)
+        .collect();
+    by_dst_port.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
+    let top_service = KeySpec::DST_IP_PORT.decode(&by_dst_port[0].0);
+    println!(
+        "[2] attacked service: port {} (~{} packets)",
+        top_service.dst_port, by_dst_port[0].1
+    );
+
+    // Step 3: where from? Scan source prefixes to find the botnets.
+    let spec16 = KeySpec::src_prefix(16);
+    let mut by_src16: Vec<_> = table.query_partial(&spec16).into_iter().collect();
+    by_src16.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
+    println!("[3] top source /16 networks:");
+    for (key, size) in by_src16.iter().take(4) {
+        let src = spec16.decode(key);
+        println!(
+            "    {}/16  ~{size} packets",
+            std::net::Ipv4Addr::from(src.src_ip)
+        );
+    }
+    println!(
+        "\nexpected: 203.0.113.80:443 as the victim, 198.51/16 and 192.0/16 as attackers"
+    );
+}

@@ -1,0 +1,67 @@
+//! Hierarchical heavy hitters from one sketch.
+//!
+//! Measures with the source IP as the full key, then recovers (a) the
+//! multi-level heavy flows of every prefix length and (b) the classical
+//! *discounted* HHH set — prefixes that are heavy beyond their already-
+//! reported descendants — all by post-hoc aggregation.
+//!
+//! Run with: `cargo run --release -p cocosketch-bench --example hierarchical_heavy_hitters`
+
+use cocosketch::{BasicCocoSketch, FlowTable};
+use hhh::discounted::discounted_hhh;
+use sketches::Sketch;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use traffic::gen::{generate, TraceConfig};
+use traffic::KeySpec;
+
+fn main() {
+    let trace = generate(&TraceConfig {
+        packets: 600_000,
+        flows: 50_000,
+        alpha: 1.1,
+        ip_skew: 1.2, // strong prefix locality => interesting hierarchy
+        seed: 21,
+    });
+    println!("trace: {} packets", trace.len());
+
+    // One sketch on the 32-bit source IP.
+    let full = KeySpec::SRC_IP;
+    let mut sketch = BasicCocoSketch::with_memory(512 * 1024, 2, full.key_bytes(), 5);
+    for p in &trace.packets {
+        sketch.update(&full.project(&p.flow), u64::from(p.weight));
+    }
+    let table = FlowTable::new(full, sketch.records());
+    let threshold = trace.total_weight() / 100; // 1% of traffic
+
+    // (a) multi-level heavy flows at byte granularity.
+    println!("\nper-level heavy flows (>= 1% of traffic):");
+    for bits in [32u8, 24, 16, 8] {
+        let spec = KeySpec::src_prefix(bits);
+        let mut hh = table.heavy_hitters(&spec, threshold);
+        hh.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
+        println!("  /{bits}: {} heavy prefixes", hh.len());
+        for (key, size) in hh.iter().take(3) {
+            let ip = Ipv4Addr::from(spec.decode(key).src_ip);
+            println!("    {ip}/{bits}  ~{size}");
+        }
+    }
+
+    // (b) classical discounted HHHs over the same table.
+    let levels: HashMap<u8, _> = [32u8, 24, 16, 8]
+        .into_iter()
+        .map(|bits| (bits, table.query_partial(&KeySpec::src_prefix(bits))))
+        .collect();
+    let mut hhh = discounted_hhh(&levels, threshold);
+    hhh.sort_unstable_by_key(|item| std::cmp::Reverse(item.discounted));
+    println!("\ndiscounted HHHs (heavy beyond their descendants):");
+    for item in hhh.iter().take(10) {
+        let ip = Ipv4Addr::from(
+            KeySpec::src_prefix(item.prefix_bits).decode(&item.key).src_ip,
+        );
+        println!(
+            "  {ip}/{}  total ~{}  discounted ~{}",
+            item.prefix_bits, item.total, item.discounted
+        );
+    }
+}

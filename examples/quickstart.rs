@@ -1,0 +1,58 @@
+//! Quickstart: one CocoSketch, many keys.
+//!
+//! Deploy a single sketch on the 5-tuple full key, feed it a synthetic
+//! trace, and then — after measurement has ended — ask for heavy
+//! hitters under keys that were never configured up front.
+//!
+//! Run with: `cargo run --release -p cocosketch-bench --example quickstart`
+
+use cocosketch::{BasicCocoSketch, FlowTable};
+use sketches::Sketch;
+use traffic::gen::{generate, TraceConfig};
+use traffic::KeySpec;
+
+fn main() {
+    // A CAIDA-shaped workload: heavy-tailed flow sizes, structured IPs.
+    let trace = generate(&TraceConfig {
+        packets: 500_000,
+        flows: 40_000,
+        alpha: 1.1,
+        ip_skew: 1.0,
+        seed: 7,
+    });
+    println!(
+        "trace: {} packets, {} distinct 5-tuple flows",
+        trace.len(),
+        trace.distinct_flows()
+    );
+
+    // One sketch, 500KB, on the full key. This is the only measurement
+    // state that ever exists.
+    let full = KeySpec::FIVE_TUPLE;
+    let mut sketch = BasicCocoSketch::with_memory(500 * 1024, 2, full.key_bytes(), 42);
+    for p in &trace.packets {
+        sketch.update(&full.project(&p.flow), u64::from(p.weight));
+    }
+
+    // Query time: build the flow table once...
+    let table = FlowTable::new(full, sketch.records());
+    println!("recorded full-key flows: {}", table.len());
+
+    // ...then answer ANY partial key. None of these were pre-declared.
+    let threshold = trace.total_weight() / 1_000;
+    for spec in [
+        KeySpec::FIVE_TUPLE,
+        KeySpec::SRC_DST,
+        KeySpec::SRC_IP,
+        KeySpec::DST_IP,
+        KeySpec::src_prefix(16),
+    ] {
+        let mut hh = table.heavy_hitters(&spec, threshold);
+        hh.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
+        println!("\nheavy hitters of {spec} (>= {threshold} packets): {}", hh.len());
+        for (key, size) in hh.iter().take(3) {
+            let ft = spec.decode(key);
+            println!("  {ft}  ~{size} packets");
+        }
+    }
+}

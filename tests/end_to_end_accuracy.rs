@@ -1,0 +1,156 @@
+//! End-to-end accuracy: the paper's headline effects, asserted.
+//!
+//! These are miniature versions of Figures 8–11 run at test scale:
+//! they check the *shape* of the results (who wins, roughly by how
+//! much), which must hold at any scale.
+
+use hhh::hierarchy::src_hierarchy_bytes;
+use tasks::{heavy_change, heavy_hitter, hhh_task, Algo};
+use traffic::gen::{generate, heavy_change_pair, TraceConfig};
+use traffic::{presets, KeySpec};
+
+fn caida_small() -> traffic::Trace {
+    presets::caida_like(200, 0xBEEF)
+}
+
+#[test]
+fn figure8_shape_coco_flat_baselines_degrade() {
+    let trace = caida_small();
+    let mem = 256 * 1024;
+    // CocoSketch: F1 at 6 keys within 2% of F1 at 1 key.
+    let ours_1 = heavy_hitter::run(
+        &trace,
+        &KeySpec::PAPER_SIX[..1],
+        KeySpec::FIVE_TUPLE,
+        Algo::OURS,
+        mem,
+        1e-4,
+        1,
+    );
+    let ours_6 = heavy_hitter::run(
+        &trace,
+        &KeySpec::PAPER_SIX,
+        KeySpec::FIVE_TUPLE,
+        Algo::OURS,
+        mem,
+        1e-4,
+        1,
+    );
+    assert!(ours_6.avg.f1 > 0.93, "coco 6-key F1 {}", ours_6.avg.f1);
+    assert!(
+        (ours_1.avg.f1 - ours_6.avg.f1).abs() < 0.05,
+        "coco must be flat in keys: {} vs {}",
+        ours_1.avg.f1,
+        ours_6.avg.f1
+    );
+
+    // At 6 keys CocoSketch beats every per-key baseline. USS deploys
+    // full-key like Ours (§7.1), so its *accuracy* is comparable at
+    // this scale — its penalties are memory overhead (Figure 9 at
+    // 200KB) and update cost (Figure 14) — allow it a small epsilon.
+    for algo in Algo::BASELINES {
+        let b6 = heavy_hitter::run(
+            &trace,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            algo,
+            mem,
+            1e-4,
+            1,
+        );
+        let slack = if algo == Algo::Uss { 0.03 } else { 0.0 };
+        assert!(
+            ours_6.avg.f1 + slack >= b6.avg.f1,
+            "{}: {} vs ours {}",
+            algo.name(),
+            b6.avg.f1,
+            ours_6.avg.f1
+        );
+    }
+}
+
+#[test]
+fn figure9_shape_more_memory_helps_coco_saturates_early() {
+    let trace = caida_small();
+    let small = heavy_hitter::run(
+        &trace,
+        &KeySpec::PAPER_SIX,
+        KeySpec::FIVE_TUPLE,
+        Algo::OURS,
+        100 * 1024,
+        1e-4,
+        1,
+    );
+    let large = heavy_hitter::run(
+        &trace,
+        &KeySpec::PAPER_SIX,
+        KeySpec::FIVE_TUPLE,
+        Algo::OURS,
+        400 * 1024,
+        1e-4,
+        1,
+    );
+    assert!(large.avg.f1 >= small.avg.f1 - 0.01);
+    assert!(large.avg.f1 > 0.95, "coco at 400KB: {}", large.avg.f1);
+}
+
+#[test]
+fn figure10_shape_heavy_change_detection() {
+    let cfg = TraceConfig {
+        packets: 120_000,
+        flows: 8_000,
+        alpha: 1.1,
+        ip_skew: 1.0,
+        seed: 3,
+    };
+    let (w1, w2) = heavy_change_pair(&cfg, 200, 0.6);
+    let ours = heavy_change::run(
+        &w1,
+        &w2,
+        &KeySpec::PAPER_SIX,
+        KeySpec::FIVE_TUPLE,
+        Algo::OURS,
+        256 * 1024,
+        1e-4,
+        1,
+    );
+    assert!(ours.avg.recall > 0.85, "recall {}", ours.avg.recall);
+    assert!(ours.avg.precision > 0.7, "precision {}", ours.avg.precision);
+}
+
+#[test]
+fn figure11_shape_coco_dominates_rhhh() {
+    let trace = generate(&TraceConfig {
+        packets: 150_000,
+        flows: 10_000,
+        alpha: 1.15,
+        ip_skew: 1.1,
+        seed: 4,
+    });
+    let hierarchy = src_hierarchy_bytes();
+    let mem = 64 * 1024;
+    let ours = hhh_task::run_coco(&trace, &hierarchy, KeySpec::SRC_IP, mem, 1e-3, 1);
+    let rhhh = hhh_task::run_rhhh(&trace, &hierarchy, mem, 1e-3, 1);
+    assert!(ours.avg.f1 > rhhh.avg.f1, "{} vs {}", ours.avg.f1, rhhh.avg.f1);
+    assert!(
+        ours.avg.are < rhhh.avg.are / 2.0,
+        "ARE gap should be large: {} vs {}",
+        ours.avg.are,
+        rhhh.avg.are
+    );
+}
+
+#[test]
+fn mawi_preset_works_too() {
+    let trace = presets::mawi_like(200, 5);
+    let res = heavy_hitter::run(
+        &trace,
+        &KeySpec::PAPER_SIX,
+        KeySpec::FIVE_TUPLE,
+        Algo::OURS,
+        256 * 1024,
+        1e-4,
+        1,
+    );
+    assert!(res.avg.f1 > 0.9, "MAWI-like F1 {}", res.avg.f1);
+}

@@ -1,0 +1,121 @@
+//! End-to-end coverage of the extension features (the paper's §8
+//! future-work directions): sketch merging, NitroSketch-style
+//! sampling, flow-table export, and distinct counting.
+
+use cocosketch::{merge_all, snapshot, BasicCocoSketch, FlowTable, SampledCoco};
+use distinct::{Hll, SpreaderSketch};
+use sketches::Sketch;
+use tasks::stats;
+use traffic::gen::{generate, TraceConfig};
+use traffic::{truth, KeySpec};
+
+fn trace() -> traffic::Trace {
+    generate(&TraceConfig {
+        packets: 100_000,
+        flows: 8_000,
+        alpha: 1.12,
+        ip_skew: 1.0,
+        seed: 0xE47,
+    })
+}
+
+#[test]
+fn sharded_measure_merge_export_query() {
+    // The full distributed pipeline: 4 shards measure disjoint slices,
+    // merge sketch-level, export over the wire, query partial keys.
+    let t = trace();
+    let full = KeySpec::FIVE_TUPLE;
+    let mut shards: Vec<BasicCocoSketch> = (0..4)
+        .map(|_| BasicCocoSketch::with_memory(128 * 1024, 2, full.key_bytes(), 42))
+        .collect();
+    for (i, p) in t.packets.iter().enumerate() {
+        shards[i % 4].update(&full.project(&p.flow), u64::from(p.weight));
+    }
+    let merged = merge_all(shards).expect("same dims + seed merge");
+    assert_eq!(merged.total_value(), t.total_weight());
+
+    let table = FlowTable::new(full, merged.records());
+    let wire = snapshot::encode(&table);
+    let table = snapshot::decode(&wire).expect("wire roundtrip");
+
+    // Top source estimates survive the whole pipeline.
+    let exact = truth::exact_counts(&t, &KeySpec::SRC_IP);
+    let est = table.query_partial(&KeySpec::SRC_IP);
+    let (big, &size) = exact.iter().max_by_key(|&(_, v)| v).unwrap();
+    let got = est.get(big).copied().unwrap_or(0);
+    let rel = (got as f64 - size as f64).abs() / size as f64;
+    assert!(rel < 0.2, "top source {size} estimated {got} after merge+wire");
+}
+
+#[test]
+fn sampling_trades_updates_for_accuracy_not_correctness() {
+    let t = trace();
+    let full = KeySpec::FIVE_TUPLE;
+    let inner = BasicCocoSketch::with_memory(256 * 1024, 2, full.key_bytes(), 9);
+    let mut sampled = SampledCoco::new(inner, 0.2, 10);
+    for p in &t.packets {
+        sampled.update(&full.project(&p.flow), u64::from(p.weight));
+    }
+    // Heavy hitters are still found; estimates are within sampling noise.
+    let exact = truth::exact_counts(&t, &full);
+    let mut top: Vec<_> = exact.iter().collect();
+    top.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(*v));
+    for (key, &size) in top.iter().take(5) {
+        let got = sampled.query(key);
+        let rel = (got as f64 - size as f64).abs() / size as f64;
+        assert!(rel < 0.35, "flow {size} sampled-estimate {got}");
+    }
+}
+
+#[test]
+fn entropy_and_distribution_from_one_table() {
+    let t = trace();
+    let full = KeySpec::FIVE_TUPLE;
+    let mut sk = BasicCocoSketch::with_memory(256 * 1024, 2, full.key_bytes(), 3);
+    for p in &t.packets {
+        sk.update(&full.project(&p.flow), u64::from(p.weight));
+    }
+    let table = FlowTable::new(full, sk.records());
+    let est = stats::entropy(&table, &KeySpec::SRC_IP);
+    let exact = stats::entropy_of_counts(&truth::exact_counts(&t, &KeySpec::SRC_IP));
+    assert!((est - exact).abs() < 0.3, "entropy {est} vs {exact}");
+    let bins = stats::size_distribution(&table, &full);
+    assert!(!bins.is_empty());
+    assert!(bins.iter().sum::<u64>() > 0);
+}
+
+#[test]
+fn distinct_counting_complements_size_queries() {
+    // SYN-flood style question: distinct sources (HLL) alongside the
+    // size-based heavy hitters (CocoSketch) over the same trace.
+    let t = trace();
+    let mut hll = Hll::new(12, 7);
+    for p in &t.packets {
+        hll.add(&p.flow.src_ip.to_be_bytes());
+    }
+    let exact = truth::exact_counts(&t, &KeySpec::SRC_IP).len() as f64;
+    let est = hll.estimate();
+    let rel = (est - exact).abs() / exact;
+    assert!(rel < 0.05, "distinct sources {est} vs {exact}");
+}
+
+#[test]
+fn spreader_sketch_flags_scanner() {
+    // Inject a scanner (one source, thousands of distinct dests) into
+    // background traffic and detect it.
+    let t = trace();
+    let mut sk = SpreaderSketch::new(2, 128, 8, 5);
+    let scanner = KeySpec::SRC_IP.project(&traffic::FiveTuple::new(0xDEAD_0001, 0, 0, 0, 6));
+    for (i, p) in t.packets.iter().enumerate() {
+        let src = KeySpec::SRC_IP.project(&p.flow);
+        sk.update(&src, &p.flow.dst_ip.to_be_bytes());
+        if i % 20 == 0 {
+            sk.update(&scanner, &(i as u32).to_be_bytes());
+        }
+    }
+    let spreaders = sk.spreaders(1_000.0);
+    assert!(
+        spreaders.iter().any(|(k, _)| *k == scanner),
+        "scanner not detected: {spreaders:?}"
+    );
+}

@@ -1,0 +1,101 @@
+//! Every deployment strategy, end to end, on one workload.
+
+use tasks::{heavy_hitter, timing, Algo, Pipeline};
+use traffic::gen::{generate, TraceConfig};
+use traffic::{truth, KeySpec};
+
+fn trace() -> traffic::Trace {
+    generate(&TraceConfig {
+        packets: 80_000,
+        flows: 6_000,
+        alpha: 1.12,
+        ip_skew: 1.0,
+        seed: 0xABCD,
+    })
+}
+
+#[test]
+fn every_algorithm_completes_the_six_key_task() {
+    let t = trace();
+    let mut algos = vec![Algo::OURS];
+    algos.extend(Algo::BASELINES);
+    for algo in algos {
+        let res = heavy_hitter::run(
+            &t,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            algo,
+            256 * 1024,
+            1e-3,
+            1,
+        );
+        assert_eq!(res.per_key.len(), 6, "{}", algo.name());
+        for (i, acc) in res.per_key.iter().enumerate() {
+            assert!(
+                acc.recall >= 0.0 && acc.recall <= 1.0 && acc.precision <= 1.0,
+                "{} key {i}: {acc:?}",
+                algo.name()
+            );
+        }
+        // Nothing should be catastrophically broken on this easy trace.
+        assert!(res.avg.f1 > 0.1, "{}: F1 {}", algo.name(), res.avg.f1);
+    }
+}
+
+#[test]
+fn rhhh_pipeline_scales_estimates_correctly() {
+    let t = trace();
+    let specs = vec![
+        KeySpec::src_prefix(32),
+        KeySpec::src_prefix(16),
+        KeySpec::EMPTY,
+    ];
+    let mut pipe = Pipeline::deploy_rhhh(&specs, 128 * 1024, 5);
+    pipe.run(&t);
+    let est = pipe.estimates();
+    // The EMPTY level has exactly one flow: the whole stream. The
+    // rescaled estimate must be close to the true total.
+    let total_est: u64 = est[2].values().copied().sum();
+    let total_true = t.total_weight();
+    let rel = (total_est as f64 - total_true as f64).abs() / total_true as f64;
+    assert!(rel < 0.1, "empty-key estimate {total_est} vs {total_true}");
+}
+
+#[test]
+fn coco_pipeline_memory_is_key_count_independent() {
+    let one = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX[..1], KeySpec::FIVE_TUPLE, 500_000, 1);
+    let six = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 500_000, 1);
+    assert_eq!(one.memory_bytes(), six.memory_bytes());
+}
+
+#[test]
+fn throughput_probe_runs_for_every_strategy() {
+    let t = trace();
+    for algo in [Algo::OURS, Algo::CmHeap, Algo::Uss] {
+        let timing = timing::measure_throughput(
+            || Pipeline::deploy(algo, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 128 * 1024, 1),
+            &t,
+            1,
+        );
+        assert!(timing.mpps > 0.0, "{}", algo.name());
+    }
+}
+
+#[test]
+fn estimates_cover_true_heavy_hitters() {
+    let t = trace();
+    let mut pipe = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 256 * 1024, 2);
+    pipe.run(&t);
+    let estimates = pipe.estimates();
+    let threshold = t.total_weight() / 500;
+    for (spec, est) in KeySpec::PAPER_SIX.iter().zip(&estimates) {
+        let exact = truth::exact_counts(&t, spec);
+        let heavy = truth::heavy_hitters(&exact, threshold);
+        let found = heavy
+            .iter()
+            .filter(|k| est.get(*k).copied().unwrap_or(0) >= threshold)
+            .count();
+        let recall = found as f64 / heavy.len().max(1) as f64;
+        assert!(recall > 0.9, "{spec}: recall {recall}");
+    }
+}

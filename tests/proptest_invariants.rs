@@ -1,0 +1,154 @@
+//! Property-based invariants over the core data structures.
+//!
+//! Rather than fixed examples, these drive arbitrary packet streams
+//! (random keys, weights, and orderings) and assert the structural
+//! invariants the analysis relies on.
+
+use cocosketch::{BasicCocoSketch, DivisionMode, FlowTable, HardwareCocoSketch};
+use proptest::prelude::*;
+use sketches::Sketch;
+use traffic::{FiveTuple, KeyBytes, KeySpec};
+
+/// Arbitrary 5-tuples from a compact space (forces collisions).
+fn arb_flow() -> impl Strategy<Value = FiveTuple> {
+    (0u32..64, 0u32..64, 0u16..8, 0u16..8, prop_oneof![Just(6u8), Just(17u8)])
+        .prop_map(|(s, d, sp, dp, pr)| FiveTuple::new(s, d, sp, dp, pr))
+}
+
+/// Arbitrary packet streams.
+fn arb_stream() -> impl Strategy<Value = Vec<(FiveTuple, u64)>> {
+    prop::collection::vec((arb_flow(), 1u64..100), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn basic_coco_conserves_total_weight(stream in arb_stream(), d in 1usize..5, l in 1usize..32, seed in any::<u64>()) {
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::new(d, l, full.key_bytes(), seed);
+        let mut total = 0u64;
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+            total += w;
+        }
+        prop_assert_eq!(s.total_value(), total);
+        // Records are the non-empty buckets; their sum is the total too.
+        let rec_sum: u64 = s.records().iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(rec_sum, total);
+    }
+
+    #[test]
+    fn hardware_coco_conserves_per_array(stream in arb_stream(), d in 1usize..5, l in 1usize..32, seed in any::<u64>()) {
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = HardwareCocoSketch::new(d, l, full.key_bytes(), DivisionMode::Exact, seed);
+        let mut total = 0u64;
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+            total += w;
+        }
+        for i in 0..d {
+            prop_assert_eq!(s.array_total(i), total, "array {}", i);
+        }
+    }
+
+    #[test]
+    fn basic_coco_never_duplicates_keys(stream in arb_stream(), seed in any::<u64>()) {
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::new(3, 8, full.key_bytes(), seed);
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+        }
+        let recs = s.records();
+        let mut keys: Vec<KeyBytes> = recs.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "duplicate key in records");
+    }
+
+    #[test]
+    fn partial_aggregation_conserves_total(stream in arb_stream(), seed in any::<u64>()) {
+        // For any partial key, GROUP BY conserves the table total.
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::new(2, 16, full.key_bytes(), seed);
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+        }
+        let table = FlowTable::new(full, s.records());
+        for spec in KeySpec::PAPER_SIX {
+            let sum: u64 = table.query_partial(&spec).values().sum();
+            prop_assert_eq!(sum, table.total(), "partial key {}", spec);
+        }
+    }
+
+    #[test]
+    fn projection_composes(flow in arb_flow(), bits_a in 0u8..=32, bits_b in 0u8..=32) {
+        // g_{A<-B}(g_B(x)) == g_A(x) whenever A ≺ B.
+        let (short, long) = if bits_a <= bits_b { (bits_a, bits_b) } else { (bits_b, bits_a) };
+        let a = KeySpec::src_prefix(short);
+        let b = KeySpec::src_prefix(long);
+        prop_assert!(a.is_partial_of(&b));
+        let direct = a.project(&flow);
+        let via_b = a.project_key(&b, &b.project(&flow));
+        prop_assert_eq!(direct, via_b);
+    }
+
+    #[test]
+    fn decode_inverts_project(flow in arb_flow()) {
+        for spec in KeySpec::PAPER_SIX {
+            let key = spec.project(&flow);
+            let back = spec.decode(&key);
+            // Re-projecting the decoded tuple gives the same key.
+            prop_assert_eq!(spec.project(&back), key, "{}", spec);
+        }
+    }
+
+    #[test]
+    fn trace_io_roundtrips(stream in arb_stream()) {
+        let trace = traffic::Trace {
+            packets: stream
+                .iter()
+                .map(|&(flow, w)| traffic::Packet { flow, weight: w as u32 })
+                .collect(),
+        };
+        let bytes = traffic::io::encode(&trace);
+        let back = traffic::io::decode(&bytes).unwrap();
+        prop_assert_eq!(trace.packets, back.packets);
+    }
+
+    #[test]
+    fn queries_never_exceed_stream_total(stream in arb_stream(), seed in any::<u64>()) {
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::new(2, 8, full.key_bytes(), seed);
+        let mut total = 0u64;
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+            total += w;
+        }
+        for (flow, _) in &stream {
+            prop_assert!(s.query(&full.project(flow)) <= total);
+        }
+    }
+
+    #[test]
+    fn stream_summary_total_conserved_under_uss(stream in arb_stream(), cap in 1usize..32, seed in any::<u64>()) {
+        let full = KeySpec::FIVE_TUPLE;
+        let mut uss = sketches::UnbiasedSpaceSaving::new(cap, full.key_bytes(), seed);
+        let mut total = 0u64;
+        for (flow, w) in &stream {
+            uss.update(&full.project(flow), *w);
+            total += w;
+        }
+        let sum: u64 = uss.records().iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn approx_division_error_within_bound(value in 1u64..10_000_000) {
+        let exact = (1u64 << 32) as f64 / value as f64;
+        let approx = cocosketch::probability::approx_reciprocal(value) as f64;
+        let rel = (approx - exact).abs() / exact;
+        prop_assert!(rel <= 0.125 + 1e-9, "value {} rel {}", value, rel);
+    }
+}

@@ -1,0 +1,146 @@
+//! Statistical checks of the paper's theorems (§5, Appendix A).
+//!
+//! Each test runs many independently seeded sketches and verifies the
+//! claimed expectation/tail property with generous slack (they are
+//! statistical statements; the seeds are fixed so the tests are
+//! deterministic).
+
+use cocosketch::{BasicCocoSketch, DivisionMode, HardwareCocoSketch};
+use hashkit::XorShift64Star;
+use sketches::Sketch;
+use traffic::KeyBytes;
+
+fn k(i: u32) -> KeyBytes {
+    KeyBytes::new(&i.to_be_bytes())
+}
+
+/// Drive one sketch with a fixed interleaving: the watched flow with
+/// `watched` packets amid `churn` times as many noise packets.
+fn drive(sketch: &mut dyn Sketch, watched: u64, churn: u64, noise_flows: u32, seed: u64) {
+    let mut rng = XorShift64Star::new(seed);
+    for _ in 0..watched {
+        sketch.update(&k(0), 1);
+        for _ in 0..churn {
+            sketch.update(&k(1 + (rng.next_u64() % u64::from(noise_flows)) as u32), 1);
+        }
+    }
+}
+
+#[test]
+fn lemma3_basic_cocosketch_is_unbiased() {
+    // E[f̂(e)] = f(e) for the basic sketch: average over many runs.
+    let watched = 50u64;
+    let trials = 500u32;
+    let mut acc = 0f64;
+    for t in 0..trials {
+        let mut s = BasicCocoSketch::new(2, 16, 4, 10_000 + u64::from(t));
+        drive(&mut s, watched, 12, 2_000, 20_000 + u64::from(t));
+        acc += s.query(&k(0)) as f64;
+    }
+    let mean = acc / f64::from(trials);
+    let rel = (mean - watched as f64).abs() / watched as f64;
+    assert!(rel < 0.12, "mean {mean} vs true {watched}");
+}
+
+#[test]
+fn lemma4_hardware_cocosketch_is_unbiased_per_array() {
+    let watched = 50u64;
+    let trials = 500u32;
+    let mut acc = 0f64;
+    for t in 0..trials {
+        // d = 1 isolates the per-array estimator of Lemma 4.
+        let mut s =
+            HardwareCocoSketch::new(1, 16, 4, DivisionMode::Exact, 30_000 + u64::from(t));
+        drive(&mut s, watched, 12, 2_000, 40_000 + u64::from(t));
+        acc += s.query(&k(0)) as f64;
+    }
+    let mean = acc / f64::from(trials);
+    let rel = (mean - watched as f64).abs() / watched as f64;
+    assert!(rel < 0.12, "mean {mean} vs true {watched}");
+}
+
+#[test]
+fn theorem3_error_bound_tail() {
+    // P[R(e) >= eps * sqrt(f̄(e)/f(e))] <= delta with l = 3/eps^2 and
+    // d = O(log 1/delta). Instantiate: eps = 1, l = 3, d = 4; then for
+    // any flow the probability that the relative error exceeds
+    // sqrt(f̄/f) should be small (delta ~ (1/3)^(d/2) by the proof's
+    // Chernoff step; we assert < 0.2 with slack).
+    let trials = 400u32;
+    let watched = 200u64;
+    let churn = 4u64;
+    let noise_flows = 50u32;
+    let mut violations = 0u32;
+    for t in 0..trials {
+        let mut s =
+            HardwareCocoSketch::new(4, 3, 4, DivisionMode::Exact, 70_000 + u64::from(t));
+        drive(&mut s, watched, churn, noise_flows, 90_000 + u64::from(t));
+        let est = s.query(&k(0)) as f64;
+        let f_true = watched as f64;
+        let f_rest = (watched * churn) as f64;
+        let r = (est - f_true).abs() / f_true;
+        let bound = (f_rest / f_true).sqrt(); // eps = 1
+        if r >= bound {
+            violations += 1;
+        }
+    }
+    let rate = f64::from(violations) / f64::from(trials);
+    assert!(rate < 0.2, "tail violation rate {rate}");
+}
+
+#[test]
+fn theorem4_recall_lower_bound() {
+    // P[Z(e) = 1] >= 1 - (1 + l*f(e)/f̄(e))^{-d}. The paper's example:
+    // a flow with 1% of traffic, d = 2, l = 900 gives >= 99% recall.
+    // Test a scaled version: l = 90, flow share 1/11 of the rest
+    // => bound = 1 - (1 + 90/10)^{-2} = 0.99.
+    let trials = 400u32;
+    let mut recorded = 0u32;
+    for t in 0..trials {
+        let mut s =
+            HardwareCocoSketch::new(2, 90, 4, DivisionMode::Exact, 110_000 + u64::from(t));
+        // watched flow: 100 packets; rest: 1000 packets over 500 flows.
+        drive(&mut s, 100, 10, 500, 130_000 + u64::from(t));
+        if s.query(&k(0)) > 0 {
+            recorded += 1;
+        }
+    }
+    let recall = f64::from(recorded) / f64::from(trials);
+    assert!(recall >= 0.97, "recall {recall} below the Theorem 4 bound");
+}
+
+#[test]
+fn theorem1_replacement_probability_is_w_over_total() {
+    // The variance-minimizing update keeps P[key replaced] = w/(f+w).
+    // Feed one bucket (d=1, l=1): first flow installs 60, challenger
+    // sends 20 in one weighted packet; replacement must occur with
+    // probability 20/80 = 0.25.
+    let trials = 4_000u32;
+    let mut replaced = 0u32;
+    for t in 0..trials {
+        let mut s = BasicCocoSketch::new(1, 1, 4, 150_000 + u64::from(t));
+        s.update(&k(1), 60);
+        s.update(&k(2), 20);
+        // Whoever owns the bucket now has the whole 80.
+        if s.query(&k(2)) == 80 {
+            replaced += 1;
+        } else {
+            assert_eq!(s.query(&k(1)), 80, "value must always become 80");
+        }
+    }
+    let rate = f64::from(replaced) / f64::from(trials);
+    assert!((rate - 0.25).abs() < 0.025, "replacement rate {rate} vs 0.25");
+}
+
+#[test]
+fn theorem2_matching_key_adds_no_variance() {
+    // A tracked flow's update is deterministic: value grows by w,
+    // key never changes — repeated over many random histories.
+    for t in 0..200u64 {
+        let mut s = BasicCocoSketch::new(2, 8, 4, t);
+        s.update(&k(7), 5);
+        let before = s.query(&k(7));
+        s.update(&k(7), 3);
+        assert_eq!(s.query(&k(7)), before + 3);
+    }
+}
