@@ -85,6 +85,54 @@ fn bench_uss_implementations(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar `update` loop vs the batched hot path (`update_batch`): same
+/// results bit-for-bit, different instruction scheduling — the window
+/// of up-front hashes is what the engine workers ride on.
+fn bench_batched_update(c: &mut Criterion) {
+    use cocosketch::BasicCocoSketch;
+    use sketches::Sketch;
+    let trace = generate(&TraceConfig {
+        packets: 100_000,
+        flows: 10_000,
+        ..TraceConfig::default()
+    });
+    let full = KeySpec::FIVE_TUPLE;
+    let packets: Vec<(traffic::KeyBytes, u64)> = trace
+        .packets
+        .iter()
+        .map(|p| (full.project(&p.flow), u64::from(p.weight)))
+        .collect();
+
+    let mut group = c.benchmark_group("batched_update");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("scalar", |b| {
+        b.iter_batched(
+            || BasicCocoSketch::with_memory(MEM, 2, full.key_bytes(), 1),
+            |mut s| {
+                for (k, w) in &packets {
+                    s.update(k, *w);
+                }
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("batched", |b| {
+        b.iter_batched(
+            || BasicCocoSketch::with_memory(MEM, 2, full.key_bytes(), 1),
+            |mut s| {
+                s.update_batch(&packets);
+                s
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
 fn bench_single_key(c: &mut Criterion) {
     let trace = generate(&TraceConfig {
         packets: 100_000,
@@ -112,5 +160,11 @@ fn bench_single_key(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_single_key, bench_uss_implementations);
+criterion_group!(
+    benches,
+    bench_updates,
+    bench_single_key,
+    bench_batched_update,
+    bench_uss_implementations
+);
 criterion_main!(benches);

@@ -6,7 +6,8 @@
 //! 3. **Median vs mean** combination in the hardware-friendly query.
 //! 4. **Exact vs approximate division** in the replacement probability.
 //!
-//! Each row reports the heavy-hitter F1/ARE over the paper's six keys.
+//! Each row reports the heavy-hitter F1/ARE over the paper's six keys,
+//! on one CAIDA-like trace sized by `--scale` and seeded by `--seed`.
 
 use cocosketch::{
     BasicCocoSketch, Combine, DivisionMode, FlowTable, HardwareCocoSketch, TieBreak,
@@ -21,7 +22,7 @@ const MEM: usize = 500 * 1024;
 const THRESHOLD: f64 = 1e-4;
 
 /// Feed the trace and score the six-key HH task from one sketch.
-fn run_one(sketch: &mut dyn Sketch, trace: &Trace, cli: &Cli) -> (f64, f64) {
+fn run_one(sketch: &mut dyn Sketch, trace: &Trace) -> (f64, f64) {
     let full = KeySpec::FIVE_TUPLE;
     for p in &trace.packets {
         sketch.update(&full.project(&p.flow), u64::from(p.weight));
@@ -31,7 +32,6 @@ fn run_one(sketch: &mut dyn Sketch, trace: &Trace, cli: &Cli) -> (f64, f64) {
         .iter()
         .map(|spec| table.query_partial(spec))
         .collect();
-    let _ = cli;
     let res = score(&estimates, trace, &KeySpec::PAPER_SIX, threshold_of(trace, THRESHOLD));
     (res.avg.f1, res.avg.are)
 }
@@ -51,12 +51,12 @@ fn main() {
     // 1. candidate-set size.
     for d in [1usize, 2, 4] {
         let mut s = BasicCocoSketch::with_memory(MEM, d, key_bytes, cli.seed);
-        let (f1, are) = run_one(&mut s, &trace, &cli);
+        let (f1, are) = run_one(&mut s, &trace);
         table.push(vec!["candidates".into(), format!("d={d}"), f(f1), f(are)]);
     }
     {
         let mut s = sketches::UnbiasedSpaceSaving::with_memory(MEM, key_bytes, cli.seed);
-        let (f1, are) = run_one(&mut s, &trace, &cli);
+        let (f1, are) = run_one(&mut s, &trace);
         table.push(vec!["candidates".into(), "global min (USS)".into(), f(f1), f(are)]);
     }
 
@@ -64,7 +64,7 @@ fn main() {
     for (label, tb) in [("random (paper)", TieBreak::Random), ("first", TieBreak::First)] {
         let mut s = BasicCocoSketch::with_memory(MEM, 2, key_bytes, cli.seed);
         s.set_tie_break(tb);
-        let (f1, are) = run_one(&mut s, &trace, &cli);
+        let (f1, are) = run_one(&mut s, &trace);
         table.push(vec!["tie-break".into(), label.into(), f(f1), f(are)]);
     }
 
@@ -75,7 +75,7 @@ fn main() {
         let mut s =
             HardwareCocoSketch::with_memory(MEM, 3, key_bytes, DivisionMode::Exact, cli.seed);
         s.set_combine(c);
-        let (f1, are) = run_one(&mut s, &trace, &cli);
+        let (f1, are) = run_one(&mut s, &trace);
         table.push(vec!["combine".into(), label.into(), f(f1), f(are)]);
     }
 
@@ -85,7 +85,7 @@ fn main() {
         ("approx (Tofino)", DivisionMode::ApproxTofino),
     ] {
         let mut s = HardwareCocoSketch::with_memory(MEM, 2, key_bytes, mode, cli.seed);
-        let (f1, are) = run_one(&mut s, &trace, &cli);
+        let (f1, are) = run_one(&mut s, &trace);
         table.push(vec!["division".into(), label.into(), f(f1), f(are)]);
     }
 

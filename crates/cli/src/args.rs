@@ -24,6 +24,24 @@ pub fn parse_memory(s: &str) -> Result<usize, String> {
     Ok((value * mult) as usize)
 }
 
+/// Parse a worker-thread count for the sharded engine.
+///
+/// Bounded at 64: beyond that, shards are so small that merge noise
+/// dominates, and no supported host has more ingestion cores.
+pub fn parse_threads(s: &str) -> Result<usize, String> {
+    let n: usize = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse thread count `{s}`"))?;
+    if n == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if n > 64 {
+        return Err(format!("--threads {n} exceeds the supported maximum of 64"));
+    }
+    Ok(n)
+}
+
 /// Parse a key name into a [`KeySpec`].
 ///
 /// Accepted forms: `5tuple`, `srcip`, `dstip`, `srcip/NN`, `dstip/NN`,
@@ -78,6 +96,16 @@ mod tests {
         assert_eq!(parse_memory("64b").unwrap(), 64);
         assert!(parse_memory("-5KB").is_err());
         assert!(parse_memory("lots").is_err());
+    }
+
+    #[test]
+    fn thread_counts() {
+        assert_eq!(parse_threads("1").unwrap(), 1);
+        assert_eq!(parse_threads(" 8 ").unwrap(), 8);
+        assert_eq!(parse_threads("64").unwrap(), 64);
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("65").is_err());
+        assert!(parse_threads("four").is_err());
     }
 
     #[test]

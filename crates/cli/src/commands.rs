@@ -1,8 +1,9 @@
 //! Subcommand implementations.
 
-use crate::args::{parse_key, parse_memory};
+use crate::args::{parse_key, parse_memory, parse_threads};
 use crate::Opts;
-use cocosketch::{snapshot, BasicCocoSketch, FlowTable};
+use cocosketch::{snapshot, FlowTable};
+use engine::{EngineConfig, ShardedCocoSketch};
 use sketches::Sketch;
 use tasks::stats as table_stats;
 use traffic::{io as trace_io, presets, KeySpec};
@@ -14,7 +15,7 @@ cocosketch <command> [--flag value]...
 commands:
   generate  --preset caida|mawi --out FILE [--scale N] [--seed S]
   measure   (--trace FILE | --pcap FILE) --out FILE
-            [--memory 500KB] [--d 2] [--seed S]
+            [--memory 500KB] [--d 2] [--seed S] [--threads N]
   query     --table FILE --key KEY [--top K] [--threshold T]
   stats     --table FILE --key KEY
   info      (--trace FILE | --table FILE)
@@ -52,6 +53,7 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     let memory = parse_memory(opts.get("memory").unwrap_or("500KB"))?;
     let d = opts.u64_or("d", 2)? as usize;
     let seed = opts.u64_or("seed", 0xC0C0)?;
+    let threads = parse_threads(opts.get("threads").unwrap_or("1"))?;
     if d == 0 {
         return Err("--d must be positive".into());
     }
@@ -67,19 +69,28 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
             .map_err(|e| format!("reading {}: {e}", trace_path.display()))?
     };
     let full = KeySpec::FIVE_TUPLE;
-    let mut sketch = BasicCocoSketch::with_memory(memory, d, full.key_bytes(), seed);
-    let start = std::time::Instant::now();
-    for p in &trace.packets {
-        sketch.update(&full.project(&p.flow), u64::from(p.weight));
-    }
-    let elapsed = start.elapsed();
-    let table = FlowTable::new(full, sketch.records());
+    // One shard per thread, memory split across shards; threads=1 is
+    // the plain single-sketch path (no rings, no worker threads).
+    let engine = ShardedCocoSketch::with_memory(
+        memory,
+        EngineConfig {
+            threads,
+            d,
+            key_bytes: full.key_bytes(),
+            seed,
+            ..EngineConfig::default()
+        },
+    );
+    let run = engine.run_trace(&trace, &full);
+    let table = FlowTable::new(full, run.sketch.records());
     std::fs::write(&out, snapshot::encode(&table))
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!(
-        "measured {} packets in {elapsed:?} ({:.2} Mpps); {} recorded flows -> {}",
-        trace.len(),
-        trace.len() as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6,
+        "measured {} packets in {:?} ({:.2} Mpps, {threads} thread{}); {} recorded flows -> {}",
+        run.processed,
+        run.elapsed,
+        run.mpps,
+        if threads == 1 { "" } else { "s" },
         table.len(),
         out.display()
     );

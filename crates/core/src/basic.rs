@@ -119,6 +119,44 @@ impl BasicCocoSketch {
         u64::from(self.hashes.seed(0)) << 32 | self.total_value() & 0xFFFF_FFFF
     }
 
+    /// One update against precomputed candidate slots (one per array).
+    ///
+    /// This is the same two-pass walk as [`Sketch::update`], minus the
+    /// hashing — the batched path hashes a whole window of keys first,
+    /// then applies them through here. RNG draws happen in exactly the
+    /// order the scalar path would make them, so a batched run is
+    /// bit-identical to the equivalent sequence of scalar updates.
+    #[inline]
+    fn apply_at_slots(&mut self, key: &KeyBytes, w: u64, slots: &[usize]) {
+        debug_assert!(w > 0, "zero-weight packets are meaningless");
+        let mut min_slot = usize::MAX;
+        let mut min_value = u64::MAX;
+        let mut ties = 0u64;
+        for &s in slots {
+            let b = &self.buckets[s];
+            if b.value > 0 && b.key == *key {
+                self.buckets[s].value += w;
+                return;
+            }
+            if b.value < min_value {
+                min_value = b.value;
+                min_slot = s;
+                ties = 1;
+            } else if b.value == min_value && self.tie_break == TieBreak::Random {
+                ties += 1;
+                if self.rng.below(ties) == 0 {
+                    min_slot = s;
+                }
+            }
+        }
+        let b = &mut self.buckets[min_slot];
+        b.value += w;
+        let value_after = b.value;
+        if self.rng.coin(w, value_after) {
+            self.buckets[min_slot].key = *key;
+        }
+    }
+
     /// Bucket-wise merge (values add; key conflicts resolved by the
     /// Theorem 1 coin). Callers have already validated compatibility.
     pub(crate) fn merge_buckets(&mut self, other: &BasicCocoSketch, rng: &mut XorShift64Star) {
@@ -177,6 +215,36 @@ impl Sketch for BasicCocoSketch {
         let value_after = b.value;
         if self.rng.coin(w, value_after) {
             self.buckets[min_slot].key = *key;
+        }
+    }
+
+    /// Batched hot path: hash a window of keys up front, then apply.
+    ///
+    /// The per-packet walk interleaves hashing (pure, state-free) with
+    /// bucket reads that depend on those hashes; splitting them lets
+    /// the hash computations of a window pipeline independently of the
+    /// bucket accesses (software pipelining). Results are bit-identical
+    /// to calling [`update`](Sketch::update) per packet — same RNG draw
+    /// order — so batching is purely a throughput knob.
+    fn update_batch(&mut self, batch: &[(KeyBytes, u64)]) {
+        const WINDOW: usize = 8;
+        const MAX_FAST_D: usize = 8;
+        if self.d > MAX_FAST_D {
+            for (key, w) in batch {
+                self.update(key, *w);
+            }
+            return;
+        }
+        let mut slots = [[0usize; MAX_FAST_D]; WINDOW];
+        for window in batch.chunks(WINDOW) {
+            for (j, (key, _)) in window.iter().enumerate() {
+                for (i, slot) in slots[j][..self.d].iter_mut().enumerate() {
+                    *slot = self.slot(i, key);
+                }
+            }
+            for (j, (key, w)) in window.iter().enumerate() {
+                self.apply_at_slots(key, *w, &slots[j][..self.d]);
+            }
         }
     }
 
@@ -362,6 +430,49 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn batched_updates_are_bit_identical_to_scalar() {
+        // update_batch must consume the RNG in the same order as the
+        // scalar path, so the two runs end in identical bucket state.
+        let mut rng = hashkit::XorShift64Star::new(42);
+        let packets: Vec<(KeyBytes, u64)> = (0..20_000)
+            .map(|_| (k((rng.next_u64() % 700) as u32), 1 + rng.next_u64() % 4))
+            .collect();
+        for d in [2usize, 4] {
+            let mut scalar = BasicCocoSketch::new(d, 64, 4, 17);
+            let mut batched = BasicCocoSketch::new(d, 64, 4, 17);
+            for (key, w) in &packets {
+                scalar.update(key, *w);
+            }
+            batched.update_batch(&packets);
+            let mut a = scalar.records();
+            let mut b = batched.records();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "d={d}: batched path diverged from scalar");
+            assert_eq!(scalar.total_value(), batched.total_value());
+        }
+    }
+
+    #[test]
+    fn batched_updates_fall_back_above_fast_width() {
+        // d > 8 takes the scalar fallback inside update_batch; results
+        // must still be identical to per-packet updates.
+        let packets: Vec<(KeyBytes, u64)> =
+            (0..2_000u32).map(|i| (k(i % 50), 1)).collect();
+        let mut scalar = BasicCocoSketch::new(9, 8, 4, 3);
+        let mut batched = BasicCocoSketch::new(9, 8, 4, 3);
+        for (key, w) in &packets {
+            scalar.update(key, *w);
+        }
+        batched.update_batch(&packets);
+        let mut a = scalar.records();
+        let mut b = batched.records();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's offline-build policy (DESIGN.md) forbids registry
+//! dependencies, so this local crate publishes the subset of the
+//! criterion API that the bench targets in `crates/bench` use. It is a
+//! plain wall-clock harness, not a statistical one: each benchmark is
+//! warmed up, then timed in batches until `measurement_time` elapses,
+//! and the mean time per iteration (plus element throughput, when
+//! declared) is printed. Good enough for spotting order-of-magnitude
+//! regressions offline; use real criterion on a networked host for
+//! publication-grade numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported from `std::hint`.
+pub use std::hint::black_box;
+
+/// Declared per-iteration workload, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. packets).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; only advisory here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Accumulated routine time.
+    elapsed: Duration,
+    /// Accumulated routine iterations.
+    iters: u64,
+    /// How many iterations to run this call.
+    batch: u64,
+}
+
+impl Bencher {
+    /// Time `routine` for this batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.batch;
+    }
+
+    /// Time `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.batch {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: grow the batch until one call is measurable, then
+        // keep calling until the warm-up budget is spent.
+        let mut batch = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                batch,
+            };
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+            if b.elapsed < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        // Measurement.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let meas_start = Instant::now();
+        while meas_start.elapsed() < self.measurement_time {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                batch,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+
+        if iters == 0 {
+            println!("{}/{id}: no iterations completed", self.name);
+            return;
+        }
+        let ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / ns_per_iter * 1e3;
+                println!(
+                    "{}/{id}: {ns_per_iter:.1} ns/iter ({meps:.2} Melem/s)",
+                    self.name
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let mbps = n as f64 / ns_per_iter * 1e3;
+                println!(
+                    "{}/{id}: {ns_per_iter:.1} ns/iter ({mbps:.2} MB/s)",
+                    self.name
+                );
+            }
+            None => println!("{}/{id}: {ns_per_iter:.1} ns/iter", self.name),
+        }
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group with default timing (1s warm-up,
+    /// 3s measurement).
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(3),
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark with default timing.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            throughput: None,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(3),
+            _parent: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) -> &mut Criterion {
+        c
+    }
+
+    #[test]
+    fn group_times_a_trivial_routine() {
+        let mut c = Criterion::default();
+        let _ = quick(&mut c);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4))
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

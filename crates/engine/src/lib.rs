@@ -1,0 +1,28 @@
+//! The multi-threaded CocoSketch ingestion engine.
+//!
+//! The paper's software deployments (OVS via DPDK, §6/App. B) all share
+//! one shape: packets are partitioned RSS-style by a hash of the full
+//! key, each partition flows through a lock-free ring to a dedicated
+//! worker owning a private sketch shard, and shards merge bucket-wise
+//! into one unbiased sketch at collection time. This crate is that
+//! shape as a library:
+//!
+//! - [`ring::SpscRing`]: the DPDK-style bounded SPSC ring, with bulk
+//!   [`push_slice`](ring::SpscRing::push_slice)/
+//!   [`pop_chunk`](ring::SpscRing::pop_chunk) so ring atomics amortize
+//!   over packet batches (`ovssim` consumes it from here);
+//! - [`sharded::ShardedCocoSketch`]: the engine proper — partition,
+//!   ingest through the batched sketch hot path, merge via
+//!   [`cocosketch::merge_all`].
+//!
+//! This is the only crate in the workspace allowed to use `unsafe`
+//! (two slot accesses in the ring, each with a documented ownership
+//! argument).
+
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod sharded;
+
+pub use ring::SpscRing;
+pub use sharded::{EngineConfig, EngineRun, ShardedCocoSketch};

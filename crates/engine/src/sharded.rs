@@ -1,0 +1,346 @@
+//! The sharded ingestion engine: RSS partition → rings → shard workers
+//! → unbiased merge.
+//!
+//! This is the paper's multi-core deployment shape (§6/App. B) as a
+//! reusable library instead of a simulation: an ingestion thread
+//! partitions packets by a hash of the *full* key (RSS discipline —
+//! every packet of a flow lands in the same shard), feeds each of `N`
+//! workers through a private lock-free SPSC ring in batches, and each
+//! worker drains its ring into a private [`BasicCocoSketch`] via the
+//! batched hot path. At the end the shards merge bucket-wise
+//! ([`cocosketch::merge_all`]) into one queryable sketch.
+//!
+//! Why unbiasedness survives sharding: each packet is counted in
+//! exactly one shard, every shard is an unbiased CocoSketch over its
+//! sub-stream, and the merge resolves per-bucket key conflicts with the
+//! Theorem 1 coin — so estimates over the merged sketch are unbiased
+//! for the union stream, and the conservation invariant (sum of bucket
+//! values == total stream weight) holds exactly.
+//!
+//! Determinism: shard assignment is a pure hash, each ring is FIFO, and
+//! each shard sketch is seeded from the shared master seed, so for a
+//! fixed `(trace, config)` the merged sketch is bit-identical across
+//! runs regardless of thread scheduling.
+
+use crate::ring::SpscRing;
+use cocosketch::{merge_all, BasicCocoSketch};
+use hashkit::{bob_hash, fastrange};
+use sketches::Sketch;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use traffic::{KeyBytes, KeySpec, Trace};
+
+/// Seed of the shard-selection hash. Distinct from every sketch-array
+/// seed so shard assignment is independent of bucket placement.
+const RSS_SEED: u32 = 0x5255_5353; // "RUSS"
+
+/// Engine configuration. All shards share `d`/`buckets`/`seed`, which
+/// is what makes them merge-compatible.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads (= rings = sketch shards).
+    pub threads: usize,
+    /// Ring capacity per worker, in packets (power of two).
+    pub ring_capacity: usize,
+    /// Producer-side staging batch per shard; flushed through
+    /// [`SpscRing::push_slice`] so ring atomics amortize over the batch.
+    pub batch: usize,
+    /// Sketch arrays per shard.
+    pub d: usize,
+    /// Buckets per array per shard.
+    pub buckets: usize,
+    /// Encoded key width (13 for the 5-tuple).
+    pub key_bytes: usize,
+    /// Master seed shared by every shard.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            ring_capacity: 4096,
+            batch: 256,
+            d: 2,
+            buckets: 8192,
+            key_bytes: KeySpec::FIVE_TUPLE.key_bytes(),
+            seed: 0xC0C0,
+        }
+    }
+}
+
+/// The outcome of one engine run.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// The merged sketch (query it, walk its records).
+    pub sketch: BasicCocoSketch,
+    /// Packets processed (always the whole input; the producer retries
+    /// on ring backpressure rather than dropping).
+    pub processed: u64,
+    /// Per-shard processed counts, for load-balance diagnostics.
+    pub per_shard: Vec<u64>,
+    /// Wall time of the ingest (excludes the final merge).
+    pub elapsed: Duration,
+    /// Wall-clock ingest rate in million packets per second.
+    pub mpps: f64,
+}
+
+/// The sharded ingestion engine. Construct once, [`run`](Self::run)
+/// per trace.
+pub struct ShardedCocoSketch {
+    config: EngineConfig,
+}
+
+impl ShardedCocoSketch {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.threads > 0, "need at least one worker thread");
+        assert!(config.batch > 0, "producer batch must be positive");
+        assert!(
+            config.ring_capacity.is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
+        Self { config }
+    }
+
+    /// Size each shard to `mem_bytes / threads`, mirroring how a real
+    /// deployment splits one memory budget across Rx queues.
+    pub fn with_memory(mem_bytes: usize, mut config: EngineConfig) -> Self {
+        let probe = BasicCocoSketch::with_memory(
+            mem_bytes / config.threads.max(1),
+            config.d,
+            config.key_bytes,
+            config.seed,
+        );
+        config.buckets = probe.dims().1;
+        Self::new(config)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Which shard a key's packets go to: full-key hash, reduced
+    /// division-free. Pure, so every packet of a flow agrees.
+    #[inline]
+    pub fn shard_of(key: &KeyBytes, threads: usize) -> usize {
+        if threads == 1 {
+            return 0;
+        }
+        fastrange(bob_hash(key.as_slice(), RSS_SEED), threads)
+    }
+
+    fn make_shard(&self) -> BasicCocoSketch {
+        let c = &self.config;
+        BasicCocoSketch::new(c.d, c.buckets, c.key_bytes, c.seed)
+    }
+
+    /// Ingest pre-projected packets and return the merged sketch.
+    pub fn run(&self, packets: &[(KeyBytes, u64)]) -> EngineRun {
+        let cfg = self.config;
+        if cfg.threads == 1 {
+            // Single shard: no ring, no thread — the batched hot path
+            // on the caller's thread is the honest baseline.
+            let mut sketch = self.make_shard();
+            let start = Instant::now();
+            sketch.update_batch(packets);
+            let elapsed = start.elapsed();
+            let processed = packets.len() as u64;
+            return EngineRun {
+                sketch,
+                processed,
+                per_shard: vec![processed],
+                elapsed,
+                mpps: processed as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6,
+            };
+        }
+
+        let rings: Vec<SpscRing<(KeyBytes, u64)>> = (0..cfg.threads)
+            .map(|_| SpscRing::new(cfg.ring_capacity))
+            .collect();
+        let done = AtomicBool::new(false);
+
+        let start = Instant::now();
+        let (shards, per_shard) = std::thread::scope(|scope| {
+            let workers: Vec<_> = rings
+                .iter()
+                .map(|ring| {
+                    let done = &done;
+                    let mut sketch = self.make_shard();
+                    scope.spawn(move || {
+                        let mut chunk: Vec<(KeyBytes, u64)> = Vec::with_capacity(cfg.batch);
+                        let mut processed = 0u64;
+                        loop {
+                            chunk.clear();
+                            if ring.pop_chunk(&mut chunk, cfg.batch) > 0 {
+                                sketch.update_batch(&chunk);
+                                processed += chunk.len() as u64;
+                            } else if done.load(Ordering::Acquire) && ring.is_empty() {
+                                break;
+                            } else {
+                                // PMD discipline is busy-polling; yield
+                                // so oversubscribed hosts still make
+                                // progress.
+                                std::thread::yield_now();
+                            }
+                        }
+                        (sketch, processed)
+                    })
+                })
+                .collect();
+
+            // Producer: stage per shard, flush full batches through
+            // push_slice so one atomic pair covers the whole batch.
+            let mut stages: Vec<Vec<(KeyBytes, u64)>> =
+                (0..cfg.threads).map(|_| Vec::with_capacity(cfg.batch)).collect();
+            let flush = |shard: usize, stage: &mut Vec<(KeyBytes, u64)>| {
+                let mut sent = 0usize;
+                while sent < stage.len() {
+                    let pushed = rings[shard].push_slice(&stage[sent..]);
+                    if pushed == 0 {
+                        std::thread::yield_now();
+                    }
+                    sent += pushed;
+                }
+                stage.clear();
+            };
+            for p in packets {
+                let shard = Self::shard_of(&p.0, cfg.threads);
+                stages[shard].push(*p);
+                if stages[shard].len() == cfg.batch {
+                    flush(shard, &mut stages[shard]);
+                }
+            }
+            for (shard, stage) in stages.iter_mut().enumerate() {
+                flush(shard, stage);
+            }
+            done.store(true, Ordering::Release);
+
+            let mut shards = Vec::with_capacity(cfg.threads);
+            let mut per_shard = Vec::with_capacity(cfg.threads);
+            for w in workers {
+                let (sketch, processed) = w.join().expect("shard worker panicked");
+                shards.push(sketch);
+                per_shard.push(processed);
+            }
+            (shards, per_shard)
+        });
+        let elapsed = start.elapsed();
+
+        let processed: u64 = per_shard.iter().sum();
+        let sketch = merge_all(shards).expect("shards share dims and seed by construction");
+        EngineRun {
+            sketch,
+            processed,
+            per_shard,
+            elapsed,
+            mpps: processed as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6,
+        }
+    }
+
+    /// Convenience: project a trace under `spec` and ingest it.
+    pub fn run_trace(&self, trace: &Trace, spec: &KeySpec) -> EngineRun {
+        let packets: Vec<(KeyBytes, u64)> = trace
+            .packets
+            .iter()
+            .map(|p| (spec.project(&p.flow), u64::from(p.weight)))
+            .collect();
+        self.run(&packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::gen::{generate, TraceConfig};
+
+    fn packets(n: usize) -> Vec<(KeyBytes, u64)> {
+        let t = generate(&TraceConfig {
+            packets: n,
+            flows: n / 20,
+            ..TraceConfig::default()
+        });
+        t.packets
+            .iter()
+            .map(|p| (KeySpec::FIVE_TUPLE.project(&p.flow), u64::from(p.weight)))
+            .collect()
+    }
+
+    #[test]
+    fn conserves_total_weight_across_thread_counts() {
+        let pkts = packets(30_000);
+        let total: u64 = pkts.iter().map(|&(_, w)| w).sum();
+        for threads in [1, 2, 3, 4] {
+            let run = ShardedCocoSketch::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            })
+            .run(&pkts);
+            assert_eq!(run.processed, pkts.len() as u64);
+            assert_eq!(
+                run.sketch.total_value(),
+                total,
+                "conservation broke at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_affinity_is_total_and_stable() {
+        let pkts = packets(1_000);
+        for &(key, _) in &pkts {
+            let s = ShardedCocoSketch::shard_of(&key, 4);
+            assert!(s < 4);
+            assert_eq!(s, ShardedCocoSketch::shard_of(&key, 4));
+        }
+    }
+
+    #[test]
+    fn backpressure_is_lossless() {
+        let pkts = packets(20_000);
+        let run = ShardedCocoSketch::new(EngineConfig {
+            threads: 2,
+            ring_capacity: 64,
+            batch: 32,
+            ..EngineConfig::default()
+        })
+        .run(&pkts);
+        assert_eq!(run.processed, pkts.len() as u64, "retries, not drops");
+    }
+
+    #[test]
+    fn with_memory_splits_budget() {
+        let eng = ShardedCocoSketch::with_memory(
+            512 * 1024,
+            EngineConfig {
+                threads: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let single = BasicCocoSketch::with_memory(128 * 1024, 2, 13, 0xC0C0);
+        assert_eq!(eng.config().buckets, single.dims().1);
+    }
+
+    #[test]
+    fn run_trace_matches_manual_projection() {
+        let t = generate(&TraceConfig {
+            packets: 5_000,
+            flows: 200,
+            ..TraceConfig::default()
+        });
+        let eng = ShardedCocoSketch::new(EngineConfig::default());
+        let a = eng.run_trace(&t, &KeySpec::FIVE_TUPLE);
+        let manual: Vec<(KeyBytes, u64)> = t
+            .packets
+            .iter()
+            .map(|p| (KeySpec::FIVE_TUPLE.project(&p.flow), u64::from(p.weight)))
+            .collect();
+        let b = eng.run(&manual);
+        let mut ra = a.sketch.records();
+        let mut rb = b.sketch.records();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb);
+    }
+}

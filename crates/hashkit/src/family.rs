@@ -3,13 +3,24 @@
 use crate::bob::bob_hash;
 use crate::rng::SplitMix64;
 
+/// Map a 32-bit hash uniformly into `[0, len)` without a division:
+/// Lemire's multiply-shift reduction. `len` must fit in 32 bits of
+/// headroom, which every sketch array does by orders of magnitude.
+#[inline]
+pub fn fastrange(hash: u32, len: usize) -> usize {
+    debug_assert!(len <= u32::MAX as usize);
+    ((u64::from(hash) * len as u64) >> 32) as usize
+}
+
 /// `d` seeded hash functions, one per sketch array.
 ///
 /// Seeds are expanded from a single master seed with [`SplitMix64`], so a
 /// whole multi-array sketch is reproducible from one integer. Index
-/// computation ([`HashFamily::index`]) reduces the 32-bit hash modulo the
-/// array length; for the array lengths used in sketching (≤ a few million)
-/// the modulo bias is negligible.
+/// computation ([`HashFamily::index`]) maps the 32-bit hash into the array
+/// with the multiply-shift ("fastrange") reduction `(h * len) >> 32` — a
+/// multiply instead of an integer division on the per-packet path; for the
+/// array lengths used in sketching (≤ a few million) its bias is as
+/// negligible as the modulo it replaces.
 #[derive(Debug, Clone)]
 pub struct HashFamily {
     seeds: Vec<u32>,
@@ -47,7 +58,7 @@ impl HashFamily {
     #[inline]
     pub fn index(&self, i: usize, key: &[u8], len: usize) -> usize {
         debug_assert!(len > 0);
-        (self.hash(i, key) as usize) % len
+        fastrange(self.hash(i, key), len)
     }
 
     /// The raw seed of the `i`-th function (exposed for hardware-model
@@ -104,6 +115,20 @@ mod tests {
             .count() as f64;
         let rate = collisions / f64::from(n);
         assert!((rate - 1.0 / 64.0).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fastrange_bounds_and_spread() {
+        for len in [1usize, 2, 17, 64, 1 << 20] {
+            assert!(fastrange(0, len) < len);
+            assert!(fastrange(u32::MAX, len) < len);
+        }
+        // The reduction must cover the whole range, not collapse it.
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..10_000u32 {
+            seen.insert(fastrange(h.wrapping_mul(2_654_435_761), 64));
+        }
+        assert_eq!(seen.len(), 64);
     }
 
     #[test]

@@ -5,15 +5,20 @@
 //! different seeds, one seed per sketch array. This crate provides:
 //!
 //! - [`bob_hash`]: a faithful implementation of Jenkins' `lookup2` with a
-//!   caller-supplied seed (the `initval` of the original C code);
+//!   caller-supplied seed (the `initval` of the original C code), with a
+//!   fully unrolled fast path ([`bob_hash_13`]) for the 13-byte 5-tuple
+//!   key that dominates the sketch hot path;
 //! - [`bob_hash64`]: a 64-bit variant built from two independently seeded
 //!   32-bit invocations, used where a larger hash space is needed;
 //! - [`HashFamily`]: `d` pairwise-independent-in-practice seeded hash
-//!   functions, the building block for multi-array sketches;
-//! - [`SplitMix64`] and [`XorShift64Star`]: tiny, allocation-free PRNGs for
-//!   seed derivation and for the probabilistic key-replacement decisions in
-//!   the sketch hot path (where pulling in a full RNG crate would be
-//!   overkill and non-deterministic).
+//!   functions, the building block for multi-array sketches, indexing
+//!   arrays via the division-free [`fastrange`] reduction;
+//! - [`SplitMix64`] and [`XorShift64Star`]: tiny, allocation-free PRNGs.
+//!   `XorShift64Star` drives the probabilistic key-replacement decisions
+//!   in the sketch hot path; `SplitMix64` doubles as the workspace's
+//!   general-purpose RNG (seed derivation, trace generation, shuffles),
+//!   which is also what keeps the build hermetic: no external RNG crate,
+//!   and every random draw is deterministic given its seed.
 //!
 //! Everything here is deterministic given its seeds; experiments built on
 //! top are bit-reproducible.
@@ -26,6 +31,6 @@ mod bob;
 mod family;
 mod rng;
 
-pub use bob::{bob_hash, bob_hash64};
-pub use family::HashFamily;
+pub use bob::{bob_hash, bob_hash64, bob_hash_13};
+pub use family::{fastrange, HashFamily};
 pub use rng::{SplitMix64, XorShift64Star};

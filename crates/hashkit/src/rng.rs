@@ -37,6 +37,50 @@ impl SplitMix64 {
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Uniform `f64` in `[0, 1)` built from the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform integer in `[lo, hi)` (half-open, like `gen_range`).
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, `None` on an empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len() as u64) as usize])
+        }
+    }
 }
 
 /// xorshift64*: the in-sketch coin-flip generator.
@@ -158,6 +202,46 @@ mod tests {
             seen[v as usize] = true;
         }
         assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn splitmix_shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        SplitMix64::new(9).shuffle(&mut a);
+        SplitMix64::new(9).shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        let mut c: Vec<u32> = (0..100).collect();
+        SplitMix64::new(10).shuffle(&mut c);
+        assert_ne!(a, c, "different seed should permute differently");
+    }
+
+    #[test]
+    fn splitmix_range_and_choose() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        assert_eq!(r.choose::<u8>(&[]), None);
+        let xs = [1u8, 2, 3];
+        for _ in 0..100 {
+            assert!(xs.contains(r.choose(&xs).unwrap()));
+        }
+    }
+
+    #[test]
+    fn splitmix_chance_frequency() {
+        let mut r = SplitMix64::new(77);
+        let trials = 100_000u32;
+        let hits = (0..trials).filter(|_| r.chance(0.3)).count() as f64;
+        let freq = hits / f64::from(trials);
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.1));
     }
 
     #[test]

@@ -119,24 +119,30 @@ impl OvsSim {
                 let done = Arc::clone(&done);
                 let seed = cfg.seed.wrapping_add(i as u64 * 0x9E37);
                 std::thread::spawn(move || {
+                    const CHUNK: usize = 256;
                     let mut sketch =
                         BasicCocoSketch::with_memory(per_shard_mem, 2, full.key_bytes(), seed);
                     let mut processed = 0u64;
+                    let mut chunk: Vec<PacketRecord> = Vec::with_capacity(CHUNK);
+                    let mut batch: Vec<(KeyBytes, u64)> = Vec::with_capacity(CHUNK);
                     loop {
-                        match ring.pop() {
-                            Some(rec) => {
-                                sketch.update(&full.project(&rec.flow), u64::from(rec.weight));
-                                processed += 1;
-                            }
-                            None => {
-                                if done.load(Ordering::Acquire) && ring.is_empty() {
-                                    break;
-                                }
-                                // PMD discipline: busy-poll, yield a
-                                // little on a starved queue so single-
-                                // core hosts make progress.
-                                std::thread::yield_now();
-                            }
+                        chunk.clear();
+                        if ring.pop_chunk(&mut chunk, CHUNK) > 0 {
+                            batch.clear();
+                            batch.extend(
+                                chunk
+                                    .iter()
+                                    .map(|rec| (full.project(&rec.flow), u64::from(rec.weight))),
+                            );
+                            sketch.update_batch(&batch);
+                            processed += batch.len() as u64;
+                        } else if done.load(Ordering::Acquire) && ring.is_empty() {
+                            break;
+                        } else {
+                            // PMD discipline: busy-poll, yield a little
+                            // on a starved queue so single-core hosts
+                            // make progress.
+                            std::thread::yield_now();
                         }
                     }
                     (sketch.records(), processed)

@@ -6,21 +6,20 @@
 //! its own sketch shard (one Rx queue per thread, pinned PMD-style).
 //!
 //! This crate builds that architecture for real — lock-free SPSC rings
-//! ([`ring::SpscRing`]), a producer thread distributing packets RSS-
-//! style, polling consumer threads owning [`cocosketch`] shards, and a
-//! final shard merge — and models only what cannot exist on a dev box:
-//! the 40 GbE NIC line rate, as a throughput cap ([`nic`]).
-
+//! (consumed from the [`engine`] crate, re-exported as [`ring`]), a
+//! producer thread distributing packets RSS-style, polling consumer
+//! threads owning [`cocosketch`] shards, and a final shard merge — and
+//! models only what cannot exist on a dev box: the 40 GbE NIC line
+//! rate, as a throughput cap ([`nic`]).
 
 #![warn(missing_docs)]
-// Unlike the sibling crates, this one cannot `forbid(unsafe_code)`:
-// the SPSC ring needs two `unsafe` slot accesses, each with a documented
-// ownership argument (see `ring.rs`).
+#![forbid(unsafe_code)]
 
 pub mod datapath;
 pub mod nic;
-pub mod ring;
+
+pub use engine::ring;
 
 pub use datapath::{OvsConfig, OvsRun, OvsSim};
 pub use nic::NicModel;
-pub use ring::SpscRing;
+pub use engine::SpscRing;

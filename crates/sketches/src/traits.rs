@@ -30,6 +30,18 @@ pub trait Sketch {
     /// Process one packet: add `w` to flow `key`.
     fn update(&mut self, key: &KeyBytes, w: u64);
 
+    /// Process a batch of packets.
+    ///
+    /// Must be observationally identical to updating each packet in
+    /// order; implementations override it only to exploit batching
+    /// (e.g. hashing a window of keys up front to hide hash latency)
+    /// without changing results.
+    fn update_batch(&mut self, batch: &[(KeyBytes, u64)]) {
+        for (key, w) in batch {
+            self.update(key, *w);
+        }
+    }
+
     /// Estimated size of `key`.
     fn query(&self, key: &KeyBytes) -> u64;
 

@@ -30,6 +30,7 @@ pub fn diff_table(
 }
 
 /// Run heavy-change detection with `algo` across two windows and score.
+#[allow(clippy::too_many_arguments)] // experiment entry point: every knob is a sweep axis
 pub fn run(
     window1: &Trace,
     window2: &Trace,

@@ -13,8 +13,7 @@
 
 use crate::key::FiveTuple;
 use crate::packet::{Packet, Trace};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use hashkit::SplitMix64;
 use std::collections::HashSet;
 
 /// Configuration for the synthetic trace generator.
@@ -56,7 +55,7 @@ struct SkewedSampler {
 }
 
 impl SkewedSampler {
-    fn new(n: usize, alpha: f64, rng: &mut StdRng) -> Self {
+    fn new(n: usize, alpha: f64, rng: &mut SplitMix64) -> Self {
         assert!(n > 0);
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
@@ -69,12 +68,12 @@ impl SkewedSampler {
             *v /= total;
         }
         let mut perm: Vec<u32> = (0..n as u32).collect();
-        perm.shuffle(rng);
+        rng.shuffle(&mut perm);
         Self { cdf, perm }
     }
 
-    fn sample(&self, rng: &mut StdRng) -> u32 {
-        let u: f64 = rng.gen();
+    fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let u: f64 = rng.next_f64();
         let idx = self.cdf.partition_point(|&c| c < u);
         self.perm[idx.min(self.perm.len() - 1)]
     }
@@ -93,9 +92,9 @@ struct FlowSampler {
 }
 
 impl FlowSampler {
-    fn new(ip_skew: f64, rng: &mut StdRng) -> Self {
+    fn new(ip_skew: f64, rng: &mut SplitMix64) -> Self {
         // Deeper octets get less skew: /8s are few and hot, /32s diverse.
-        let mk = |scale: f64, rng: &mut StdRng| SkewedSampler::new(256, ip_skew * scale, rng);
+        let mk = |scale: f64, rng: &mut SplitMix64| SkewedSampler::new(256, ip_skew * scale, rng);
         Self {
             src_octets: [mk(1.2, rng), mk(1.0, rng), mk(0.8, rng), mk(0.6, rng)],
             dst_octets: [mk(1.2, rng), mk(1.0, rng), mk(0.8, rng), mk(0.6, rng)],
@@ -104,7 +103,7 @@ impl FlowSampler {
         }
     }
 
-    fn sample_ip(octets: &[SkewedSampler; 4], rng: &mut StdRng) -> u32 {
+    fn sample_ip(octets: &[SkewedSampler; 4], rng: &mut SplitMix64) -> u32 {
         let mut ip = 0u32;
         for sampler in octets {
             ip = (ip << 8) | sampler.sample(rng);
@@ -112,16 +111,16 @@ impl FlowSampler {
         ip
     }
 
-    fn sample(&self, rng: &mut StdRng) -> FiveTuple {
+    fn sample(&self, rng: &mut SplitMix64) -> FiveTuple {
         let src_ip = Self::sample_ip(&self.src_octets, rng);
         let dst_ip = Self::sample_ip(&self.dst_octets, rng);
         let src_port = 1024 + self.src_port.sample(rng) as u16 % 60000;
-        let dst_port = if rng.gen_bool(0.7) {
-            *self.common_dst_ports.choose(rng).unwrap()
+        let dst_port = if rng.chance(0.7) {
+            *rng.choose(&self.common_dst_ports).unwrap()
         } else {
-            rng.gen_range(1024..65535)
+            rng.range(1024, 65535) as u16
         };
-        let proto = match rng.gen_range(0..100) {
+        let proto = match rng.below(100) {
             0..=84 => 6,
             85..=97 => 17,
             _ => 1,
@@ -131,7 +130,7 @@ impl FlowSampler {
 }
 
 /// Draw `n` *distinct* structured flows.
-fn distinct_flows(n: usize, sampler: &FlowSampler, rng: &mut StdRng) -> Vec<FiveTuple> {
+fn distinct_flows(n: usize, sampler: &FlowSampler, rng: &mut SplitMix64) -> Vec<FiveTuple> {
     let mut seen = HashSet::with_capacity(n * 2);
     let mut flows = Vec::with_capacity(n);
     // The octet samplers concentrate mass, so collisions happen; bound the
@@ -143,7 +142,7 @@ fn distinct_flows(n: usize, sampler: &FlowSampler, rng: &mut StdRng) -> Vec<Five
         if attempts > 50 * n {
             // Extremely skewed config: disambiguate via the source port so
             // generation always terminates.
-            ft.src_port = rng.gen();
+            ft.src_port = rng.next_u64() as u16;
         }
         if seen.insert(ft) {
             flows.push(ft);
@@ -180,7 +179,7 @@ pub fn zipf_sizes(packets: usize, flows: usize, alpha: f64) -> Vec<u64> {
 /// sketch algorithms expect of real traffic.
 pub fn generate(cfg: &TraceConfig) -> Trace {
     assert!(cfg.flows > 0 && cfg.packets >= cfg.flows, "config: {cfg:?}");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let sampler = FlowSampler::new(cfg.ip_skew, &mut rng);
     let flows = distinct_flows(cfg.flows, &sampler, &mut rng);
     let sizes = zipf_sizes(cfg.packets, cfg.flows, cfg.alpha);
@@ -192,7 +191,7 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
             packets.push(Packet::count(*flow));
         }
     }
-    packets.shuffle(&mut rng);
+    rng.shuffle(&mut packets);
     Trace { packets }
 }
 
@@ -204,19 +203,19 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
 /// (÷8) with the given probability, so the ground-truth heavy-change set
 /// is non-trivial at the paper's 1e-4 threshold.
 pub fn heavy_change_pair(cfg: &TraceConfig, churn_top: usize, churn_prob: f64) -> (Trace, Trace) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let sampler = FlowSampler::new(cfg.ip_skew, &mut rng);
     let flows = distinct_flows(cfg.flows, &sampler, &mut rng);
     let sizes1 = zipf_sizes(cfg.packets, cfg.flows, cfg.alpha);
 
     let mut sizes2 = sizes1.clone();
     for size in sizes2.iter_mut().take(churn_top.min(cfg.flows)) {
-        if rng.gen_bool(churn_prob) {
-            *size = if rng.gen_bool(0.5) { *size * 4 } else { (*size / 8).max(1) };
+        if rng.chance(churn_prob) {
+            *size = if rng.chance(0.5) { *size * 4 } else { (*size / 8).max(1) };
         }
     }
 
-    let build = |sizes: &[u64], rng: &mut StdRng| -> Trace {
+    let build = |sizes: &[u64], rng: &mut SplitMix64| -> Trace {
         let total: u64 = sizes.iter().sum();
         let mut packets = Vec::with_capacity(total as usize);
         for (flow, &size) in flows.iter().zip(sizes) {
@@ -224,7 +223,7 @@ pub fn heavy_change_pair(cfg: &TraceConfig, churn_top: usize, churn_prob: f64) -
                 packets.push(Packet::count(*flow));
             }
         }
-        packets.shuffle(rng);
+        rng.shuffle(&mut packets);
         Trace { packets }
     };
     let w1 = build(&sizes1, &mut rng);

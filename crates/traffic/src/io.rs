@@ -14,7 +14,6 @@
 
 use crate::key::FiveTuple;
 use crate::packet::{Packet, Trace};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -23,44 +22,43 @@ const MAGIC: &[u8; 4] = b"CCT1";
 const RECORD: usize = 17;
 
 /// Encode a trace into a byte buffer.
-pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + trace.len() * RECORD);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(trace.len() as u64);
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + trace.len() * RECORD);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(trace.len() as u64).to_le_bytes());
     for p in &trace.packets {
-        buf.put_u32(p.flow.src_ip);
-        buf.put_u32(p.flow.dst_ip);
-        buf.put_u16(p.flow.src_port);
-        buf.put_u16(p.flow.dst_port);
-        buf.put_u8(p.flow.proto);
-        buf.put_u32_le(p.weight);
+        buf.extend_from_slice(&p.flow.src_ip.to_be_bytes());
+        buf.extend_from_slice(&p.flow.dst_ip.to_be_bytes());
+        buf.extend_from_slice(&p.flow.src_port.to_be_bytes());
+        buf.extend_from_slice(&p.flow.dst_port.to_be_bytes());
+        buf.push(p.flow.proto);
+        buf.extend_from_slice(&p.weight.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decode a trace from bytes.
-pub fn decode(mut data: &[u8]) -> io::Result<Trace> {
+pub fn decode(data: &[u8]) -> io::Result<Trace> {
     let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     if data.len() < 12 {
         return Err(err("truncated header"));
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &data[..4] != MAGIC {
         return Err(err("bad magic"));
     }
-    let count = data.get_u64_le() as usize;
-    if data.remaining() != count * RECORD {
+    let count = u64::from_le_bytes(data[4..12].try_into().unwrap()) as usize;
+    let records = &data[12..];
+    if records.len() != count.checked_mul(RECORD).ok_or_else(|| err("count overflow"))? {
         return Err(err("record section length mismatch"));
     }
     let mut packets = Vec::with_capacity(count);
-    for _ in 0..count {
-        let src_ip = data.get_u32();
-        let dst_ip = data.get_u32();
-        let src_port = data.get_u16();
-        let dst_port = data.get_u16();
-        let proto = data.get_u8();
-        let weight = data.get_u32_le();
+    for rec in records.chunks_exact(RECORD) {
+        let src_ip = u32::from_be_bytes(rec[0..4].try_into().unwrap());
+        let dst_ip = u32::from_be_bytes(rec[4..8].try_into().unwrap());
+        let src_port = u16::from_be_bytes(rec[8..10].try_into().unwrap());
+        let dst_port = u16::from_be_bytes(rec[10..12].try_into().unwrap());
+        let proto = rec[12];
+        let weight = u32::from_le_bytes(rec[13..17].try_into().unwrap());
         packets.push(Packet {
             flow: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto),
             weight,

@@ -12,7 +12,6 @@
 //! the partial key omits and mask the IPs to the prefix length.
 
 use crate::key::{FiveTuple, KeyBytes, MAX_KEY_BYTES};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Mask keeping the top `bits` of a 32-bit value.
@@ -31,7 +30,7 @@ fn prefix_mask(bits: u8) -> u32 {
 ///
 /// `src_ip_bits`/`dst_ip_bits` of 0 mean the field is absent; 1–32 keep
 /// that many leading bits. Ports and protocol are either present or not.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct KeySpec {
     /// Leading bits of the source IP included in the key (0 = absent).
     pub src_ip_bits: u8,

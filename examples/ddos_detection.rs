@@ -10,8 +10,7 @@
 //! Run with: `cargo run --release -p cocosketch-bench --example ddos_detection`
 
 use cocosketch::{BasicCocoSketch, FlowTable};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use hashkit::SplitMix64;
 use sketches::Sketch;
 use traffic::gen::{generate, TraceConfig};
 use traffic::{FiveTuple, KeySpec, Packet, Trace};
@@ -19,22 +18,22 @@ use traffic::{FiveTuple, KeySpec, Packet, Trace};
 /// Inject a spoofed-source flood toward one victim into background
 /// traffic: many sources from two /16s hammer 203.0.113.80:443.
 fn inject_attack(mut background: Trace, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let victim_ip = u32::from_be_bytes([203, 0, 113, 80]);
     let attack_pkts = background.len() / 5; // 20% attack volume
     let botnets = [u32::from_be_bytes([198, 51, 0, 0]), u32::from_be_bytes([192, 0, 0, 0])];
     for _ in 0..attack_pkts {
-        let net = botnets[rng.gen_range(0..botnets.len())];
-        let src = net | rng.gen_range(0..0xFFFFu32);
+        let net = botnets[rng.below(botnets.len() as u64) as usize];
+        let src = net | rng.below(0x1_0000) as u32;
         background.packets.push(Packet::count(FiveTuple::new(
             src,
             victim_ip,
-            rng.gen_range(1024..65535),
+            rng.range(1024, 65535) as u16,
             443,
             6,
         )));
     }
-    background.packets.shuffle(&mut rng);
+    rng.shuffle(&mut background.packets);
     background
 }
 

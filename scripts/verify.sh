@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Tier-1 verification, runnable with zero network access (see the
+# offline-build policy in DESIGN.md): release build, default test
+# suite, and a warnings-are-errors lint pass. The heavy (feature-gated)
+# suites are opt-in: VERIFY_HEAVY=1 scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+if [ "${VERIFY_HEAVY:-0}" = "1" ]; then
+    echo "==> heavy suites (proptest + criterion shims)"
+    cargo test -q -p integration --features heavy-tests
+    cargo check -q -p cocosketch-bench --features heavy-tests --benches
+fi
+
+echo "verify: OK"
