@@ -18,7 +18,11 @@ fn workload() -> Vec<traffic::KeyBytes> {
         ..TraceConfig::default()
     });
     let full = KeySpec::FIVE_TUPLE;
-    trace.packets.iter().map(|p| full.project(&p.flow)).collect()
+    trace
+        .packets
+        .iter()
+        .map(|p| full.project(&p.flow))
+        .collect()
 }
 
 fn bench_basic_d_sweep(c: &mut Criterion) {
@@ -52,7 +56,10 @@ fn bench_hardware_update(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(3));
-    for (name, mode) in [("exact", DivisionMode::Exact), ("approx", DivisionMode::ApproxTofino)] {
+    for (name, mode) in [
+        ("exact", DivisionMode::Exact),
+        ("approx", DivisionMode::ApproxTofino),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
             b.iter_batched(
                 || HardwareCocoSketch::with_memory(MEM, 2, 13, mode, 1),

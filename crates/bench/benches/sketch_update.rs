@@ -24,16 +24,20 @@ fn bench_updates(c: &mut Criterion) {
     let mut algos = vec![Algo::OURS];
     algos.extend(Algo::BASELINES);
     for algo in algos {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, algo| {
-            b.iter_batched(
-                || Pipeline::deploy(*algo, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, MEM, 1),
-                |mut pipe| {
-                    pipe.run(&trace);
-                    pipe
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, algo| {
+                b.iter_batched(
+                    || Pipeline::deploy(*algo, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, MEM, 1),
+                    |mut pipe| {
+                        pipe.run(&trace);
+                        pipe
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -48,8 +52,11 @@ fn bench_uss_implementations(c: &mut Criterion) {
         ..TraceConfig::default()
     });
     let full = KeySpec::FIVE_TUPLE;
-    let keys: Vec<traffic::KeyBytes> =
-        trace.packets.iter().map(|p| full.project(&p.flow)).collect();
+    let keys: Vec<traffic::KeyBytes> = trace
+        .packets
+        .iter()
+        .map(|p| full.project(&p.flow))
+        .collect();
 
     let mut group = c.benchmark_group("uss_update_cost");
     group.throughput(Throughput::Elements(keys.len() as u64));
@@ -146,16 +153,20 @@ fn bench_single_key(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(3));
     for algo in [Algo::OURS, Algo::Uss, Algo::Elastic] {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, algo| {
-            b.iter_batched(
-                || Pipeline::deploy(*algo, &[KeySpec::FIVE_TUPLE], KeySpec::FIVE_TUPLE, MEM, 1),
-                |mut pipe| {
-                    pipe.run(&trace);
-                    pipe
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, algo| {
+                b.iter_batched(
+                    || Pipeline::deploy(*algo, &[KeySpec::FIVE_TUPLE], KeySpec::FIVE_TUPLE, MEM, 1),
+                    |mut pipe| {
+                        pipe.run(&trace);
+                        pipe
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }

@@ -9,9 +9,7 @@
 //! Each row reports the heavy-hitter F1/ARE over the paper's six keys,
 //! on one CAIDA-like trace sized by `--scale` and seeded by `--seed`.
 
-use cocosketch::{
-    BasicCocoSketch, Combine, DivisionMode, FlowTable, HardwareCocoSketch, TieBreak,
-};
+use cocosketch::{BasicCocoSketch, Combine, DivisionMode, FlowTable, HardwareCocoSketch, TieBreak};
 use cocosketch_bench::{f, Cli, ResultTable};
 use sketches::Sketch;
 use std::collections::HashMap;
@@ -32,13 +30,21 @@ fn run_one(sketch: &mut dyn Sketch, trace: &Trace) -> (f64, f64) {
         .iter()
         .map(|spec| table.query_partial(spec))
         .collect();
-    let res = score(&estimates, trace, &KeySpec::PAPER_SIX, threshold_of(trace, THRESHOLD));
+    let res = score(
+        &estimates,
+        trace,
+        &KeySpec::PAPER_SIX,
+        threshold_of(trace, THRESHOLD),
+    );
     (res.avg.f1, res.avg.are)
 }
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("ablation: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "ablation: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
     let key_bytes = KeySpec::FIVE_TUPLE.key_bytes();
 
@@ -57,11 +63,19 @@ fn main() {
     {
         let mut s = sketches::UnbiasedSpaceSaving::with_memory(MEM, key_bytes, cli.seed);
         let (f1, are) = run_one(&mut s, &trace);
-        table.push(vec!["candidates".into(), "global min (USS)".into(), f(f1), f(are)]);
+        table.push(vec![
+            "candidates".into(),
+            "global min (USS)".into(),
+            f(f1),
+            f(are),
+        ]);
     }
 
     // 2. tie-breaking.
-    for (label, tb) in [("random (paper)", TieBreak::Random), ("first", TieBreak::First)] {
+    for (label, tb) in [
+        ("random (paper)", TieBreak::Random),
+        ("first", TieBreak::First),
+    ] {
         let mut s = BasicCocoSketch::with_memory(MEM, 2, key_bytes, cli.seed);
         s.set_tie_break(tb);
         let (f1, are) = run_one(&mut s, &trace);

@@ -14,7 +14,10 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig10: generating adjacent CAIDA-like windows at scale {} ...", cli.scale);
+    eprintln!(
+        "fig10: generating adjacent CAIDA-like windows at scale {} ...",
+        cli.scale
+    );
     let cfg = presets::caida_config(cli.scale, cli.seed);
     let (w1, w2) = gen::heavy_change_pair(&cfg, 400, 0.5);
 

@@ -17,11 +17,17 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig11: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig11: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
     let hierarchy = src_hierarchy();
 
-    eprintln!("fig11: computing exact ground truth for {} levels ...", hierarchy.len());
+    eprintln!(
+        "fig11: computing exact ground truth for {} levels ...",
+        hierarchy.len()
+    );
     let truths = truth::exact_counts_hierarchy(&trace, &KeySpec::SRC_IP, &hierarchy);
     let threshold = threshold_of(&trace, THRESHOLD);
 

@@ -16,14 +16,23 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig12: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig12: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
     let hierarchy = two_d_hierarchy();
 
-    eprintln!("fig12: computing exact ground truth for {} levels ...", hierarchy.len());
+    eprintln!(
+        "fig12: computing exact ground truth for {} levels ...",
+        hierarchy.len()
+    );
     let truths = truth::exact_counts_hierarchy(&trace, &KeySpec::SRC_DST, &hierarchy);
     let threshold = threshold_of(&trace, THRESHOLD);
-    eprintln!("fig12: {} hierarchy levels (this sweep is the heavy one)", hierarchy.len());
+    eprintln!(
+        "fig12: {} hierarchy levels (this sweep is the heavy one)",
+        hierarchy.len()
+    );
 
     let cols: Vec<String> = std::iter::once("algo".to_string())
         .chain(MEMS_MB.iter().map(|m| format!("{m}MB")))

@@ -10,7 +10,10 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig13: generating MAWI-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig13: generating MAWI-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::mawi_like(cli.scale, cli.seed);
     let cfg = presets::mawi_config(cli.scale, cli.seed);
     let (w1, w2) = gen::heavy_change_pair(&cfg, 400, 0.5);

@@ -15,7 +15,10 @@ const MEM: usize = 500 * 1024;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig14: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig14: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
 
     let mut algos = vec![Algo::OURS];
@@ -23,8 +26,11 @@ fn main() {
 
     let cols = ["algo", "1", "2", "3", "4", "5", "6"];
     let mut tput = ResultTable::new("fig14a", "CPU throughput (Mpps) vs number of keys", &cols);
-    let mut cycles =
-        ResultTable::new("fig14b", "p95 per-packet CPU cycles vs number of keys", &cols);
+    let mut cycles = ResultTable::new(
+        "fig14b",
+        "p95 per-packet CPU cycles vs number of keys",
+        &cols,
+    );
 
     for algo in &algos {
         let mut t_row = vec![algo.name().to_string()];

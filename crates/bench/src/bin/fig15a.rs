@@ -17,7 +17,10 @@ const MEM: usize = 512 * 1024;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig15a: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig15a: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
     let nic = NicModel::forty_gbe();
 
@@ -26,7 +29,15 @@ fn main() {
     // forwards; model its per-thread capacity as the ring + projection
     // path, measured by a no-op single-key pipeline of negligible size.
     let with_sketch = timing::measure_throughput(
-        || Pipeline::deploy(Algo::OURS, &[KeySpec::FIVE_TUPLE], KeySpec::FIVE_TUPLE, MEM, cli.seed),
+        || {
+            Pipeline::deploy(
+                Algo::OURS,
+                &[KeySpec::FIVE_TUPLE],
+                KeySpec::FIVE_TUPLE,
+                MEM,
+                cli.seed,
+            )
+        },
         &trace,
         3,
     )
@@ -37,7 +48,15 @@ fn main() {
     // datapath as the same loop minus the sketch update — measured via
     // a minimal 1-bucket sketch, which reduces the loop to hash+touch.
     let without_sketch = timing::measure_throughput(
-        || Pipeline::deploy(Algo::OURS, &[KeySpec::FIVE_TUPLE], KeySpec::FIVE_TUPLE, 64, cli.seed),
+        || {
+            Pipeline::deploy(
+                Algo::OURS,
+                &[KeySpec::FIVE_TUPLE],
+                KeySpec::FIVE_TUPLE,
+                64,
+                cli.seed,
+            )
+        },
         &trace,
         3,
     )

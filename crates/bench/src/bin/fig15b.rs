@@ -17,11 +17,21 @@ fn main() {
     let mut table = ResultTable::new(
         "fig15b",
         "FPGA throughput (Mpps) vs memory",
-        &["memory(MB)", "Hardware", "Basic", "HW clock(MHz)", "HW II", "Basic II"],
+        &[
+            "memory(MB)",
+            "Hardware",
+            "Basic",
+            "HW clock(MHz)",
+            "HW II",
+            "Basic II",
+        ],
     );
     for mem_mb in mems_mb {
         let mem = (mem_mb * 1024.0 * 1024.0) as usize;
-        let hw = synthesize(&library::coco_hardware(mem, 2, library::FIVE_TUPLE_BITS), &cfg);
+        let hw = synthesize(
+            &library::coco_hardware(mem, 2, library::FIVE_TUPLE_BITS),
+            &cfg,
+        );
         let basic = synthesize(&library::coco_basic(mem, 2, library::FIVE_TUPLE_BITS), &cfg);
         table.push(vec![
             format!("{mem_mb}"),

@@ -20,7 +20,10 @@ fn main() {
         &library::coco_hardware(COCO_MEM, 2, library::FIVE_TUPLE_BITS),
         &cfg,
     );
-    let elastic = synthesize(&library::elastic(ELASTIC_MEM, library::FIVE_TUPLE_BITS), &cfg);
+    let elastic = synthesize(
+        &library::elastic(ELASTIC_MEM, library::FIVE_TUPLE_BITS),
+        &cfg,
+    );
 
     let pct = |v: f64| format!("{:.2}%", v * 100.0);
     let mut table = ResultTable::new(

@@ -12,7 +12,11 @@ const ELASTIC_MEM: usize = 560 * 1024;
 fn main() {
     let cli = Cli::parse();
     let cfg = RmtConfig::default();
-    let coco = ResourceUsage::of(&library::coco_hardware(COCO_MEM, 2, library::FIVE_TUPLE_BITS));
+    let coco = ResourceUsage::of(&library::coco_hardware(
+        COCO_MEM,
+        2,
+        library::FIVE_TUPLE_BITS,
+    ));
     let elastic_prog = library::elastic(ELASTIC_MEM, library::FIVE_TUPLE_BITS);
     let elastic = ResourceUsage::of(&elastic_prog);
 

@@ -15,7 +15,10 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig16: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig16: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
 
     let mut table = ResultTable::new(
@@ -48,7 +51,15 @@ fn main() {
             cli.seed,
         );
         let t = timing::measure_throughput(
-            || Pipeline::deploy(*algo, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, MEM, cli.seed),
+            || {
+                Pipeline::deploy(
+                    *algo,
+                    &KeySpec::PAPER_SIX,
+                    KeySpec::FIVE_TUPLE,
+                    MEM,
+                    cli.seed,
+                )
+            },
             &trace,
             3,
         );

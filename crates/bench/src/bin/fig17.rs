@@ -34,7 +34,10 @@ fn quantile(errors: &[u64], q: f64) -> u64 {
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig17: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig17: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
     let full = KeySpec::FIVE_TUPLE;
     let feed = |sketch: &mut dyn Sketch| {
@@ -70,10 +73,19 @@ fn main() {
     a.emit(&cli.out_dir).expect("write results");
 
     // 17b: hardware-friendly CocoSketch d in {1,2,3,4}.
-    let mut b = ResultTable::new("fig17b", "error CDF tail, hardware-friendly CocoSketch", &q_ref);
+    let mut b = ResultTable::new(
+        "fig17b",
+        "error CDF tail, hardware-friendly CocoSketch",
+        &q_ref,
+    );
     for d in [1usize, 2, 3, 4] {
-        let mut s =
-            HardwareCocoSketch::with_memory(MEM, d, full.key_bytes(), DivisionMode::Exact, cli.seed);
+        let mut s = HardwareCocoSketch::with_memory(
+            MEM,
+            d,
+            full.key_bytes(),
+            DivisionMode::Exact,
+            cli.seed,
+        );
         feed(&mut s);
         let errors = error_distribution(&s, &trace);
         let mut row = vec![format!("d={d}")];

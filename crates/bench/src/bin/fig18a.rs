@@ -15,7 +15,10 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig18a: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig18a: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
 
     let cols: Vec<String> = std::iter::once("version".to_string())
@@ -36,7 +39,11 @@ fn main() {
                 THRESHOLD,
                 cli.seed,
             );
-            eprintln!("fig18a: {} {mem_kb}KB: F1 {:.4}", variant.name(), res.avg.f1);
+            eprintln!(
+                "fig18a: {} {mem_kb}KB: F1 {:.4}",
+                variant.name(),
+                res.avg.f1
+            );
             row.push(f(res.avg.f1));
         }
         table.push(row);

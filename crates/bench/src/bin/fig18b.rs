@@ -46,7 +46,10 @@ fn feed(sketch: &mut dyn Sketch, trace: &Trace, spec: &KeySpec) {
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig18b: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig18b: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
     let full = KeySpec::SRC_IP;
     let part = KeySpec::src_prefix(24);
@@ -75,8 +78,14 @@ fn main() {
         let part_est = t.query_partial(&part);
         table.push(vec![
             "Ours".into(),
-            format!("{:.4}", are_over_all(&truth_full, |k| full_est.get(k).copied().unwrap_or(0))),
-            format!("{:.4}", are_over_all(&truth_part, |k| part_est.get(k).copied().unwrap_or(0))),
+            format!(
+                "{:.4}",
+                are_over_all(&truth_full, |k| full_est.get(k).copied().unwrap_or(0))
+            ),
+            format!(
+                "{:.4}",
+                are_over_all(&truth_part, |k| part_est.get(k).copied().unwrap_or(0))
+            ),
         ]);
         eprintln!("fig18b: Ours done");
     }
@@ -107,16 +116,16 @@ fn main() {
         table.push(vec![
             "Lossy".into(),
             format!("{are_full:.4}"),
-            format!("{:.4}", are_over_all(&truth_part, |k| {
-                lossy_est.get(k).copied().unwrap_or(0)
-            })),
+            format!(
+                "{:.4}",
+                are_over_all(&truth_part, |k| { lossy_est.get(k).copied().unwrap_or(0) })
+            ),
         ]);
         eprintln!("fig18b: Lossy done");
 
         // Full: query every /32 member of each /24.
         let are_part_full_query = are_over_all(&truth_part, |k24| {
-            let base =
-                u32::from_be_bytes(k24.as_slice().try_into().expect("/24 keys are 4 bytes"));
+            let base = u32::from_be_bytes(k24.as_slice().try_into().expect("/24 keys are 4 bytes"));
             (0..256u32)
                 .map(|low| {
                     let ip = base | low;

@@ -14,7 +14,10 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig8: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig8: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
     eprintln!(
         "fig8: {} packets, {} flows",

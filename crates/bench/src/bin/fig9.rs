@@ -13,7 +13,10 @@ const THRESHOLD: f64 = 1e-4;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("fig9: generating CAIDA-like trace at scale {} ...", cli.scale);
+    eprintln!(
+        "fig9: generating CAIDA-like trace at scale {} ...",
+        cli.scale
+    );
     let trace = presets::caida_like(cli.scale, cli.seed);
 
     let mut algos = vec![Algo::OURS];

@@ -73,7 +73,9 @@ fn parse_args() -> Args {
             }
             "--out" => a.out_dir = PathBuf::from(need_value(i)),
             "--help" | "-h" => {
-                eprintln!("usage: throughput [--scale N] [--seed S] [--threads 1,2,4,8] [--out DIR]");
+                eprintln!(
+                    "usage: throughput [--scale N] [--seed S] [--threads 1,2,4,8] [--out DIR]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -91,7 +93,10 @@ const MEM: usize = 512 * 1024;
 
 fn main() {
     let args = parse_args();
-    eprintln!("throughput: generating CAIDA-like trace at scale {} ...", args.scale);
+    eprintln!(
+        "throughput: generating CAIDA-like trace at scale {} ...",
+        args.scale
+    );
     let trace = presets::caida_like(args.scale, args.seed);
     let packets: Vec<(KeyBytes, u64)> = trace
         .packets
@@ -108,8 +113,12 @@ fn main() {
     };
 
     // Baseline 1: the scalar per-packet loop.
-    let mut scalar =
-        cocosketch::BasicCocoSketch::with_memory(MEM, 2, KeySpec::FIVE_TUPLE.key_bytes(), args.seed);
+    let mut scalar = cocosketch::BasicCocoSketch::with_memory(
+        MEM,
+        2,
+        KeySpec::FIVE_TUPLE.key_bytes(),
+        args.seed,
+    );
     let start = Instant::now();
     for (key, w) in &packets {
         scalar.update(key, *w);
@@ -129,7 +138,11 @@ fn main() {
     let mut results = String::new();
     for (idx, &threads) in args.threads.iter().enumerate() {
         let run = ShardedCocoSketch::with_memory(MEM, config(threads)).run(&packets);
-        assert_eq!(run.processed, packets.len() as u64, "engine dropped packets");
+        assert_eq!(
+            run.processed,
+            packets.len() as u64,
+            "engine dropped packets"
+        );
         assert_eq!(
             run.sketch.total_value(),
             total_weight,

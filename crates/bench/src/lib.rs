@@ -13,7 +13,6 @@
 //! Absolute throughput numbers depend on the host; accuracy numbers are
 //! deterministic given `--seed`.
 
-
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -109,7 +108,12 @@ impl ResultTable {
 
     /// Append a row (must match the header width).
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.header.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -150,9 +154,21 @@ impl ResultTable {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

@@ -91,7 +91,10 @@ mod tests {
     fn memory_units() {
         assert_eq!(parse_memory("500KB").unwrap(), 500 * 1024);
         assert_eq!(parse_memory("2MB").unwrap(), 2 * 1024 * 1024);
-        assert_eq!(parse_memory("1.5mb").unwrap(), (1.5 * 1024.0 * 1024.0) as usize);
+        assert_eq!(
+            parse_memory("1.5mb").unwrap(),
+            (1.5 * 1024.0 * 1024.0) as usize
+        );
         assert_eq!(parse_memory("4096").unwrap(), 4096);
         assert_eq!(parse_memory("64b").unwrap(), 64);
         assert!(parse_memory("-5KB").is_err());

@@ -4,7 +4,6 @@ use crate::args::{parse_key, parse_memory, parse_threads};
 use crate::Opts;
 use cocosketch::{snapshot, FlowTable};
 use engine::{EngineConfig, ShardedCocoSketch};
-use sketches::Sketch;
 use tasks::stats as table_stats;
 use traffic::{io as trace_io, presets, KeySpec};
 
@@ -65,8 +64,7 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
         trace
     } else {
         let trace_path = opts.path("trace")?;
-        trace_io::load(&trace_path)
-            .map_err(|e| format!("reading {}: {e}", trace_path.display()))?
+        trace_io::load(&trace_path).map_err(|e| format!("reading {}: {e}", trace_path.display()))?
     };
     let full = KeySpec::FIVE_TUPLE;
     // One shard per thread, memory split across shards; threads=1 is
@@ -82,7 +80,7 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
         },
     );
     let run = engine.run_trace(&trace, &full);
-    let table = FlowTable::new(full, run.sketch.records());
+    let table = run.flow_table(full);
     std::fs::write(&out, snapshot::encode(&table))
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!(
@@ -153,7 +151,11 @@ pub fn query(argv: &[String]) -> Result<(), String> {
     let threshold = opts.u64_or("threshold", 0)?;
 
     let flows = table_stats::top_k(&table, &spec, usize::MAX);
-    let shown: Vec<_> = flows.iter().filter(|&&(_, v)| v >= threshold).take(top).collect();
+    let shown: Vec<_> = flows
+        .iter()
+        .filter(|&&(_, v)| v >= threshold)
+        .take(top)
+        .collect();
     println!(
         "{} flows under key {spec}; showing top {}:",
         flows.len(),
@@ -176,12 +178,17 @@ pub fn stats(argv: &[String]) -> Result<(), String> {
             table.full_spec()
         ));
     }
+    // One aggregation pass; entropy and the distribution are derived
+    // from the same count table instead of re-scanning per statistic.
     let counts = table.query_partial(&spec);
     println!("key {spec}:");
     println!("  recorded flows : {}", counts.len());
     println!("  total traffic  : {}", table.total());
-    println!("  entropy        : {:.3} bits", table_stats::entropy(&table, &spec));
-    let bins = table_stats::size_distribution(&table, &spec);
+    println!(
+        "  entropy        : {:.3} bits",
+        table_stats::entropy_of_counts(&counts)
+    );
+    let bins = table_stats::size_distribution_of_counts(&counts);
     println!("  size distribution (log2 bins):");
     for (i, &count) in bins.iter().enumerate() {
         if count > 0 {

@@ -77,7 +77,8 @@ impl Opts {
     }
 
     pub(crate) fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
     }
 
     pub(crate) fn path(&self, name: &str) -> Result<PathBuf, String> {
@@ -87,7 +88,9 @@ impl Opts {
     pub(crate) fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} takes an integer, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} takes an integer, got `{v}`")),
         }
     }
 }

@@ -26,10 +26,21 @@ fn full_workflow() {
 
     // generate (small: scale 2000 => ~13.5k packets)
     let out = run(&[
-        "generate", "--preset", "caida", "--scale", "2000", "--seed", "5", "--out",
+        "generate",
+        "--preset",
+        "caida",
+        "--scale",
+        "2000",
+        "--seed",
+        "5",
+        "--out",
         trace.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     // info --trace
@@ -40,23 +51,48 @@ fn full_workflow() {
 
     // measure
     let out = run(&[
-        "measure", "--trace", trace.to_str().unwrap(), "--memory", "100KB", "--out",
+        "measure",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--memory",
+        "100KB",
+        "--out",
         table.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(table.exists());
 
     // query a partial key that was never pre-declared
     let out = run(&[
-        "query", "--table", table.to_str().unwrap(), "--key", "srcip/16", "--top", "5",
+        "query",
+        "--table",
+        table.to_str().unwrap(),
+        "--key",
+        "srcip/16",
+        "--top",
+        "5",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("flows under key (SrcIP/16)"), "{text}");
     assert!(text.contains("src "), "{text}");
 
     // stats
-    let out = run(&["stats", "--table", table.to_str().unwrap(), "--key", "dstip"]);
+    let out = run(&[
+        "stats",
+        "--table",
+        table.to_str().unwrap(),
+        "--key",
+        "dstip",
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("entropy"), "{text}");
@@ -84,12 +120,28 @@ fn rejects_bad_key() {
     let trace = dir.join("t.cct");
     let table = dir.join("t.cft");
     run(&[
-        "generate", "--preset", "mawi", "--scale", "5000", "--out", trace.to_str().unwrap(),
+        "generate",
+        "--preset",
+        "mawi",
+        "--scale",
+        "5000",
+        "--out",
+        trace.to_str().unwrap(),
     ]);
     run(&[
-        "measure", "--trace", trace.to_str().unwrap(), "--out", table.to_str().unwrap(),
+        "measure",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--out",
+        table.to_str().unwrap(),
     ]);
-    let out = run(&["query", "--table", table.to_str().unwrap(), "--key", "nonsense"]);
+    let out = run(&[
+        "query",
+        "--table",
+        table.to_str().unwrap(),
+        "--key",
+        "nonsense",
+    ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key"));
     std::fs::remove_dir_all(&dir).ok();

@@ -63,7 +63,10 @@ impl BasicCocoSketch {
     /// A sketch with `d` arrays of `l` buckets each.
     pub fn new(d: usize, l: usize, key_bytes: usize, seed: u64) -> Self {
         assert!(d > 0 && l > 0, "CocoSketch dimensions must be positive");
-        assert!(d <= 64, "d beyond 64 is never useful and breaks tie-break sampling");
+        assert!(
+            d <= 64,
+            "d beyond 64 is never useful and breaks tie-break sampling"
+        );
         Self {
             buckets: vec![Bucket::default(); d * l],
             hashes: HashFamily::new(d, seed),
@@ -406,7 +409,11 @@ mod tests {
             s.update(&k(key), 1);
             *truth.entry(key).or_insert(0) += 1;
         }
-        let true_low: u64 = truth.iter().filter(|(id, _)| **id < 10).map(|(_, &v)| v).sum();
+        let true_low: u64 = truth
+            .iter()
+            .filter(|(id, _)| **id < 10)
+            .map(|(_, &v)| v)
+            .sum();
         let est_low: u64 = s
             .records()
             .iter()
@@ -460,8 +467,7 @@ mod tests {
     fn batched_updates_fall_back_above_fast_width() {
         // d > 8 takes the scalar fallback inside update_batch; results
         // must still be identical to per-packet updates.
-        let packets: Vec<(KeyBytes, u64)> =
-            (0..2_000u32).map(|i| (k(i % 50), 1)).collect();
+        let packets: Vec<(KeyBytes, u64)> = (0..2_000u32).map(|i| (k(i % 50), 1)).collect();
         let mut scalar = BasicCocoSketch::new(9, 8, 4, 3);
         let mut batched = BasicCocoSketch::new(9, 8, 4, 3);
         for (key, w) in &packets {

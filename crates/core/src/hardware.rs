@@ -273,7 +273,8 @@ mod tests {
         let trials = 600u32;
         let mut acc = 0f64;
         for t in 0..trials {
-            let mut s = HardwareCocoSketch::new(1, 4, 4, DivisionMode::Exact, 40_000 + u64::from(t));
+            let mut s =
+                HardwareCocoSketch::new(1, 4, 4, DivisionMode::Exact, 40_000 + u64::from(t));
             let mut rng = hashkit::XorShift64Star::new(90_000 + u64::from(t));
             for _ in 0..true_size {
                 s.update(&k(0), 1);

@@ -47,7 +47,6 @@
 //! assert_eq!(by_src[&KeySpec::SRC_IP.project(&pkt)], 3);
 //! ```
 
-
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

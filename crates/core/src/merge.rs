@@ -123,9 +123,7 @@ mod tests {
         }
         a.merge_from(&b).unwrap();
         assert_eq!(a.total_value(), 20 * 10 + 20 * 20);
-        let exact = (0..20u32)
-            .filter(|&i| a.query(&k(i)) == 10)
-            .count()
+        let exact = (0..20u32).filter(|&i| a.query(&k(i)) == 10).count()
             + (0..20u32).filter(|&i| a.query(&k(100 + i)) == 20).count();
         assert!(exact >= 36, "only {exact}/40 flows exact after merge");
     }

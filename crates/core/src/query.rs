@@ -13,9 +13,53 @@
 //! underlying per-flow estimates are unbiased (Lemma 3/4), the grouped
 //! sums are unbiased estimates of partial-key flow sizes — the property
 //! single-key full-key sketches lack (§2.3, Figure 18b).
+//!
+//! # The query-plane engine
+//!
+//! Queries are a performance surface, not an afterthought: an HHH run
+//! asks for 33 (1-d) or 1089 (2-d) partial keys of the *same* table.
+//! Three mechanisms keep that cheap, all bit-identical to the naive
+//! per-spec scan:
+//!
+//! - **Compiled projections** ([`traffic::Projector`]): each spec's
+//!   `g(·)` is lowered once into a branch-free byte gather-and-mask
+//!   plan, so the per-row cost is a handful of byte moves instead of a
+//!   `FiveTuple` decode/re-encode round trip.
+//! - **Single-pass multi-spec aggregation** ([`FlowTable::query_multi`]):
+//!   N specs are answered in one scan over the rows with N compiled
+//!   projectors, paying the row traversal once — the right shape when
+//!   the row source is expensive to traverse. For an in-memory table,
+//!   hashing dominates traversal, so [`FlowTable::query_all`] scans
+//!   unrelated specs per-spec instead (one hot result map at a time
+//!   beats interleaved inserts into N maps).
+//! - **Hierarchy rollup** ([`FlowTable::query_rollup`]): when one spec
+//!   is a partial key of another *in the same query set*, its result is
+//!   aggregated from the ancestor's (much smaller) result map instead
+//!   of rescanning the table. Projection composes (`g_{P2←F} =
+//!   g_{P2←P1} ∘ g_{P1←F}`) and per-key sums are exact `u64` additions,
+//!   so rollup output is bit-identical to direct projection — a 33-level
+//!   prefix hierarchy costs 1 scan + 32 rollups over shrinking maps.
+//!   Rollup runs over *sorted* parent entries: prefix projection is
+//!   monotone in key-byte order, so each level is a linear adjacent
+//!   merge and hashing is paid only to materialize each level's result
+//!   map (once per output group, not once per row per level).
+//! - **Parallel scan** ([`FlowTable::query_multi_parallel`]): large
+//!   tables chunk their rows across worker threads (the crate
+//!   `engine`'s scoped-worker shape), aggregate into thread-local maps,
+//!   and merge by addition. Integer sums are associative and
+//!   commutative, so the merged result is exact and independent of
+//!   chunking and scheduling.
 
 use std::collections::HashMap;
-use traffic::{KeyBytes, KeySpec};
+use traffic::{KeyBytes, KeySpec, Projector};
+
+/// Row count above which [`FlowTable::query_all`] switches the base
+/// scan to the parallel path (when more than one CPU is available).
+const PARALLEL_SCAN_MIN_ROWS: usize = 1 << 16;
+
+/// Cap on auto-selected scan threads; beyond this the per-thread maps'
+/// merge cost outweighs the scan speedup for typical table sizes.
+const PARALLEL_SCAN_MAX_THREADS: usize = 8;
 
 /// The recorded `(full key, estimated size)` table of one measurement
 /// window, plus the full-key spec needed to project records onto
@@ -57,37 +101,415 @@ impl FlowTable {
         &self.rows
     }
 
-    /// `SELECT g(k_F), SUM(Size) GROUP BY g(k_F)` — the full partial-key
-    /// result table for `spec`.
+    /// Compile `spec`'s projection from this table's full key.
     ///
     /// # Panics
     /// Panics if `spec` is not a partial key of the table's full key —
     /// querying outside the declared key range has no defined meaning.
-    pub fn query_partial(&self, spec: &KeySpec) -> HashMap<KeyBytes, u64> {
+    fn compile(&self, spec: &KeySpec) -> Projector {
         assert!(
             spec.is_partial_of(&self.full),
             "{spec:?} is not a partial key of {:?}",
             self.full
         );
-        let mut out: HashMap<KeyBytes, u64> = HashMap::with_capacity(self.rows.len());
+        spec.projector(&self.full)
+    }
+
+    /// Result-map capacity for a query over `upto` rows: low-cardinality
+    /// specs (the empty key, short prefixes) can never produce more
+    /// groups than their key space holds, so don't pre-size for the
+    /// full row count.
+    fn capacity_hint(spec: &KeySpec, upto: usize) -> usize {
+        let bits = spec.cardinality_bits();
+        if bits >= usize::BITS - 1 {
+            upto
+        } else {
+            upto.min(1usize << bits)
+        }
+    }
+
+    /// `SELECT g(k_F), SUM(Size) GROUP BY g(k_F)` — the full partial-key
+    /// result table for `spec`, in one scan with a compiled projector.
+    ///
+    /// # Panics
+    /// Panics if `spec` is not a partial key of the table's full key.
+    pub fn query_partial(&self, spec: &KeySpec) -> HashMap<KeyBytes, u64> {
+        let proj = self.compile(spec);
+        let mut out: HashMap<KeyBytes, u64> =
+            HashMap::with_capacity(Self::capacity_hint(spec, self.rows.len()));
+        let mut scratch = KeyBytes::EMPTY;
         for (full_key, size) in &self.rows {
-            *out.entry(spec.project_key(&self.full, full_key)).or_insert(0) += size;
+            proj.project_into(full_key, &mut scratch);
+            *out.entry(scratch).or_insert(0) += size;
         }
         out
     }
 
-    /// Estimated size of a single partial-key flow.
-    pub fn query_flow(&self, spec: &KeySpec, key: &KeyBytes) -> u64 {
-        assert!(
-            spec.is_partial_of(&self.full),
-            "{spec:?} is not a partial key of {:?}",
-            self.full
-        );
-        self.rows
+    /// Answer every spec in **one pass** over the rows: each row is
+    /// projected through all N compiled projectors into one scratch key.
+    /// Results are bit-identical to N calls of
+    /// [`query_partial`](Self::query_partial) for one row traversal.
+    ///
+    /// Prefer this shape when traversing the rows is the expensive part
+    /// (streamed or disk-resident sources); for in-memory tables the
+    /// per-spec scans of [`query_all`](Self::query_all) measure faster
+    /// (see `root_results` in this module).
+    ///
+    /// # Panics
+    /// Panics if any spec is not a partial key of the table's full key.
+    pub fn query_multi(&self, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+        let projs: Vec<Projector> = specs.iter().map(|s| self.compile(s)).collect();
+        let mut maps: Vec<HashMap<KeyBytes, u64>> = specs
             .iter()
-            .filter(|(fk, _)| spec.project_key(&self.full, fk) == *key)
-            .map(|&(_, v)| v)
-            .sum()
+            .map(|s| HashMap::with_capacity(Self::capacity_hint(s, self.rows.len())))
+            .collect();
+        Self::scan_into(&self.rows, &projs, &mut maps);
+        maps
+    }
+
+    /// The shared row scan: project every row through every compiled
+    /// projector, aggregating into the caller's maps.
+    fn scan_into(
+        rows: &[(KeyBytes, u64)],
+        projs: &[Projector],
+        maps: &mut [HashMap<KeyBytes, u64>],
+    ) {
+        let mut scratch = KeyBytes::EMPTY;
+        for (full_key, size) in rows {
+            for (proj, map) in projs.iter().zip(maps.iter_mut()) {
+                proj.project_into(full_key, &mut scratch);
+                *map.entry(scratch).or_insert(0) += size;
+            }
+        }
+    }
+
+    /// [`query_multi`](Self::query_multi) with the row scan chunked
+    /// across `threads` worker threads.
+    ///
+    /// Each worker aggregates its contiguous row chunk into private
+    /// maps; the chunks merge by per-key addition. `u64` addition is
+    /// associative and commutative and every row lands in exactly one
+    /// chunk, so the merged result is **exact** — bit-identical to the
+    /// single-threaded scan, independent of chunk boundaries and thread
+    /// scheduling — and total weight is conserved. `threads` is clamped
+    /// to the row count; `threads <= 1` runs inline.
+    ///
+    /// # Panics
+    /// Panics if any spec is not a partial key of the table's full key.
+    pub fn query_multi_parallel(
+        &self,
+        specs: &[KeySpec],
+        threads: usize,
+    ) -> Vec<HashMap<KeyBytes, u64>> {
+        let threads = threads.clamp(1, self.rows.len().max(1));
+        if threads == 1 {
+            return self.query_multi(specs);
+        }
+        let projs: Vec<Projector> = specs.iter().map(|s| self.compile(s)).collect();
+        let chunk_len = self.rows.len().div_ceil(threads);
+        let locals: Vec<Vec<HashMap<KeyBytes, u64>>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .rows
+                .chunks(chunk_len)
+                .map(|rows| {
+                    let projs = &projs;
+                    scope.spawn(move || {
+                        let mut maps: Vec<HashMap<KeyBytes, u64>> = specs
+                            .iter()
+                            .map(|s| HashMap::with_capacity(Self::capacity_hint(s, rows.len())))
+                            .collect();
+                        Self::scan_into(rows, projs, &mut maps);
+                        maps
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("query scan worker panicked"))
+                .collect()
+        });
+        let mut locals = locals.into_iter();
+        let mut merged = locals
+            .next()
+            .unwrap_or_else(|| specs.iter().map(|_| HashMap::new()).collect());
+        for maps in locals {
+            for (acc, map) in merged.iter_mut().zip(maps) {
+                for (key, v) in map {
+                    *acc.entry(key).or_insert(0) += v;
+                }
+            }
+        }
+        merged
+    }
+
+    /// Answer a set of related specs (e.g. a prefix hierarchy) with
+    /// **rollup**: a spec that is a partial key of an earlier spec in
+    /// the set is aggregated from that spec's (smaller) result map; the
+    /// remaining "root" specs are answered in one shared pass over the
+    /// rows.
+    ///
+    /// For the 33-level source-IP hierarchy this turns 33 × O(rows)
+    /// scans into 1 scan + 32 rollups over maps that shrink level by
+    /// level; for the 1089-level 2-d grid, all but one level roll up.
+    /// Output is bit-identical to per-spec
+    /// [`query_partial`](Self::query_partial): projection composes and
+    /// per-key sums are exact integer additions, so grouping through an
+    /// intermediate key changes neither the keys nor the sums.
+    ///
+    /// When a spec has several computed ancestors, the one with the
+    /// smallest result map wins. Ancestors must appear *before* their
+    /// descendants (hierarchies are ordered fine → coarse); specs with
+    /// no in-set ancestor are roots.
+    ///
+    /// # Panics
+    /// Panics if any spec is not a partial key of the table's full key.
+    pub fn query_rollup(&self, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+        self.query_rollup_threads(specs, 1)
+    }
+
+    /// [`query_rollup`](Self::query_rollup) with the shared root pass
+    /// run on `threads` workers (see
+    /// [`query_multi_parallel`](Self::query_multi_parallel)).
+    ///
+    /// Rollup itself never touches a hash table on the read side: a
+    /// parent's result is sorted once (lexicographic key bytes) and
+    /// every descendant aggregates it linearly. Prefix projections are
+    /// monotone under that order ([`Projector::preserves_order`]), so a
+    /// sorted parent projects to a sorted child and equal keys merge as
+    /// adjacent runs; children inherit sortedness for free, and only
+    /// the final per-level result map pays hashing — once per output
+    /// entry instead of once per table row per level. Levels whose best
+    /// parent has not shrunk below half the table fall back to a direct
+    /// scan: there rollup saves almost no inserts but still pays the
+    /// sort and the copy.
+    pub fn query_rollup_threads(
+        &self,
+        specs: &[KeySpec],
+        threads: usize,
+    ) -> Vec<HashMap<KeyBytes, u64>> {
+        let (is_root, root_specs) = Self::split_roots(specs);
+        let mut root_maps = self.root_results(&root_specs, threads).into_iter();
+
+        let mut out: Vec<HashMap<KeyBytes, u64>> = Vec::with_capacity(specs.len());
+        // sorted[j] = out[j] as a key-sorted entry vector, built lazily
+        // the first time result j is used as a rollup parent; rolled
+        // children are born sorted, so theirs is kept as a byproduct.
+        let mut sorted: Vec<Option<Vec<(KeyBytes, u64)>>> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            if is_root[i] {
+                out.push(root_maps.next().expect("one result per root spec"));
+                sorted.push(None);
+                continue;
+            }
+            let parent = Self::best_parent(specs, i, |j| out[j].len());
+            if out[parent].len() * 2 > self.rows.len() {
+                // The parent is barely smaller than the table itself:
+                // sorting it, merging, and materializing a near-equal
+                // map costs more than one fresh scan with a single hot
+                // result map. (The sorted-entry variant has no such
+                // cliff — it never materializes a map.)
+                out.push(self.scan_one(spec, threads));
+                sorted.push(None);
+                continue;
+            }
+            if sorted[parent].is_none() {
+                let mut rows: Vec<(KeyBytes, u64)> =
+                    out[parent].iter().map(|(k, &v)| (*k, v)).collect();
+                Self::sort_entries(&mut rows);
+                sorted[parent] = Some(rows);
+            }
+            let parent_rows = sorted[parent]
+                .as_deref()
+                .expect("sorted parent was just built");
+            let rolled = Self::roll_level(parent_rows, &spec.projector(&specs[parent]));
+            out.push(rolled.iter().copied().collect());
+            sorted.push(Some(rolled));
+        }
+        out
+    }
+
+    /// `is_root[i]` = `specs[i]` has no ancestor earlier in the set,
+    /// plus the root specs themselves; roots are answered from the rows
+    /// in one shared pass, everything else rolls up.
+    fn split_roots(specs: &[KeySpec]) -> (Vec<bool>, Vec<KeySpec>) {
+        let is_root: Vec<bool> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| !(0..i).any(|j| spec.is_partial_of(&specs[j])))
+            .collect();
+        let root_specs: Vec<KeySpec> = specs
+            .iter()
+            .zip(&is_root)
+            .filter(|&(_, &root)| root)
+            .map(|(s, _)| *s)
+            .collect();
+        (is_root, root_specs)
+    }
+
+    /// Answer the root specs of a rollup, one scan per spec (chunked
+    /// across `threads` when parallel).
+    ///
+    /// Roots deliberately do *not* share a single
+    /// [`query_multi`](Self::query_multi) pass: re-streaming the row
+    /// vector once per spec is cheap next to hashing, and scans with
+    /// one hot result map measure faster than interleaved inserts into
+    /// N maps at every cardinality profiled — so the engine takes the
+    /// per-spec shape and leaves the single-pass primitive to callers
+    /// whose row source is expensive to traverse.
+    fn root_results(&self, root_specs: &[KeySpec], threads: usize) -> Vec<HashMap<KeyBytes, u64>> {
+        root_specs
+            .iter()
+            .map(|spec| self.scan_one(spec, threads))
+            .collect()
+    }
+
+    /// One spec, one scan: the tight [`query_partial`](Self::query_partial)
+    /// loop inline, or the chunked parallel scan when workers are
+    /// available.
+    fn scan_one(&self, spec: &KeySpec, threads: usize) -> HashMap<KeyBytes, u64> {
+        if threads <= 1 {
+            self.query_partial(spec)
+        } else {
+            self.query_multi_parallel(std::slice::from_ref(spec), threads)
+                .pop()
+                .expect("one result for one spec")
+        }
+    }
+
+    /// The computed ancestor `specs[i]` rolls up from: of the earlier
+    /// specs it is a partial key of, the one with the smallest result.
+    fn best_parent(specs: &[KeySpec], i: usize, result_len: impl Fn(usize) -> usize) -> usize {
+        (0..i)
+            .filter(|&j| specs[i].is_partial_of(&specs[j]))
+            .min_by_key(|&j| result_len(j))
+            .expect("non-root spec has an earlier ancestor")
+    }
+
+    /// Sort entries by lexicographic key bytes — the order every rollup
+    /// level is kept in.
+    fn sort_entries(rows: &mut [(KeyBytes, u64)]) {
+        rows.sort_unstable_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+    }
+
+    /// One rollup step: project the parent's sorted entries and merge
+    /// equal keys. Monotone (prefix-shaped) projections keep the parent
+    /// order, so merging is a linear `dedup` of adjacent runs;
+    /// field-reordering projections re-sort first. No hash table is
+    /// touched either way.
+    fn roll_level(parent: &[(KeyBytes, u64)], proj: &Projector) -> Vec<(KeyBytes, u64)> {
+        let mut rolled: Vec<(KeyBytes, u64)> =
+            parent.iter().map(|(k, v)| (proj.project(k), *v)).collect();
+        if !proj.preserves_order() {
+            Self::sort_entries(&mut rolled);
+        }
+        rolled.dedup_by(|cur, acc| {
+            if cur.0 == acc.0 {
+                acc.1 += cur.1;
+                true
+            } else {
+                false
+            }
+        });
+        rolled
+    }
+
+    /// [`query_rollup`](Self::query_rollup) returning each level as a
+    /// **key-sorted entry vector** instead of a hash map.
+    ///
+    /// This is the natural output shape of the rollup (levels are
+    /// produced as sorted runs) and the natural input shape for
+    /// hierarchy consumers (HHH threshold filters, reports), so no
+    /// per-level hash table is ever materialized: for fine prefix
+    /// levels — whose group count approaches the row count — that skips
+    /// the single most expensive step of the map-shaped query, one
+    /// hash-table insert per output group. Entries are sorted by
+    /// lexicographic key bytes and contain exactly the pairs of
+    /// [`query_partial`](Self::query_partial) for the same spec.
+    ///
+    /// # Panics
+    /// Panics if any spec is not a partial key of the table's full key.
+    pub fn query_rollup_entries(
+        &self,
+        specs: &[KeySpec],
+        threads: usize,
+    ) -> Vec<Vec<(KeyBytes, u64)>> {
+        let (is_root, root_specs) = Self::split_roots(specs);
+        let mut root_maps = self.root_results(&root_specs, threads).into_iter();
+
+        let mut out: Vec<Vec<(KeyBytes, u64)>> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            if is_root[i] {
+                let mut rows: Vec<(KeyBytes, u64)> = root_maps
+                    .next()
+                    .expect("one result per root spec")
+                    .into_iter()
+                    .collect();
+                Self::sort_entries(&mut rows);
+                out.push(rows);
+                continue;
+            }
+            let parent = Self::best_parent(specs, i, |j| out[j].len());
+            out.push(Self::roll_level(
+                &out[parent],
+                &spec.projector(&specs[parent]),
+            ));
+        }
+        out
+    }
+
+    /// The engine front door: answer every spec, picking rollup where
+    /// the set nests, single-pass aggregation for the rest, and the
+    /// parallel scan when the table is large and CPUs are available.
+    /// Always bit-identical to per-spec
+    /// [`query_partial`](Self::query_partial).
+    pub fn query_all(&self, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+        self.query_rollup_threads(specs, self.auto_threads())
+    }
+
+    /// [`query_all`](Self::query_all) in sorted-entry shape (see
+    /// [`query_rollup_entries`](Self::query_rollup_entries)) — the fast
+    /// path for hierarchy workloads, where per-level hash maps would be
+    /// built only to be iterated once.
+    pub fn query_all_entries(&self, specs: &[KeySpec]) -> Vec<Vec<(KeyBytes, u64)>> {
+        self.query_rollup_entries(specs, self.auto_threads())
+    }
+
+    /// Scan threads for [`query_all`](Self::query_all): 1 for small
+    /// tables, else the machine's parallelism capped at
+    /// [`PARALLEL_SCAN_MAX_THREADS`].
+    fn auto_threads(&self) -> usize {
+        if self.rows.len() < PARALLEL_SCAN_MIN_ROWS {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(PARALLEL_SCAN_MAX_THREADS)
+        }
+    }
+
+    /// Estimated size of a single partial-key flow.
+    ///
+    /// Runs on the compiled projector — no per-row decode, no per-row
+    /// allocation — and returns 0 immediately when `key`'s width cannot
+    /// match `spec` (no projection of any row could equal it).
+    ///
+    /// # Panics
+    /// Panics if `spec` is not a partial key of the table's full key.
+    pub fn query_flow(&self, spec: &KeySpec, key: &KeyBytes) -> u64 {
+        let proj = self.compile(spec);
+        if key.len() != proj.out_len() {
+            return 0;
+        }
+        let mut scratch = KeyBytes::EMPTY;
+        let mut sum = 0u64;
+        for (full_key, size) in &self.rows {
+            proj.project_into(full_key, &mut scratch);
+            if scratch == *key {
+                sum += size;
+            }
+        }
+        sum
     }
 
     /// Total estimated traffic (the empty-key query).
@@ -123,6 +545,27 @@ mod tests {
         FlowTable::new(full, rows)
     }
 
+    /// A larger deterministic table for multi-path agreement tests.
+    fn big_table(rows: usize) -> FlowTable {
+        let full = KeySpec::FIVE_TUPLE;
+        let mut out = Vec::with_capacity(rows);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..rows {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ft = FiveTuple::new(
+                (x >> 32) as u32,
+                (x & 0xFFFF_FFFF) as u32,
+                (x >> 16) as u16,
+                (x >> 48) as u16,
+                if x & 1 == 0 { 6 } else { 17 },
+            );
+            out.push((full.project(&ft), (x % 1000) + 1));
+        }
+        FlowTable::new(full, out)
+    }
+
     #[test]
     fn figure7_grouping() {
         let t = table();
@@ -150,6 +593,21 @@ mod tests {
         for (key, &size) in &grouped {
             assert_eq!(t.query_flow(&KeySpec::SRC_IP, key), size);
         }
+    }
+
+    #[test]
+    fn query_flow_width_mismatch_is_zero() {
+        // A key of the wrong width can never match any projection; the
+        // guard short-circuits before the scan.
+        let t = table();
+        assert_eq!(t.query_flow(&KeySpec::SRC_IP, &KeyBytes::new(&[1, 2])), 0);
+        assert_eq!(t.query_flow(&KeySpec::SRC_IP, &KeyBytes::EMPTY), 0);
+        assert_eq!(
+            t.query_flow(&KeySpec::EMPTY, &KeyBytes::new(&[0, 0, 0, 0])),
+            0
+        );
+        // Correct width still answers.
+        assert_eq!(t.query_flow(&KeySpec::EMPTY, &KeyBytes::EMPTY), t.total());
     }
 
     #[test]
@@ -183,6 +641,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not a partial key")]
+    fn non_partial_multi_query_panics() {
+        let rows = vec![(KeySpec::SRC_IP.project(&FiveTuple::default()), 1)];
+        let t = FlowTable::new(KeySpec::SRC_IP, rows);
+        t.query_multi(&[KeySpec::EMPTY, KeySpec::SRC_DST]);
+    }
+
+    #[test]
     fn prefix_queries_work() {
         let t = table();
         let by_24 = t.query_partial(&KeySpec::src_prefix(24));
@@ -197,6 +663,140 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.total(), 0);
         assert!(t.query_partial(&KeySpec::SRC_IP).is_empty());
-        assert_eq!(t.query_flow(&KeySpec::SRC_IP, &KeyBytes::new(&[0, 0, 0, 0])), 0);
+        assert_eq!(
+            t.query_flow(&KeySpec::SRC_IP, &KeyBytes::new(&[0, 0, 0, 0])),
+            0
+        );
+        for maps in [
+            t.query_multi(&KeySpec::PAPER_SIX),
+            t.query_rollup(&KeySpec::PAPER_SIX),
+            t.query_multi_parallel(&KeySpec::PAPER_SIX, 4),
+            t.query_all(&KeySpec::PAPER_SIX),
+        ] {
+            assert_eq!(maps.len(), 6);
+            assert!(maps.iter().all(HashMap::is_empty));
+        }
+        let entries = t.query_all_entries(&KeySpec::PAPER_SIX);
+        assert_eq!(entries.len(), 6);
+        assert!(entries.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn multi_matches_per_spec() {
+        let t = big_table(3_000);
+        let mut specs = KeySpec::PAPER_SIX.to_vec();
+        specs.push(KeySpec::EMPTY);
+        specs.push(KeySpec::src_prefix(9));
+        let expect: Vec<_> = specs.iter().map(|s| t.query_partial(s)).collect();
+        assert_eq!(t.query_multi(&specs), expect);
+    }
+
+    #[test]
+    fn rollup_bit_identical_to_direct_projection() {
+        // The proof-by-test of the rollup path: every level of the full
+        // 33-level hierarchy, aggregated level-over-level, equals the
+        // direct per-spec scan exactly.
+        let t = big_table(2_000);
+        let hierarchy: Vec<KeySpec> = (0..=32u8).rev().map(KeySpec::src_prefix).collect();
+        let expect: Vec<_> = hierarchy.iter().map(|s| t.query_partial(s)).collect();
+        assert_eq!(t.query_rollup(&hierarchy), expect);
+        assert_eq!(t.query_all(&hierarchy), expect);
+    }
+
+    #[test]
+    fn rollup_handles_unrelated_and_duplicate_specs() {
+        let t = big_table(1_000);
+        // SRC_IP_PORT and DST_IP_PORT are unrelated (both roots); the
+        // duplicate spec rolls up via the identity projection.
+        let specs = [
+            KeySpec::SRC_IP_PORT,
+            KeySpec::DST_IP_PORT,
+            KeySpec::SRC_IP_PORT,
+            KeySpec::SRC_IP,
+        ];
+        let expect: Vec<_> = specs.iter().map(|s| t.query_partial(s)).collect();
+        assert_eq!(t.query_rollup(&specs), expect);
+    }
+
+    /// `query_partial` reshaped to the sorted-entry contract of
+    /// `query_rollup_entries`.
+    fn sorted_partial(t: &FlowTable, spec: &KeySpec) -> Vec<(KeyBytes, u64)> {
+        let mut rows: Vec<(KeyBytes, u64)> = t.query_partial(spec).into_iter().collect();
+        rows.sort_unstable_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+        rows
+    }
+
+    #[test]
+    fn rollup_entries_match_per_spec_and_stay_sorted() {
+        let t = big_table(2_000);
+        let hierarchy: Vec<KeySpec> = (0..=32u8).rev().map(KeySpec::src_prefix).collect();
+        let got = t.query_all_entries(&hierarchy);
+        let expect: Vec<_> = hierarchy.iter().map(|s| sorted_partial(&t, s)).collect();
+        assert_eq!(got, expect);
+        // The field-reordering (re-sort) path in entry shape too.
+        let specs = [KeySpec::SRC_DST, KeySpec::DST_IP, KeySpec::EMPTY];
+        let got = t.query_rollup_entries(&specs, 1);
+        let expect: Vec<_> = specs.iter().map(|s| sorted_partial(&t, s)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn rollup_handles_field_reordering_projections() {
+        // (SrcIP, DstIP) → DstIP gathers bytes out of order, so the
+        // projected parent entries are *not* sorted and the rollup must
+        // re-sort before merging runs — the non-monotone path.
+        let t = big_table(2_000);
+        let specs = [
+            KeySpec::SRC_DST,
+            KeySpec::DST_IP,
+            KeySpec::src_dst_prefix(0, 13),
+            KeySpec::EMPTY,
+        ];
+        let expect: Vec<_> = specs.iter().map(|s| t.query_partial(s)).collect();
+        assert_eq!(t.query_rollup(&specs), expect);
+    }
+
+    #[test]
+    fn parallel_scan_exact_across_thread_counts() {
+        let t = big_table(10_000);
+        let mut specs = KeySpec::PAPER_SIX.to_vec();
+        specs.push(KeySpec::EMPTY);
+        let expect: Vec<_> = specs.iter().map(|s| t.query_partial(s)).collect();
+        for threads in [1, 2, 3, 4, 7, 64] {
+            assert_eq!(
+                t.query_multi_parallel(&specs, threads),
+                expect,
+                "{threads} threads"
+            );
+        }
+        // More threads than rows degrades gracefully.
+        let tiny = big_table(3);
+        let expect: Vec<_> = specs.iter().map(|s| tiny.query_partial(s)).collect();
+        assert_eq!(tiny.query_multi_parallel(&specs, 16), expect);
+    }
+
+    #[test]
+    fn adaptive_capacity_for_low_cardinality_specs() {
+        // A /8 prefix has at most 256 groups and the empty key exactly
+        // one; the result maps must not pre-allocate for the row count.
+        let t = big_table(20_000);
+        let empty = t.query_partial(&KeySpec::EMPTY);
+        assert_eq!(empty.len(), 1);
+        assert!(
+            empty.capacity() <= 8,
+            "empty-key map capacity {} should stay tiny",
+            empty.capacity()
+        );
+        let by8 = t.query_partial(&KeySpec::src_prefix(8));
+        assert!(by8.len() <= 256);
+        assert!(
+            by8.capacity() <= 1024,
+            "/8 map capacity {} should be bounded by key space, not rows",
+            by8.capacity()
+        );
+        // Wide specs still pre-size to the row count (no regression in
+        // the high-cardinality case: one allocation, no rehash storms).
+        let full = t.query_partial(&KeySpec::FIVE_TUPLE);
+        assert!(full.capacity() >= t.len());
     }
 }

@@ -34,7 +34,10 @@ impl<S: Sketch> SampledCoco<S> {
     /// # Panics
     /// Panics unless `0 < p <= 1`.
     pub fn new(inner: S, p: f64, seed: u64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "sampling probability must be in (0,1], got {p}"
+        );
         let mut s = Self {
             inner,
             p,

@@ -27,9 +27,7 @@ pub fn encode(table: &FlowTable) -> Vec<u8> {
     out.extend_from_slice(MAGIC);
     out.push(spec.src_ip_bits);
     out.push(spec.dst_ip_bits);
-    out.push(
-        u8::from(spec.src_port) | u8::from(spec.dst_port) << 1 | u8::from(spec.proto) << 2,
-    );
+    out.push(u8::from(spec.src_port) | u8::from(spec.dst_port) << 1 | u8::from(spec.proto) << 2);
     out.extend_from_slice(&[0u8; 2]);
     out.extend_from_slice(&(table.len() as u32).to_le_bytes());
     for (key, size) in table.rows() {

@@ -63,7 +63,11 @@ impl Hll {
     /// Estimated number of distinct items observed.
     pub fn estimate(&self) -> f64 {
         let m = self.registers.len() as f64;
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
         let raw = self.alpha() * m * m / sum;
         if raw <= 2.5 * m {
             // Small-range correction: linear counting on empty registers.

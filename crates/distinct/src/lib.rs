@@ -17,7 +17,6 @@
 //!   cardinality merges are not additive, so its guarantees are
 //!   empirical (see the module tests), not the paper's theorems.
 
-
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -13,7 +13,10 @@
 //!   over packet batches (`ovssim` consumes it from here);
 //! - [`sharded::ShardedCocoSketch`]: the engine proper — partition,
 //!   ingest through the batched sketch hot path, merge via
-//!   [`cocosketch::merge_all`].
+//!   [`cocosketch::merge_all`]. [`sharded::EngineRun::flow_table`]
+//!   bridges a finished run into the query-plane engine
+//!   ([`cocosketch::FlowTable::query_all`]), whose parallel scan path
+//!   mirrors this crate's scoped-worker shape on the read side.
 //!
 //! This is the only crate in the workspace allowed to use `unsafe`
 //! (two slot accesses in the ring, each with a documented ownership

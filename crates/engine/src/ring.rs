@@ -54,9 +54,13 @@ impl<T: Copy + Send> SpscRing<T> {
     /// power of two (DPDK's rte_ring discipline — index masking stays
     /// branch-free).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
-        let buf: Vec<UnsafeCell<MaybeUninit<T>>> =
-            (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        assert!(
+            capacity.is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
+        let buf: Vec<UnsafeCell<MaybeUninit<T>>> = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
         Self {
             buf: buf.into_boxed_slice(),
             mask: capacity - 1,
@@ -147,9 +151,7 @@ impl<T: Copy + Send> SpscRing<T> {
         for i in 0..n {
             // Ordered after the producer's writes by the acquire-load
             // of head above.
-            let item = unsafe {
-                (*self.buf[tail.wrapping_add(i) & self.mask].get()).assume_init()
-            };
+            let item = unsafe { (*self.buf[tail.wrapping_add(i) & self.mask].get()).assume_init() };
             out.push(item);
         }
         if n > 0 {

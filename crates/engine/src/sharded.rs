@@ -23,7 +23,7 @@
 //! runs regardless of thread scheduling.
 
 use crate::ring::SpscRing;
-use cocosketch::{merge_all, BasicCocoSketch};
+use cocosketch::{merge_all, BasicCocoSketch, FlowTable};
 use hashkit::{bob_hash, fastrange};
 use sketches::Sketch;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -83,6 +83,16 @@ pub struct EngineRun {
     pub elapsed: Duration,
     /// Wall-clock ingest rate in million packets per second.
     pub mpps: f64,
+}
+
+impl EngineRun {
+    /// Hand the merged sketch's records to the query plane: a
+    /// [`FlowTable`] over `full` (the spec the ingested keys were
+    /// projected under), ready for `query_all`/`query_partial`
+    /// aggregation of any partial key.
+    pub fn flow_table(&self, full: KeySpec) -> FlowTable {
+        FlowTable::new(full, self.sketch.records())
+    }
 }
 
 /// The sharded ingestion engine. Construct once, [`run`](Self::run)
@@ -192,8 +202,9 @@ impl ShardedCocoSketch {
 
             // Producer: stage per shard, flush full batches through
             // push_slice so one atomic pair covers the whole batch.
-            let mut stages: Vec<Vec<(KeyBytes, u64)>> =
-                (0..cfg.threads).map(|_| Vec::with_capacity(cfg.batch)).collect();
+            let mut stages: Vec<Vec<(KeyBytes, u64)>> = (0..cfg.threads)
+                .map(|_| Vec::with_capacity(cfg.batch))
+                .collect();
             let flush = |shard: usize, stage: &mut Vec<(KeyBytes, u64)>| {
                 let mut sent = 0usize;
                 while sent < stage.len() {
@@ -320,6 +331,21 @@ mod tests {
         );
         let single = BasicCocoSketch::with_memory(128 * 1024, 2, 13, 0xC0C0);
         assert_eq!(eng.config().buckets, single.dims().1);
+    }
+
+    #[test]
+    fn flow_table_bridge_queries_the_merged_sketch() {
+        let pkts = packets(5_000);
+        let total: u64 = pkts.iter().map(|&(_, w)| w).sum();
+        let run = ShardedCocoSketch::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        })
+        .run(&pkts);
+        let table = run.flow_table(KeySpec::FIVE_TUPLE);
+        assert_eq!(table.total(), total, "records conserve the stream weight");
+        let maps = table.query_all(&KeySpec::PAPER_SIX);
+        assert!(maps.iter().all(|m| m.values().sum::<u64>() == total));
     }
 
     #[test]

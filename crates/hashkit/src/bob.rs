@@ -144,7 +144,11 @@ mod tests {
         let mut dedup = outs.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), outs.len(), "seeds should not collide: {outs:?}");
+        assert_eq!(
+            dedup.len(),
+            outs.len(),
+            "seeds should not collide: {outs:?}"
+        );
     }
 
     #[test]
@@ -166,7 +170,10 @@ mod tests {
         let data: Vec<u8> = (0..64u8).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..=data.len() {
-            assert!(seen.insert(bob_hash(&data[..len], 3)), "collision at len {len}");
+            assert!(
+                seen.insert(bob_hash(&data[..len], 3)),
+                "collision at len {len}"
+            );
         }
     }
 
@@ -203,7 +210,10 @@ mod tests {
             }
         }
         let avg = f64::from(total_flips) / f64::from(samples);
-        assert!((10.0..22.0).contains(&avg), "avalanche average {avg} out of range");
+        assert!(
+            (10.0..22.0).contains(&avg),
+            "avalanche average {avg} out of range"
+        );
     }
 
     #[test]

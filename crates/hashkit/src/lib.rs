@@ -23,7 +23,6 @@
 //! Everything here is deterministic given its seeds; experiments built on
 //! top are bit-reproducible.
 
-
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

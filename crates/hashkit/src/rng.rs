@@ -98,7 +98,11 @@ impl XorShift64Star {
     /// the generator never gets stuck at zero.
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x853c_49e6_748f_ea9b } else { seed },
+            state: if seed == 0 {
+                0x853c_49e6_748f_ea9b
+            } else {
+                seed
+            },
         }
     }
 
@@ -201,7 +205,10 @@ mod tests {
             assert!(v < 8);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //!   table — the paper's use cases (§2.2) cite this form, and it falls
 //!   out of partial-key queries for free.
 
-
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

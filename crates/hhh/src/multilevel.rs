@@ -19,20 +19,30 @@ pub struct LevelReport {
 
 /// Heavy flows of every level, from a CocoSketch flow table.
 ///
-/// One pass builds each level's table by `GROUP BY` aggregation of the
-/// same full-key records — no per-level state was ever maintained
-/// during measurement, which is the point of the arbitrary-partial-key
-/// design.
+/// Each level's table is built by `GROUP BY` aggregation of the same
+/// full-key records — no per-level state was ever maintained during
+/// measurement, which is the point of the arbitrary-partial-key
+/// design. The aggregation runs through the query-plane engine in
+/// sorted-entry shape ([`FlowTable::query_all_entries`]): the finest
+/// level scans the records once and every coarser level rolls up from
+/// its ancestor's (shrinking) sorted entries by linear merge — no
+/// per-level hash table is ever built, and the reported flows are
+/// exactly those of a per-level scan.
 pub fn multilevel_from_table(
     table: &FlowTable,
     hierarchy: &[KeySpec],
     threshold: u64,
 ) -> Vec<LevelReport> {
-    hierarchy
-        .iter()
-        .map(|spec| LevelReport {
+    table
+        .query_all_entries(hierarchy)
+        .into_iter()
+        .zip(hierarchy)
+        .map(|(counts, spec)| LevelReport {
             spec: *spec,
-            flows: table.heavy_hitters(spec, threshold),
+            flows: counts
+                .into_iter()
+                .filter(|&(_, v)| v >= threshold)
+                .collect(),
         })
         .collect()
 }
@@ -45,7 +55,10 @@ pub fn exact_multilevel(trace: &Trace, hierarchy: &[KeySpec], threshold: u64) ->
             let counts = truth::exact_counts(trace, spec);
             LevelReport {
                 spec: *spec,
-                flows: counts.into_iter().filter(|&(_, v)| v >= threshold).collect(),
+                flows: counts
+                    .into_iter()
+                    .filter(|&(_, v)| v >= threshold)
+                    .collect(),
             }
         })
         .collect()
@@ -53,10 +66,7 @@ pub fn exact_multilevel(trace: &Trace, hierarchy: &[KeySpec], threshold: u64) ->
 
 /// Exact per-level count tables (used for ARE computation, where the
 /// denominator needs true sizes even for missed flows).
-pub fn exact_level_counts(
-    trace: &Trace,
-    hierarchy: &[KeySpec],
-) -> Vec<HashMap<KeyBytes, u64>> {
+pub fn exact_level_counts(trace: &Trace, hierarchy: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
     hierarchy
         .iter()
         .map(|spec| truth::exact_counts(trace, spec))
@@ -104,8 +114,7 @@ mod tests {
         let t = trace();
         let h = src_hierarchy_bytes();
         let full = KeySpec::SRC_IP;
-        let mut sk =
-            cocosketch::BasicCocoSketch::with_memory(128 * 1024, 2, full.key_bytes(), 5);
+        let mut sk = cocosketch::BasicCocoSketch::with_memory(128 * 1024, 2, full.key_bytes(), 5);
         for p in &t.packets {
             sk.update(&full.project(&p.flow), u64::from(p.weight));
         }
@@ -114,13 +123,35 @@ mod tests {
         let got = multilevel_from_table(&table, &h, threshold);
         let want = exact_multilevel(&t, &h, threshold);
         for (g, w) in got.iter().zip(&want) {
-            let got_set: std::collections::HashSet<_> =
-                g.flows.iter().map(|&(k, _)| k).collect();
-            let want_set: std::collections::HashSet<_> =
-                w.flows.iter().map(|&(k, _)| k).collect();
+            let got_set: std::collections::HashSet<_> = g.flows.iter().map(|&(k, _)| k).collect();
+            let want_set: std::collections::HashSet<_> = w.flows.iter().map(|&(k, _)| k).collect();
             let inter = got_set.intersection(&want_set).count() as f64;
             let recall = inter / want_set.len().max(1) as f64;
             assert!(recall > 0.9, "level {}: recall {recall}", g.spec);
+        }
+    }
+
+    #[test]
+    fn rollup_reports_match_per_level_scans() {
+        // The engine's rollup path must report exactly the flows the
+        // per-level heavy_hitters scan reports (order-insensitive: map
+        // iteration order is not part of the contract).
+        let t = trace();
+        let h = src_hierarchy_bytes();
+        let full = KeySpec::SRC_IP;
+        let mut sk = cocosketch::BasicCocoSketch::with_memory(64 * 1024, 2, full.key_bytes(), 9);
+        for p in &t.packets {
+            sk.update(&full.project(&p.flow), u64::from(p.weight));
+        }
+        let table = FlowTable::new(full, sk.records());
+        let threshold = (t.total_weight() / 500).max(1);
+        let got = multilevel_from_table(&table, &h, threshold);
+        for (report, spec) in got.iter().zip(&h) {
+            let mut flows = report.flows.clone();
+            let mut direct = table.heavy_hitters(spec, threshold);
+            flows.sort_unstable();
+            direct.sort_unstable();
+            assert_eq!(flows, direct, "level {spec}");
         }
     }
 

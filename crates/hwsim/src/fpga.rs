@@ -202,7 +202,8 @@ mod tests {
         let coco = synthesize(&coco_hardware(MB / 2, 2, FIVE_TUPLE_BITS), &cfg);
         let [_, _, bram] = coco.fractions(&cfg);
         assert!((0.04..0.07).contains(&bram), "coco BRAM fraction {bram}");
-        let elastic_six = 6 * synthesize(&elastic(MB / 2 + 80_000, FIVE_TUPLE_BITS), &cfg).bram_tiles;
+        let elastic_six =
+            6 * synthesize(&elastic(MB / 2 + 80_000, FIVE_TUPLE_BITS), &cfg).bram_tiles;
         let frac6 = elastic_six as f64 / cfg.bram_tiles as f64;
         assert!((0.25..0.45).contains(&frac6), "6x elastic BRAM {frac6}");
     }

@@ -21,7 +21,6 @@
 //! RAM block each to be stateful); where the paper reports a calibration
 //! point (Table 2, §7.4), the derived numbers are tested against it.
 
-
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

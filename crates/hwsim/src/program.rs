@@ -250,7 +250,10 @@ mod tests {
     #[test]
     fn basic_coco_has_cycle_iff_d_gt_1() {
         let p1 = coco_basic(500_000, 1, FIVE_TUPLE_BITS);
-        assert!(p1.find_cycle().is_none(), "d=1 has no cross-array dependency");
+        assert!(
+            p1.find_cycle().is_none(),
+            "d=1 has no cross-array dependency"
+        );
         let p2 = coco_basic(500_000, 2, FIVE_TUPLE_BITS);
         let cycle = p2.find_cycle().expect("d=2 must cycle");
         assert!(cycle.len() >= 2);
@@ -280,11 +283,15 @@ mod tests {
         let cycle = p.find_cycle().unwrap();
         // Every consecutive pair in the reported cycle is a real edge.
         for w in cycle.windows(2) {
-            assert!(p.deps.contains(&Dep { from: w[0], to: w[1] }));
+            assert!(p.deps.contains(&Dep {
+                from: w[0],
+                to: w[1]
+            }));
         }
-        assert!(p
-            .deps
-            .contains(&Dep { from: *cycle.last().unwrap(), to: cycle[0] }));
+        assert!(p.deps.contains(&Dep {
+            from: *cycle.last().unwrap(),
+            to: cycle[0]
+        }));
     }
 
     #[test]

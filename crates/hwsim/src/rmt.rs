@@ -141,7 +141,13 @@ impl ResourceUsage {
 
     /// The scarcest resource (name, fraction) — Table 2's bold row.
     pub fn bottleneck(&self, config: &RmtConfig) -> (&'static str, f64) {
-        const NAMES: [&str; 5] = ["Hash Distribution Unit", "Stateful ALU", "Gateway", "Map RAM", "SRAM"];
+        const NAMES: [&str; 5] = [
+            "Hash Distribution Unit",
+            "Stateful ALU",
+            "Gateway",
+            "Map RAM",
+            "SRAM",
+        ];
         let fr = self.fractions(config);
         let (i, &f) = fr
             .iter()

@@ -21,5 +21,5 @@ pub mod nic;
 pub use engine::ring;
 
 pub use datapath::{OvsConfig, OvsRun, OvsSim};
-pub use nic::NicModel;
 pub use engine::SpscRing;
+pub use nic::NicModel;

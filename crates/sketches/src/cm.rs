@@ -19,7 +19,10 @@ pub struct CountMin {
 impl CountMin {
     /// A `depth` x `width` Count-Min seeded from `seed`.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
-        assert!(depth > 0 && width > 0, "CountMin dimensions must be positive");
+        assert!(
+            depth > 0 && width > 0,
+            "CountMin dimensions must be positive"
+        );
         Self {
             rows: vec![vec![0u64; width]; depth],
             hashes: HashFamily::new(depth, seed),
@@ -169,7 +172,10 @@ mod tests {
         for i in 0..100u32 {
             cm.insert(&k(i), 1);
         }
-        assert!(cm.estimate(&k(99_999)) <= 2, "mostly-empty sketch should say ~0");
+        assert!(
+            cm.estimate(&k(99_999)) <= 2,
+            "mostly-empty sketch should say ~0"
+        );
     }
 
     #[test]

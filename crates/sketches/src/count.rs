@@ -21,7 +21,10 @@ pub struct CountSketch {
 impl CountSketch {
     /// A `depth` x `width` Count sketch.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
-        assert!(depth > 0 && width > 0, "CountSketch dimensions must be positive");
+        assert!(
+            depth > 0 && width > 0,
+            "CountSketch dimensions must be positive"
+        );
         Self {
             rows: vec![vec![0i64; width]; depth],
             index_hashes: HashFamily::new(depth, seed),
@@ -156,8 +159,10 @@ mod tests {
         for i in 0..2_000u32 {
             cs.insert(&k(i), 10);
         }
-        let mean: f64 =
-            (0..2_000u32).map(|i| cs.estimate(&k(i)) as f64).sum::<f64>() / 2_000.0;
+        let mean: f64 = (0..2_000u32)
+            .map(|i| cs.estimate(&k(i)) as f64)
+            .sum::<f64>()
+            / 2_000.0;
         assert!((mean - 10.0).abs() < 3.0, "mean estimate {mean}");
     }
 

@@ -44,7 +44,10 @@ impl ElasticSketch {
     /// Explicit sizes: `heavy_buckets` vote buckets, `light_counters`
     /// 8-bit counters.
     pub fn new(heavy_buckets: usize, light_counters: usize, key_bytes: usize, seed: u64) -> Self {
-        assert!(heavy_buckets > 0 && light_counters > 0, "Elastic parts must be non-empty");
+        assert!(
+            heavy_buckets > 0 && light_counters > 0,
+            "Elastic parts must be non-empty"
+        );
         Self {
             heavy: vec![HeavyBucket::default(); heavy_buckets],
             light: vec![0u8; light_counters],
@@ -193,7 +196,7 @@ mod tests {
     fn eviction_moves_votes_to_light() {
         let mut e = ElasticSketch::new(1, 1024, 4, 3);
         e.update(&k(1), 2); // resident with 2 votes
-        // Challenger floods: vote_neg reaches λ * vote_pos.
+                            // Challenger floods: vote_neg reaches λ * vote_pos.
         for _ in 0..16 {
             e.update(&k(2), 1);
         }
@@ -217,7 +220,10 @@ mod tests {
             e.update(&k(2), 1);
         }
         let est = e.query(&k(2));
-        assert!(est >= 55, "flagged flow should add its light-part share, got {est}");
+        assert!(
+            est >= 55,
+            "flagged flow should add its light-part share, got {est}"
+        );
     }
 
     #[test]

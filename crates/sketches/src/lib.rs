@@ -18,7 +18,6 @@
 //! index structures at their real size) so that the "same memory" axes of
 //! the paper's figures are apples-to-apples.
 
-
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

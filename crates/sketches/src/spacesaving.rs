@@ -104,7 +104,11 @@ mod tests {
         }
         for (key, est) in ss.records() {
             let id = u32::from_be_bytes(key.as_slice().try_into().unwrap());
-            assert!(est >= truth[&id], "flow {id}: est {est} < true {}", truth[&id]);
+            assert!(
+                est >= truth[&id],
+                "flow {id}: est {est} < true {}",
+                truth[&id]
+            );
         }
     }
 
@@ -143,16 +147,16 @@ mod tests {
                 ss.update(&k(1000 + (rng.next_u64() % 100_000) as u32), 1);
             }
         }
-        assert!(ss.query(&k(7)) >= 50_000 / 3, "heavy flow must stay tracked");
+        assert!(
+            ss.query(&k(7)) >= 50_000 / 3,
+            "heavy flow must stay tracked"
+        );
     }
 
     #[test]
     fn with_memory_capacity() {
         let ss = SpaceSaving::with_memory(10_000, 13);
-        assert_eq!(
-            ss.capacity(),
-            10_000 / StreamSummary::bytes_per_item(13)
-        );
+        assert_eq!(ss.capacity(), 10_000 / StreamSummary::bytes_per_item(13));
     }
 
     #[test]

@@ -214,7 +214,9 @@ impl StreamSummary {
     /// Unlink `slot` from its bucket's item list (bucket kept even if
     /// emptied; the caller decides when to free it).
     fn detach(&mut self, slot: u32) {
-        let Slot { prev, next, bucket, .. } = self.slots[slot as usize];
+        let Slot {
+            prev, next, bucket, ..
+        } = self.slots[slot as usize];
         if prev != NIL {
             self.slots[prev as usize].next = next;
         } else {
@@ -514,8 +516,7 @@ mod tests {
                 let w = 1 + rng.next_u64() % 5;
                 let replace = rng.next_u64() % 2 == 0;
                 let min_model = *model.values().min().unwrap();
-                let (old, before) =
-                    ss.bump_min(w, if replace { Some(k(next_key)) } else { None });
+                let (old, before) = ss.bump_min(w, if replace { Some(k(next_key)) } else { None });
                 assert_eq!(before, min_model, "victim must hold the global min");
                 if replace {
                     model.remove(&old);

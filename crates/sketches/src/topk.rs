@@ -138,7 +138,10 @@ impl TopK {
     #[cfg(test)]
     fn check_invariants(&self) {
         for i in 1..self.heap.len() {
-            assert!(self.heap[(i - 1) / 2].1 <= self.heap[i].1, "heap order broken at {i}");
+            assert!(
+                self.heap[(i - 1) / 2].1 <= self.heap[i].1,
+                "heap order broken at {i}"
+            );
         }
         assert_eq!(self.pos.len(), self.heap.len());
         for (k, &i) in &self.pos {

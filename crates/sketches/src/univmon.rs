@@ -135,10 +135,7 @@ mod tests {
         }
         for h in 0..5u32 {
             let est = u.query(&k(h));
-            assert!(
-                (900..=1100).contains(&est),
-                "heavy flow {h} estimate {est}"
-            );
+            assert!((900..=1100).contains(&est), "heavy flow {h} estimate {est}");
         }
     }
 

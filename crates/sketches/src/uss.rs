@@ -246,13 +246,15 @@ mod tests {
             uss.update(&k(key), 1);
             *truth.entry(key).or_insert(0) += 1;
         }
-        let true_even: u64 = truth.iter().filter(|(id, _)| *id % 2 == 0).map(|(_, &v)| v).sum();
+        let true_even: u64 = truth
+            .iter()
+            .filter(|(id, _)| *id % 2 == 0)
+            .map(|(_, &v)| v)
+            .sum();
         let est_even: u64 = uss
             .records()
             .iter()
-            .filter(|(key, _)| {
-                u32::from_be_bytes(key.as_slice().try_into().unwrap()) % 2 == 0
-            })
+            .filter(|(key, _)| u32::from_be_bytes(key.as_slice().try_into().unwrap()) % 2 == 0)
             .map(|&(_, v)| v)
             .sum();
         let rel = (est_even as f64 - true_even as f64).abs() / true_even as f64;

@@ -108,7 +108,12 @@ mod tests {
             for _ in 0..100 {
                 s.update(&key, 1);
             }
-            assert_eq!(s.query(&key), 100, "{} must count a lone flow exactly", algo.name());
+            assert_eq!(
+                s.query(&key),
+                100,
+                "{} must count a lone flow exactly",
+                algo.name()
+            );
             assert!(s.memory_bytes() <= 32 * 1024, "{} over budget", algo.name());
         }
     }

@@ -42,7 +42,12 @@ pub fn run(
 ) -> TaskResult {
     let mut pipe = Pipeline::deploy(algo, specs, full, mem_bytes, seed);
     pipe.run(trace);
-    score(&pipe.estimates(), trace, specs, threshold_of(trace, threshold_frac))
+    score(
+        &pipe.estimates(),
+        trace,
+        specs,
+        threshold_of(trace, threshold_frac),
+    )
 }
 
 /// Score per-key estimate tables against exact counts.
@@ -110,8 +115,24 @@ mod tests {
         // CocoSketch beats one CM-Heap per key.
         let t = trace();
         let mem = 48 * 1024;
-        let ours = run(&t, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, Algo::OURS, mem, 1e-3, 1);
-        let cm = run(&t, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, Algo::CmHeap, mem, 1e-3, 1);
+        let ours = run(
+            &t,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            Algo::OURS,
+            mem,
+            1e-3,
+            1,
+        );
+        let cm = run(
+            &t,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            Algo::CmHeap,
+            mem,
+            1e-3,
+            1,
+        );
         assert!(
             ours.avg.f1 >= cm.avg.f1,
             "ours {} vs cm {}",

@@ -20,7 +20,12 @@ pub fn run_coco(
 ) -> TaskResult {
     let mut pipe = Pipeline::deploy(Algo::OURS, hierarchy, full, mem_bytes, seed);
     pipe.run(trace);
-    score(&pipe.estimates(), trace, hierarchy, threshold_of(trace, threshold_frac))
+    score(
+        &pipe.estimates(),
+        trace,
+        hierarchy,
+        threshold_of(trace, threshold_frac),
+    )
 }
 
 /// Run R-HHH over the same hierarchy and score every level.
@@ -33,7 +38,12 @@ pub fn run_rhhh(
 ) -> TaskResult {
     let mut pipe = Pipeline::deploy_rhhh(hierarchy, mem_bytes, seed);
     pipe.run(trace);
-    score(&pipe.estimates(), trace, hierarchy, threshold_of(trace, threshold_frac))
+    score(
+        &pipe.estimates(),
+        trace,
+        hierarchy,
+        threshold_of(trace, threshold_frac),
+    )
 }
 
 #[cfg(test)]

@@ -16,7 +16,6 @@
 //! - [`timing`]: packet-rate (Mpps) and per-packet-cycle measurement
 //!   for the §7.3 CPU experiments.
 
-
 #![warn(missing_docs)]
 // `deny` rather than `forbid`: the TSC read in `timing` is the one
 // permitted `unsafe` operation (annotated there).

@@ -46,7 +46,13 @@ impl Pipeline {
     /// CocoSketch puts the whole budget into one full-key sketch;
     /// per-key baselines split it evenly across keys (the paper's
     /// fixed-total-memory comparison).
-    pub fn deploy(algo: Algo, specs: &[KeySpec], full: KeySpec, mem_bytes: usize, seed: u64) -> Self {
+    pub fn deploy(
+        algo: Algo,
+        specs: &[KeySpec],
+        full: KeySpec,
+        mem_bytes: usize,
+        seed: u64,
+    ) -> Self {
         assert!(!specs.is_empty(), "need at least one key");
         debug_assert!(specs.iter().all(|s| s.is_partial_of(&full)));
         if algo.deploys_on_full_key() {
@@ -95,12 +101,20 @@ impl Pipeline {
     }
 
     /// Estimated flow tables, one per measured key, in spec order.
+    ///
+    /// The CocoSketch arm runs the query-plane engine
+    /// ([`FlowTable::query_all`]): specs that nest (prefix hierarchies)
+    /// roll up from their ancestor's result map, the rest share a
+    /// single multi-projector pass over the records, and large tables
+    /// scan in parallel — all bit-identical to per-spec
+    /// [`FlowTable::query_partial`].
     pub fn estimates(&self) -> Vec<HashMap<KeyBytes, u64>> {
         match self {
-            Pipeline::Coco { sketch, full, specs } => {
-                let table = FlowTable::new(*full, sketch.records());
-                specs.iter().map(|spec| table.query_partial(spec)).collect()
-            }
+            Pipeline::Coco {
+                sketch,
+                full,
+                specs,
+            } => FlowTable::new(*full, sketch.records()).query_all(specs),
             Pipeline::PerKey { sketches, .. } => sketches
                 .iter()
                 .map(|sketch| {
@@ -220,6 +234,32 @@ mod tests {
     }
 
     #[test]
+    fn coco_estimates_match_per_spec_queries() {
+        // The query-plane engine behind `estimates` (single-pass +
+        // rollup + parallel scan) must agree bit-for-bit with the naive
+        // per-spec aggregation it replaced.
+        let t = trace();
+        let mut pipe = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            128 * 1024,
+            7,
+        );
+        pipe.run(&t);
+        let (table, specs) = match &pipe {
+            Pipeline::Coco {
+                sketch,
+                full,
+                specs,
+            } => (FlowTable::new(*full, sketch.records()), specs.clone()),
+            _ => unreachable!(),
+        };
+        let expect: Vec<_> = specs.iter().map(|s| table.query_partial(s)).collect();
+        assert_eq!(pipe.estimates(), expect);
+    }
+
+    #[test]
     fn per_key_splits_budget() {
         let pipe = Pipeline::deploy(
             Algo::SpaceSaving,
@@ -229,7 +269,13 @@ mod tests {
             4,
         );
         assert!(pipe.memory_bytes() <= 600_000);
-        let coco = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 600_000, 4);
+        let coco = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            600_000,
+            4,
+        );
         assert!(coco.memory_bytes() <= 600_000);
         assert!(
             coco.memory_bytes() > pipe.memory_bytes() / 2,

@@ -56,7 +56,13 @@ pub fn top_k(table: &FlowTable, spec: &KeySpec, k: usize) -> Vec<(KeyBytes, u64)
 /// flows do not appear — the same limitation the paper notes for all
 /// record-based post-processing.
 pub fn size_distribution(table: &FlowTable, spec: &KeySpec) -> Vec<u64> {
-    let counts = table.query_partial(spec);
+    size_distribution_of_counts(&table.query_partial(spec))
+}
+
+/// Flow-size distribution of an explicit count table (lets callers that
+/// already hold a query result — e.g. the CLI `stats` command — bin it
+/// without re-scanning the flow table).
+pub fn size_distribution_of_counts(counts: &HashMap<KeyBytes, u64>) -> Vec<u64> {
     let mut bins = vec![0u64; 64];
     for &v in counts.values() {
         if v > 0 {
@@ -84,7 +90,10 @@ mod tests {
     #[test]
     fn entropy_of_uniform_counts() {
         let counts: HashMap<KeyBytes, u64> = (0..8u32).map(|i| (k(i), 10)).collect();
-        assert!((entropy_of_counts(&counts) - 3.0).abs() < 1e-12, "log2(8) = 3");
+        assert!(
+            (entropy_of_counts(&counts) - 3.0).abs() < 1e-12,
+            "log2(8) = 3"
+        );
     }
 
     #[test]
@@ -167,10 +176,7 @@ mod tests {
             let e = est[bin] as f64;
             let x = exact_bins[bin] as f64;
             if x >= 10.0 {
-                assert!(
-                    (e - x).abs() / x < 0.3,
-                    "bin {bin}: est {e} vs exact {x}"
-                );
+                assert!((e - x).abs() / x < 0.3, "bin {bin}: est {e} vs exact {x}");
             }
         }
     }

@@ -52,7 +52,11 @@ fn tsc() -> u64 {
 /// Throughput-only replay: update the pipeline on every packet and
 /// report Mpps. The median of `trials` runs is returned, as in §7.1
 /// ("median value among 5 independent trials").
-pub fn measure_throughput(pipe_factory: impl Fn() -> Pipeline, trace: &Trace, trials: usize) -> Timing {
+pub fn measure_throughput(
+    pipe_factory: impl Fn() -> Pipeline,
+    trace: &Trace,
+    trials: usize,
+) -> Timing {
     assert!(trials > 0, "need at least one trial");
     let mut rates: Vec<f64> = Vec::with_capacity(trials);
     for _ in 0..trials {
@@ -118,7 +122,15 @@ mod tests {
     fn throughput_is_positive_and_sane() {
         let t = trace();
         let timing = measure_throughput(
-            || Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 64 * 1024, 1),
+            || {
+                Pipeline::deploy(
+                    Algo::OURS,
+                    &KeySpec::PAPER_SIX,
+                    KeySpec::FIVE_TUPLE,
+                    64 * 1024,
+                    1,
+                )
+            },
             &t,
             3,
         );
@@ -130,8 +142,13 @@ mod tests {
     #[test]
     fn cycle_probe_reports_percentile() {
         let t = trace();
-        let mut pipe =
-            Pipeline::deploy(Algo::OURS, &[KeySpec::FIVE_TUPLE], KeySpec::FIVE_TUPLE, 64 * 1024, 1);
+        let mut pipe = Pipeline::deploy(
+            Algo::OURS,
+            &[KeySpec::FIVE_TUPLE],
+            KeySpec::FIVE_TUPLE,
+            64 * 1024,
+            1,
+        );
         let timing = measure_cycles(&mut pipe, &t);
         assert!(timing.p95_cycles > 0.0);
         assert!(timing.p95_cycles.is_finite());

@@ -155,7 +155,9 @@ fn distinct_flows(n: usize, sampler: &FlowSampler, rng: &mut SplitMix64) -> Vec<
 /// gets at least one packet).
 pub fn zipf_sizes(packets: usize, flows: usize, alpha: f64) -> Vec<u64> {
     assert!(flows > 0, "need at least one flow");
-    let weights: Vec<f64> = (0..flows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let weights: Vec<f64> = (0..flows)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(alpha))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut sizes: Vec<u64> = weights
         .iter()
@@ -211,7 +213,11 @@ pub fn heavy_change_pair(cfg: &TraceConfig, churn_top: usize, churn_prob: f64) -
     let mut sizes2 = sizes1.clone();
     for size in sizes2.iter_mut().take(churn_top.min(cfg.flows)) {
         if rng.chance(churn_prob) {
-            *size = if rng.chance(0.5) { *size * 4 } else { (*size / 8).max(1) };
+            *size = if rng.chance(0.5) {
+                *size * 4
+            } else {
+                (*size / 8).max(1)
+            };
         }
     }
 
@@ -274,10 +280,18 @@ mod tests {
     fn sizes_are_heavy_tailed() {
         let sizes = zipf_sizes(100_000, 10_000, 1.1);
         assert_eq!(sizes.len(), 10_000);
-        assert!(sizes[0] > 100 * sizes[9_999], "head {} tail {}", sizes[0], sizes[9_999]);
+        assert!(
+            sizes[0] > 100 * sizes[9_999],
+            "head {} tail {}",
+            sizes[0],
+            sizes[9_999]
+        );
         assert!(sizes.iter().all(|&s| s >= 1));
         let total: u64 = sizes.iter().sum();
-        assert!((total as i64 - 100_000).unsigned_abs() < 10, "total {total}");
+        assert!(
+            (total as i64 - 100_000).unsigned_abs() < 10,
+            "total {total}"
+        );
     }
 
     #[test]

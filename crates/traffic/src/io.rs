@@ -48,7 +48,11 @@ pub fn decode(data: &[u8]) -> io::Result<Trace> {
     }
     let count = u64::from_le_bytes(data[4..12].try_into().unwrap()) as usize;
     let records = &data[12..];
-    if records.len() != count.checked_mul(RECORD).ok_or_else(|| err("count overflow"))? {
+    if records.len()
+        != count
+            .checked_mul(RECORD)
+            .ok_or_else(|| err("count overflow"))?
+    {
         return Err(err("record section length mismatch"));
     }
     let mut packets = Vec::with_capacity(count);

@@ -58,6 +58,31 @@ impl KeyBytes {
         &self.buf[..self.len as usize]
     }
 
+    /// The full backing array. Bytes past [`len`](Self::len) are always
+    /// zero (an invariant every constructor and in-place writer keeps,
+    /// and which `PartialEq`/`Hash` — derived over the whole array —
+    /// rely on). Used by the compiled projector, whose byte-gather plan
+    /// reads fixed positions regardless of the key's length.
+    #[inline]
+    pub(crate) fn raw(&self) -> &[u8; MAX_KEY_BYTES] {
+        &self.buf
+    }
+
+    /// Mutable access to the backing array for in-place encoders
+    /// (`Projector::project_into`). Callers must re-establish the
+    /// zero-tail invariant before the key is next compared or hashed.
+    #[inline]
+    pub(crate) fn raw_mut(&mut self) -> &mut [u8; MAX_KEY_BYTES] {
+        &mut self.buf
+    }
+
+    /// Set the encoded length without touching the bytes.
+    #[inline]
+    pub(crate) fn set_len(&mut self, len: u8) {
+        debug_assert!(usize::from(len) <= MAX_KEY_BYTES);
+        self.len = len;
+    }
+
     /// Encoded length in bytes.
     #[inline]
     pub fn len(&self) -> usize {

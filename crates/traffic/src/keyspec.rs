@@ -240,11 +240,92 @@ impl KeySpec {
     ///
     /// This is `g(·)` applied at query time to the full keys a sketch has
     /// recorded. The caller must ensure `self.is_partial_of(full)`.
+    ///
+    /// One-shot convenience over [`KeySpec::projector`]: compiles the
+    /// projection plan and applies it once. Query loops that project
+    /// many keys under the same `(full, partial)` pair should compile
+    /// the [`Projector`] once and reuse it instead.
     #[inline]
     pub fn project_key(&self, full: &KeySpec, key: &KeyBytes) -> KeyBytes {
-        debug_assert!(self.is_partial_of(full), "{self:?} is not partial of {full:?}");
-        let ft = full.decode(key);
-        self.project(&ft)
+        debug_assert!(
+            self.is_partial_of(full),
+            "{self:?} is not partial of {full:?}"
+        );
+        assert_eq!(
+            key.len(),
+            full.encoded_len(),
+            "key width {} does not match spec {:?}",
+            key.len(),
+            full
+        );
+        self.projector(full).project(key)
+    }
+
+    /// Compile the projection `g(·)` from `full`-encoded keys down to
+    /// this (partial) spec: a byte gather-and-mask plan built once per
+    /// `(full, partial)` pair and applied per key with no [`FiveTuple`]
+    /// decode, no allocation, and no branching over the spec structure.
+    ///
+    /// # Panics
+    /// Panics unless `self.is_partial_of(full)`.
+    pub fn projector(&self, full: &KeySpec) -> Projector {
+        assert!(
+            self.is_partial_of(full),
+            "{self:?} is not a partial key of {full:?}"
+        );
+        let mut src = [0u8; MAX_KEY_BYTES];
+        let mut mask = [0u8; MAX_KEY_BYTES];
+        // Field offsets within the full-key encoding (fields are laid
+        // out in declaration order; IPs occupy 4 bytes whenever any
+        // prefix of them is present).
+        let src_ip_at = 0usize;
+        let dst_ip_at = src_ip_at + if full.src_ip_bits > 0 { 4 } else { 0 };
+        let src_port_at = dst_ip_at + if full.dst_ip_bits > 0 { 4 } else { 0 };
+        let dst_port_at = src_port_at + if full.src_port { 2 } else { 0 };
+        let proto_at = dst_port_at + if full.dst_port { 2 } else { 0 };
+
+        let mut n = 0usize;
+        let mut field = |at: usize, width: usize, field_mask: &[u8]| {
+            for i in 0..width {
+                src[n + i] = (at + i) as u8;
+                mask[n + i] = field_mask[i];
+            }
+            n += width;
+        };
+        if self.src_ip_bits > 0 {
+            field(src_ip_at, 4, &prefix_mask(self.src_ip_bits).to_be_bytes());
+        }
+        if self.dst_ip_bits > 0 {
+            field(dst_ip_at, 4, &prefix_mask(self.dst_ip_bits).to_be_bytes());
+        }
+        if self.src_port {
+            field(src_port_at, 2, &[0xFF; 2]);
+        }
+        if self.dst_port {
+            field(dst_port_at, 2, &[0xFF; 2]);
+        }
+        if self.proto {
+            field(proto_at, 1, &[0xFF; 1]);
+        }
+        debug_assert_eq!(n, self.encoded_len());
+        Projector {
+            full_len: full.encoded_len() as u8,
+            out_len: n as u8,
+            src,
+            mask,
+        }
+    }
+
+    /// Upper bound, in bits, on the number of distinct keys this spec
+    /// can produce: the sum of the participating field widths. A /8
+    /// source-prefix key has at most 2^8 values no matter how many
+    /// flows were recorded — query result maps are sized accordingly.
+    pub fn cardinality_bits(&self) -> u32 {
+        u32::from(self.src_ip_bits)
+            + u32::from(self.dst_ip_bits)
+            + if self.src_port { 16 } else { 0 }
+            + if self.dst_port { 16 } else { 0 }
+            + if self.proto { 8 } else { 0 }
     }
 
     /// The partial-key relation `self ≺ other` (non-strict: every key is a
@@ -259,6 +340,100 @@ impl KeySpec {
             && (!self.src_port || other.src_port)
             && (!self.dst_port || other.dst_port)
             && (!self.proto || other.proto)
+    }
+}
+
+/// A compiled projection plan from one key encoding to another — the
+/// query-plane hot path of `g(·)`.
+///
+/// [`KeySpec::projector`] lowers a `(full, partial)` spec pair into a
+/// per-output-byte gather-and-mask table: output byte `i` is full-key
+/// byte `src[i]` ANDed with `mask[i]`. Applying the plan is a fixed
+/// [`MAX_KEY_BYTES`]-iteration loop — branch-free over the spec
+/// structure, allocation-free, and trivially unrollable — so a query
+/// scan pays per row only the bytes it copies, not a [`FiveTuple`]
+/// decode/re-encode round trip.
+///
+/// Bytes at or past the output length have `mask[i] == 0`, which both
+/// keeps the gather in bounds (index 0 is always valid) and
+/// re-establishes [`KeyBytes`]'s zero-tail invariant when a scratch key
+/// is reused across projections of different widths.
+#[derive(Clone, Copy, Debug)]
+pub struct Projector {
+    full_len: u8,
+    out_len: u8,
+    src: [u8; MAX_KEY_BYTES],
+    mask: [u8; MAX_KEY_BYTES],
+}
+
+impl Projector {
+    /// Width of the keys this plan consumes.
+    #[inline]
+    pub fn full_len(&self) -> usize {
+        usize::from(self.full_len)
+    }
+
+    /// Width of the keys this plan produces.
+    #[inline]
+    pub fn out_len(&self) -> usize {
+        usize::from(self.out_len)
+    }
+
+    /// Project `key` into the caller-owned `out`, overwriting it.
+    ///
+    /// `out` may be any scratch [`KeyBytes`] (typically reused across a
+    /// whole scan); its previous length and contents are irrelevant.
+    #[inline]
+    pub fn project_into(&self, key: &KeyBytes, out: &mut KeyBytes) {
+        debug_assert_eq!(
+            key.len(),
+            self.full_len(),
+            "key width does not match the projector's full-key spec"
+        );
+        let src_buf = key.raw();
+        let out_buf = out.raw_mut();
+        for i in 0..MAX_KEY_BYTES {
+            out_buf[i] = src_buf[usize::from(self.src[i])] & self.mask[i];
+        }
+        out.set_len(self.out_len);
+    }
+
+    /// Project `key` into a fresh [`KeyBytes`].
+    #[inline]
+    pub fn project(&self, key: &KeyBytes) -> KeyBytes {
+        let mut out = KeyBytes::EMPTY;
+        self.project_into(key, &mut out);
+        out
+    }
+
+    /// True when this projection is monotone under lexicographic byte
+    /// order: `a <= b` implies `project(a) <= project(b)`, so projecting
+    /// a sorted key sequence yields a sorted sequence and equal outputs
+    /// sit adjacent.
+    ///
+    /// That holds exactly when the plan keeps a leading run of the
+    /// input's bits in place: every byte it emits is gathered from the
+    /// same position it came from (`src[i] == i`), and the concatenated
+    /// mask is one contiguous high-bit prefix (`0xFF… 0xF0 0x00…`-style)
+    /// — then projection is the floor function onto that bit prefix,
+    /// which is order-preserving. Prefix hierarchies over a common field
+    /// order (e.g. SrcIP/32 → SrcIP/24) qualify; field-reordering
+    /// projections (e.g. (SrcIP, DstIP) → DstIP) do not.
+    pub fn preserves_order(&self) -> bool {
+        let mut seen_partial = false;
+        for i in 0..MAX_KEY_BYTES {
+            let m = self.mask[i];
+            if m != 0 && (seen_partial || usize::from(self.src[i]) != i) {
+                return false;
+            }
+            if m.leading_ones() + m.trailing_zeros() != 8 {
+                return false; // not a high-bit prefix within the byte
+            }
+            if m != 0xFF {
+                seen_partial = true;
+            }
+        }
+        true
     }
 }
 
@@ -379,8 +554,118 @@ mod tests {
     }
 
     #[test]
+    fn projector_matches_project_key_for_all_pairs() {
+        // The compiled plan and the decode/re-encode reference agree on
+        // every (full, partial) pair drawn from the paper keys and a
+        // sweep of prefix specs.
+        let mut specs: Vec<KeySpec> = KeySpec::PAPER_SIX.to_vec();
+        specs.push(KeySpec::EMPTY);
+        specs.extend((1..=32).map(KeySpec::src_prefix));
+        specs.extend([
+            KeySpec::src_dst_prefix(12, 20),
+            KeySpec::src_dst_prefix(8, 8),
+        ]);
+        let flows = [
+            ft(),
+            FiveTuple::new(0xFFFFFFFF, 0xFFFFFFFF, 65535, 65535, 255),
+            FiveTuple::new(0, 0, 0, 0, 0),
+            FiveTuple::new(0xDEADBEEF, 0x01020304, 7, 65000, 17),
+        ];
+        for full in &specs {
+            for part in &specs {
+                if !part.is_partial_of(full) {
+                    continue;
+                }
+                let proj = part.projector(full);
+                assert_eq!(proj.full_len(), full.encoded_len());
+                assert_eq!(proj.out_len(), part.encoded_len());
+                for flow in &flows {
+                    let fk = full.project(flow);
+                    let via_decode = part.project(&full.decode(&fk));
+                    assert_eq!(proj.project(&fk), via_decode, "{part} ≺ {full}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projector_scratch_reuse_restores_zero_tail() {
+        // A wide projection followed by a narrower one into the same
+        // scratch key must not leave stale bytes that break equality.
+        let full = KeySpec::FIVE_TUPLE;
+        let fk = full.project(&ft());
+        let mut scratch = KeyBytes::EMPTY;
+        KeySpec::SRC_DST
+            .projector(&full)
+            .project_into(&fk, &mut scratch);
+        assert_eq!(scratch, KeySpec::SRC_DST.project(&ft()));
+        KeySpec::src_prefix(8)
+            .projector(&full)
+            .project_into(&fk, &mut scratch);
+        assert_eq!(scratch, KeySpec::src_prefix(8).project(&ft()));
+        KeySpec::EMPTY
+            .projector(&full)
+            .project_into(&fk, &mut scratch);
+        assert_eq!(scratch, KeyBytes::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a partial key")]
+    fn projector_rejects_non_partial() {
+        let _ = KeySpec::SRC_DST.projector(&KeySpec::SRC_IP_PORT);
+    }
+
+    #[test]
+    fn preserves_order_classifies_and_holds() {
+        let full = KeySpec::FIVE_TUPLE;
+        // Leading-prefix plans: prefix hierarchies and identity.
+        for (part, of) in [
+            (KeySpec::src_prefix(24), KeySpec::SRC_IP),
+            (KeySpec::src_prefix(9), full),
+            (KeySpec::SRC_IP, KeySpec::SRC_DST),
+            (full, full),
+            (KeySpec::EMPTY, full),
+        ] {
+            assert!(part.projector(&of).preserves_order(), "{part} ≺ {of}");
+        }
+        // Field-reordering plans are not monotone.
+        for (part, of) in [
+            (KeySpec::DST_IP, full),
+            (KeySpec::DST_IP, KeySpec::SRC_DST),
+            (KeySpec::DST_IP_PORT, full),
+        ] {
+            assert!(!part.projector(&of).preserves_order(), "{part} ≺ {of}");
+        }
+        // The claimed invariant, exhaustively on a sorted key sample:
+        // projection of a sorted sequence stays sorted.
+        let proj = KeySpec::src_prefix(11).projector(&KeySpec::SRC_IP);
+        let mut keys: Vec<KeyBytes> = (0..4096u32)
+            .map(|i| {
+                KeySpec::SRC_IP.project(&FiveTuple::new(i.wrapping_mul(0x9E3779B9), 0, 0, 0, 0))
+            })
+            .collect();
+        keys.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
+        let projected: Vec<KeyBytes> = keys.iter().map(|k| proj.project(k)).collect();
+        assert!(projected
+            .windows(2)
+            .all(|w| w[0].as_slice() <= w[1].as_slice()));
+    }
+
+    #[test]
+    fn cardinality_bits_counts_fields() {
+        assert_eq!(KeySpec::EMPTY.cardinality_bits(), 0);
+        assert_eq!(KeySpec::src_prefix(8).cardinality_bits(), 8);
+        assert_eq!(KeySpec::SRC_DST.cardinality_bits(), 64);
+        assert_eq!(KeySpec::FIVE_TUPLE.cardinality_bits(), 104);
+        assert_eq!(KeySpec::SRC_IP_PORT.cardinality_bits(), 48);
+    }
+
+    #[test]
     fn display_formats() {
-        assert_eq!(KeySpec::FIVE_TUPLE.to_string(), "(SrcIP,DstIP,SrcPort,DstPort,Proto)");
+        assert_eq!(
+            KeySpec::FIVE_TUPLE.to_string(),
+            "(SrcIP,DstIP,SrcPort,DstPort,Proto)"
+        );
         assert_eq!(KeySpec::src_prefix(24).to_string(), "(SrcIP/24)");
         assert_eq!(KeySpec::EMPTY.to_string(), "(empty)");
     }

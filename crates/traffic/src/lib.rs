@@ -8,7 +8,11 @@
 //! - [`KeySpec`]: a *key* in the paper's sense — a subset of 5-tuple
 //!   fields with optional per-IP prefix lengths. [`KeySpec::project`]
 //!   implements the mapping `g(·)` from Definition 1 of the paper, and
-//!   [`KeySpec::is_partial_of`] the partial-key relation `k_P ≺ k_F`;
+//!   [`KeySpec::is_partial_of`] the partial-key relation `k_P ≺ k_F`.
+//!   [`KeySpec::projector`] compiles `g(·)` for a `(full, partial)`
+//!   pair into a [`Projector`] — a branch-free byte gather-and-mask
+//!   plan that query scans apply per row with no decode and no
+//!   allocation;
 //! - [`Trace`] and the [`gen`] / [`presets`] modules: seeded synthetic
 //!   traces with Zipf flow-size skew and hierarchical IP structure,
 //!   standing in for the CAIDA/MAWI captures the paper uses (see
@@ -17,7 +21,6 @@
 //!   heavy-change sets, used by the accuracy metrics;
 //! - [`io`]: a small binary trace format so generated workloads can be
 //!   saved and replayed bit-identically.
-
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,5 +35,5 @@ pub mod presets;
 pub mod truth;
 
 pub use key::{FiveTuple, KeyBytes, MAX_KEY_BYTES};
-pub use keyspec::KeySpec;
+pub use keyspec::{KeySpec, Projector};
 pub use packet::{Packet, Trace};

@@ -69,7 +69,11 @@ impl Trace {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let start = i * per;
-            let end = if i == n - 1 { self.packets.len() } else { start + per };
+            let end = if i == n - 1 {
+                self.packets.len()
+            } else {
+                start + per
+            };
             out.push(Trace {
                 packets: self.packets[start..end].to_vec(),
             });

@@ -101,8 +101,7 @@ fn parse_frame(frame: &[u8]) -> Option<Packet> {
     // Fragment with offset > 0: no transport header present.
     let frag_offset = u16::from_be_bytes([ip[6], ip[7]]) & 0x1FFF;
     ip = &ip[ihl..];
-    let (src_port, dst_port) = if frag_offset == 0 && (proto == 6 || proto == 17) && ip.len() >= 4
-    {
+    let (src_port, dst_port) = if frag_offset == 0 && (proto == 6 || proto == 17) && ip.len() >= 4 {
         (
             u16::from_be_bytes([ip[0], ip[1]]),
             u16::from_be_bytes([ip[2], ip[3]]),
@@ -144,7 +143,9 @@ pub fn decode(data: &[u8]) -> io::Result<(Trace, PcapStats)> {
         let _ts_frac = r.u32_file().unwrap();
         let incl_len = r.u32_file().unwrap() as usize;
         let _orig_len = r.u32_file().unwrap();
-        let frame = r.take(incl_len).ok_or_else(|| err("truncated record body"))?;
+        let frame = r
+            .take(incl_len)
+            .ok_or_else(|| err("truncated record body"))?;
         match parse_frame(frame) {
             Some(p) => {
                 trace.packets.push(p);

@@ -41,26 +41,49 @@ pub fn project_counts(
     full: &KeySpec,
     spec: &KeySpec,
 ) -> HashMap<KeyBytes, u64> {
-    assert!(spec.is_partial_of(full), "{spec:?} is not partial of {full:?}");
+    assert!(
+        spec.is_partial_of(full),
+        "{spec:?} is not partial of {full:?}"
+    );
+    let proj = spec.projector(full);
     let mut out: HashMap<KeyBytes, u64> = HashMap::with_capacity(full_counts.len());
     for (key, &count) in full_counts {
-        *out.entry(spec.project_key(full, key)).or_insert(0) += count;
+        *out.entry(proj.project(key)).or_insert(0) += count;
     }
     out
 }
 
 /// Multi-level exact counts via one packet pass for the full key and
-/// per-level projection of the resulting flow table.
+/// level-to-level rollup of the resulting count tables.
+///
+/// Each level is aggregated from the smallest already-computed ancestor
+/// level rather than from the full table (falling back to the full
+/// table for levels with no in-hierarchy ancestor). Projection
+/// composes — `g_{P2←F} = g_{P2←P1} ∘ g_{P1←F}` — and the per-key sums
+/// are exact `u64` additions, so the result is identical to projecting
+/// every level from the full table; for deep hierarchies (the
+/// 1089-level 2-d HHH grid) the rollup maps shrink level over level and
+/// the work drops by orders of magnitude.
 pub fn exact_counts_hierarchy(
     trace: &Trace,
     full: &KeySpec,
     hierarchy: &[KeySpec],
 ) -> Vec<HashMap<KeyBytes, u64>> {
     let full_counts = exact_counts(trace, full);
-    hierarchy
-        .iter()
-        .map(|spec| project_counts(&full_counts, full, spec))
-        .collect()
+    let mut out: Vec<HashMap<KeyBytes, u64>> = Vec::with_capacity(hierarchy.len());
+    for (i, spec) in hierarchy.iter().enumerate() {
+        let parent = (0..i)
+            .filter(|&j| spec.is_partial_of(&hierarchy[j]))
+            .min_by_key(|&j| out[j].len());
+        let counts = match parent {
+            Some(j) if out[j].len() < full_counts.len() => {
+                project_counts(&out[j], &hierarchy[j], spec)
+            }
+            _ => project_counts(&full_counts, full, spec),
+        };
+        out.push(counts);
+    }
+    out
 }
 
 /// Flows whose exact size is at least `threshold`.

@@ -21,7 +21,10 @@ fn inject_attack(mut background: Trace, seed: u64) -> Trace {
     let mut rng = SplitMix64::new(seed);
     let victim_ip = u32::from_be_bytes([203, 0, 113, 80]);
     let attack_pkts = background.len() / 5; // 20% attack volume
-    let botnets = [u32::from_be_bytes([198, 51, 0, 0]), u32::from_be_bytes([192, 0, 0, 0])];
+    let botnets = [
+        u32::from_be_bytes([198, 51, 0, 0]),
+        u32::from_be_bytes([192, 0, 0, 0]),
+    ];
     for _ in 0..attack_pkts {
         let net = botnets[rng.below(botnets.len() as u64) as usize];
         let src = net | rng.below(0x1_0000) as u32;
@@ -93,7 +96,5 @@ fn main() {
             std::net::Ipv4Addr::from(src.src_ip)
         );
     }
-    println!(
-        "\nexpected: 203.0.113.80:443 as the victim, 198.51/16 and 192.0/16 as attackers"
-    );
+    println!("\nexpected: 203.0.113.80:443 as the victim, 198.51/16 and 192.0/16 as attackers");
 }

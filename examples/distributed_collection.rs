@@ -35,7 +35,11 @@ fn main() {
     // Collector: sketch-level merge, then encode/decode the table as a
     // device would export it.
     let merged = merge_all(shards).expect("shards share dims + seed");
-    assert_eq!(merged.total_value(), trace.total_weight(), "merge conserves traffic");
+    assert_eq!(
+        merged.total_value(),
+        trace.total_weight(),
+        "merge conserves traffic"
+    );
     let wire = snapshot::encode(&FlowTable::new(full, merged.records()));
     println!("exported flow table: {} bytes on the wire", wire.len());
     let table = snapshot::decode(&wire).expect("decode");

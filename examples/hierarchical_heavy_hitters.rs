@@ -57,7 +57,9 @@ fn main() {
     println!("\ndiscounted HHHs (heavy beyond their descendants):");
     for item in hhh.iter().take(10) {
         let ip = Ipv4Addr::from(
-            KeySpec::src_prefix(item.prefix_bits).decode(&item.key).src_ip,
+            KeySpec::src_prefix(item.prefix_bits)
+                .decode(&item.key)
+                .src_ip,
         );
         println!(
             "  {ip}/{}  total ~{}  discounted ~{}",

@@ -49,7 +49,10 @@ fn main() {
     ] {
         let mut hh = table.heavy_hitters(&spec, threshold);
         hh.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
-        println!("\nheavy hitters of {spec} (>= {threshold} packets): {}", hh.len());
+        println!(
+            "\nheavy hitters of {spec} (>= {threshold} packets): {}",
+            hh.len()
+        );
         for (key, size) in hh.iter().take(3) {
             let ft = spec.decode(key);
             println!("  {ft}  ~{size} packets");

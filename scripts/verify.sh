@@ -7,6 +7,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -69,8 +69,14 @@ fn fpga_model_agrees_with_rmt_on_structure() {
     // The same program that fails RMT placement is the one that
     // serializes (II > 1) on FPGA — one dataflow property, two models.
     let cfg = FpgaConfig::default();
-    let basic = synthesize(&library::coco_basic(500_000, 2, library::FIVE_TUPLE_BITS), &cfg);
-    let hw = synthesize(&library::coco_hardware(500_000, 2, library::FIVE_TUPLE_BITS), &cfg);
+    let basic = synthesize(
+        &library::coco_basic(500_000, 2, library::FIVE_TUPLE_BITS),
+        &cfg,
+    );
+    let hw = synthesize(
+        &library::coco_hardware(500_000, 2, library::FIVE_TUPLE_BITS),
+        &cfg,
+    );
     assert!(basic.initiation_interval > 1);
     assert_eq!(hw.initiation_interval, 1);
     assert!(hw.throughput_mpps > 4.0 * basic.throughput_mpps);

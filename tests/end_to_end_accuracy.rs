@@ -131,7 +131,12 @@ fn figure11_shape_coco_dominates_rhhh() {
     let mem = 64 * 1024;
     let ours = hhh_task::run_coco(&trace, &hierarchy, KeySpec::SRC_IP, mem, 1e-3, 1);
     let rhhh = hhh_task::run_rhhh(&trace, &hierarchy, mem, 1e-3, 1);
-    assert!(ours.avg.f1 > rhhh.avg.f1, "{} vs {}", ours.avg.f1, rhhh.avg.f1);
+    assert!(
+        ours.avg.f1 > rhhh.avg.f1,
+        "{} vs {}",
+        ours.avg.f1,
+        rhhh.avg.f1
+    );
     assert!(
         ours.avg.are < rhhh.avg.are / 2.0,
         "ARE gap should be large: {} vs {}",

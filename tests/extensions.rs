@@ -44,7 +44,10 @@ fn sharded_measure_merge_export_query() {
     let (big, &size) = exact.iter().max_by_key(|&(_, v)| v).unwrap();
     let got = est.get(big).copied().unwrap_or(0);
     let rel = (got as f64 - size as f64).abs() / size as f64;
-    assert!(rel < 0.2, "top source {size} estimated {got} after merge+wire");
+    assert!(
+        rel < 0.2,
+        "top source {size} estimated {got} after merge+wire"
+    );
 }
 
 #[test]

@@ -63,8 +63,20 @@ fn rhhh_pipeline_scales_estimates_correctly() {
 
 #[test]
 fn coco_pipeline_memory_is_key_count_independent() {
-    let one = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX[..1], KeySpec::FIVE_TUPLE, 500_000, 1);
-    let six = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 500_000, 1);
+    let one = Pipeline::deploy(
+        Algo::OURS,
+        &KeySpec::PAPER_SIX[..1],
+        KeySpec::FIVE_TUPLE,
+        500_000,
+        1,
+    );
+    let six = Pipeline::deploy(
+        Algo::OURS,
+        &KeySpec::PAPER_SIX,
+        KeySpec::FIVE_TUPLE,
+        500_000,
+        1,
+    );
     assert_eq!(one.memory_bytes(), six.memory_bytes());
 }
 
@@ -73,7 +85,15 @@ fn throughput_probe_runs_for_every_strategy() {
     let t = trace();
     for algo in [Algo::OURS, Algo::CmHeap, Algo::Uss] {
         let timing = timing::measure_throughput(
-            || Pipeline::deploy(algo, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 128 * 1024, 1),
+            || {
+                Pipeline::deploy(
+                    algo,
+                    &KeySpec::PAPER_SIX,
+                    KeySpec::FIVE_TUPLE,
+                    128 * 1024,
+                    1,
+                )
+            },
             &t,
             1,
         );
@@ -84,7 +104,13 @@ fn throughput_probe_runs_for_every_strategy() {
 #[test]
 fn estimates_cover_true_heavy_hitters() {
     let t = trace();
-    let mut pipe = Pipeline::deploy(Algo::OURS, &KeySpec::PAPER_SIX, KeySpec::FIVE_TUPLE, 256 * 1024, 2);
+    let mut pipe = Pipeline::deploy(
+        Algo::OURS,
+        &KeySpec::PAPER_SIX,
+        KeySpec::FIVE_TUPLE,
+        256 * 1024,
+        2,
+    );
     pipe.run(&t);
     let estimates = pipe.estimates();
     let threshold = t.total_weight() / 500;

@@ -11,7 +11,13 @@ use traffic::{FiveTuple, KeyBytes, KeySpec};
 
 /// Arbitrary 5-tuples from a compact space (forces collisions).
 fn arb_flow() -> impl Strategy<Value = FiveTuple> {
-    (0u32..64, 0u32..64, 0u16..8, 0u16..8, prop_oneof![Just(6u8), Just(17u8)])
+    (
+        0u32..64,
+        0u32..64,
+        0u16..8,
+        0u16..8,
+        prop_oneof![Just(6u8), Just(17u8)],
+    )
         .prop_map(|(s, d, sp, dp, pr)| FiveTuple::new(s, d, sp, dp, pr))
 }
 
@@ -151,4 +157,74 @@ proptest! {
         let rel = (approx - exact).abs() / exact;
         prop_assert!(rel <= 0.125 + 1e-9, "value {} rel {}", value, rel);
     }
+
+    #[test]
+    fn query_engine_paths_bit_identical(stream in arb_stream(), threads in 1usize..5, seed in any::<u64>()) {
+        // Every query-plane path — single-pass multi-spec, parallel
+        // scan, and the engine front door — must agree exactly (not
+        // approximately) with one query_partial scan per spec, spec
+        // list including the empty key.
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::new(2, 16, full.key_bytes(), seed);
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+        }
+        let table = FlowTable::new(full, s.records());
+        let mut specs = KeySpec::PAPER_SIX.to_vec();
+        specs.push(KeySpec::EMPTY);
+        let base: Vec<_> = specs.iter().map(|sp| table.query_partial(sp)).collect();
+        prop_assert_eq!(&table.query_multi(&specs), &base, "single-pass");
+        prop_assert_eq!(&table.query_multi_parallel(&specs, threads), &base, "parallel scan");
+        prop_assert_eq!(&table.query_all(&specs), &base, "engine");
+    }
+
+    #[test]
+    fn hierarchy_rollup_bit_identical(stream in arb_stream(), threads in 1usize..5, seed in any::<u64>()) {
+        // The full 33-level source-prefix hierarchy, answered by
+        // level-over-level rollup (hash-map and sorted-entry shapes),
+        // must match 33 independent per-spec scans bit for bit.
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::new(2, 16, full.key_bytes(), seed);
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+        }
+        let table = FlowTable::new(full, s.records());
+        let hierarchy = hhh::hierarchy::src_hierarchy();
+        let base: Vec<_> = hierarchy.iter().map(|sp| table.query_partial(sp)).collect();
+        prop_assert_eq!(&table.query_rollup(&hierarchy), &base, "rollup (maps)");
+        prop_assert_eq!(&table.query_rollup_threads(&hierarchy, threads), &base, "rollup (threads)");
+        let entries = table.query_rollup_entries(&hierarchy, threads);
+        for ((level, map), spec) in entries.iter().zip(&base).zip(&hierarchy) {
+            prop_assert!(
+                level.windows(2).all(|w| w[0].0.as_slice() < w[1].0.as_slice()),
+                "level {} not strictly sorted", spec
+            );
+            prop_assert_eq!(level.len(), map.len(), "level {} cardinality", spec);
+            for &(k, v) in level {
+                prop_assert_eq!(map.get(&k), Some(&v), "level {} key {:?}", spec, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn query_engine_paths_on_empty_table() {
+    // The degenerate inputs proptest's compact flow space never
+    // produces: a table with no rows at all.
+    let full = KeySpec::FIVE_TUPLE;
+    let table = FlowTable::new(full, Vec::new());
+    let mut specs = KeySpec::PAPER_SIX.to_vec();
+    specs.push(KeySpec::EMPTY);
+    let base: Vec<_> = specs.iter().map(|sp| table.query_partial(sp)).collect();
+    assert!(base.iter().all(|m| m.is_empty()));
+    assert_eq!(table.query_multi(&specs), base);
+    assert_eq!(table.query_multi_parallel(&specs, 4), base);
+    assert_eq!(table.query_all(&specs), base);
+    let hierarchy = hhh::hierarchy::src_hierarchy();
+    let empty_h: Vec<_> = hierarchy.iter().map(|sp| table.query_partial(sp)).collect();
+    assert_eq!(table.query_rollup(&hierarchy), empty_h);
+    assert!(table
+        .query_all_entries(&hierarchy)
+        .iter()
+        .all(Vec::is_empty));
 }

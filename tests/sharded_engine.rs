@@ -40,7 +40,11 @@ fn conservation_holds_for_every_thread_count() {
     let total: u64 = pkts.iter().map(|&(_, w)| w).sum();
     for threads in THREAD_COUNTS {
         let run = ShardedCocoSketch::new(config(threads)).run(&pkts);
-        assert_eq!(run.processed, pkts.len() as u64, "{threads} threads dropped packets");
+        assert_eq!(
+            run.processed,
+            pkts.len() as u64,
+            "{threads} threads dropped packets"
+        );
         assert_eq!(
             run.sketch.total_value(),
             total,

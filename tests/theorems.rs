@@ -49,8 +49,7 @@ fn lemma4_hardware_cocosketch_is_unbiased_per_array() {
     let mut acc = 0f64;
     for t in 0..trials {
         // d = 1 isolates the per-array estimator of Lemma 4.
-        let mut s =
-            HardwareCocoSketch::new(1, 16, 4, DivisionMode::Exact, 30_000 + u64::from(t));
+        let mut s = HardwareCocoSketch::new(1, 16, 4, DivisionMode::Exact, 30_000 + u64::from(t));
         drive(&mut s, watched, 12, 2_000, 40_000 + u64::from(t));
         acc += s.query(&k(0)) as f64;
     }
@@ -72,8 +71,7 @@ fn theorem3_error_bound_tail() {
     let noise_flows = 50u32;
     let mut violations = 0u32;
     for t in 0..trials {
-        let mut s =
-            HardwareCocoSketch::new(4, 3, 4, DivisionMode::Exact, 70_000 + u64::from(t));
+        let mut s = HardwareCocoSketch::new(4, 3, 4, DivisionMode::Exact, 70_000 + u64::from(t));
         drive(&mut s, watched, churn, noise_flows, 90_000 + u64::from(t));
         let est = s.query(&k(0)) as f64;
         let f_true = watched as f64;
@@ -97,8 +95,7 @@ fn theorem4_recall_lower_bound() {
     let trials = 400u32;
     let mut recorded = 0u32;
     for t in 0..trials {
-        let mut s =
-            HardwareCocoSketch::new(2, 90, 4, DivisionMode::Exact, 110_000 + u64::from(t));
+        let mut s = HardwareCocoSketch::new(2, 90, 4, DivisionMode::Exact, 110_000 + u64::from(t));
         // watched flow: 100 packets; rest: 1000 packets over 500 flows.
         drive(&mut s, 100, 10, 500, 130_000 + u64::from(t));
         if s.query(&k(0)) > 0 {
@@ -129,7 +126,10 @@ fn theorem1_replacement_probability_is_w_over_total() {
         }
     }
     let rate = f64::from(replaced) / f64::from(trials);
-    assert!((rate - 0.25).abs() < 0.025, "replacement rate {rate} vs 0.25");
+    assert!(
+        (rate - 0.25).abs() < 0.025,
+        "replacement rate {rate} vs 0.25"
+    );
 }
 
 #[test]
