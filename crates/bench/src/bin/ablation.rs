@@ -11,8 +11,8 @@
 
 use cocosketch::{BasicCocoSketch, Combine, DivisionMode, FlowTable, HardwareCocoSketch, TieBreak};
 use cocosketch_bench::{f, Cli, ResultTable};
+use hashkit::FastMap;
 use sketches::Sketch;
-use std::collections::HashMap;
 use tasks::heavy_hitter::{score, threshold_of};
 use traffic::{presets, KeyBytes, KeySpec, Trace};
 
@@ -26,7 +26,7 @@ fn run_one(sketch: &mut dyn Sketch, trace: &Trace) -> (f64, f64) {
         sketch.update(&full.project(&p.flow), u64::from(p.weight));
     }
     let table = FlowTable::new(full, sketch.records());
-    let estimates: Vec<HashMap<KeyBytes, u64>> = KeySpec::PAPER_SIX
+    let estimates: Vec<FastMap<KeyBytes, u64>> = KeySpec::PAPER_SIX
         .iter()
         .map(|spec| table.query_partial(spec))
         .collect();

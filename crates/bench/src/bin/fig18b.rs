@@ -16,8 +16,8 @@
 
 use cocosketch::{BasicCocoSketch, FlowTable};
 use cocosketch_bench::{Cli, ResultTable};
+use hashkit::FastMap;
 use sketches::{ElasticSketch, Sketch};
-use std::collections::HashMap;
 use traffic::{presets, truth, KeyBytes, KeySpec, Trace};
 
 /// The paper's 6MB against its full trace works out to roughly two
@@ -29,7 +29,7 @@ const BUCKET_BYTES: usize = 8;
 const BUCKETS_PER_FLOW: usize = 6;
 
 /// ARE of `estimate(key)` over all keys of `truth`.
-fn are_over_all(truth: &HashMap<KeyBytes, u64>, mut estimate: impl FnMut(&KeyBytes) -> u64) -> f64 {
+fn are_over_all(truth: &FastMap<KeyBytes, u64>, mut estimate: impl FnMut(&KeyBytes) -> u64) -> f64 {
     let mut sum = 0f64;
     for (k, &v) in truth {
         let est = estimate(k);
@@ -74,7 +74,7 @@ fn main() {
         let mut coco = BasicCocoSketch::with_memory(mem, 2, full.key_bytes(), cli.seed);
         feed(&mut coco, &trace, &full);
         let t = FlowTable::new(full, coco.records());
-        let full_est: HashMap<KeyBytes, u64> = t.query_partial(&full);
+        let full_est: FastMap<KeyBytes, u64> = t.query_partial(&full);
         let part_est = t.query_partial(&part);
         table.push(vec![
             "Ours".into(),

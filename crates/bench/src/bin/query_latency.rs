@@ -29,8 +29,8 @@
 //! `cargo run --release -p cocosketch-bench --bin query_latency -- [--scale N] [--seed S] [--threads T] [--out DIR]`
 
 use cocosketch::FlowTable;
+use hashkit::FastMap;
 use hhh::hierarchy::src_hierarchy;
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 use traffic::{presets, truth, KeyBytes, KeySpec};
@@ -110,7 +110,7 @@ fn main() {
     let six = KeySpec::PAPER_SIX;
     let hierarchy = src_hierarchy();
 
-    let per_spec = |specs: &[KeySpec]| -> Vec<HashMap<KeyBytes, u64>> {
+    let per_spec = |specs: &[KeySpec]| -> Vec<FastMap<KeyBytes, u64>> {
         specs.iter().map(|s| table.query_partial(s)).collect()
     };
 

@@ -12,6 +12,8 @@
 //! exports the recorded flow table; `query` then answers any partial
 //! key from that table — the full late-binding workflow from a shell.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod basic;
 pub mod hardware;

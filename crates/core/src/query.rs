@@ -50,7 +50,7 @@
 //!   commutative, so the merged result is exact and independent of
 //!   chunking and scheduling.
 
-use std::collections::HashMap;
+use hashkit::{fast_map_with_capacity, invariant, FastMap};
 use traffic::{KeyBytes, KeySpec, Projector};
 
 /// Row count above which [`FlowTable::query_all`] switches the base
@@ -133,10 +133,10 @@ impl FlowTable {
     ///
     /// # Panics
     /// Panics if `spec` is not a partial key of the table's full key.
-    pub fn query_partial(&self, spec: &KeySpec) -> HashMap<KeyBytes, u64> {
+    pub fn query_partial(&self, spec: &KeySpec) -> FastMap<KeyBytes, u64> {
         let proj = self.compile(spec);
-        let mut out: HashMap<KeyBytes, u64> =
-            HashMap::with_capacity(Self::capacity_hint(spec, self.rows.len()));
+        let mut out: FastMap<KeyBytes, u64> =
+            fast_map_with_capacity(Self::capacity_hint(spec, self.rows.len()));
         let mut scratch = KeyBytes::EMPTY;
         for (full_key, size) in &self.rows {
             proj.project_into(full_key, &mut scratch);
@@ -157,11 +157,11 @@ impl FlowTable {
     ///
     /// # Panics
     /// Panics if any spec is not a partial key of the table's full key.
-    pub fn query_multi(&self, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+    pub fn query_multi(&self, specs: &[KeySpec]) -> Vec<FastMap<KeyBytes, u64>> {
         let projs: Vec<Projector> = specs.iter().map(|s| self.compile(s)).collect();
-        let mut maps: Vec<HashMap<KeyBytes, u64>> = specs
+        let mut maps: Vec<FastMap<KeyBytes, u64>> = specs
             .iter()
-            .map(|s| HashMap::with_capacity(Self::capacity_hint(s, self.rows.len())))
+            .map(|s| fast_map_with_capacity(Self::capacity_hint(s, self.rows.len())))
             .collect();
         Self::scan_into(&self.rows, &projs, &mut maps);
         maps
@@ -172,7 +172,7 @@ impl FlowTable {
     fn scan_into(
         rows: &[(KeyBytes, u64)],
         projs: &[Projector],
-        maps: &mut [HashMap<KeyBytes, u64>],
+        maps: &mut [FastMap<KeyBytes, u64>],
     ) {
         let mut scratch = KeyBytes::EMPTY;
         for (full_key, size) in rows {
@@ -200,23 +200,23 @@ impl FlowTable {
         &self,
         specs: &[KeySpec],
         threads: usize,
-    ) -> Vec<HashMap<KeyBytes, u64>> {
+    ) -> Vec<FastMap<KeyBytes, u64>> {
         let threads = threads.clamp(1, self.rows.len().max(1));
         if threads == 1 {
             return self.query_multi(specs);
         }
         let projs: Vec<Projector> = specs.iter().map(|s| self.compile(s)).collect();
         let chunk_len = self.rows.len().div_ceil(threads);
-        let locals: Vec<Vec<HashMap<KeyBytes, u64>>> = std::thread::scope(|scope| {
+        let locals: Vec<Vec<FastMap<KeyBytes, u64>>> = std::thread::scope(|scope| {
             let workers: Vec<_> = self
                 .rows
                 .chunks(chunk_len)
                 .map(|rows| {
                     let projs = &projs;
                     scope.spawn(move || {
-                        let mut maps: Vec<HashMap<KeyBytes, u64>> = specs
+                        let mut maps: Vec<FastMap<KeyBytes, u64>> = specs
                             .iter()
-                            .map(|s| HashMap::with_capacity(Self::capacity_hint(s, rows.len())))
+                            .map(|s| fast_map_with_capacity(Self::capacity_hint(s, rows.len())))
                             .collect();
                         Self::scan_into(rows, projs, &mut maps);
                         maps
@@ -225,13 +225,18 @@ impl FlowTable {
                 .collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("query scan worker panicked"))
+                .map(|w| match w.join() {
+                    Ok(maps) => maps,
+                    // A worker panic is a bug in the scan itself;
+                    // re-raise it with its original payload.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         let mut locals = locals.into_iter();
         let mut merged = locals
             .next()
-            .unwrap_or_else(|| specs.iter().map(|_| HashMap::new()).collect());
+            .unwrap_or_else(|| specs.iter().map(|_| FastMap::default()).collect());
         for maps in locals {
             for (acc, map) in merged.iter_mut().zip(maps) {
                 for (key, v) in map {
@@ -263,7 +268,7 @@ impl FlowTable {
     ///
     /// # Panics
     /// Panics if any spec is not a partial key of the table's full key.
-    pub fn query_rollup(&self, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+    pub fn query_rollup(&self, specs: &[KeySpec]) -> Vec<FastMap<KeyBytes, u64>> {
         self.query_rollup_threads(specs, 1)
     }
 
@@ -286,18 +291,22 @@ impl FlowTable {
         &self,
         specs: &[KeySpec],
         threads: usize,
-    ) -> Vec<HashMap<KeyBytes, u64>> {
+    ) -> Vec<FastMap<KeyBytes, u64>> {
         let (is_root, root_specs) = Self::split_roots(specs);
         let mut root_maps = self.root_results(&root_specs, threads).into_iter();
 
-        let mut out: Vec<HashMap<KeyBytes, u64>> = Vec::with_capacity(specs.len());
+        let mut out: Vec<FastMap<KeyBytes, u64>> = Vec::with_capacity(specs.len());
         // sorted[j] = out[j] as a key-sorted entry vector, built lazily
         // the first time result j is used as a rollup parent; rolled
         // children are born sorted, so theirs is kept as a byproduct.
         let mut sorted: Vec<Option<Vec<(KeyBytes, u64)>>> = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
             if is_root[i] {
-                out.push(root_maps.next().expect("one result per root spec"));
+                out.push(
+                    root_maps
+                        .next()
+                        .unwrap_or_else(|| invariant::violated("one root result per root spec")),
+                );
                 sorted.push(None);
                 continue;
             }
@@ -312,15 +321,12 @@ impl FlowTable {
                 sorted.push(None);
                 continue;
             }
-            if sorted[parent].is_none() {
+            let parent_rows: &[(KeyBytes, u64)] = sorted[parent].get_or_insert_with(|| {
                 let mut rows: Vec<(KeyBytes, u64)> =
                     out[parent].iter().map(|(k, &v)| (*k, v)).collect();
                 Self::sort_entries(&mut rows);
-                sorted[parent] = Some(rows);
-            }
-            let parent_rows = sorted[parent]
-                .as_deref()
-                .expect("sorted parent was just built");
+                rows
+            });
             let rolled = Self::roll_level(parent_rows, &spec.projector(&specs[parent]));
             out.push(rolled.iter().copied().collect());
             sorted.push(Some(rolled));
@@ -356,7 +362,7 @@ impl FlowTable {
     /// N maps at every cardinality profiled — so the engine takes the
     /// per-spec shape and leaves the single-pass primitive to callers
     /// whose row source is expensive to traverse.
-    fn root_results(&self, root_specs: &[KeySpec], threads: usize) -> Vec<HashMap<KeyBytes, u64>> {
+    fn root_results(&self, root_specs: &[KeySpec], threads: usize) -> Vec<FastMap<KeyBytes, u64>> {
         root_specs
             .iter()
             .map(|spec| self.scan_one(spec, threads))
@@ -366,13 +372,13 @@ impl FlowTable {
     /// One spec, one scan: the tight [`query_partial`](Self::query_partial)
     /// loop inline, or the chunked parallel scan when workers are
     /// available.
-    fn scan_one(&self, spec: &KeySpec, threads: usize) -> HashMap<KeyBytes, u64> {
+    fn scan_one(&self, spec: &KeySpec, threads: usize) -> FastMap<KeyBytes, u64> {
         if threads <= 1 {
             self.query_partial(spec)
         } else {
             self.query_multi_parallel(std::slice::from_ref(spec), threads)
                 .pop()
-                .expect("one result for one spec")
+                .unwrap_or_else(|| invariant::violated("one parallel result for one spec"))
         }
     }
 
@@ -382,7 +388,7 @@ impl FlowTable {
         (0..i)
             .filter(|&j| specs[i].is_partial_of(&specs[j]))
             .min_by_key(|&j| result_len(j))
-            .expect("non-root spec has an earlier ancestor")
+            .unwrap_or_else(|| invariant::violated("a non-root spec has an earlier ancestor"))
     }
 
     /// Sort entries by lexicographic key bytes — the order every rollup
@@ -441,7 +447,7 @@ impl FlowTable {
             if is_root[i] {
                 let mut rows: Vec<(KeyBytes, u64)> = root_maps
                     .next()
-                    .expect("one result per root spec")
+                    .unwrap_or_else(|| invariant::violated("one root result per root spec"))
                     .into_iter()
                     .collect();
                 Self::sort_entries(&mut rows);
@@ -462,7 +468,7 @@ impl FlowTable {
     /// parallel scan when the table is large and CPUs are available.
     /// Always bit-identical to per-spec
     /// [`query_partial`](Self::query_partial).
-    pub fn query_all(&self, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+    pub fn query_all(&self, specs: &[KeySpec]) -> Vec<FastMap<KeyBytes, u64>> {
         self.query_rollup_threads(specs, self.auto_threads())
     }
 
@@ -674,7 +680,7 @@ mod tests {
             t.query_all(&KeySpec::PAPER_SIX),
         ] {
             assert_eq!(maps.len(), 6);
-            assert!(maps.iter().all(HashMap::is_empty));
+            assert!(maps.iter().all(FastMap::is_empty));
         }
         let entries = t.query_all_entries(&KeySpec::PAPER_SIX);
         assert_eq!(entries.len(), 6);

@@ -56,7 +56,7 @@ pub fn decode(data: &[u8]) -> io::Result<FlowTable> {
     if spec.src_ip_bits > 32 || spec.dst_ip_bits > 32 {
         return Err(err("invalid key spec"));
     }
-    let rows = u32::from_le_bytes(data[9..13].try_into().unwrap()) as usize;
+    let rows = u32::from_le_bytes([data[9], data[10], data[11], data[12]]) as usize;
     let key_len = spec.encoded_len();
     let row_len = key_len + 8;
     let body = &data[13..];
@@ -66,7 +66,10 @@ pub fn decode(data: &[u8]) -> io::Result<FlowTable> {
     let mut out = Vec::with_capacity(rows);
     for chunk in body.chunks_exact(row_len) {
         let key = KeyBytes::new(&chunk[..key_len]);
-        let size = u64::from_le_bytes(chunk[key_len..].try_into().unwrap());
+        // `chunks_exact(row_len)` guarantees exactly 8 size bytes here.
+        let mut size = [0u8; 8];
+        size.copy_from_slice(&chunk[key_len..]);
+        let size = u64::from_le_bytes(size);
         out.push((key, size));
     }
     Ok(FlowTable::new(spec, out))

@@ -19,13 +19,20 @@
 //!   mirrors this crate's scoped-worker shape on the read side.
 //!
 //! This is the only crate in the workspace allowed to use `unsafe`
-//! (two slot accesses in the ring, each with a documented ownership
-//! argument).
+//! (the slot accesses in the ring, each with a documented ownership
+//! argument). Two machine checks back the hand-written arguments: the
+//! `cocolint` pass (`cargo run -p xtask -- lint`) requires every
+//! `unsafe` block to carry a `// SAFETY:` comment, and with
+//! `--features heavy-tests` the ring compiles against the `loom` model
+//! checker (see [`mod@sync`]) and `tests/model.rs` exhaustively
+//! interleaves its operations under bounded schedules.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod ring;
 pub mod sharded;
+pub(crate) mod sync;
 
 pub use ring::SpscRing;
 pub use sharded::{EngineConfig, EngineRun, ShardedCocoSketch};

@@ -15,9 +15,8 @@
 //! batch, the `rte_ring` bulk-operation trick that makes ring transfer
 //! cost per packet negligible next to the sketch update itself.
 
-use std::cell::UnsafeCell;
+use crate::sync::{AtomicUsize, Ordering, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A value padded to (a conservative multiple of) a cache line, so the
 /// producer's head index and the consumer's tail index never share a
@@ -44,9 +43,16 @@ pub struct SpscRing<T: Copy + Send> {
     tail: CachePadded<AtomicUsize>,
 }
 
-// The ring hands each slot to exactly one side at a time (see the
-// ordering argument on push/pop), so sharing the struct is sound for
-// Send item types.
+// SAFETY: the ring hands each slot to exactly one side at a time: a
+// slot is written by the producer only while outside the consumer's
+// visible window, published by the release-store of `head`, and read
+// by the consumer only after the matching acquire-load (symmetrically
+// for slot reuse via `tail`). With `T: Send` the items may move
+// between those threads, so sharing the struct is sound. The single-
+// producer/single-consumer discipline itself is the caller's contract
+// (documented on the type) — violating it is a logic error that the
+// loom model tests would surface as a data race, but not UB reachable
+// from safe code holding `&SpscRing` on one side each.
 unsafe impl<T: Copy + Send> Sync for SpscRing<T> {}
 
 impl<T: Copy + Send> SpscRing<T> {
@@ -96,11 +102,14 @@ impl<T: Copy + Send> SpscRing<T> {
         if head.wrapping_sub(tail) > self.mask {
             return Err(item);
         }
-        // The slot is outside the consumer's visible window until the
-        // release-store below.
-        unsafe {
-            (*self.buf[head & self.mask].get()).write(item);
-        }
+        self.buf[head & self.mask].with_mut(|slot| {
+            // SAFETY: `head - tail <= mask` was checked above, so this
+            // slot is outside the consumer's visible window until the
+            // release-store below publishes it; the acquire-load of
+            // `tail` ordered any previous consumer read of the slot
+            // before this write.
+            unsafe { (*slot).write(item) };
+        });
         self.head.0.store(head.wrapping_add(1), Ordering::Release);
         Ok(())
     }
@@ -115,9 +124,13 @@ impl<T: Copy + Send> SpscRing<T> {
         let free = self.capacity() - head.wrapping_sub(tail);
         let n = items.len().min(free);
         for (i, item) in items[..n].iter().enumerate() {
-            unsafe {
-                (*self.buf[head.wrapping_add(i) & self.mask].get()).write(*item);
-            }
+            self.buf[head.wrapping_add(i) & self.mask].with_mut(|slot| {
+                // SAFETY: `n` is capped to the free window computed
+                // from the acquire-load of `tail`, so none of these
+                // slots is visible to the consumer until the single
+                // release-store below publishes the whole batch.
+                unsafe { (*slot).write(*item) };
+            });
         }
         if n > 0 {
             self.head.0.store(head.wrapping_add(n), Ordering::Release);
@@ -133,9 +146,12 @@ impl<T: Copy + Send> SpscRing<T> {
         if tail == head {
             return None;
         }
-        // The acquire-load of head ordered the producer's write before
-        // this read.
-        let item = unsafe { (*self.buf[tail & self.mask].get()).assume_init() };
+        // SAFETY: `tail != head` under the acquire-load of `head`, so
+        // the producer initialized this slot and its release-store of
+        // `head` ordered that write before this read; the slot is not
+        // rewritten until the release-store of `tail` below returns it
+        // to the producer's window.
+        let item = self.buf[tail & self.mask].with(|slot| unsafe { (*slot).assume_init() });
         self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
         Some(item)
     }
@@ -149,9 +165,13 @@ impl<T: Copy + Send> SpscRing<T> {
         let n = head.wrapping_sub(tail).min(max);
         out.reserve(n);
         for i in 0..n {
-            // Ordered after the producer's writes by the acquire-load
-            // of head above.
-            let item = unsafe { (*self.buf[tail.wrapping_add(i) & self.mask].get()).assume_init() };
+            // SAFETY: `n` is capped to the occupied window computed
+            // from the acquire-load of `head`, which ordered the
+            // producer's initialization of all `n` slots before these
+            // reads; the slots return to the producer only at the
+            // release-store of `tail` below.
+            let item = self.buf[tail.wrapping_add(i) & self.mask]
+                .with(|slot| unsafe { (*slot).assume_init() });
             out.push(item);
         }
         if n > 0 {

@@ -231,7 +231,12 @@ impl ShardedCocoSketch {
             let mut shards = Vec::with_capacity(cfg.threads);
             let mut per_shard = Vec::with_capacity(cfg.threads);
             for w in workers {
-                let (sketch, processed) = w.join().expect("shard worker panicked");
+                let (sketch, processed) = match w.join() {
+                    Ok(result) => result,
+                    // A worker panic is a bug in the shard update path
+                    // itself; re-raise it with its original payload.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
                 shards.push(sketch);
                 per_shard.push(processed);
             }
@@ -240,7 +245,9 @@ impl ShardedCocoSketch {
         let elapsed = start.elapsed();
 
         let processed: u64 = per_shard.iter().sum();
-        let sketch = merge_all(shards).expect("shards share dims and seed by construction");
+        let sketch = merge_all(shards).unwrap_or_else(|e| {
+            hashkit::invariant::violated_err("shards share dims and seed by construction", &e)
+        });
         EngineRun {
             sketch,
             processed,

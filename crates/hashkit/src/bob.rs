@@ -88,9 +88,24 @@ fn bob_hash_generic(data: &[u8], seed: u32) -> u32 {
 
     let mut i = 0usize;
     while data.len() - i >= 12 {
-        a = a.wrapping_add(u32::from_le_bytes(data[i..i + 4].try_into().unwrap()));
-        b = b.wrapping_add(u32::from_le_bytes(data[i + 4..i + 8].try_into().unwrap()));
-        c = c.wrapping_add(u32::from_le_bytes(data[i + 8..i + 12].try_into().unwrap()));
+        a = a.wrapping_add(u32::from_le_bytes([
+            data[i],
+            data[i + 1],
+            data[i + 2],
+            data[i + 3],
+        ]));
+        b = b.wrapping_add(u32::from_le_bytes([
+            data[i + 4],
+            data[i + 5],
+            data[i + 6],
+            data[i + 7],
+        ]));
+        c = c.wrapping_add(u32::from_le_bytes([
+            data[i + 8],
+            data[i + 9],
+            data[i + 10],
+            data[i + 11],
+        ]));
         let (x, y, z) = mix(a, b, c);
         a = x;
         b = y;

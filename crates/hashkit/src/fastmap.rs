@@ -1,0 +1,181 @@
+//! Deterministic fast hashing for hot-path maps.
+//!
+//! `std::collections::HashMap`'s default hasher is SipHash-1-3 seeded
+//! from per-process OS entropy. That is the right default for maps
+//! keyed by untrusted input, but wrong twice over for the sketch data
+//! plane: SipHash costs a large multiple of a multiply-mix hash on the
+//! short fixed-width flow keys the query plane aggregates by, and the
+//! random seed makes iteration order differ
+//! between two runs of the *same* binary on the *same* input — exactly
+//! the nondeterminism the workspace's bit-reproducibility policy
+//! forbids. HashDoS resistance is not needed here: map keys are flow
+//! keys already admitted by the sketch, whose capacity bounds the
+//! attacker long before the map does.
+//!
+//! [`FastMap`]/[`FastSet`] are drop-in `HashMap`/`HashSet` aliases over
+//! [`FastHasher`], an FxHash-style multiply-rotate word hasher with a
+//! fixed (zero) initial state. The `cocolint` static-analysis pass
+//! (`cargo run -p xtask -- lint`) enforces that data-plane crates use
+//! these instead of the default-hashed `std` types.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier for the word-mixing step: the fractional part of the
+/// golden ratio in 64 bits, the usual choice for multiplicative
+/// hashing's spectral behaviour.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An FxHash-style word-at-a-time hasher: fast, deterministic, and not
+/// HashDoS-resistant (see the module docs for why that trade is right
+/// on the data plane).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix_word(&mut self, word: u64) {
+        self.state = (self.state ^ word)
+            .wrapping_mul(GOLDEN_GAMMA)
+            .rotate_left(26);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low output bits depend on every input
+        // word (the rotate alone leaves the last multiply's low bits
+        // weak, and HashMap uses the low bits for bucket selection).
+        let mut z = self.state;
+        z ^= z >> 32;
+        z = z.wrapping_mul(GOLDEN_GAMMA);
+        z ^ (z >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.mix_word(u64::from_le_bytes(word));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            // Tag the tail with its length so prefixes hash differently
+            // even when the spare bytes are zero.
+            word[7] = rem.len() as u8;
+            self.mix_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix_word(i as u64);
+    }
+}
+
+/// The `BuildHasher` for [`FastMap`]/[`FastSet`]: stateless, so every
+/// map in every run hashes identically.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` with the deterministic [`FastHasher`] — the workspace's
+/// standard map for flow-keyed aggregation.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` with the deterministic [`FastHasher`].
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+/// A [`FastMap`] pre-sized for `capacity` entries (type aliases cannot
+/// carry inherent constructors, so `HashMap::with_capacity` — which is
+/// only defined for the default hasher — needs this stand-in).
+#[inline]
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, FastBuildHasher::default())
+}
+
+/// A [`FastSet`] pre-sized for `capacity` entries.
+#[inline]
+pub fn fast_set_with_capacity<T>(capacity: usize) -> FastSet<T> {
+    FastSet::with_capacity_and_hasher(capacity, FastBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let key: Vec<u8> = (0..13).collect();
+        assert_eq!(hash_of(&key), hash_of(&key));
+        let a = FastBuildHasher::default().hash_one(42u64);
+        let b = FastBuildHasher::default().hash_one(42u64);
+        assert_eq!(a, b, "no per-instance seeding");
+    }
+
+    #[test]
+    fn distinguishes_prefixes_and_lengths() {
+        assert_ne!(hash_of(&vec![1u8, 2, 3]), hash_of(&vec![1u8, 2, 3, 0]));
+        assert_ne!(hash_of(&vec![0u8; 8]), hash_of(&vec![0u8; 16]));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn low_bits_spread() {
+        // HashMap buckets by low bits; sequential keys must not
+        // collide there. An ideal random hash puts 128 keys into
+        // ~128·(1−1/e) ≈ 81 distinct low-7-bit slots; catastrophic
+        // aliasing (a weak final mix) collapses far below that.
+        let mut seen = [false; 128];
+        let mut distinct = 0;
+        for i in 0..128u64 {
+            let h = (hash_of(&i) & 127) as usize;
+            if !seen[h] {
+                seen[h] = true;
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 70, "only {distinct}/128 distinct low-bit slots");
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FastMap<Vec<u8>, u64> = fast_map_with_capacity(16);
+        assert!(m.capacity() >= 16);
+        m.insert(vec![1, 2, 3], 7);
+        assert_eq!(m[&vec![1, 2, 3]], 7);
+        let mut s: FastSet<u32> = fast_set_with_capacity(4);
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

@@ -1,0 +1,50 @@
+//! The data plane's single audited panic site.
+//!
+//! Data-plane crates (`hashkit`, `cocosketch`, `sketches`, `engine`)
+//! ban `unwrap()`/`expect()`/`panic!` outright — the `cocolint` pass
+//! (`cargo run -p xtask -- lint`) enforces it. Conditions that are
+//! *constructively unreachable* (an iterator over a non-empty
+//! collection yielding nothing, a merge of shards built with identical
+//! dimensions failing the dimension check) still need a terminator the
+//! type system can see, and hiding them behind `unwrap()` would erase
+//! both the invariant and the audit trail. [`violated`] is that
+//! terminator: every data-plane invariant failure funnels through this
+//! one function, so the panic policy is reviewed in exactly one place
+//! (and allowlisted in exactly one `lint.toml` entry).
+
+/// Abort on a broken internal invariant, naming it.
+///
+/// Use via `unwrap_or_else(|| invariant::violated("..."))` (or the
+/// `_err` variant for `Result`), stating the invariant that was
+/// supposed to hold — not the consequence of it breaking.
+#[cold]
+#[inline(never)]
+#[track_caller]
+pub fn violated(what: &str) -> ! {
+    // This is the one audited panic of the data plane; see module docs.
+    panic!("internal invariant violated: {what}")
+}
+
+/// [`violated`] for `Result` contexts: names the invariant and carries
+/// the error that contradicted it.
+#[cold]
+#[inline(never)]
+#[track_caller]
+pub fn violated_err(what: &str, err: &dyn std::fmt::Display) -> ! {
+    panic!("internal invariant violated: {what}: {err}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic(expected = "internal invariant violated: the moon is full")]
+    fn names_the_invariant() {
+        super::violated("the moon is full");
+    }
+
+    #[test]
+    #[should_panic(expected = "internal invariant violated: dims agree: boom")]
+    fn err_variant_carries_the_error() {
+        super::violated_err("dims agree", &"boom");
+    }
+}

@@ -25,11 +25,17 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod bob;
 mod family;
+pub mod fastmap;
+pub mod invariant;
 mod rng;
 
 pub use bob::{bob_hash, bob_hash64, bob_hash_13};
 pub use family::{fastrange, HashFamily};
+pub use fastmap::{
+    fast_map_with_capacity, fast_set_with_capacity, FastBuildHasher, FastHasher, FastMap, FastSet,
+};
 pub use rng::{SplitMix64, XorShift64Star};

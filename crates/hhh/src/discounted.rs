@@ -12,7 +12,7 @@
 //! this module implements it for 1-d prefix hierarchies, generic over
 //! exact or estimated tables.
 
-use std::collections::HashMap;
+use hashkit::FastMap;
 use traffic::{KeyBytes, KeySpec};
 
 /// One detected hierarchical heavy hitter.
@@ -36,7 +36,7 @@ pub struct HhhItem {
 /// minus the *total* counts of already-selected descendant HHHs is at
 /// least `threshold`.
 pub fn discounted_hhh(
-    levels: &HashMap<u8, HashMap<KeyBytes, u64>>,
+    levels: &FastMap<u8, FastMap<KeyBytes, u64>>,
     threshold: u64,
 ) -> Vec<HhhItem> {
     let mut result: Vec<HhhItem> = Vec::new();
@@ -78,8 +78,8 @@ mod tests {
     use traffic::FiveTuple;
 
     /// Build per-level tables from explicit (ip, count) flows.
-    fn levels_from(flows: &[(u32, u64)], lengths: &[u8]) -> HashMap<u8, HashMap<KeyBytes, u64>> {
-        let mut out: HashMap<u8, HashMap<KeyBytes, u64>> = HashMap::new();
+    fn levels_from(flows: &[(u32, u64)], lengths: &[u8]) -> FastMap<u8, FastMap<KeyBytes, u64>> {
+        let mut out: FastMap<u8, FastMap<KeyBytes, u64>> = FastMap::default();
         for &bits in lengths {
             let spec = KeySpec::src_prefix(bits);
             let table = out.entry(bits).or_default();
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn empty_levels_yield_nothing() {
-        let hhh = discounted_hhh(&HashMap::new(), 10);
+        let hhh = discounted_hhh(&FastMap::default(), 10);
         assert!(hhh.is_empty());
     }
 

@@ -5,7 +5,7 @@
 //! one [`FlowTable`]; the exact counterpart provides ground truth.
 
 use cocosketch::FlowTable;
-use std::collections::HashMap;
+use hashkit::FastMap;
 use traffic::{truth, KeyBytes, KeySpec, Trace};
 
 /// The reported heavy flows of one hierarchy level.
@@ -66,7 +66,7 @@ pub fn exact_multilevel(trace: &Trace, hierarchy: &[KeySpec], threshold: u64) ->
 
 /// Exact per-level count tables (used for ARE computation, where the
 /// denominator needs true sizes even for missed flows).
-pub fn exact_level_counts(trace: &Trace, hierarchy: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
+pub fn exact_level_counts(trace: &Trace, hierarchy: &[KeySpec]) -> Vec<FastMap<KeyBytes, u64>> {
     hierarchy
         .iter()
         .map(|spec| truth::exact_counts(trace, spec))

@@ -1,1 +1,3 @@
 //! Integration-test anchor crate; see `/tests`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,70 @@
+//! Race-checked interior mutability (loom's `cell` module subset).
+
+use crate::rt;
+use std::panic::Location;
+use std::sync::Mutex;
+
+/// A tracked [`std::cell::UnsafeCell`]: inside a [`crate::model`] run,
+/// every access is a scheduling point and is checked for data races
+/// against concurrent accesses via vector clocks; outside a model it
+/// degrades to a plain `UnsafeCell`.
+///
+/// Mirroring loom, access goes through [`with`](Self::with) /
+/// [`with_mut`](Self::with_mut): the closures receive raw pointers, so
+/// *dereferencing* remains the caller's `unsafe` obligation — the shim
+/// checks that the access pattern is race-free, not that the pointer
+/// use is sound.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: Mutex<rt::CellState>,
+}
+
+// SAFETY: `UnsafeCell<T>` hands out raw pointers whose synchronization
+// is the caller's responsibility, exactly like `std::cell::UnsafeCell`
+// wrapped in a user type; the extra `state` field is internally
+// synchronized by its `Mutex`. `T: Send` bounds the data itself, and
+// `Sync` is required so model tests can share the cell across
+// simulated threads the same way production code shares it (production
+// wrappers add their own `Sync` impls with their own invariants).
+#[allow(unsafe_code)] // the crate's single unsafe item, audited above
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Wrap `data`.
+    pub fn new(data: T) -> Self {
+        Self {
+            data: std::cell::UnsafeCell::new(data),
+            state: Mutex::new(rt::CellState::default()),
+        }
+    }
+
+    /// Immutable access: calls `f` with a shared raw pointer to the
+    /// contents, recording a read access (a race with any concurrent
+    /// write fails the model).
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::cell_read(&self.state, Location::caller());
+        f(self.data.get())
+    }
+
+    /// Mutable access: calls `f` with a mutable raw pointer to the
+    /// contents, recording a write access (a race with any concurrent
+    /// read or write fails the model).
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::cell_write(&self.state, Location::caller());
+        f(self.data.get())
+    }
+
+    /// Consume the cell, returning the wrapped value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}

@@ -1,0 +1,14 @@
+//! Spin-loop hints (loom's `hint` module subset).
+
+use crate::rt;
+
+/// In a model run, a *yield* scheduling point (a spinning thread must
+/// let the thread it is waiting on make progress); outside a model,
+/// the real [`std::hint::spin_loop`].
+pub fn spin_loop() {
+    if rt::in_model() {
+        rt::yield_point();
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,122 @@
+//! A minimal, zero-dependency stand-in for the [`loom`] crate.
+//!
+//! The workspace builds fully offline (see DESIGN.md, "Offline-build
+//! policy"), so this shim implements the subset of loom's API that the
+//! `engine` model tests use — [`model`], [`cell::UnsafeCell`],
+//! [`sync::atomic`], [`thread`] — backed by a from-scratch bounded
+//! model checker (see [`mod@rt`]'s module docs for the execution model).
+//!
+//! # Deliberate differences from real loom
+//!
+//! - **Exploration is preemption-bounded, not partial-order reduced.**
+//!   Real loom prunes equivalent interleavings (DPOR); this shim
+//!   bounds the number of *preemptions* per schedule (default 2)
+//!   instead. The practical consequence is the same tests-must-be-tiny
+//!   discipline loom already imposes, with a coarser completeness
+//!   guarantee: [`Report::complete`] means "exhausted within the
+//!   preemption bound", not "all interleavings".
+//! - **Race detection is vector-clock based and schedule-independent**:
+//!   an unsynchronized `UnsafeCell` access pair is reported on every
+//!   schedule, so even one iteration of a racy model fails.
+//! - **Graceful degradation outside [`model`]**: the tracked types fall
+//!   back to their plain `std` behaviour when used outside a model run,
+//!   so production code may be compiled against these types (via a
+//!   `--cfg loom`-style feature) and still run normally in other tests
+//!   in the same compilation.
+//! - Mutexes, condvars, `SeqCst` global-order modeling, and lazy
+//!   statics are not implemented — the engine's data plane is
+//!   lock-free and only needs atomics + cells.
+//!
+//! [`loom`]: https://docs.rs/loom
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cell;
+pub mod hint;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Outcome of a [`Builder::check`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub iterations: usize,
+    /// True when the schedule tree was exhausted within the preemption
+    /// bound; false when [`Builder::max_iterations`] stopped the search
+    /// first. Tests making exhaustiveness claims should assert this.
+    pub complete: bool,
+}
+
+/// Configures a model-checking run (loom's `model::Builder` subset).
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of schedules to explore before giving up
+    /// (reported via [`Report::complete`] = false, not a failure).
+    pub max_iterations: usize,
+    /// Maximum scheduling points in a single execution; exceeding it
+    /// fails the run (it means a loop in the model is unbounded).
+    pub max_branches: usize,
+    /// Maximum preemptive context switches per schedule; `None` means
+    /// unbounded (full interleaving search). Default 2, which finds
+    /// the overwhelming majority of real bugs (CHESS heuristic) while
+    /// keeping the schedule tree tractable.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            max_iterations: 20_000,
+            max_branches: 50_000,
+            preemption_bound: Some(2),
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explore schedules of `f`, panicking on the first failing one
+    /// (data race, deadlock, assertion panic, or branch-budget blowup)
+    /// with the failure and the schedule that produced it.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let (iterations, complete, failure) = rt::explore(
+            f,
+            self.max_iterations,
+            self.max_branches,
+            self.preemption_bound,
+        );
+        if let Some((failure, schedule)) = failure {
+            panic!(
+                "model checking failed after {iterations} schedule(s): {failure}\n\
+                 failing schedule (branch choices): {schedule:?}"
+            );
+        }
+        Report {
+            iterations,
+            complete,
+        }
+    }
+}
+
+/// Explore the interleavings of `f` with the default [`Builder`]
+/// bounds, panicking if any schedule fails. The drop-in equivalent of
+/// `loom::model`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f);
+}

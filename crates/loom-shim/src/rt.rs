@@ -1,0 +1,726 @@
+//! The model-checking runtime: cooperative scheduler, schedule-tree
+//! exploration, and vector-clock race detection.
+//!
+//! # Execution model
+//!
+//! Inside [`crate::model`], every simulated thread is a real OS thread,
+//! but at most one runs at a time: each tracked operation (atomic
+//! access, [`crate::cell::UnsafeCell`] access, spawn, join, yield) is a
+//! *scheduling point* where the running thread hands control to the
+//! scheduler, which picks the next thread to run. A whole execution is
+//! therefore determined by the sequence of scheduling choices, and the
+//! checker explores the tree of those sequences depth-first: each
+//! iteration replays a recorded prefix of choices and diverges at the
+//! deepest unexhausted branch point, until the tree (within the
+//! preemption bound) is exhausted or the iteration budget runs out.
+//!
+//! # Race detection
+//!
+//! Interleavings are explored under sequential consistency, but
+//! synchronization is tracked with vector clocks at the *declared*
+//! orderings: a `Release` store publishes the writer's clock on the
+//! atomic, an `Acquire` load joins it, and `Relaxed` operations publish
+//! nothing. Every [`crate::cell::UnsafeCell`] access checks
+//! happens-before against the cell's previous accesses, so two
+//! unsynchronized accesses (at least one a write) are reported as a
+//! data race on *every* schedule, not just the schedules where the
+//! torn outcome happens to surface.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Sentinel payload used to unwind simulated threads when the current
+/// execution aborts (race found, deadlock, user panic elsewhere).
+pub(crate) struct AbortSignal;
+
+/// Why an execution stopped early.
+#[derive(Debug, Clone)]
+pub(crate) enum Failure {
+    /// An `UnsafeCell` was accessed without a happens-before edge.
+    DataRace(String),
+    /// Every unfinished thread is blocked.
+    Deadlock,
+    /// A simulated thread panicked (assertion failure in the model).
+    UserPanic(String),
+    /// One execution exceeded the branch budget (runaway loop).
+    TooManyBranches(usize),
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::DataRace(loc) => write!(f, "data race detected at {loc}"),
+            Failure::Deadlock => write!(f, "deadlock: every unfinished thread is blocked"),
+            Failure::UserPanic(msg) => write!(f, "thread panicked inside the model: {msg}"),
+            Failure::TooManyBranches(n) => write!(
+                f,
+                "execution exceeded {n} scheduling points; bound every loop in the model"
+            ),
+        }
+    }
+}
+
+/// A vector clock: `clock[t]` counts thread `t`'s tracked events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// One recorded access to an `UnsafeCell`: which thread, at which of
+/// its own clock ticks. `access` happens-before the current event iff
+/// the current thread's clock has caught up to `ts` in component `tid`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Access {
+    tid: usize,
+    ts: u32,
+}
+
+impl Access {
+    fn happens_before(&self, clock: &VClock) -> bool {
+        clock.get(self.tid) >= self.ts
+    }
+}
+
+/// Race-detection state of one `UnsafeCell`.
+#[derive(Debug, Default)]
+pub(crate) struct CellState {
+    last_write: Option<Access>,
+    /// Latest read per thread (a thread's later reads dominate its
+    /// earlier ones in the happens-before check).
+    reads: Vec<Access>,
+}
+
+/// Synchronization state of one tracked atomic.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicState {
+    /// Clock published by the last `Release`-or-stronger store (`None`
+    /// after a `Relaxed` store: acquiring readers get no edge).
+    release: Option<VClock>,
+}
+
+impl AtomicState {
+    /// Fresh state; `const` so tracked atomics can be built in `const`
+    /// contexts like their std counterparts.
+    pub(crate) const fn new() -> Self {
+        Self { release: None }
+    }
+}
+
+/// One branching scheduling decision along the current path.
+#[derive(Debug, Clone)]
+struct Choice {
+    /// Index of the candidate taken this iteration.
+    sel: usize,
+    /// How many candidates were explorable at this point.
+    n: usize,
+}
+
+struct ThreadInfo {
+    finished: bool,
+    /// Blocked joining this thread id, if any.
+    blocked_on: Option<usize>,
+    /// Voluntarily gave up the floor (`yield_now`/`spin_loop`): the
+    /// scheduler deprioritizes it until every other runnable thread
+    /// has had a chance, which is what lets bounded models contain
+    /// spin-wait loops without the schedule tree diverging.
+    yielded: bool,
+    clock: VClock,
+    final_clock: Option<VClock>,
+}
+
+impl ThreadInfo {
+    fn new(clock: VClock) -> Self {
+        Self {
+            finished: false,
+            blocked_on: None,
+            yielded: false,
+            clock,
+            final_clock: None,
+        }
+    }
+
+    fn enabled(&self, threads: &[ThreadInfo]) -> bool {
+        !self.finished
+            && match self.blocked_on {
+                None => true,
+                Some(t) => threads[t].finished,
+            }
+    }
+}
+
+struct State {
+    threads: Vec<ThreadInfo>,
+    /// The granted thread; `usize::MAX` once the execution is over.
+    active: usize,
+    path: Vec<Choice>,
+    /// Next branching decision to replay.
+    decision: usize,
+    /// Scheduling points seen this execution (branch budget).
+    points: usize,
+    preemptions: usize,
+    failure: Option<Failure>,
+    /// OS handles of every simulated thread, joined by the coordinator.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<State>,
+    cv: Condvar,
+    max_points: usize,
+    preemption_bound: Option<usize>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+/// Run `f` with the current model context, or `fallback` when called
+/// outside a model (tracked types degrade to their `std` behaviour).
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R, fallback: impl FnOnce() -> R) -> R {
+    CTX.with(|c| match &*c.borrow() {
+        Some(ctx) => f(ctx),
+        None => fallback(),
+    })
+}
+
+/// True when the calling thread is a simulated thread of a live model.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+impl Execution {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned lock only means a sim thread panicked elsewhere;
+        // the state itself is still consistent (panics never happen
+        // while mutating it).
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Abort the execution from the running thread: record the failure,
+    /// wake everyone, and unwind.
+    fn abort(&self, mut st: MutexGuard<'_, State>, failure: Failure) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(failure);
+        }
+        drop(st);
+        self.cv.notify_all();
+        std::panic::panic_any(AbortSignal);
+    }
+
+    /// The scheduling decision: pick the next thread to run. Called
+    /// with the lock held by the thread that currently holds the floor
+    /// (or is giving it up by finishing/blocking).
+    fn reschedule(&self, st: &mut State) {
+        let cur = st.active;
+        let mut candidates: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].enabled(&st.threads))
+            .collect();
+        if candidates.is_empty() {
+            if st.threads.iter().all(|t| t.finished) {
+                st.active = usize::MAX; // execution complete
+                return;
+            }
+            if st.failure.is_none() {
+                st.failure = Some(Failure::Deadlock);
+            }
+            st.active = usize::MAX;
+            return;
+        }
+        // A yielded thread runs again only when every other runnable
+        // thread is also yielded: spin-wait loops thereby force the
+        // thread they wait on to make progress instead of letting the
+        // spinner's schedule subtree diverge.
+        // Yield fairness: a thread that yielded is not rescheduled
+        // while any non-yielded thread is runnable, so spin-wait loops
+        // force the thread they wait on to make progress. When *every*
+        // runnable thread has yielded, rotate deterministically to the
+        // next candidate after the current thread instead of branching
+        // — exploring "keep spinning" schedules would turn every spin
+        // loop into an infinite subtree.
+        if candidates.iter().any(|&t| !st.threads[t].yielded) {
+            candidates.retain(|&t| !st.threads[t].yielded);
+        } else if candidates.len() > 1 {
+            let next = candidates
+                .iter()
+                .copied()
+                .find(|&t| t > cur)
+                .unwrap_or(candidates[0]);
+            candidates = vec![next];
+        }
+        // Prefer running the current thread on: the first path explored
+        // is the preemption-free one, and a preemption budget then
+        // caps how far later iterations may stray from it. A yielded
+        // current thread was filtered out above; switching away from it
+        // is voluntary, not a preemption.
+        let cur_running = candidates.contains(&cur) && !st.threads[cur].yielded;
+        if cur_running {
+            candidates.retain(|&t| t != cur);
+            candidates.insert(0, cur);
+        }
+        let budget_left = self
+            .preemption_bound
+            .map(|b| st.preemptions < b)
+            .unwrap_or(true);
+        if cur_running && !budget_left {
+            candidates.truncate(1);
+        }
+
+        st.points += 1;
+        if st.points > self.max_points {
+            if st.failure.is_none() {
+                st.failure = Some(Failure::TooManyBranches(self.max_points));
+            }
+            st.active = usize::MAX;
+            return;
+        }
+
+        let chosen = if candidates.len() == 1 {
+            candidates[0]
+        } else {
+            let d = st.decision;
+            let sel = if d < st.path.len() {
+                st.path[d].sel
+            } else {
+                st.path.push(Choice {
+                    sel: 0,
+                    n: candidates.len(),
+                });
+                0
+            };
+            st.decision += 1;
+            candidates[sel.min(candidates.len() - 1)]
+        };
+        if cur_running && chosen != cur {
+            st.preemptions += 1;
+        }
+        st.threads[chosen].yielded = false;
+        st.active = chosen;
+    }
+
+    /// Yield the floor at a scheduling point and wait to get it back.
+    fn sync_point_as(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.failure.is_some() {
+            self.abort(st, Failure::Deadlock /* unused: already set */);
+        }
+        self.reschedule(&mut st);
+        self.wait_for_floor(st, tid);
+    }
+
+    /// Block until `tid` is the active thread (aborting with the rest
+    /// of the execution if a failure lands first).
+    fn wait_for_floor(&self, mut st: MutexGuard<'_, State>, tid: usize) {
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                self.cv.notify_all();
+                std::panic::panic_any(AbortSignal);
+            }
+            if st.active == tid {
+                return;
+            }
+            self.cv.notify_all();
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Current thread's clock, ticked for a new event.
+    fn tick(&self, tid: usize) -> VClock {
+        let mut st = self.lock();
+        st.threads[tid].clock.tick(tid);
+        st.threads[tid].clock.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tracked-object hooks (called from cell.rs / sync.rs)
+// ---------------------------------------------------------------------
+
+/// A *voluntary* scheduling point (`yield_now`/`spin_loop`): marks the
+/// caller yielded so the scheduler runs someone else first; no-op
+/// outside a model.
+pub(crate) fn yield_point() {
+    with_ctx(
+        |ctx| {
+            ctx.exec.lock().threads[ctx.tid].yielded = true;
+            ctx.exec.sync_point_as(ctx.tid);
+        },
+        || (),
+    );
+}
+
+/// Record an `UnsafeCell` read; aborts the execution on a race.
+pub(crate) fn cell_read(
+    state: &Mutex<CellState>,
+    location: &'static std::panic::Location<'static>,
+) {
+    with_ctx(
+        |ctx| {
+            ctx.exec.sync_point_as(ctx.tid);
+            let clock = ctx.exec.tick(ctx.tid);
+            let mut cs = lock_plain(state);
+            let racy = cs
+                .last_write
+                .is_some_and(|w| w.tid != ctx.tid && !w.happens_before(&clock));
+            if racy {
+                drop(cs);
+                let st = ctx.exec.lock();
+                ctx.exec.abort(
+                    st,
+                    Failure::DataRace(format!("{location} (unsynchronized read after write)")),
+                );
+            }
+            let me = Access {
+                tid: ctx.tid,
+                ts: clock.get(ctx.tid),
+            };
+            if let Some(r) = cs.reads.iter_mut().find(|r| r.tid == ctx.tid) {
+                *r = me;
+            } else {
+                cs.reads.push(me);
+            }
+        },
+        || (),
+    );
+}
+
+/// Record an `UnsafeCell` write; aborts the execution on a race.
+pub(crate) fn cell_write(
+    state: &Mutex<CellState>,
+    location: &'static std::panic::Location<'static>,
+) {
+    with_ctx(
+        |ctx| {
+            ctx.exec.sync_point_as(ctx.tid);
+            let clock = ctx.exec.tick(ctx.tid);
+            let mut cs = lock_plain(state);
+            let write_race = cs
+                .last_write
+                .is_some_and(|w| w.tid != ctx.tid && !w.happens_before(&clock));
+            let read_race = cs
+                .reads
+                .iter()
+                .any(|r| r.tid != ctx.tid && !r.happens_before(&clock));
+            if write_race || read_race {
+                drop(cs);
+                let st = ctx.exec.lock();
+                let kind = if write_race {
+                    "write after unsynchronized write"
+                } else {
+                    "write after unsynchronized read"
+                };
+                ctx.exec
+                    .abort(st, Failure::DataRace(format!("{location} ({kind})")));
+            }
+            cs.last_write = Some(Access {
+                tid: ctx.tid,
+                ts: clock.get(ctx.tid),
+            });
+            cs.reads.clear();
+        },
+        || (),
+    );
+}
+
+use std::sync::atomic::Ordering;
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Track an atomic load: an acquire load joins the clock published by
+/// the last releasing store.
+pub(crate) fn atomic_load(state: &Mutex<AtomicState>, order: Ordering) {
+    with_ctx(
+        |ctx| {
+            ctx.exec.sync_point_as(ctx.tid);
+            let mut st = ctx.exec.lock();
+            st.threads[ctx.tid].clock.tick(ctx.tid);
+            if is_acquire(order) {
+                let astate = lock_plain(state);
+                if let Some(rel) = &astate.release {
+                    st.threads[ctx.tid].clock.join(rel);
+                }
+            }
+        },
+        || (),
+    );
+}
+
+/// Track an atomic store: a release store publishes the writer's clock;
+/// a relaxed store erases the published clock (no edge for acquirers).
+pub(crate) fn atomic_store(state: &Mutex<AtomicState>, order: Ordering) {
+    with_ctx(
+        |ctx| {
+            ctx.exec.sync_point_as(ctx.tid);
+            let mut st = ctx.exec.lock();
+            st.threads[ctx.tid].clock.tick(ctx.tid);
+            let clock = st.threads[ctx.tid].clock.clone();
+            drop(st);
+            let mut astate = lock_plain(state);
+            astate.release = if is_release(order) { Some(clock) } else { None };
+        },
+        || (),
+    );
+}
+
+/// Track an atomic read-modify-write: acquire side joins, release side
+/// publishes (joined with the previous publication, approximating
+/// release-sequence continuation through RMW chains).
+pub(crate) fn atomic_rmw(state: &Mutex<AtomicState>, order: Ordering) {
+    with_ctx(
+        |ctx| {
+            ctx.exec.sync_point_as(ctx.tid);
+            let mut st = ctx.exec.lock();
+            st.threads[ctx.tid].clock.tick(ctx.tid);
+            let mut astate = lock_plain(state);
+            if is_acquire(order) {
+                if let Some(rel) = &astate.release {
+                    st.threads[ctx.tid].clock.join(rel);
+                }
+            }
+            if is_release(order) {
+                let mut published = st.threads[ctx.tid].clock.clone();
+                if let Some(prev) = &astate.release {
+                    published.join(prev);
+                }
+                astate.release = Some(published);
+            }
+        },
+        || (),
+    );
+}
+
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread spawning / joining (called from thread.rs)
+// ---------------------------------------------------------------------
+
+/// Spawn a simulated thread; returns its thread id. Panics when called
+/// outside a model (use `std::thread` there — `crate::thread::spawn`
+/// handles the dispatch).
+pub(crate) fn spawn_model(f: Box<dyn FnOnce() + Send>) -> usize {
+    let ctx = CTX
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| unreachable!("spawn_model requires a model context"));
+    let exec = ctx.exec.clone();
+    let child = {
+        let mut st = exec.lock();
+        st.threads[ctx.tid].clock.tick(ctx.tid);
+        let mut child_clock = st.threads[ctx.tid].clock.clone();
+        let child = st.threads.len();
+        child_clock.tick(child);
+        st.threads.push(ThreadInfo::new(child_clock));
+        let handle = spawn_os_thread(exec.clone(), child, f);
+        st.os_handles.push(handle);
+        child
+    };
+    // The spawn itself is a scheduling point: the child may run first.
+    exec.sync_point_as(ctx.tid);
+    child
+}
+
+/// Block until simulated thread `tid` finishes, joining its clock.
+pub(crate) fn join_model(tid: usize) {
+    let ctx = CTX
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| unreachable!("join_model requires a model context"));
+    let exec = ctx.exec.clone();
+    let mut st = exec.lock();
+    if !st.threads[tid].finished {
+        st.threads[ctx.tid].blocked_on = Some(tid);
+        exec.reschedule(&mut st);
+        exec.wait_for_floor(st, ctx.tid);
+        st = exec.lock();
+        st.threads[ctx.tid].blocked_on = None;
+    }
+    let final_clock = st.threads[tid]
+        .final_clock
+        .clone()
+        .unwrap_or_else(|| unreachable!("joined thread has published its final clock"));
+    st.threads[ctx.tid].clock.join(&final_clock);
+    st.threads[ctx.tid].clock.tick(ctx.tid);
+}
+
+fn spawn_os_thread(
+    exec: Arc<Execution>,
+    tid: usize,
+    f: Box<dyn FnOnce() + Send>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                exec: exec.clone(),
+                tid,
+            })
+        });
+        // Wait for the scheduler to grant the floor before running.
+        {
+            let st = exec.lock();
+            exec.wait_for_floor(st, tid);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        CTX.with(|c| *c.borrow_mut() = None);
+        let mut st = exec.lock();
+        if let Err(payload) = outcome {
+            if !payload.is::<AbortSignal>() && st.failure.is_none() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                st.failure = Some(Failure::UserPanic(msg));
+            }
+        }
+        st.threads[tid].finished = true;
+        st.threads[tid].final_clock = Some(st.threads[tid].clock.clone());
+        exec.reschedule(&mut st);
+        drop(st);
+        exec.cv.notify_all();
+    })
+}
+
+// ---------------------------------------------------------------------
+// Exploration driver (called from lib.rs)
+// ---------------------------------------------------------------------
+
+pub(crate) struct ExecOutcome {
+    path: Vec<Choice>,
+    pub(crate) failure: Option<Failure>,
+}
+
+/// Run one execution of the model along `path` (extending it at fresh
+/// branch points).
+fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    path: Vec<Choice>,
+    max_points: usize,
+    preemption_bound: Option<usize>,
+) -> ExecOutcome {
+    let exec = Arc::new(Execution {
+        state: Mutex::new(State {
+            threads: vec![ThreadInfo::new({
+                let mut c = VClock::default();
+                c.tick(0);
+                c
+            })],
+            active: 0,
+            path,
+            decision: 0,
+            points: 0,
+            preemptions: 0,
+            failure: None,
+            os_handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        max_points,
+        preemption_bound,
+    });
+    let root = spawn_os_thread(exec.clone(), 0, Box::new(move || f()));
+    exec.lock().os_handles.push(root);
+
+    // Coordinator: wait for the execution to finish, then reap the OS
+    // threads (on failure every thread unwinds via the abort signal).
+    let handles = {
+        let mut st = exec.lock();
+        while !st.threads.iter().all(|t| t.finished) {
+            st = match exec.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        std::mem::take(&mut st.os_handles)
+    };
+    for h in handles {
+        // The wrapper caught every panic; a join error is unreachable.
+        let _ = h.join();
+    }
+    let mut st = exec.lock();
+    ExecOutcome {
+        path: std::mem::take(&mut st.path),
+        failure: st.failure.take(),
+    }
+}
+
+/// Move `path` to the next schedule in depth-first order; false when
+/// the tree is exhausted.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.sel + 1 < last.n {
+            last.sel += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Explore schedules of `f` until exhaustion or the iteration budget.
+/// Returns `(iterations, complete, failure)`.
+pub(crate) fn explore(
+    f: Arc<dyn Fn() + Send + Sync>,
+    max_iterations: usize,
+    max_points: usize,
+    preemption_bound: Option<usize>,
+) -> (usize, bool, Option<(Failure, Vec<usize>)>) {
+    let mut path: Vec<Choice> = Vec::new();
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let outcome = run_once(f.clone(), path, max_points, preemption_bound);
+        path = outcome.path;
+        if let Some(failure) = outcome.failure {
+            let schedule = path.iter().map(|c| c.sel).collect();
+            return (iterations, false, Some((failure, schedule)));
+        }
+        if !advance(&mut path) {
+            return (iterations, true, None);
+        }
+        if iterations >= max_iterations {
+            return (iterations, false, None);
+        }
+    }
+}

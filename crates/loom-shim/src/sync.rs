@@ -1,0 +1,126 @@
+//! Tracked synchronization primitives (loom's `sync` module subset):
+//! the atomic types the engine's lock-free structures use, plus `Arc`.
+
+/// `Arc` needs no interleaving hooks (its refcount operations cannot
+/// introduce user-visible races), so the std type is re-exported.
+pub use std::sync::Arc;
+
+/// Tracked atomic integers and flags.
+pub mod atomic {
+    use crate::rt;
+    use std::sync::Mutex;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! tracked_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+            $(#[$doc])*
+            ///
+            /// Inside a [`crate::model`] run every operation is a
+            /// scheduling point, and release/acquire edges propagate
+            /// vector clocks for the race detector; outside a model the
+            /// operations delegate directly to the underlying std
+            /// atomic.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+                state: Mutex<rt::AtomicState>,
+            }
+
+            impl $name {
+                /// Wrap an initial value.
+                pub const fn new(v: $prim) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                        state: Mutex::new(rt::AtomicState::new()),
+                    }
+                }
+
+                /// Atomic load at `order`.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    rt::atomic_load(&self.state, order);
+                    self.inner.load(order)
+                }
+
+                /// Atomic store at `order`.
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    rt::atomic_store(&self.state, order);
+                    self.inner.store(v, order);
+                }
+
+                /// Atomic swap at `order`.
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::atomic_rmw(&self.state, order);
+                    self.inner.swap(v, order)
+                }
+
+                /// Atomic compare-exchange; orderings as in std.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    // Track at the success ordering; under the model
+                    // only one thread runs at a time, so the outcome
+                    // itself is still a single atomic step.
+                    rt::atomic_rmw(&self.state, success);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consume the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    tracked_atomic!(
+        /// A tracked [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    tracked_atomic!(
+        /// A tracked [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    tracked_atomic!(
+        /// A tracked [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+    tracked_atomic!(
+        /// A tracked [`std::sync::atomic::AtomicBool`].
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+
+    macro_rules! fetch_ops {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::atomic_rmw(&self.state, order);
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::atomic_rmw(&self.state, order);
+                    self.inner.fetch_sub(v, order)
+                }
+            }
+        };
+    }
+
+    fetch_ops!(AtomicUsize, usize);
+    fetch_ops!(AtomicU64, u64);
+    fetch_ops!(AtomicU32, u32);
+}

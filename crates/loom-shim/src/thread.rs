@@ -1,0 +1,82 @@
+//! Simulated threads (loom's `thread` module subset).
+//!
+//! Inside a [`crate::model`] run, [`spawn`] registers a simulated
+//! thread with the scheduler (backed by a real OS thread that runs only
+//! when granted the floor); outside a model it is plain
+//! [`std::thread::spawn`].
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned thread; [`join`](JoinHandle::join) mirrors
+/// [`std::thread::JoinHandle::join`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Model {
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Spawn a thread. In a model run the child is scheduled like any
+/// other simulated thread (including the schedule where it runs to
+/// completion before `spawn` returns).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if rt::in_model() {
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let slot = result.clone();
+        let tid = rt::spawn_model(Box::new(move || {
+            let value = f();
+            let mut guard = match slot.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            *guard = Some(Ok(value));
+        }));
+        JoinHandle {
+            inner: Inner::Model { tid, result },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Os(std::thread::spawn(f)),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result. In a model
+    /// run a panicking child aborts the whole execution before `join`
+    /// can observe it, so the `Err` arm only surfaces outside models.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Model { tid, result } => {
+                rt::join_model(tid);
+                let mut guard = match result.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                guard
+                    .take()
+                    .unwrap_or_else(|| unreachable!("a joined model thread has stored its result"))
+            }
+            Inner::Os(h) => h.join(),
+        }
+    }
+}
+
+/// Hand the scheduler an explicit interleaving point at which the
+/// caller is deprioritized until other runnable threads progress —
+/// what makes spin-wait loops explorable (a no-op outside a model,
+/// mirroring loom rather than `std::thread::yield_now`'s OS yield,
+/// which would only slow tests down).
+pub fn yield_now() {
+    rt::yield_point();
+}

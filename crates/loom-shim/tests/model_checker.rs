@@ -1,0 +1,252 @@
+//! Tier-1 tests for the loom shim's model checker itself: it must
+//! catch known-racy programs, pass known-correct ones, and actually
+//! explore distinct interleavings (not just replay one schedule).
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::{model, Builder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The canonical racy program: two threads increment a plain cell with
+/// no synchronization at all. The checker must fail it.
+#[test]
+fn racy_unsynchronized_counter_is_caught() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let counter = Arc::new(UnsafeCell::new(0usize));
+            let c2 = counter.clone();
+            let t = loom::thread::spawn(move || {
+                // SAFETY: (test) intentionally racy — the point of the
+                // test is that the checker rejects this access pattern.
+                let v = c2.with(|p| unsafe { *p });
+                c2.with_mut(|p| unsafe { *p = v + 1 });
+            });
+            let v = counter.with(|p| unsafe { *p });
+            counter.with_mut(|p| unsafe { *p = v + 1 });
+            t.join().unwrap();
+        });
+    }));
+    let payload = outcome.expect_err("the racy counter must fail model checking");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("data race"), "unexpected failure: {msg}");
+}
+
+/// A racy *publication*: data written through a cell, then a flag set
+/// with `Relaxed` ordering. Relaxed gives the reader no happens-before
+/// edge, so the data read races even though the flag "worked".
+#[test]
+fn relaxed_publication_is_caught() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let data = Arc::new(UnsafeCell::new(0u64));
+            let ready = Arc::new(AtomicBool::new(false));
+            let (d2, r2) = (data.clone(), ready.clone());
+            let t = loom::thread::spawn(move || {
+                // SAFETY: (test) sole writer before the flag flips.
+                d2.with_mut(|p| unsafe { *p = 42 });
+                r2.store(true, Ordering::Relaxed);
+            });
+            if ready.load(Ordering::Relaxed) {
+                // SAFETY: (test) *not* actually safe — Relaxed gives no
+                // edge, which is exactly what the checker must report.
+                let v = data.with(|p| unsafe { *p });
+                assert_eq!(v, 42);
+            }
+            t.join().unwrap();
+        });
+    }));
+    let payload = outcome.expect_err("relaxed publication must fail model checking");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("data race"), "unexpected failure: {msg}");
+}
+
+/// The corrected publication: Release store / Acquire load. Same
+/// program shape as above, but now every schedule is race-free.
+#[test]
+fn release_acquire_publication_passes() {
+    let report = Builder::new().check(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (d2, r2) = (data.clone(), ready.clone());
+        let t = loom::thread::spawn(move || {
+            // SAFETY: sole writer; the Release store below publishes
+            // this write to any Acquire reader of `ready`.
+            d2.with_mut(|p| unsafe { *p = 42 });
+            r2.store(true, Ordering::Release);
+        });
+        if ready.load(Ordering::Acquire) {
+            // SAFETY: the Acquire load observed the Release store, so
+            // the write above happens-before this read.
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 42);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete, "publication model must be exhaustible");
+    assert!(report.iterations > 1, "expected several interleavings");
+}
+
+/// Atomic increments never race, and with a full RMW the final count is
+/// exact in every interleaving.
+#[test]
+fn atomic_counter_is_exact_in_all_interleavings() {
+    let report = Builder::new().check(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let t = loom::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        counter.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.complete);
+}
+
+/// The classic lost update: increments split into separate load and
+/// store steps. Some interleaving ends at 1, and the checker must find
+/// it — this is the test that exploration really explores.
+#[test]
+fn split_load_store_lost_update_is_found() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = counter.clone();
+            let t = loom::thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }));
+    let payload = outcome.expect_err("the lost-update interleaving must be found");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+}
+
+/// Exploration is deterministic: the same model explores the same
+/// number of schedules every time.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        Builder::new()
+            .check(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let a2 = a.clone();
+                let t = loom::thread::spawn(move || {
+                    a2.store(1, Ordering::Release);
+                });
+                let _ = a.load(Ordering::Acquire);
+                t.join().unwrap();
+            })
+            .iterations
+    };
+    assert_eq!(run(), run());
+}
+
+/// The iteration budget stops an intractable search and reports
+/// `complete = false` instead of hanging or failing.
+#[test]
+fn iteration_budget_reports_incomplete() {
+    let mut b = Builder::new();
+    b.max_iterations = 3;
+    b.preemption_bound = None;
+    let report = b.check(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let a = a.clone();
+                loom::thread::spawn(move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert_eq!(report.iterations, 3);
+    assert!(!report.complete);
+}
+
+/// Outside `model`, the tracked types degrade to plain std behaviour —
+/// this is what lets production code compile against them under a
+/// `loom` feature and still run in ordinary tests.
+#[test]
+fn fallback_outside_model_behaves_like_std() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let cell = UnsafeCell::new(7u32);
+    // SAFETY: single-threaded here; no concurrent access to the cell.
+    assert_eq!(cell.with(|p| unsafe { *p }), 7);
+    cell.with_mut(|p| {
+        // SAFETY: single-threaded here, and `p` is valid for writes.
+        unsafe { *p = 9 }
+    });
+    assert_eq!(cell.into_inner(), 9);
+
+    let c2 = counter.clone();
+    let t = loom::thread::spawn(move || {
+        for _ in 0..100 {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    for _ in 0..100 {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+    t.join().unwrap();
+    loom::thread::yield_now();
+    loom::hint::spin_loop();
+    assert_eq!(counter.load(Ordering::SeqCst), 200);
+}
+
+/// Spin-wait loops terminate under the model: a yielded thread is
+/// deprioritized until the thread it waits on makes progress, so the
+/// canonical flag-wait pattern is explorable instead of divergent.
+#[test]
+fn spin_wait_on_flag_terminates() {
+    let report = Builder::new().check(|| {
+        let ready = Arc::new(AtomicBool::new(false));
+        let r2 = ready.clone();
+        let t = loom::thread::spawn(move || {
+            r2.store(true, Ordering::Release);
+        });
+        while !ready.load(Ordering::Acquire) {
+            loom::thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete, "flag wait must exhaust, not time out");
+}
+
+/// Assertion failures inside the model surface the panic message and
+/// the schedule that produced them.
+#[test]
+fn model_panic_reports_schedule() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let a = AtomicUsize::new(1);
+            assert_eq!(a.load(Ordering::SeqCst), 2, "deliberate failure");
+        });
+    }));
+    let payload = outcome.expect_err("the assertion must fail the model");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deliberate failure"), "missing cause: {msg}");
+    assert!(msg.contains("schedule"), "missing schedule: {msg}");
+}

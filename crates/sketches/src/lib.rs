@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cm;
 pub mod count;

@@ -17,7 +17,7 @@
 //! Everything is index-based (`u32` into arenas) — no `Rc`, no unsafe,
 //! and the whole structure is a handful of contiguous allocations.
 
-use std::collections::HashMap;
+use hashkit::{fast_map_with_capacity, FastMap};
 use traffic::KeyBytes;
 
 use crate::traits::COUNTER_BYTES;
@@ -56,7 +56,7 @@ pub struct StreamSummary {
     free_buckets: Vec<u32>,
     /// Smallest-count bucket (NIL when empty).
     bucket_head: u32,
-    index: HashMap<KeyBytes, u32>,
+    index: FastMap<KeyBytes, u32>,
     capacity: usize,
     key_bytes: usize,
 }
@@ -70,7 +70,7 @@ impl StreamSummary {
             buckets: Vec::with_capacity(capacity + 1),
             free_buckets: Vec::new(),
             bucket_head: NIL,
-            index: HashMap::with_capacity(capacity * 2),
+            index: fast_map_with_capacity(capacity * 2),
             capacity,
             key_bytes,
         }
@@ -495,7 +495,7 @@ mod tests {
         // against a naive map + full scans.
         let mut rng = XorShift64Star::new(0xBEEF);
         let mut ss = StreamSummary::new(32, 4);
-        let mut model: HashMap<KeyBytes, u64> = HashMap::new();
+        let mut model: std::collections::HashMap<KeyBytes, u64> = std::collections::HashMap::new();
         let mut next_key = 0u32;
         for step in 0..30_000 {
             let op = rng.next_u64() % 100;

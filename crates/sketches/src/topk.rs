@@ -6,7 +6,7 @@
 //! The heap keeps the k largest estimates; the auxiliary position map
 //! makes in-place estimate updates O(log k).
 
-use std::collections::HashMap;
+use hashkit::{fast_map_with_capacity, FastMap};
 use traffic::KeyBytes;
 
 use crate::traits::COUNTER_BYTES;
@@ -17,7 +17,7 @@ pub struct TopK {
     /// Heap array: `heap[0]` is the smallest tracked estimate.
     heap: Vec<(KeyBytes, u64)>,
     /// Position of each tracked key inside `heap`.
-    pos: HashMap<KeyBytes, usize>,
+    pos: FastMap<KeyBytes, usize>,
     capacity: usize,
     key_bytes: usize,
 }
@@ -28,7 +28,7 @@ impl TopK {
         assert!(capacity > 0, "top-k capacity must be positive");
         Self {
             heap: Vec::with_capacity(capacity),
-            pos: HashMap::with_capacity(capacity * 2),
+            pos: fast_map_with_capacity(capacity * 2),
             capacity,
             key_bytes,
         }

@@ -132,13 +132,16 @@ impl Sketch for NaiveUss {
             self.entries.push((*key, w));
             return;
         }
-        // Linear scan for the global minimum — the O(n) step.
+        // Linear scan for the global minimum — the O(n) step. The
+        // entries are non-empty here: `capacity > 0` is asserted at
+        // construction and the branch above returns while there is
+        // room, so a full table has at least one entry.
         let (min_idx, _) = self
             .entries
             .iter()
             .enumerate()
             .min_by_key(|&(_, &(_, v))| v)
-            .expect("capacity > 0");
+            .unwrap_or_else(|| hashkit::invariant::violated("a full USS table is non-empty"));
         let entry = &mut self.entries[min_idx];
         entry.1 += w;
         let value_after = entry.1;

@@ -5,7 +5,7 @@
 //! between them. Change magnitudes are compared as |Δ|, so births and
 //! deaths of large flows count.
 
-use std::collections::HashMap;
+use hashkit::FastMap;
 use traffic::{truth, KeyBytes, KeySpec, Trace};
 
 use crate::algo::Algo;
@@ -15,10 +15,11 @@ use crate::pipeline::Pipeline;
 
 /// |Δ| table between two estimate tables (union of keys).
 pub fn diff_table(
-    before: &HashMap<KeyBytes, u64>,
-    after: &HashMap<KeyBytes, u64>,
-) -> HashMap<KeyBytes, u64> {
-    let mut out: HashMap<KeyBytes, u64> = HashMap::with_capacity(before.len() + after.len());
+    before: &FastMap<KeyBytes, u64>,
+    after: &FastMap<KeyBytes, u64>,
+) -> FastMap<KeyBytes, u64> {
+    let mut out: FastMap<KeyBytes, u64> =
+        hashkit::fast_map_with_capacity(before.len() + after.len());
     for (k, &v1) in before {
         let v2 = after.get(k).copied().unwrap_or(0);
         out.insert(*k, v1.abs_diff(v2));
@@ -89,8 +90,8 @@ mod tests {
     #[test]
     fn diff_table_handles_births_deaths() {
         let k = |i: u32| KeyBytes::new(&i.to_be_bytes());
-        let a: HashMap<_, _> = [(k(1), 10u64), (k(2), 5)].into();
-        let b: HashMap<_, _> = [(k(2), 8u64), (k(3), 7)].into();
+        let a: FastMap<_, _> = [(k(1), 10u64), (k(2), 5)].into_iter().collect();
+        let b: FastMap<_, _> = [(k(2), 8u64), (k(3), 7)].into_iter().collect();
         let d = diff_table(&a, &b);
         assert_eq!(d[&k(1)], 10);
         assert_eq!(d[&k(2)], 3);

@@ -1,6 +1,6 @@
 //! Heavy-hitter detection over multiple keys (the Figure 8/9/13a task).
 
-use std::collections::HashMap;
+use hashkit::FastMap;
 use traffic::{truth, KeyBytes, KeySpec, Trace};
 
 use crate::algo::Algo;
@@ -52,7 +52,7 @@ pub fn run(
 
 /// Score per-key estimate tables against exact counts.
 pub fn score(
-    estimates: &[HashMap<KeyBytes, u64>],
+    estimates: &[FastMap<KeyBytes, u64>],
     trace: &Trace,
     specs: &[KeySpec],
     threshold: u64,
@@ -65,8 +65,8 @@ pub fn score(
 /// when sweeping an axis over one workload — e.g. the 1089-key 2-d HHH
 /// memory sweep, where recomputing truth per point would dominate).
 pub fn score_against(
-    estimates: &[HashMap<KeyBytes, u64>],
-    truths: &[HashMap<KeyBytes, u64>],
+    estimates: &[FastMap<KeyBytes, u64>],
+    truths: &[FastMap<KeyBytes, u64>],
     threshold: u64,
 ) -> TaskResult {
     assert_eq!(estimates.len(), truths.len());

@@ -1,6 +1,6 @@
 //! Accuracy metrics (§7.1 of the paper).
 
-use std::collections::HashMap;
+use hashkit::FastMap;
 use traffic::KeyBytes;
 
 /// The four accuracy metrics of the evaluation.
@@ -48,8 +48,8 @@ impl Accuracy {
 /// - ARE is averaged over the correct flows, with unreported flows
 ///   contributing their full relative error (estimate 0).
 pub fn evaluate(
-    estimates: &HashMap<KeyBytes, u64>,
-    truth: &HashMap<KeyBytes, u64>,
+    estimates: &FastMap<KeyBytes, u64>,
+    truth: &FastMap<KeyBytes, u64>,
     threshold: u64,
 ) -> Accuracy {
     let correct: Vec<(&KeyBytes, u64)> = truth
@@ -117,7 +117,7 @@ mod tests {
         KeyBytes::new(&i.to_be_bytes())
     }
 
-    fn map(pairs: &[(u32, u64)]) -> HashMap<KeyBytes, u64> {
+    fn map(pairs: &[(u32, u64)]) -> FastMap<KeyBytes, u64> {
         pairs.iter().map(|&(i, v)| (k(i), v)).collect()
     }
 
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn empty_truth_perfect_when_silent() {
         let truth = map(&[(1, 10)]);
-        let a = evaluate(&HashMap::new(), &truth, 50);
+        let a = evaluate(&FastMap::default(), &truth, 50);
         assert_eq!(a, Accuracy::PERFECT);
         let noisy = map(&[(9, 100)]);
         let b = evaluate(&noisy, &truth, 50);

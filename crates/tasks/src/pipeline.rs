@@ -12,8 +12,8 @@
 //!   updated per packet (constant cost, sampling noise).
 
 use cocosketch::FlowTable;
+use hashkit::FastMap;
 use sketches::{Rhhh, Sketch};
-use std::collections::HashMap;
 use traffic::{FiveTuple, KeyBytes, KeySpec, Trace};
 
 use crate::algo::Algo;
@@ -108,7 +108,7 @@ impl Pipeline {
     /// single multi-projector pass over the records, and large tables
     /// scan in parallel — all bit-identical to per-spec
     /// [`FlowTable::query_partial`].
-    pub fn estimates(&self) -> Vec<HashMap<KeyBytes, u64>> {
+    pub fn estimates(&self) -> Vec<FastMap<KeyBytes, u64>> {
         match self {
             Pipeline::Coco {
                 sketch,
@@ -118,7 +118,7 @@ impl Pipeline {
             Pipeline::PerKey { sketches, .. } => sketches
                 .iter()
                 .map(|sketch| {
-                    let mut out: HashMap<KeyBytes, u64> = HashMap::new();
+                    let mut out: FastMap<KeyBytes, u64> = FastMap::default();
                     for (k, v) in sketch.records() {
                         // Defensive sum: no implemented baseline reports
                         // duplicates, but the trait does not forbid it.
@@ -129,7 +129,7 @@ impl Pipeline {
                 .collect(),
             Pipeline::Rhhh(r) => (0..r.num_levels())
                 .map(|lvl| {
-                    let mut out: HashMap<KeyBytes, u64> = HashMap::new();
+                    let mut out: FastMap<KeyBytes, u64> = FastMap::default();
                     for (k, v) in r.records_for(lvl) {
                         *out.entry(k).or_insert(0) += v;
                     }

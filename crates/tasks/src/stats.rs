@@ -10,7 +10,7 @@
 //! while flow-count statistics undercount the tail.
 
 use cocosketch::FlowTable;
-use std::collections::HashMap;
+use hashkit::FastMap;
 use traffic::{KeyBytes, KeySpec};
 
 /// Shannon entropy (bits) of the traffic split across the flows of
@@ -24,7 +24,7 @@ pub fn entropy(table: &FlowTable, spec: &KeySpec) -> f64 {
 }
 
 /// Shannon entropy of an explicit count table.
-pub fn entropy_of_counts(counts: &HashMap<KeyBytes, u64>) -> f64 {
+pub fn entropy_of_counts(counts: &FastMap<KeyBytes, u64>) -> f64 {
     let total: u64 = counts.values().sum();
     if total == 0 {
         return 0.0;
@@ -62,7 +62,7 @@ pub fn size_distribution(table: &FlowTable, spec: &KeySpec) -> Vec<u64> {
 /// Flow-size distribution of an explicit count table (lets callers that
 /// already hold a query result — e.g. the CLI `stats` command — bin it
 /// without re-scanning the flow table).
-pub fn size_distribution_of_counts(counts: &HashMap<KeyBytes, u64>) -> Vec<u64> {
+pub fn size_distribution_of_counts(counts: &FastMap<KeyBytes, u64>) -> Vec<u64> {
     let mut bins = vec![0u64; 64];
     for &v in counts.values() {
         if v > 0 {
@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn entropy_of_uniform_counts() {
-        let counts: HashMap<KeyBytes, u64> = (0..8u32).map(|i| (k(i), 10)).collect();
+        let counts: FastMap<KeyBytes, u64> = (0..8u32).map(|i| (k(i), 10)).collect();
         assert!(
             (entropy_of_counts(&counts) - 3.0).abs() < 1e-12,
             "log2(8) = 3"
@@ -98,9 +98,9 @@ mod tests {
 
     #[test]
     fn entropy_of_single_flow_is_zero() {
-        let counts: HashMap<KeyBytes, u64> = [(k(1), 100)].into();
+        let counts: FastMap<KeyBytes, u64> = [(k(1), 100)].into_iter().collect();
         assert_eq!(entropy_of_counts(&counts), 0.0);
-        assert_eq!(entropy_of_counts(&HashMap::new()), 0.0);
+        assert_eq!(entropy_of_counts(&FastMap::default()), 0.0);
     }
 
     #[test]

@@ -2,17 +2,17 @@
 //!
 //! Every accuracy metric in the paper (recall, precision, F1, ARE)
 //! compares a sketch's answers against exact per-key counts. This module
-//! computes those with plain hash maps — memory-hungry but exact, which
+//! computes those with plain (deterministic, fast-hashed) hash maps — memory-hungry but exact, which
 //! is fine offline.
 
 use crate::key::KeyBytes;
 use crate::keyspec::KeySpec;
 use crate::packet::Trace;
-use std::collections::{HashMap, HashSet};
+use hashkit::{fast_map_with_capacity, FastMap, FastSet};
 
 /// Exact flow sizes of `trace` under `spec`.
-pub fn exact_counts(trace: &Trace, spec: &KeySpec) -> HashMap<KeyBytes, u64> {
-    let mut counts: HashMap<KeyBytes, u64> = HashMap::new();
+pub fn exact_counts(trace: &Trace, spec: &KeySpec) -> FastMap<KeyBytes, u64> {
+    let mut counts: FastMap<KeyBytes, u64> = FastMap::default();
     for p in &trace.packets {
         *counts.entry(spec.project(&p.flow)).or_insert(0) += u64::from(p.weight);
     }
@@ -20,8 +20,8 @@ pub fn exact_counts(trace: &Trace, spec: &KeySpec) -> HashMap<KeyBytes, u64> {
 }
 
 /// Exact counts for several keys at once (single pass over the trace).
-pub fn exact_counts_multi(trace: &Trace, specs: &[KeySpec]) -> Vec<HashMap<KeyBytes, u64>> {
-    let mut out: Vec<HashMap<KeyBytes, u64>> = specs.iter().map(|_| HashMap::new()).collect();
+pub fn exact_counts_multi(trace: &Trace, specs: &[KeySpec]) -> Vec<FastMap<KeyBytes, u64>> {
+    let mut out: Vec<FastMap<KeyBytes, u64>> = specs.iter().map(|_| FastMap::default()).collect();
     for p in &trace.packets {
         for (spec, counts) in specs.iter().zip(&mut out) {
             *counts.entry(spec.project(&p.flow)).or_insert(0) += u64::from(p.weight);
@@ -37,16 +37,16 @@ pub fn exact_counts_multi(trace: &Trace, specs: &[KeySpec]) -> Vec<HashMap<KeyBy
 /// For deep hierarchies (the 1089-level 2-d HHH ground truth) this is
 /// orders of magnitude faster.
 pub fn project_counts(
-    full_counts: &HashMap<KeyBytes, u64>,
+    full_counts: &FastMap<KeyBytes, u64>,
     full: &KeySpec,
     spec: &KeySpec,
-) -> HashMap<KeyBytes, u64> {
+) -> FastMap<KeyBytes, u64> {
     assert!(
         spec.is_partial_of(full),
         "{spec:?} is not partial of {full:?}"
     );
     let proj = spec.projector(full);
-    let mut out: HashMap<KeyBytes, u64> = HashMap::with_capacity(full_counts.len());
+    let mut out: FastMap<KeyBytes, u64> = fast_map_with_capacity(full_counts.len());
     for (key, &count) in full_counts {
         *out.entry(proj.project(key)).or_insert(0) += count;
     }
@@ -68,9 +68,9 @@ pub fn exact_counts_hierarchy(
     trace: &Trace,
     full: &KeySpec,
     hierarchy: &[KeySpec],
-) -> Vec<HashMap<KeyBytes, u64>> {
+) -> Vec<FastMap<KeyBytes, u64>> {
     let full_counts = exact_counts(trace, full);
-    let mut out: Vec<HashMap<KeyBytes, u64>> = Vec::with_capacity(hierarchy.len());
+    let mut out: Vec<FastMap<KeyBytes, u64>> = Vec::with_capacity(hierarchy.len());
     for (i, spec) in hierarchy.iter().enumerate() {
         let parent = (0..i)
             .filter(|&j| spec.is_partial_of(&hierarchy[j]))
@@ -87,7 +87,7 @@ pub fn exact_counts_hierarchy(
 }
 
 /// Flows whose exact size is at least `threshold`.
-pub fn heavy_hitters(counts: &HashMap<KeyBytes, u64>, threshold: u64) -> HashSet<KeyBytes> {
+pub fn heavy_hitters(counts: &FastMap<KeyBytes, u64>, threshold: u64) -> FastSet<KeyBytes> {
     counts
         .iter()
         .filter(|(_, &v)| v >= threshold)
@@ -100,11 +100,11 @@ pub fn heavy_hitters(counts: &HashMap<KeyBytes, u64>, threshold: u64) -> HashSet
 /// Flows absent from a window count as size 0 there, so births and deaths
 /// of large flows are changes too.
 pub fn heavy_changes(
-    before: &HashMap<KeyBytes, u64>,
-    after: &HashMap<KeyBytes, u64>,
+    before: &FastMap<KeyBytes, u64>,
+    after: &FastMap<KeyBytes, u64>,
     threshold: u64,
-) -> HashSet<KeyBytes> {
-    let mut out = HashSet::new();
+) -> FastSet<KeyBytes> {
+    let mut out = FastSet::default();
     for (k, &v1) in before {
         let v2 = after.get(k).copied().unwrap_or(0);
         if v1.abs_diff(v2) >= threshold {
@@ -221,8 +221,8 @@ mod tests {
         let a = KeyBytes::new(&[1]);
         let b = KeyBytes::new(&[2]);
         let c = KeyBytes::new(&[3]);
-        let before: HashMap<_, _> = [(a, 100u64), (b, 50)].into();
-        let after: HashMap<_, _> = [(b, 45u64), (c, 80)].into();
+        let before: FastMap<_, _> = [(a, 100u64), (b, 50)].into_iter().collect();
+        let after: FastMap<_, _> = [(b, 45u64), (c, 80)].into_iter().collect();
         let changes = heavy_changes(&before, &after, 20);
         assert!(changes.contains(&a), "death of a is a change");
         assert!(changes.contains(&c), "birth of c is a change");

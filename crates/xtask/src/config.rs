@@ -1,0 +1,199 @@
+//! `lint.toml` reader: a minimal TOML-subset parser (zero deps, per
+//! the offline-build policy).
+//!
+//! Supported grammar — everything `lint.toml` needs and nothing more:
+//! `#` comments, top-level `key = [array-of-strings]` (single line),
+//! `[attrs]` with the same key shape, and `[[allow]]` entries with
+//! `key = "string"` fields. Anything else is a hard error, so a typo
+//! in the policy file fails the lint run instead of silently relaxing
+//! it.
+
+/// One allowlist entry: suppresses findings of `rule` in `file`.
+/// `reason` is mandatory and must be non-empty — an allowlist without
+/// written justification is itself a lint violation.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Workspace-relative path the exemption applies to.
+    pub file: String,
+    /// Rule name being exempted.
+    pub rule: String,
+    /// Why the exemption is sound; surfaces in `--explain` style docs.
+    pub reason: String,
+    /// Line of the `[[allow]]` header, for error reporting.
+    pub line: u32,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crates whose non-test code the panic-path / wall-clock /
+    /// default-hashmap rules apply to.
+    pub data_plane: Vec<String>,
+    /// Crates that must carry `#![forbid(unsafe_code)]`.
+    pub forbid_unsafe: Vec<String>,
+    /// Crates that must carry `#![deny(unsafe_code)]` (audited unsafe
+    /// kept behind item-level `#[allow]`s).
+    pub deny_unsafe: Vec<String>,
+    /// File/rule exemptions.
+    pub allows: Vec<AllowEntry>,
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Top,
+    Attrs,
+    Allow,
+}
+
+/// Parse `src` (the contents of `lint.toml`). Errors carry the line
+/// number and are fatal to the lint run.
+pub fn parse(src: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = Section::Top;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            section = Section::Allow;
+            cfg.allows.push(AllowEntry {
+                line: lineno,
+                ..AllowEntry::default()
+            });
+            continue;
+        }
+        if line == "[attrs]" {
+            section = Section::Attrs;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("lint.toml:{lineno}: unknown section {line}"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match (&section, key) {
+            (Section::Top, "data_plane") => cfg.data_plane = parse_array(value, lineno)?,
+            (Section::Attrs, "forbid_unsafe") => cfg.forbid_unsafe = parse_array(value, lineno)?,
+            (Section::Attrs, "deny_unsafe") => cfg.deny_unsafe = parse_array(value, lineno)?,
+            (Section::Allow, "file") => last_allow(&mut cfg)?.file = parse_string(value, lineno)?,
+            (Section::Allow, "rule") => last_allow(&mut cfg)?.rule = parse_string(value, lineno)?,
+            (Section::Allow, "reason") => {
+                last_allow(&mut cfg)?.reason = parse_string(value, lineno)?
+            }
+            _ => return Err(format!("lint.toml:{lineno}: unknown key `{key}`")),
+        }
+    }
+    for a in &cfg.allows {
+        if a.file.is_empty() || a.rule.is_empty() {
+            return Err(format!(
+                "lint.toml:{}: [[allow]] entry needs both `file` and `rule`",
+                a.line
+            ));
+        }
+        if a.reason.trim().is_empty() {
+            return Err(format!(
+                "lint.toml:{}: [[allow]] for {} / {} has no `reason` — every exemption must be justified",
+                a.line, a.file, a.rule
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+fn last_allow(cfg: &mut Config) -> Result<&mut AllowEntry, String> {
+    cfg.allows
+        .last_mut()
+        .ok_or_else(|| "lint.toml: key outside [[allow]] entry".to_string())
+}
+
+/// Remove a trailing `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!(
+            "lint.toml:{lineno}: expected a quoted string, got `{value}`"
+        ))
+    }
+}
+
+fn parse_array(value: &str, lineno: u32) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!("lint.toml:{lineno}: expected a single-line `[\"...\"]` array, got `{value}`")
+        })?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = parse(
+            r#"
+# comment
+data_plane = ["a", "b"]
+
+[attrs]
+forbid_unsafe = ["c"]  # trailing comment
+deny_unsafe = []
+
+[[allow]]
+file = "crates/a/src/x.rs"
+rule = "wall-clock"
+reason = "metrics only"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.data_plane, vec!["a", "b"]);
+        assert_eq!(cfg.forbid_unsafe, vec!["c"]);
+        assert!(cfg.deny_unsafe.is_empty());
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn missing_reason_is_fatal() {
+        let err = parse("[[allow]]\nfile = \"f\"\nrule = \"r\"\nreason = \"  \"\n").unwrap_err();
+        assert!(err.contains("must be justified"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_fatal() {
+        let err = parse("data_plne = [\"a\"]\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = parse("[[allow]]\nfile = \"a#b.rs\"\nrule = \"r\"\nreason = \"x\"\n").unwrap();
+        assert_eq!(cfg.allows[0].file, "a#b.rs");
+    }
+}

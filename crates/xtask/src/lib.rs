@@ -1,0 +1,125 @@
+//! `cocolint`: the workspace's static-analysis pass.
+//!
+//! Zero-dependency by design (the workspace builds offline): a small
+//! Rust tokenizer ([`lexer`]), a TOML-subset policy reader ([`config`],
+//! for `lint.toml` at the workspace root), a workspace walker
+//! ([`workspace`]), and token-level rules ([`rules`]). Run as
+//! `cargo run -p xtask -- lint`; CI and `scripts/verify.sh` treat any
+//! finding as a failure.
+//!
+//! Policy overview (details in DESIGN.md, "Static analysis & model
+//! checking"):
+//! - every `unsafe` block anywhere carries a `// SAFETY:` argument;
+//! - the data-plane crates (`lint.toml`'s `data_plane`) are panic-free,
+//!   wall-clock-free, and use deterministic hashing in non-test code;
+//! - crate roots carry the lint attributes their tier requires;
+//! - exemptions live in `lint.toml` `[[allow]]` entries, each with a
+//!   mandatory written reason, and an exemption that no longer
+//!   suppresses anything is itself an error (allowlists must not rot).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use rules::Finding;
+use std::path::Path;
+
+/// Run the full lint over the workspace at `root` (the directory
+/// containing `lint.toml` and `crates/`). Returns surviving findings;
+/// `Err` is reserved for configuration/IO failures, which must fail
+/// the run louder than any finding.
+pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
+    let cfg_text = std::fs::read_to_string(root.join("lint.toml"))
+        .map_err(|e| format!("cannot read lint.toml: {e}"))?;
+    let cfg = config::parse(&cfg_text)?;
+    let crates = workspace::discover(root)?;
+
+    let known: Vec<&str> = crates.iter().map(|c| c.name.as_str()).collect();
+    for tier in [&cfg.data_plane, &cfg.forbid_unsafe, &cfg.deny_unsafe] {
+        for name in tier {
+            if !known.contains(&name.as_str()) {
+                return Err(format!(
+                    "lint.toml names unknown crate `{name}` (workspace has: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    for name in &cfg.forbid_unsafe {
+        if cfg.deny_unsafe.contains(name) {
+            return Err(format!(
+                "lint.toml lists `{name}` in both forbid_unsafe and deny_unsafe"
+            ));
+        }
+    }
+
+    let mut findings = Vec::new();
+    for krate in &crates {
+        let (src_files, other_files) = workspace::rust_files(root, krate);
+        let is_data_plane = cfg.data_plane.contains(&krate.name);
+        for rel in src_files.iter().chain(other_files.iter()) {
+            let text = std::fs::read_to_string(root.join(rel))
+                .map_err(|e| format!("cannot read {}: {e}", rel.display()))?;
+            let toks = lexer::tokenize(&text);
+            let name = rel.to_string_lossy().replace('\\', "/");
+            findings.extend(rules::safety_comment(&name, &toks));
+            if is_data_plane && src_files.contains(rel) {
+                findings.extend(rules::data_plane_rules(rel, &toks));
+            }
+        }
+        // Crate-root attributes per tier.
+        if let Some(rel) = krate.root_file(root) {
+            let text = std::fs::read_to_string(root.join(&rel))
+                .map_err(|e| format!("cannot read {}: {e}", rel.display()))?;
+            let toks = lexer::tokenize(&text);
+            let name = rel.to_string_lossy().replace('\\', "/");
+            let mut need: Vec<(&str, &str)> = Vec::new();
+            if cfg.forbid_unsafe.contains(&krate.name) {
+                need.push(("forbid", "unsafe_code"));
+            }
+            if cfg.deny_unsafe.contains(&krate.name) {
+                need.push(("deny", "unsafe_code"));
+            }
+            if is_data_plane {
+                need.push(("deny", "unsafe_op_in_unsafe_fn"));
+                need.push(("warn", "missing_docs"));
+            }
+            for (level, lint_name) in need {
+                findings.extend(rules::require_crate_attr(&name, &toks, level, lint_name));
+            }
+        }
+    }
+
+    // Apply the allowlist; every entry must earn its keep.
+    let mut used = vec![false; cfg.allows.len()];
+    findings.retain(|f| {
+        for (idx, allow) in cfg.allows.iter().enumerate() {
+            if allow.file == f.file && allow.rule == f.rule {
+                used[idx] = true;
+                return false;
+            }
+        }
+        true
+    });
+    for (idx, allow) in cfg.allows.iter().enumerate() {
+        if !used[idx] {
+            findings.push(Finding {
+                file: "lint.toml".to_string(),
+                line: allow.line,
+                rule: "unused-allow",
+                message: format!(
+                    "[[allow]] for {} / {} suppresses nothing — remove it",
+                    allow.file, allow.rule
+                ),
+            });
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(findings)
+}

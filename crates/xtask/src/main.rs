@@ -1,0 +1,60 @@
+//! Workspace automation entry point: `cargo run -p xtask -- lint`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!();
+            eprintln!("subcommands:");
+            eprintln!("  lint    run the cocolint static-analysis pass (policy: lint.toml)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let Some(root) = find_workspace_root() else {
+        eprintln!("cocolint: no lint.toml found between the current directory and filesystem root");
+        return ExitCode::FAILURE;
+    };
+    match xtask::run_lint(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("cocolint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("cocolint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cocolint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root is the nearest ancestor (starting at the current
+/// directory) containing `lint.toml` — `cargo run -p xtask` runs from
+/// the workspace root, but `cd crates/engine && cargo run -p xtask`
+/// should work too.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

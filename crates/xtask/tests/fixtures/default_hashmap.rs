@@ -1,0 +1,29 @@
+// Fixture for the default-hashmap rule. Not compiled — scanned by
+// tests/lint_rules.rs.
+
+use std::collections::HashMap; // VIOLATION
+use std::collections::HashSet; // VIOLATION
+
+pub fn build() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); // VIOLATION x2
+    let s: HashSet<u32> = HashSet::new(); // VIOLATION x2
+    m.len() + s.len()
+}
+
+pub fn fast_variants_are_fine() {
+    // FastMap/FastSet are the replacements; naming them is the fix,
+    // not a finding, and prose mentions of HashMap stay exempt too.
+    let _ = "HashMap in a string";
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn model_maps_in_tests_are_fine() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

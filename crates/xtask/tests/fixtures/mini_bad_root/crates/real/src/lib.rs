@@ -1,0 +1,1 @@
+//! Placeholder crate so the bad-config fixture has a real member.

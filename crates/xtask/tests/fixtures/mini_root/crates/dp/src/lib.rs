@@ -1,0 +1,14 @@
+//! Mini data-plane crate for run_lint end-to-end tests.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+/// Reports elapsed time; the wall-clock finding here is allowlisted.
+pub fn report() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+/// Unwrap on the data plane: the finding run_lint must surface.
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

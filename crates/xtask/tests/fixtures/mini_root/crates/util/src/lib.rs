@@ -1,0 +1,6 @@
+//! Mini utility crate: deliberately missing #![forbid(unsafe_code)].
+
+/// Identity, so the crate has content beyond its missing attribute.
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,52 @@
+// Fixture for the panic-path rule. Not compiled — scanned by
+// tests/lint_rules.rs.
+
+pub fn method_calls(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap(); // VIOLATION
+    let b = y.expect("boom"); // VIOLATION
+    a + b
+}
+
+pub fn macros(n: u32) -> u32 {
+    match n {
+        0 => panic!("zero"),      // VIOLATION
+        1 => unreachable!(),      // VIOLATION
+        2 => todo!(),             // VIOLATION
+        3 => unimplemented!(),    // VIOLATION
+        _ => n,
+    }
+}
+
+pub fn non_panicking_cousins(x: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default are different
+    // identifiers and must not be flagged.
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+pub fn asserts_are_invariant_contracts(cap: usize) {
+    // Documented invariant asserts are the sanctioned precondition
+    // style; they are not accidental panic paths.
+    assert!(cap.is_power_of_two(), "capacity must be a power of two");
+}
+
+pub fn names_without_calls() {
+    // A path segment or a doc string is not a method call.
+    let _ = "calls .unwrap() and panic! in prose";
+    // std::panic::resume_unwind re-raises an existing payload; the
+    // `panic` ident has no bang, so it is not flagged.
+    let _ = std::panic::catch_unwind(|| 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        r.expect("fine in tests");
+        if false {
+            panic!("also fine in tests");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+// Fixture for the safety-comment rule. Not compiled — scanned by
+// tests/lint_rules.rs. Lines tagged VIOLATION must be flagged; all
+// other unsafe sites must pass.
+
+pub fn uncommented_block() {
+    unsafe { core::hint::unreachable_unchecked() } // VIOLATION
+}
+
+pub fn commented_block() {
+    // SAFETY: this branch is unreachable because the fixture is never
+    // compiled, let alone executed.
+    unsafe { core::hint::unreachable_unchecked() }
+}
+
+/// An unsafe fn declaration needs no SAFETY comment of its own: the
+/// obligation lands on each calling `unsafe` block.
+pub unsafe fn declaration_is_exempt(p: *const u8) -> u8 {
+    // SAFETY: caller promises `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn mentions_in_strings_do_not_count() {
+    let _ = "unsafe { not_code() }";
+    // A comment mentioning unsafe blocks is also not a finding, and
+    // this fn doubles as distance padding so the `unsafe impl` below
+    // sits outside the 12-line window of the comment on line 18.
+}
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {} // VIOLATION
+
+// SAFETY: the pointer is only dereferenced on the owning thread.
+unsafe impl Sync for Wrapper {}
+
+pub fn stale_comment_far_above() {
+    // SAFETY: this comment is too far above to cover the block below.
+    let a = 1;
+    let b = 2;
+    let c = 3;
+    let d = 4;
+    let e = 5;
+    let f = 6;
+    let g = 7;
+    let h = 8;
+    let i = 9;
+    let j = 10;
+    let k = 11;
+    let l = 12;
+    unsafe { core::hint::unreachable_unchecked() } // VIOLATION
+}

@@ -1,0 +1,32 @@
+// Fixture for the wall-clock rule. Not compiled — scanned by
+// tests/lint_rules.rs.
+
+use std::time::Instant; // VIOLATION
+
+pub fn timed() -> u64 {
+    let start = Instant::now(); // VIOLATION
+    let t = std::time::SystemTime::now(); // VIOLATION
+    drop(t);
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn entropy() {
+    let _map: std::collections::hash_map::RandomState = Default::default(); // VIOLATION
+}
+
+pub fn deterministic_is_fine(seed: u64) -> u64 {
+    // Seeded generators are the sanctioned randomness source; the
+    // words "Instant" and "SystemTime" in comments or strings must
+    // not be flagged.
+    let _ = "Instant SystemTime thread_rng";
+    seed.wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let start = std::time::Instant::now();
+        assert!(start.elapsed().as_secs() < 1);
+    }
+}

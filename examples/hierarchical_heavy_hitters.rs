@@ -8,9 +8,9 @@
 //! Run with: `cargo run --release -p cocosketch-bench --example hierarchical_heavy_hitters`
 
 use cocosketch::{BasicCocoSketch, FlowTable};
+use hashkit::FastMap;
 use hhh::discounted::discounted_hhh;
 use sketches::Sketch;
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use traffic::gen::{generate, TraceConfig};
 use traffic::KeySpec;
@@ -48,7 +48,7 @@ fn main() {
     }
 
     // (b) classical discounted HHHs over the same table.
-    let levels: HashMap<u8, _> = [32u8, 24, 16, 8]
+    let levels: FastMap<u8, _> = [32u8, 24, 16, 8]
         .into_iter()
         .map(|bits| (bits, table.query_partial(&KeySpec::src_prefix(bits))))
         .collect();

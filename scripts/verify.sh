@@ -19,10 +19,15 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cocolint (cargo run -p xtask -- lint)"
+cargo run -q -p xtask -- lint
+
 if [ "${VERIFY_HEAVY:-0}" = "1" ]; then
     echo "==> heavy suites (proptest + criterion shims)"
     cargo test -q -p integration --features heavy-tests
     cargo check -q -p cocosketch-bench --features heavy-tests --benches
+    echo "==> engine model checking (loom shim)"
+    cargo test -q -p engine --features heavy-tests
 fi
 
 echo "verify: OK"
