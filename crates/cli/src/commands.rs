@@ -2,10 +2,10 @@
 
 use crate::args::{parse_key, parse_memory, parse_threads};
 use crate::Opts;
-use cocosketch::{snapshot, FlowTable};
+use cocosketch::{epoch, snapshot, EpochStore, FlowTable};
 use engine::{EngineConfig, ShardedCocoSketch};
 use tasks::stats as table_stats;
-use traffic::{io as trace_io, presets, KeySpec};
+use traffic::{io as trace_io, presets, KeySpec, Trace};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -15,6 +15,7 @@ commands:
   generate  --preset caida|mawi --out FILE [--scale N] [--seed S]
   measure   (--trace FILE | --pcap FILE) --out FILE
             [--memory 500KB] [--d 2] [--seed S] [--threads N]
+            [--window PACKETS]
   query     --table FILE --key KEY [--top K] [--threshold T]
   stats     --table FILE --key KEY
   info      (--trace FILE | --table FILE)
@@ -46,6 +47,11 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 
 /// `measure`: run CocoSketch over a trace (native or pcap format),
 /// export the flow table.
+///
+/// With `--window PACKETS` the engine runs as a rotating
+/// [`engine::EngineSession`]: every `PACKETS` packets the live sketch
+/// is sealed into an epoch (without pausing ingestion) and written to
+/// `OUT.epochN`; the trailing partial window seals on finish.
 pub fn measure(argv: &[String]) -> Result<(), String> {
     let opts = Opts::parse(argv)?;
     let out = opts.path("out")?;
@@ -53,6 +59,7 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     let d = opts.u64_or("d", 2)? as usize;
     let seed = opts.u64_or("seed", 0xC0C0)?;
     let threads = parse_threads(opts.get("threads").unwrap_or("1"))?;
+    let window = opts.u64_or("window", 0)?;
     if d == 0 {
         return Err("--d must be positive".into());
     }
@@ -79,6 +86,9 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
             ..EngineConfig::default()
         },
     );
+    if window > 0 {
+        return measure_windowed(&engine, &trace, full, window, &out, threads);
+    }
     let run = engine.run_trace(&trace, &full);
     let table = run.flow_table(full);
     std::fs::write(&out, snapshot::encode(&table))
@@ -95,9 +105,78 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--window` path: one continuously-running session, one sealed
+/// epoch file per window of `window` packets.
+fn measure_windowed(
+    engine: &ShardedCocoSketch,
+    trace: &Trace,
+    full: KeySpec,
+    window: u64,
+    out: &std::path::Path,
+    threads: usize,
+) -> Result<(), String> {
+    let mut session = engine.session();
+    let mut store = EpochStore::new();
+    let started = std::time::Instant::now();
+    let mut in_window = 0u64;
+    for p in &trace.packets {
+        session.push(full.project(&p.flow), u64::from(p.weight));
+        in_window += 1;
+        if in_window == window {
+            store.push(session.rotate_collect().to_epoch(full));
+            in_window = 0;
+        }
+    }
+    let last = session.finish();
+    if last.packets > 0 {
+        store.push(last.to_epoch(full));
+    }
+    let elapsed = started.elapsed();
+    let total: u64 = store.iter().map(|e| e.packets).sum();
+    let mpps = total as f64 / elapsed.as_secs_f64() / 1e6;
+    println!(
+        "measured {total} packets in {elapsed:?} ({mpps:.2} Mpps, {threads} thread{}); \
+         {} epoch{} of <= {window} packets",
+        if threads == 1 { "" } else { "s" },
+        store.len(),
+        if store.len() == 1 { "" } else { "s" },
+    );
+    for sealed in store.iter() {
+        let path = out.with_file_name(format!(
+            "{}.epoch{}",
+            out.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "epochs".to_string()),
+            sealed.id
+        ));
+        std::fs::write(&path, epoch::encode(sealed))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  epoch {}: {} packets, weight {}, {} flows -> {}",
+            sealed.id,
+            sealed.packets,
+            sealed.weight,
+            sealed.primary().len(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
 fn load_table(opts: &Opts) -> Result<FlowTable, String> {
     let path = opts.path("table")?;
     let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    // Sniff the envelope by magic: `measure --window` writes sealed
+    // epochs (`CEP1`), plain `measure` writes bare tables (`CFT1`).
+    if bytes.starts_with(epoch::EPOCH_MAGIC) {
+        let sealed =
+            epoch::decode(&bytes).map_err(|e| format!("decoding {}: {e}", path.display()))?;
+        return sealed
+            .tables
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("{}: epoch sealed no tables", path.display()));
+    }
     snapshot::decode(&bytes).map_err(|e| format!("decoding {}: {e}", path.display()))
 }
 

@@ -108,6 +108,81 @@ fn full_workflow() {
 }
 
 #[test]
+fn windowed_measure_emits_queryable_epochs() {
+    let dir = tmpdir("windowed");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    let out = run(&[
+        "generate",
+        "--preset",
+        "caida",
+        "--scale",
+        "2000",
+        "--seed",
+        "7",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Rotate every 5k packets on two ingest threads: the ~13.5k-packet
+    // trace seals two full epochs plus a partial tail.
+    let out = run(&[
+        "measure",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--memory",
+        "100KB",
+        "--threads",
+        "2",
+        "--window",
+        "5000",
+        "--out",
+        table.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("epoch 0: 5000 packets"), "{text}");
+    let epoch0 = dir.join("t.cft.epoch0");
+    let epoch1 = dir.join("t.cft.epoch1");
+    assert!(epoch0.exists() && epoch1.exists(), "{text}");
+
+    // Epoch files are full table citizens: query and info sniff the
+    // envelope by magic and read the sealed full-key table.
+    let out = run(&[
+        "query",
+        "--table",
+        epoch0.to_str().unwrap(),
+        "--key",
+        "srcip/16",
+        "--top",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("flows under key (SrcIP/16)"), "{text}");
+
+    let out = run(&["info", "--table", epoch1.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("full key"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn rejects_unknown_command() {
     let out = run(&["frobnicate"]);
     assert!(!out.status.success());

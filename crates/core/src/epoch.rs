@@ -1,0 +1,355 @@
+//! Sealed measurement epochs and the store that holds them.
+//!
+//! Continuous deployments do not measure one trace and stop: they
+//! rotate. Ingest fills a live sketch; at a window boundary the sketch
+//! is *sealed* — converted into immutable, queryable [`FlowTable`]s —
+//! while ingestion continues into a fresh sketch. An [`Epoch`] is one
+//! such sealed window: its tables, its id (dense, starting at 0), and
+//! exact packet/weight accounting for threshold computations. The
+//! [`EpochStore`] keeps sealed epochs in id order so windowed tasks
+//! (heavy change, adjacency diffs) address them by id.
+//!
+//! Sealed epochs persist in a versioned binary envelope around the
+//! [`snapshot`] flow-table format:
+//!
+//! ```text
+//! magic     4 bytes  b"CEP1"
+//! id        u64 LE
+//! packets   u64 LE
+//! weight    u64 LE
+//! n_tables  u32 LE
+//! table     (byte_len u32 LE | snapshot::encode bytes) x n_tables
+//! ```
+
+use crate::query::FlowTable;
+use crate::snapshot;
+use std::io;
+
+/// Envelope magic for a serialized epoch. Distinct from the flow-table
+/// magic (`b"CFT1"`) so readers can sniff which format a file holds.
+pub const EPOCH_MAGIC: &[u8; 4] = b"CEP1";
+
+const HEADER_LEN: usize = 4 + 8 + 8 + 8 + 4;
+
+/// One sealed measurement window: immutable, queryable, accounted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epoch {
+    /// Dense id assigned by the sealing [`EpochStore`], starting at 0.
+    pub id: u64,
+    /// Packets ingested during the window.
+    pub packets: u64,
+    /// Total stream weight ingested during the window.
+    pub weight: u64,
+    /// The sealed flow tables. A full-key deployment seals one table;
+    /// per-key deployments seal one per measured key, in spec order.
+    pub tables: Vec<FlowTable>,
+}
+
+impl Epoch {
+    /// The first sealed table — the full-key table for CocoSketch/USS
+    /// deployments, which is what single-table consumers (the CLI's
+    /// query path) want.
+    ///
+    /// # Panics
+    /// Panics when the epoch sealed no tables.
+    pub fn primary(&self) -> &FlowTable {
+        &self.tables[0]
+    }
+}
+
+/// Encode a sealed epoch for export (see the module docs for layout).
+pub fn encode(epoch: &Epoch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(EPOCH_MAGIC);
+    out.extend_from_slice(&epoch.id.to_le_bytes());
+    out.extend_from_slice(&epoch.packets.to_le_bytes());
+    out.extend_from_slice(&epoch.weight.to_le_bytes());
+    out.extend_from_slice(&(epoch.tables.len() as u32).to_le_bytes());
+    for table in &epoch.tables {
+        let bytes = snapshot::encode(table);
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Decode an exported epoch. Returns `Err` (never panics) on
+/// truncated, oversized, or otherwise malformed input.
+pub fn decode(data: &[u8]) -> io::Result<Epoch> {
+    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.len() < HEADER_LEN {
+        return Err(err("truncated epoch header"));
+    }
+    if &data[0..4] != EPOCH_MAGIC {
+        return Err(err("bad epoch magic"));
+    }
+    let word = |at: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&data[at..at + 8]);
+        u64::from_le_bytes(b)
+    };
+    let id = word(4);
+    let packets = word(12);
+    let weight = word(20);
+    let n_tables = u32::from_le_bytes([data[28], data[29], data[30], data[31]]) as usize;
+    let mut tables = Vec::new();
+    let mut at = HEADER_LEN;
+    for i in 0..n_tables {
+        if data.len() - at < 4 {
+            return Err(err(&format!("truncated length prefix of table {i}")));
+        }
+        let len = u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]]) as usize;
+        at += 4;
+        if data.len() - at < len {
+            return Err(err(&format!("truncated body of table {i}")));
+        }
+        tables.push(snapshot::decode(&data[at..at + len])?);
+        at += len;
+    }
+    if at != data.len() {
+        return Err(err("trailing bytes after last table"));
+    }
+    Ok(Epoch {
+        id,
+        packets,
+        weight,
+        tables,
+    })
+}
+
+/// An in-order collection of sealed epochs with dense id assignment.
+///
+/// The store is the query-plane side of the rotation protocol: while
+/// the data plane ingests epoch N+1, everything up to N sits here,
+/// immutable and addressable by id.
+#[derive(Debug, Default)]
+pub struct EpochStore {
+    epochs: Vec<Epoch>,
+}
+
+impl EpochStore {
+    /// An empty store; the first sealed epoch gets id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seal a window: take its tables and accounting, assign the next
+    /// dense id, and return it.
+    pub fn seal(&mut self, tables: Vec<FlowTable>, packets: u64, weight: u64) -> u64 {
+        let id = self.epochs.len() as u64;
+        self.epochs.push(Epoch {
+            id,
+            packets,
+            weight,
+            tables,
+        });
+        id
+    }
+
+    /// Store an already-built epoch (e.g. decoded from disk or sealed
+    /// by the engine), asserting it carries the next dense id.
+    ///
+    /// # Panics
+    /// Panics when `epoch.id` is not the id [`seal`](Self::seal) would
+    /// assign next — ids are the adjacency relation, so gaps or
+    /// reordering would silently corrupt windowed diffs.
+    pub fn push(&mut self, epoch: Epoch) -> u64 {
+        assert_eq!(
+            epoch.id,
+            self.epochs.len() as u64,
+            "epoch ids must be dense and in order"
+        );
+        let id = epoch.id;
+        self.epochs.push(epoch);
+        id
+    }
+
+    /// The sealed epoch with this id, if sealed already.
+    pub fn sealed(&self, id: u64) -> Option<&Epoch> {
+        self.epochs.get(usize::try_from(id).ok()?)
+    }
+
+    /// The most recently sealed epoch.
+    pub fn latest(&self) -> Option<&Epoch> {
+        self.epochs.last()
+    }
+
+    /// Number of sealed epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// True when nothing has been sealed yet.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Iterate sealed epochs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Epoch> {
+        self.epochs.iter()
+    }
+
+    /// The adjacent pair `(earlier, earlier + 1)` — the unit of
+    /// windowed change detection — when both are sealed.
+    pub fn adjacent(&self, earlier: u64) -> Option<(&Epoch, &Epoch)> {
+        Some((self.sealed(earlier)?, self.sealed(earlier + 1)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::{FiveTuple, KeySpec};
+
+    fn table(n: u32, salt: u32) -> FlowTable {
+        let full = KeySpec::FIVE_TUPLE;
+        let rows = (0..n)
+            .map(|i| {
+                (
+                    full.project(&FiveTuple::new(i + salt, i * 2, 80, 443, 6)),
+                    u64::from(i) + 1,
+                )
+            })
+            .collect();
+        FlowTable::new(full, rows)
+    }
+
+    #[test]
+    fn store_assigns_dense_ids() {
+        let mut store = EpochStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.seal(vec![table(3, 0)], 3, 6), 0);
+        assert_eq!(store.seal(vec![table(4, 0)], 4, 10), 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.sealed(0).unwrap().packets, 3);
+        assert_eq!(store.sealed(1).unwrap().weight, 10);
+        assert_eq!(store.latest().unwrap().id, 1);
+        assert!(store.sealed(2).is_none());
+    }
+
+    #[test]
+    fn adjacent_needs_both_sides() {
+        let mut store = EpochStore::new();
+        store.seal(vec![table(3, 0)], 3, 6);
+        assert!(store.adjacent(0).is_none());
+        store.seal(vec![table(3, 9)], 3, 6);
+        let (a, b) = store.adjacent(0).unwrap();
+        assert_eq!((a.id, b.id), (0, 1));
+        assert!(store.adjacent(1).is_none());
+    }
+
+    #[test]
+    fn push_enforces_density() {
+        let mut store = EpochStore::new();
+        store.push(Epoch {
+            id: 0,
+            packets: 1,
+            weight: 1,
+            tables: vec![],
+        });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.push(Epoch {
+                id: 5,
+                packets: 1,
+                weight: 1,
+                tables: vec![],
+            })
+        }));
+        assert!(r.is_err(), "gap in ids must panic");
+    }
+
+    #[test]
+    fn roundtrip_multi_table() {
+        let epoch = Epoch {
+            id: 7,
+            packets: 1000,
+            weight: 2500,
+            tables: vec![
+                table(50, 0),
+                table(20, 1000),
+                FlowTable::new(KeySpec::SRC_IP, vec![]),
+            ],
+        };
+        let back = decode(&encode(&epoch)).unwrap();
+        assert_eq!(back, epoch);
+        assert_eq!(back.primary().rows(), epoch.tables[0].rows());
+    }
+
+    #[test]
+    fn roundtrip_no_tables() {
+        let epoch = Epoch {
+            id: 0,
+            packets: 0,
+            weight: 0,
+            tables: vec![],
+        };
+        assert_eq!(decode(&encode(&epoch)).unwrap(), epoch);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncations() {
+        let epoch = Epoch {
+            id: 1,
+            packets: 10,
+            weight: 20,
+            tables: vec![table(5, 0)],
+        };
+        let bytes = encode(&epoch);
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode(&bad).is_err(), "bad magic");
+        // Every possible truncation point must Err, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode(&extra).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn rejects_lying_table_count() {
+        let epoch = Epoch {
+            id: 1,
+            packets: 10,
+            weight: 20,
+            tables: vec![table(5, 0)],
+        };
+        let mut bytes = encode(&epoch);
+        bytes[28] = 2; // claims two tables, body has one
+        assert!(decode(&bytes).is_err());
+        bytes[28] = 0; // claims zero, body has one (trailing bytes)
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_huge_claimed_lengths() {
+        // A length prefix far beyond the buffer must Err without any
+        // attempt to allocate or slice out of bounds.
+        let epoch = Epoch {
+            id: 1,
+            packets: 10,
+            weight: 20,
+            tables: vec![table(5, 0)],
+        };
+        let mut bytes = encode(&epoch);
+        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        use hashkit::XorShift64Star;
+        let mut rng = XorShift64Star::new(0xE70C);
+        for len in 0..200usize {
+            let data: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            let _ = decode(&data); // must return, Ok or Err — not panic
+        }
+        // Garbage behind a valid magic exercises the header paths.
+        for len in 0..200usize {
+            let mut data: Vec<u8> = EPOCH_MAGIC.to_vec();
+            data.extend((0..len).map(|_| (rng.next_u64() & 0xFF) as u8));
+            let _ = decode(&data);
+        }
+    }
+}

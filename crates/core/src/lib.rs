@@ -52,6 +52,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod basic;
+pub mod epoch;
 pub mod hardware;
 pub mod merge;
 pub mod probability;
@@ -60,6 +61,7 @@ pub mod sampling;
 pub mod snapshot;
 
 pub use basic::{BasicCocoSketch, TieBreak};
+pub use epoch::{Epoch, EpochStore};
 pub use hardware::{Combine, DivisionMode, HardwareCocoSketch};
 pub use merge::{merge_all, MergeError};
 pub use query::FlowTable;

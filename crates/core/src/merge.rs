@@ -17,7 +17,7 @@
 
 use crate::basic::BasicCocoSketch;
 use hashkit::XorShift64Star;
-use sketches::Sketch;
+use sketches::{MergeIncompat, MergeSketch, Sketch};
 use traffic::KeyBytes;
 
 /// Error returned when two sketches cannot be merged.
@@ -56,6 +56,22 @@ impl BasicCocoSketch {
         let mut rng = XorShift64Star::new(self.merge_seed() ^ other.merge_seed() ^ 0x4D45_5247);
         self.merge_buckets(other, &mut rng);
         Ok(())
+    }
+}
+
+impl MergeSketch for BasicCocoSketch {
+    /// The generic sharded-engine entry point: delegates to
+    /// [`BasicCocoSketch::merge_from`] (the Theorem 1 bucket-wise merge)
+    /// and maps [`MergeError`] into the trait's error type.
+    fn merge_shard(&mut self, other: Self) -> Result<(), MergeIncompat> {
+        self.merge_from(&other)
+            .map_err(|e| MergeIncompat(e.to_string()))
+    }
+
+    /// CocoSketch conserves weight exactly: bucket values sum to the
+    /// inserted (and, after merges, union) stream weight.
+    fn conserved_weight(&self) -> Option<u64> {
+        Some(self.total_value())
     }
 }
 

@@ -64,7 +64,7 @@ const PARALLEL_SCAN_MAX_THREADS: usize = 8;
 /// The recorded `(full key, estimated size)` table of one measurement
 /// window, plus the full-key spec needed to project records onto
 /// partial keys.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowTable {
     full: KeySpec,
     rows: Vec<(KeyBytes, u64)>,

@@ -143,6 +143,38 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_point_errs() {
+        // The epoch envelope trusts this decoder to be total: any prefix
+        // of a valid encoding must return Err, never panic.
+        let bytes = encode(&table());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        use hashkit::XorShift64Star;
+        let mut rng = XorShift64Star::new(0xC0DE);
+        for len in 0..200usize {
+            let data: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            let _ = decode(&data); // must return, Ok or Err — not panic
+        }
+        for len in 0..200usize {
+            let mut data: Vec<u8> = MAGIC.to_vec();
+            data.extend((0..len).map(|_| (rng.next_u64() & 0xFF) as u8));
+            let _ = decode(&data);
+        }
+    }
+
+    #[test]
+    fn huge_row_count_errs() {
+        let mut bytes = encode(&table());
+        bytes[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
     fn empty_table_roundtrips() {
         let t = FlowTable::new(KeySpec::SRC_IP, vec![]);
         let back = decode(&encode(&t)).unwrap();

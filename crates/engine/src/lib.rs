@@ -11,12 +11,23 @@
 //!   [`push_slice`](ring::SpscRing::push_slice)/
 //!   [`pop_chunk`](ring::SpscRing::pop_chunk) so ring atomics amortize
 //!   over packet batches (`ovssim` consumes it from here);
-//! - [`sharded::ShardedCocoSketch`]: the engine proper — partition,
-//!   ingest through the batched sketch hot path, merge via
-//!   [`cocosketch::merge_all`]. [`sharded::EngineRun::flow_table`]
-//!   bridges a finished run into the query-plane engine
+//! - [`sharded::ShardedEngine`]: the engine proper — partition, ingest
+//!   through the batched sketch hot path, merge via the
+//!   [`sketches::MergeSketch`] contract (any mergeable sketch ingests
+//!   sharded; [`sharded::ShardedCocoSketch`] is the CocoSketch
+//!   instantiation). [`sharded::EngineRun::flow_table`] bridges a
+//!   finished run into the query-plane engine
 //!   ([`cocosketch::FlowTable::query_all`]), whose parallel scan path
-//!   mirrors this crate's scoped-worker shape on the read side.
+//!   mirrors this crate's scoped-worker shape on the read side;
+//! - [`session::EngineSession`]: the same data plane with an epoch
+//!   lifecycle — [`rotate`](session::EngineSession::rotate) pushes
+//!   in-band seal markers through the rings (exact window boundaries
+//!   without stopping ingestion), workers swap double-buffered shard
+//!   sketches and hand sealed shards through a one-deep
+//!   [`session::SealSlot`], and
+//!   [`collect`](session::EngineSession::collect) merges them off the
+//!   hot path into an [`session::EpochRun`] (persistable as a
+//!   [`cocosketch::Epoch`]).
 //!
 //! This is the only crate in the workspace allowed to use `unsafe`
 //! (the slot accesses in the ring, each with a documented ownership
@@ -24,15 +35,17 @@
 //! `cocolint` pass (`cargo run -p xtask -- lint`) requires every
 //! `unsafe` block to carry a `// SAFETY:` comment, and with
 //! `--features heavy-tests` the ring compiles against the `loom` model
-//! checker (see [`mod@sync`]) and `tests/model.rs` exhaustively
+//! checker (see `src/sync.rs`) and `tests/model.rs` exhaustively
 //! interleaves its operations under bounded schedules.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod ring;
+pub mod session;
 pub mod sharded;
 pub(crate) mod sync;
 
 pub use ring::SpscRing;
-pub use sharded::{EngineConfig, EngineRun, ShardedCocoSketch};
+pub use session::{Cmd, EngineSession, EpochRun, PendingEpoch, SealSlot};
+pub use sharded::{EngineConfig, EngineRun, ShardedCocoSketch, ShardedEngine};

@@ -1,21 +1,28 @@
 //! The sharded ingestion engine: RSS partition → rings → shard workers
-//! → unbiased merge.
+//! → merge under the [`MergeSketch`] contract.
 //!
 //! This is the paper's multi-core deployment shape (§6/App. B) as a
 //! reusable library instead of a simulation: an ingestion thread
 //! partitions packets by a hash of the *full* key (RSS discipline —
 //! every packet of a flow lands in the same shard), feeds each of `N`
 //! workers through a private lock-free SPSC ring in batches, and each
-//! worker drains its ring into a private [`BasicCocoSketch`] via the
-//! batched hot path. At the end the shards merge bucket-wise
-//! ([`cocosketch::merge_all`]) into one queryable sketch.
+//! worker drains its ring into a private sketch shard via the batched
+//! hot path. At the end the shards fold into one queryable sketch via
+//! [`MergeSketch::merge_shard`].
 //!
-//! Why unbiasedness survives sharding: each packet is counted in
-//! exactly one shard, every shard is an unbiased CocoSketch over its
-//! sub-stream, and the merge resolves per-bucket key conflicts with the
-//! Theorem 1 coin — so estimates over the merged sketch are unbiased
-//! for the union stream, and the conservation invariant (sum of bucket
-//! values == total stream weight) holds exactly.
+//! [`ShardedEngine`] is generic over the shard type: any sketch
+//! implementing the merge contract ingests sharded — CocoSketch with
+//! the Theorem 1 unbiased bucket merge, Count-Min by element-wise
+//! counter addition, Elastic by its vote merge. Sketches that conserve
+//! stream weight ([`MergeSketch::conserved_weight`]) have the
+//! conservation invariant checked after every merge.
+//!
+//! Why unbiasedness survives sharding (CocoSketch case): each packet is
+//! counted in exactly one shard, every shard is an unbiased CocoSketch
+//! over its sub-stream, and the merge resolves per-bucket key conflicts
+//! with the Theorem 1 coin — so estimates over the merged sketch are
+//! unbiased for the union stream, and the conservation invariant (sum
+//! of bucket values == total stream weight) holds exactly.
 //!
 //! Determinism: shard assignment is a pure hash, each ring is FIFO, and
 //! each shard sketch is seeded from the shared master seed, so for a
@@ -23,10 +30,11 @@
 //! runs regardless of thread scheduling.
 
 use crate::ring::SpscRing;
-use cocosketch::{merge_all, BasicCocoSketch, FlowTable};
+use cocosketch::{BasicCocoSketch, FlowTable};
 use hashkit::{bob_hash, fastrange};
-use sketches::Sketch;
+use sketches::MergeSketch;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use traffic::{KeyBytes, KeySpec, Trace};
 
@@ -34,8 +42,10 @@ use traffic::{KeyBytes, KeySpec, Trace};
 /// seed so shard assignment is independent of bucket placement.
 const RSS_SEED: u32 = 0x5255_5353; // "RUSS"
 
-/// Engine configuration. All shards share `d`/`buckets`/`seed`, which
-/// is what makes them merge-compatible.
+/// Engine configuration. Every shard is built by the same factory
+/// call, which is what makes them merge-compatible; `d`/`buckets` are
+/// consumed by the CocoSketch factory ([`ShardedCocoSketch::new`]) and
+/// ignored by engines built over other shard factories.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Worker threads (= rings = sketch shards).
@@ -71,9 +81,9 @@ impl Default for EngineConfig {
 
 /// The outcome of one engine run.
 #[derive(Debug)]
-pub struct EngineRun {
+pub struct EngineRun<S = BasicCocoSketch> {
     /// The merged sketch (query it, walk its records).
-    pub sketch: BasicCocoSketch,
+    pub sketch: S,
     /// Packets processed (always the whole input; the producer retries
     /// on ring backpressure rather than dropping).
     pub processed: u64,
@@ -85,7 +95,7 @@ pub struct EngineRun {
     pub mpps: f64,
 }
 
-impl EngineRun {
+impl<S: MergeSketch> EngineRun<S> {
     /// Hand the merged sketch's records to the query plane: a
     /// [`FlowTable`] over `full` (the spec the ingested keys were
     /// projected under), ready for `query_all`/`query_partial`
@@ -95,40 +105,73 @@ impl EngineRun {
     }
 }
 
-/// The sharded ingestion engine. Construct once, [`run`](Self::run)
-/// per trace.
-pub struct ShardedCocoSketch {
-    config: EngineConfig,
+/// Fold `shards` into one sketch under the merge contract, then check
+/// the conservation claim (when the sketch makes one) against the
+/// ingested weight. Shared by [`ShardedEngine::run`] and
+/// [`crate::EngineSession::collect`]; both failure modes are
+/// constructively unreachable for engine-built shards, so they funnel
+/// through the invariant panic.
+pub(crate) fn merge_shards<S: MergeSketch>(shards: Vec<S>, ingested_weight: u64) -> S {
+    let mut iter = shards.into_iter();
+    let mut acc = match iter.next() {
+        Some(first) => first,
+        None => hashkit::invariant::violated("engines have at least one shard"),
+    };
+    for shard in iter {
+        if let Err(e) = acc.merge_shard(shard) {
+            hashkit::invariant::violated_err("shards share one factory by construction", &e);
+        }
+    }
+    if let Some(claimed) = acc.conserved_weight() {
+        if claimed != ingested_weight {
+            hashkit::invariant::violated(&format!(
+                "merged sketch conserves the stream weight \
+                 (claims {claimed}, ingested {ingested_weight})"
+            ));
+        }
+    }
+    acc
 }
 
-impl ShardedCocoSketch {
-    /// An engine with the given configuration.
-    pub fn new(config: EngineConfig) -> Self {
+/// The sharded ingestion engine, generic over the shard sketch.
+/// Construct once, [`run`](Self::run) per trace.
+pub struct ShardedEngine<S> {
+    config: EngineConfig,
+    factory: Arc<dyn Fn() -> S + Send + Sync>,
+}
+
+/// The CocoSketch instantiation of [`ShardedEngine`] — the engine the
+/// CLI and benches deploy.
+pub type ShardedCocoSketch = ShardedEngine<BasicCocoSketch>;
+
+impl<S: MergeSketch + 'static> ShardedEngine<S> {
+    /// An engine whose shards are built by `factory`. Every call to
+    /// `factory` must produce merge-compatible sketches (same
+    /// constructor arguments) — the merge contract's requirement.
+    pub fn with_factory(
+        config: EngineConfig,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
         assert!(config.threads > 0, "need at least one worker thread");
         assert!(config.batch > 0, "producer batch must be positive");
         assert!(
             config.ring_capacity.is_power_of_two(),
             "ring capacity must be a power of two"
         );
-        Self { config }
-    }
-
-    /// Size each shard to `mem_bytes / threads`, mirroring how a real
-    /// deployment splits one memory budget across Rx queues.
-    pub fn with_memory(mem_bytes: usize, mut config: EngineConfig) -> Self {
-        let probe = BasicCocoSketch::with_memory(
-            mem_bytes / config.threads.max(1),
-            config.d,
-            config.key_bytes,
-            config.seed,
-        );
-        config.buckets = probe.dims().1;
-        Self::new(config)
+        Self {
+            config,
+            factory: Arc::new(factory),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The shard factory (shared with [`crate::EngineSession`]).
+    pub(crate) fn factory(&self) -> Arc<dyn Fn() -> S + Send + Sync> {
+        Arc::clone(&self.factory)
     }
 
     /// Which shard a key's packets go to: full-key hash, reduced
@@ -141,13 +184,12 @@ impl ShardedCocoSketch {
         fastrange(bob_hash(key.as_slice(), RSS_SEED), threads)
     }
 
-    fn make_shard(&self) -> BasicCocoSketch {
-        let c = &self.config;
-        BasicCocoSketch::new(c.d, c.buckets, c.key_bytes, c.seed)
+    fn make_shard(&self) -> S {
+        (self.factory)()
     }
 
     /// Ingest pre-projected packets and return the merged sketch.
-    pub fn run(&self, packets: &[(KeyBytes, u64)]) -> EngineRun {
+    pub fn run(&self, packets: &[(KeyBytes, u64)]) -> EngineRun<S> {
         let cfg = self.config;
         if cfg.threads == 1 {
             // Single shard: no ring, no thread — the batched hot path
@@ -157,6 +199,8 @@ impl ShardedCocoSketch {
             sketch.update_batch(packets);
             let elapsed = start.elapsed();
             let processed = packets.len() as u64;
+            let weight: u64 = packets.iter().map(|&(_, w)| w).sum();
+            let sketch = merge_shards(vec![sketch], weight);
             return EngineRun {
                 sketch,
                 processed,
@@ -172,7 +216,7 @@ impl ShardedCocoSketch {
         let done = AtomicBool::new(false);
 
         let start = Instant::now();
-        let (shards, per_shard) = std::thread::scope(|scope| {
+        let (shards, per_shard, weight) = std::thread::scope(|scope| {
             let workers: Vec<_> = rings
                 .iter()
                 .map(|ring| {
@@ -181,11 +225,13 @@ impl ShardedCocoSketch {
                     scope.spawn(move || {
                         let mut chunk: Vec<(KeyBytes, u64)> = Vec::with_capacity(cfg.batch);
                         let mut processed = 0u64;
+                        let mut weight = 0u64;
                         loop {
                             chunk.clear();
                             if ring.pop_chunk(&mut chunk, cfg.batch) > 0 {
                                 sketch.update_batch(&chunk);
                                 processed += chunk.len() as u64;
+                                weight += chunk.iter().map(|&(_, w)| w).sum::<u64>();
                             } else if done.load(Ordering::Acquire) && ring.is_empty() {
                                 break;
                             } else {
@@ -195,7 +241,7 @@ impl ShardedCocoSketch {
                                 std::thread::yield_now();
                             }
                         }
-                        (sketch, processed)
+                        (sketch, processed, weight)
                     })
                 })
                 .collect();
@@ -230,8 +276,9 @@ impl ShardedCocoSketch {
 
             let mut shards = Vec::with_capacity(cfg.threads);
             let mut per_shard = Vec::with_capacity(cfg.threads);
+            let mut weight = 0u64;
             for w in workers {
-                let (sketch, processed) = match w.join() {
+                let (sketch, processed, shard_weight) = match w.join() {
                     Ok(result) => result,
                     // A worker panic is a bug in the shard update path
                     // itself; re-raise it with its original payload.
@@ -239,15 +286,14 @@ impl ShardedCocoSketch {
                 };
                 shards.push(sketch);
                 per_shard.push(processed);
+                weight += shard_weight;
             }
-            (shards, per_shard)
+            (shards, per_shard, weight)
         });
         let elapsed = start.elapsed();
 
         let processed: u64 = per_shard.iter().sum();
-        let sketch = merge_all(shards).unwrap_or_else(|e| {
-            hashkit::invariant::violated_err("shards share dims and seed by construction", &e)
-        });
+        let sketch = merge_shards(shards, weight);
         EngineRun {
             sketch,
             processed,
@@ -258,7 +304,7 @@ impl ShardedCocoSketch {
     }
 
     /// Convenience: project a trace under `spec` and ingest it.
-    pub fn run_trace(&self, trace: &Trace, spec: &KeySpec) -> EngineRun {
+    pub fn run_trace(&self, trace: &Trace, spec: &KeySpec) -> EngineRun<S> {
         let packets: Vec<(KeyBytes, u64)> = trace
             .packets
             .iter()
@@ -268,9 +314,34 @@ impl ShardedCocoSketch {
     }
 }
 
+impl ShardedEngine<BasicCocoSketch> {
+    /// A CocoSketch engine: every shard is a
+    /// [`BasicCocoSketch`] built from the config's
+    /// `d`/`buckets`/`key_bytes`/`seed`.
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_factory(config, move || {
+            BasicCocoSketch::new(config.d, config.buckets, config.key_bytes, config.seed)
+        })
+    }
+
+    /// Size each shard to `mem_bytes / threads`, mirroring how a real
+    /// deployment splits one memory budget across Rx queues.
+    pub fn with_memory(mem_bytes: usize, mut config: EngineConfig) -> Self {
+        let probe = BasicCocoSketch::with_memory(
+            mem_bytes / config.threads.max(1),
+            config.d,
+            config.key_bytes,
+            config.seed,
+        );
+        config.buckets = probe.dims().1;
+        Self::new(config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sketches::{CmHeap, ElasticSketch, Sketch};
     use traffic::gen::{generate, TraceConfig};
 
     fn packets(n: usize) -> Vec<(KeyBytes, u64)> {
@@ -370,6 +441,83 @@ mod tests {
             .map(|p| (KeySpec::FIVE_TUPLE.project(&p.flow), u64::from(p.weight)))
             .collect();
         let b = eng.run(&manual);
+        let mut ra = a.sketch.records();
+        let mut rb = b.sketch.records();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn cm_heap_ingests_sharded_with_conservation() {
+        // A non-Coco shard type through the same engine: Count-Min
+        // conserves weight exactly, so the engine's built-in
+        // conservation check runs (a mismatch would panic).
+        let pkts = packets(20_000);
+        let key_bytes = KeySpec::FIVE_TUPLE.key_bytes();
+        let total: u64 = pkts.iter().map(|&(_, w)| w).sum();
+        for threads in [1, 2, 4] {
+            let eng = ShardedEngine::with_factory(
+                EngineConfig {
+                    threads,
+                    ..EngineConfig::default()
+                },
+                move || CmHeap::with_memory(64 * 1024, key_bytes, 0xC0C0),
+            );
+            let run = eng.run(&pkts);
+            assert_eq!(run.processed, pkts.len() as u64);
+            assert_eq!(run.sketch.conserved_weight(), Some(total));
+        }
+    }
+
+    #[test]
+    fn elastic_ingests_sharded() {
+        let pkts = packets(20_000);
+        let key_bytes = KeySpec::FIVE_TUPLE.key_bytes();
+        let single = {
+            let mut e = ElasticSketch::with_memory(128 * 1024, key_bytes, 0xC0C0);
+            e.update_batch(&pkts);
+            e
+        };
+        let eng = ShardedEngine::with_factory(
+            EngineConfig {
+                threads: 4,
+                ..EngineConfig::default()
+            },
+            move || ElasticSketch::with_memory(128 * 1024, key_bytes, 0xC0C0),
+        );
+        let run = eng.run(&pkts);
+        assert_eq!(run.processed, pkts.len() as u64);
+        // Elastic makes no conservation claim (8-bit light counters),
+        // but the sharded heavy part must still find the elephants the
+        // single-threaded sketch finds.
+        let mut top: Vec<(KeyBytes, u64)> = single.records();
+        top.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
+        for &(key, est) in top.iter().take(5) {
+            let got = run.sketch.query(&key);
+            let rel = (got as f64 - est as f64).abs() / est.max(1) as f64;
+            assert!(
+                rel < 0.25,
+                "elephant {est} estimated {got} after shard merge"
+            );
+        }
+    }
+
+    #[test]
+    fn generic_run_matches_coco_run_bit_for_bit() {
+        // The generalization must not perturb the existing CocoSketch
+        // path: a factory-built engine with the same parameters yields
+        // the identical merged sketch.
+        let pkts = packets(10_000);
+        let cfg = EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        };
+        let a = ShardedCocoSketch::new(cfg).run(&pkts);
+        let b = ShardedEngine::with_factory(cfg, move || {
+            BasicCocoSketch::new(cfg.d, cfg.buckets, cfg.key_bytes, cfg.seed)
+        })
+        .run(&pkts);
         let mut ra = a.sketch.records();
         let mut rb = b.sketch.records();
         ra.sort_unstable();

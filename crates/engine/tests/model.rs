@@ -18,10 +18,11 @@
 
 #![cfg(feature = "loom")]
 
-use engine::SpscRing;
-use loom::sync::atomic::{AtomicBool, Ordering};
+use engine::{Cmd, SealSlot, SpscRing};
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use loom::sync::Arc;
 use loom::Builder;
+use traffic::KeyBytes;
 
 fn check_exhaustive(f: impl Fn() + Send + Sync + 'static) {
     let report = Builder::new().check(f);
@@ -184,4 +185,148 @@ fn sharded_handoff_drains_everything() {
         producer.join().unwrap();
         assert_eq!(got, vec![1, 2, 3], "handoff lost items at shutdown");
     });
+}
+
+fn pkt(w: u64) -> Cmd {
+    Cmd::Pkt(KeyBytes::new(&[w as u8]), w)
+}
+
+/// The rotation protocol (`engine::session`) in miniature: the
+/// producer pushes packets, an **in-band** seal marker, and more
+/// packets, without ever pausing; the worker splits its stream at the
+/// marker and hands epoch 0 through a [`SealSlot`] while epoch 1 keeps
+/// accumulating. On every schedule the boundary must be exact (packets
+/// pushed before the seal land in epoch 0, after it in epoch 1 — FIFO
+/// through the ring) and the union must conserve the stream weight.
+#[test]
+fn seal_during_push_keeps_fifo_and_conservation() {
+    check_exhaustive(|| {
+        let ring: Arc<SpscRing<Cmd>> = Arc::new(SpscRing::new(4));
+        let slot: Arc<SealSlot<Vec<u64>>> = Arc::new(SealSlot::new());
+        let (r2, s2) = (ring.clone(), slot.clone());
+        let worker = loom::thread::spawn(move || {
+            let mut epoch = Vec::new();
+            let mut seen = 0;
+            while seen < 4 {
+                if let Some(cmd) = r2.pop() {
+                    seen += 1;
+                    match cmd {
+                        Cmd::Pkt(_, w) => epoch.push(w),
+                        Cmd::Seal => s2.put(std::mem::take(&mut epoch)),
+                    }
+                } else {
+                    loom::thread::yield_now();
+                }
+            }
+            epoch // the next epoch's packets, still accumulating
+        });
+        // Producer: the seal marker queues behind packets 1 and 2 and
+        // ahead of packet 3 — rotation without stopping ingestion.
+        for cmd in [pkt(1), pkt(2), Cmd::Seal, pkt(3)] {
+            let mut c = cmd;
+            while let Err(back) = ring.push(c) {
+                c = back;
+                loom::thread::yield_now();
+            }
+        }
+        // Collector: blocks until the worker hands epoch 0 over.
+        let sealed = slot.take();
+        let next = worker.join().unwrap();
+        assert_eq!(sealed, vec![1, 2], "epoch boundary moved");
+        assert_eq!(next, vec![3], "post-seal packet leaked into epoch 0");
+        assert_eq!(
+            sealed.iter().sum::<u64>() + next.iter().sum::<u64>(),
+            6,
+            "rotation lost weight"
+        );
+    });
+}
+
+/// Slot reuse across consecutive epochs: the one-deep cell must
+/// alternate ownership cleanly — a second `put` waits for the first
+/// `take`, and values never mix, on every schedule.
+#[test]
+fn seal_slot_reuse_across_epochs() {
+    check_exhaustive(|| {
+        let slot: Arc<SealSlot<u64>> = Arc::new(SealSlot::new());
+        let s2 = slot.clone();
+        let worker = loom::thread::spawn(move || {
+            s2.put(10); // epoch 0
+            s2.put(20); // epoch 1: waits until the collector drained 10
+        });
+        assert_eq!(slot.take(), 10, "epochs reordered in the slot");
+        assert_eq!(slot.take(), 20);
+        worker.join().unwrap();
+    });
+}
+
+/// A worker that panics between `put`s must not corrupt the slot's
+/// hand-off state for the value it already published.
+#[test]
+fn seal_slot_value_survives_collector_delay() {
+    check_exhaustive(|| {
+        let slot: Arc<SealSlot<Vec<u64>>> = Arc::new(SealSlot::new());
+        let s2 = slot.clone();
+        let worker = loom::thread::spawn(move || {
+            s2.put(vec![1, 2, 3]);
+        });
+        worker.join().unwrap();
+        // Taking strictly after the join: the release/acquire pair on
+        // the slot state (not the join) is what publishes the vec's
+        // heap contents; the drained value must be intact.
+        assert_eq!(slot.take(), vec![1, 2, 3]);
+    });
+}
+
+/// Ordering-weakening mutation, shown to fail: [`SealSlot`] publishes
+/// with a release-store and takes after an acquire-load. This model
+/// re-implements the hand-off with `Relaxed` on both sides — the
+/// checker's vector-clock race detector must flag the unsynchronized
+/// cell access pair, proving the orderings in the real implementation
+/// are load-bearing rather than decorative.
+#[test]
+fn relaxed_seal_publish_mutation_fails() {
+    use loom::cell::UnsafeCell;
+
+    struct WeakSlot {
+        state: AtomicUsize,
+        value: UnsafeCell<u64>,
+    }
+    // SAFETY: test-only — deliberately unsound mutation under test; the
+    // Relaxed hand-off below is the bug the checker must catch.
+    unsafe impl Sync for WeakSlot {}
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Builder::new().check(|| {
+            let slot = Arc::new(WeakSlot {
+                state: AtomicUsize::new(0),
+                value: UnsafeCell::new(0),
+            });
+            let s2 = slot.clone();
+            let putter = loom::thread::spawn(move || {
+                s2.value.with_mut(|p| {
+                    // SAFETY: test-only — the racy write under test.
+                    unsafe { *p = 7 };
+                });
+                s2.state.store(1, Ordering::Relaxed); // MUTATION: was Release
+            });
+            loop {
+                // MUTATION: was Acquire.
+                if slot.state.load(Ordering::Relaxed) == 1 {
+                    let v = slot.value.with(|p| {
+                        // SAFETY: test-only — the racy read under test.
+                        unsafe { *p }
+                    });
+                    assert_eq!(v, 7);
+                    break;
+                }
+                loom::thread::yield_now();
+            }
+            putter.join().unwrap();
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the Relaxed hand-off mutation must be caught as a data race"
+    );
 }

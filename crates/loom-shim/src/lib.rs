@@ -4,7 +4,7 @@
 //! policy"), so this shim implements the subset of loom's API that the
 //! `engine` model tests use — [`model`], [`cell::UnsafeCell`],
 //! [`sync::atomic`], [`thread`] — backed by a from-scratch bounded
-//! model checker (see [`mod@rt`]'s module docs for the execution model).
+//! model checker (see `src/rt.rs`'s module docs for the execution model).
 //!
 //! # Deliberate differences from real loom
 //!

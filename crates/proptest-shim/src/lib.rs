@@ -4,7 +4,7 @@
 //! dependencies, so this local crate publishes the *subset* of the
 //! proptest API that `tests/proptest_invariants.rs` uses: the
 //! [`Strategy`] trait with `prop_map`, range/tuple/`Just`/vec/oneof
-//! strategies, `any::<T>()`, and the [`proptest!`]/[`prop_assert*`]
+//! strategies, `any::<T>()`, and the [`proptest!`]/`prop_assert*`
 //! macros. Semantics differ from real proptest in two deliberate ways:
 //!
 //! - **No shrinking.** A failing case panics with the generated inputs
@@ -261,7 +261,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// The output of [`vec`].
+        /// The output of [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,

@@ -5,7 +5,7 @@ use hashkit::HashFamily;
 use traffic::KeyBytes;
 
 use crate::topk::TopK;
-use crate::traits::{buckets_for, Sketch, COUNTER_BYTES};
+use crate::traits::{buckets_for, MergeIncompat, MergeSketch, Sketch, COUNTER_BYTES};
 
 /// Plain Count-Min: `depth` rows of `width` counters; query = min over
 /// rows. Estimates never undercount.
@@ -59,6 +59,39 @@ impl CountMin {
     /// Rows x width.
     pub fn dims(&self) -> (usize, usize) {
         (self.rows.len(), self.width)
+    }
+
+    /// Sum of one counter row.
+    ///
+    /// Every insert adds `w` to *every* row, so each row independently
+    /// sums to the total inserted weight — Count-Min conserves the
+    /// stream weight exactly, per row.
+    pub fn counter_total(&self) -> u64 {
+        self.rows[0].iter().sum()
+    }
+
+    /// Fold a same-configuration Count-Min into `self` by element-wise
+    /// counter addition (the classic CM merge: estimates over the union
+    /// stream keep the never-undercount guarantee).
+    pub fn merge_from(&mut self, other: &CountMin) -> Result<(), MergeIncompat> {
+        if self.dims() != other.dims() {
+            return Err(MergeIncompat(format!(
+                "CountMin dims {:?} vs {:?}",
+                self.dims(),
+                other.dims()
+            )));
+        }
+        for i in 0..self.rows.len() {
+            if self.hashes.seed(i) != other.hashes.seed(i) {
+                return Err(MergeIncompat(format!("CountMin row-{i} hash seed differs")));
+            }
+        }
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        Ok(())
     }
 
     /// Modeled memory of the counter arrays.
@@ -129,6 +162,39 @@ impl Sketch for CmHeap {
 
     fn name(&self) -> &'static str {
         "CM-Heap"
+    }
+}
+
+impl MergeSketch for CmHeap {
+    /// Element-wise CM addition, then a heap rebuild: the union of both
+    /// shards' tracked keys is re-estimated against the merged CM and
+    /// re-offered into a fresh heap. Under the sharded-engine contract
+    /// (every flow lands wholly in one shard) a flow heavy in the union
+    /// stream is heavy in its own shard, so it is in one of the two
+    /// heaps and survives the rebuild.
+    fn merge_shard(&mut self, other: Self) -> Result<(), MergeIncompat> {
+        if self.heap.capacity() != other.heap.capacity()
+            || self.heap.key_bytes() != other.heap.key_bytes()
+        {
+            return Err(MergeIncompat(format!(
+                "CM-Heap heap {}x{}B vs {}x{}B",
+                self.heap.capacity(),
+                self.heap.key_bytes(),
+                other.heap.capacity(),
+                other.heap.key_bytes()
+            )));
+        }
+        self.cm.merge_from(&other.cm)?;
+        let mut heap = TopK::new(self.heap.capacity(), self.heap.key_bytes());
+        for (key, _) in self.heap.entries().into_iter().chain(other.heap.entries()) {
+            heap.offer(key, self.cm.estimate(&key));
+        }
+        self.heap = heap;
+        Ok(())
+    }
+
+    fn conserved_weight(&self) -> Option<u64> {
+        Some(self.cm.counter_total())
     }
 }
 
@@ -230,5 +296,73 @@ mod tests {
     #[should_panic(expected = "dimensions must be positive")]
     fn zero_depth_panics() {
         CountMin::new(0, 10, 1);
+    }
+
+    #[test]
+    fn merged_cm_equals_union_stream() {
+        // Two shards over a partitioned stream, merged, must produce the
+        // exact counter arrays of one sketch over the whole stream.
+        let mut whole = CountMin::new(3, 256, 9);
+        let mut a = CountMin::new(3, 256, 9);
+        let mut b = CountMin::new(3, 256, 9);
+        for i in 0..400u32 {
+            let w = u64::from(i % 5) + 1;
+            whole.insert(&k(i), w);
+            if i % 2 == 0 {
+                a.insert(&k(i), w);
+            } else {
+                b.insert(&k(i), w);
+            }
+        }
+        a.merge_from(&b).unwrap();
+        for i in 0..400u32 {
+            assert_eq!(a.estimate(&k(i)), whole.estimate(&k(i)), "flow {i}");
+        }
+        assert_eq!(a.counter_total(), whole.counter_total());
+    }
+
+    #[test]
+    fn cm_merge_rejects_mismatches() {
+        let mut a = CountMin::new(3, 256, 9);
+        assert!(a.merge_from(&CountMin::new(2, 256, 9)).is_err());
+        assert!(a.merge_from(&CountMin::new(3, 128, 9)).is_err());
+        assert!(a.merge_from(&CountMin::new(3, 256, 10)).is_err());
+        assert!(a.merge_from(&CountMin::new(3, 256, 9)).is_ok());
+    }
+
+    #[test]
+    fn cm_heap_merge_conserves_and_finds_heavies() {
+        // Flow-partitioned shards: evens in shard a, odds in shard b.
+        let mut a = CmHeap::with_memory(64 * 1024, 4, 42);
+        let mut b = CmHeap::with_memory(64 * 1024, 4, 42);
+        let mut total = 0u64;
+        for rep in 0..1000u32 {
+            for h in 0..6u32 {
+                let s = if h % 2 == 0 { &mut a } else { &mut b };
+                s.update(&k(h), 1);
+                total += 1;
+            }
+            let l = 1000 + rep % 500;
+            let s = if l % 2 == 0 { &mut a } else { &mut b };
+            s.update(&k(l), 1);
+            total += 1;
+        }
+        a.merge_shard(b).unwrap();
+        assert_eq!(a.conserved_weight(), Some(total));
+        let recs = a.records();
+        for h in 0..6u32 {
+            let est = recs.iter().find(|(kb, _)| *kb == k(h)).map(|&(_, v)| v);
+            let est = est.expect("heavy flow must survive the heap rebuild");
+            assert!(est >= 1000, "CM never underestimates, got {est}");
+        }
+        // Rebuilt heap answers queries from the merged CM.
+        assert_eq!(a.query(&k(0)), a.cm.estimate(&k(0)));
+    }
+
+    #[test]
+    fn cm_heap_merge_rejects_heap_mismatch() {
+        let mut a = CmHeap::new(3, 64, 8, 4, 1);
+        let b = CmHeap::new(3, 64, 16, 4, 1);
+        assert!(a.merge_shard(b).is_err());
     }
 }

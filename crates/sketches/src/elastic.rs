@@ -9,7 +9,7 @@
 use hashkit::HashFamily;
 use traffic::KeyBytes;
 
-use crate::traits::{buckets_for, Sketch, COUNTER_BYTES};
+use crate::traits::{buckets_for, MergeIncompat, MergeSketch, Sketch, COUNTER_BYTES};
 
 /// The eviction threshold λ: a resident flow is ousted once negative
 /// votes reach λ× its positive votes (the value used in the Elastic
@@ -159,6 +159,80 @@ impl Sketch for ElasticSketch {
     }
 }
 
+impl MergeSketch for ElasticSketch {
+    /// Heavy buckets merge pairwise (Elastic's own TCAM-merge rule):
+    /// same resident flow sums votes; colliding residents keep the one
+    /// with more positive votes and demote the loser's votes to the
+    /// light part, exactly as a runtime eviction would. Light counters
+    /// add saturating at 255.
+    ///
+    /// `conserved_weight` stays `None`: once any 8-bit light counter
+    /// saturates, weight is irrecoverably dropped, so Elastic cannot
+    /// assert the conservation invariant.
+    fn merge_shard(&mut self, other: Self) -> Result<(), MergeIncompat> {
+        if self.heavy.len() != other.heavy.len()
+            || self.light.len() != other.light.len()
+            || self.key_bytes != other.key_bytes
+        {
+            return Err(MergeIncompat(format!(
+                "Elastic {}h/{}l/{}B vs {}h/{}l/{}B",
+                self.heavy.len(),
+                self.light.len(),
+                self.key_bytes,
+                other.heavy.len(),
+                other.light.len(),
+                other.key_bytes
+            )));
+        }
+        for i in 0..2 {
+            if self.hashes.seed(i) != other.hashes.seed(i) {
+                return Err(MergeIncompat(format!("Elastic hash-{i} seed differs")));
+            }
+        }
+        for (mine, theirs) in self.light.iter_mut().zip(&other.light) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        for i in 0..self.heavy.len() {
+            let theirs = other.heavy[i];
+            if !theirs.occupied {
+                continue;
+            }
+            let mine = self.heavy[i];
+            if !mine.occupied {
+                self.heavy[i] = theirs;
+                continue;
+            }
+            if mine.key == theirs.key {
+                let b = &mut self.heavy[i];
+                b.vote_pos += theirs.vote_pos;
+                b.vote_neg += theirs.vote_neg;
+                b.flag |= theirs.flag;
+                continue;
+            }
+            // Colliding residents: larger vote_pos wins (ties keep the
+            // incumbent, so merge order is deterministic); the loser is
+            // demoted like a runtime eviction — its positive votes move
+            // to the light part and count as votes against the winner.
+            let (winner, loser) = if theirs.vote_pos > mine.vote_pos {
+                (theirs, mine)
+            } else {
+                (mine, theirs)
+            };
+            self.heavy[i] = HeavyBucket {
+                vote_neg: winner.vote_neg + loser.vote_neg + loser.vote_pos,
+                ..winner
+            };
+            let mut rest = loser.vote_pos;
+            while rest > 0 {
+                let step = rest.min(255);
+                self.light_insert(&loser.key, step);
+                rest -= step;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +326,64 @@ mod tests {
         let m = e.memory_bytes();
         assert!(m <= 100_000, "memory {m}");
         assert!(m >= 95_000, "memory {m} leaves too much unused");
+    }
+
+    #[test]
+    fn merge_sums_same_resident() {
+        let mut a = ElasticSketch::new(64, 1024, 4, 9);
+        let mut b = ElasticSketch::new(64, 1024, 4, 9);
+        // Same flow split across shards (not the engine's contract, but
+        // the bucket-sum rule must still hold).
+        for _ in 0..40 {
+            a.update(&k(1), 1);
+            b.update(&k(1), 2);
+        }
+        a.merge_shard(b).unwrap();
+        assert_eq!(a.query(&k(1)), 120);
+    }
+
+    #[test]
+    fn merge_demotes_colliding_loser_to_light() {
+        // One bucket forces a collision between the shards' residents.
+        let mut a = ElasticSketch::new(1, 1024, 4, 9);
+        let mut b = ElasticSketch::new(1, 1024, 4, 9);
+        a.update(&k(1), 100);
+        b.update(&k(2), 7);
+        a.merge_shard(b).unwrap();
+        let recs = a.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].0, k(1), "larger vote_pos keeps the bucket");
+        assert_eq!(a.query(&k(1)), 100);
+        assert_eq!(a.query(&k(2)), 7, "loser queryable from the light part");
+    }
+
+    #[test]
+    fn merge_fills_empty_buckets_and_adds_light() {
+        let mut a = ElasticSketch::new(64, 256, 4, 9);
+        let mut b = ElasticSketch::new(64, 256, 4, 9);
+        a.update(&k(1), 100); // resident in a only
+        b.update(&k(1), 3); // same flow, small, stays resident in b
+        b.update(&k(50), 9); // resident in b, empty slot in a (likely)
+        let before_50 = b.query(&k(50));
+        a.merge_shard(b).unwrap();
+        assert_eq!(a.query(&k(1)), 103);
+        assert_eq!(a.query(&k(50)), before_50);
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let mut a = ElasticSketch::new(64, 256, 4, 9);
+        assert!(a.merge_shard(ElasticSketch::new(32, 256, 4, 9)).is_err());
+        assert!(a.merge_shard(ElasticSketch::new(64, 128, 4, 9)).is_err());
+        assert!(a.merge_shard(ElasticSketch::new(64, 256, 8, 9)).is_err());
+        assert!(a.merge_shard(ElasticSketch::new(64, 256, 4, 10)).is_err());
+        assert!(a.merge_shard(ElasticSketch::new(64, 256, 4, 9)).is_ok());
+    }
+
+    #[test]
+    fn elastic_does_not_claim_conservation() {
+        let e = ElasticSketch::new(64, 256, 4, 9);
+        assert_eq!(e.conserved_weight(), None);
     }
 
     #[test]

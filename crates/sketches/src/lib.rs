@@ -38,6 +38,6 @@ pub use count::{CountHeap, CountSketch};
 pub use elastic::ElasticSketch;
 pub use rhhh::Rhhh;
 pub use spacesaving::SpaceSaving;
-pub use traits::{buckets_for, Sketch, COUNTER_BYTES};
+pub use traits::{buckets_for, MergeIncompat, MergeSketch, Sketch, COUNTER_BYTES};
 pub use univmon::UnivMon;
 pub use uss::{NaiveUss, UnbiasedSpaceSaving};

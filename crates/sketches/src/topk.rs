@@ -39,6 +39,16 @@ impl TopK {
         self.heap.len()
     }
 
+    /// Maximum number of flows this heap tracks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Encoded width of the tracked keys in bytes.
+    pub fn key_bytes(&self) -> usize {
+        self.key_bytes
+    }
+
     /// True when nothing is tracked yet.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

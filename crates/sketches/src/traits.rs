@@ -57,6 +57,50 @@ pub trait Sketch {
     fn name(&self) -> &'static str;
 }
 
+/// Error returned when two shards cannot be merged (mismatched
+/// dimensions, hash seeds, or key widths). The message names the
+/// mismatch; callers treat any incompatibility as a deployment bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeIncompat(pub String);
+
+impl std::fmt::Display for MergeIncompat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "incompatible shards: {}", self.0)
+    }
+}
+
+impl std::error::Error for MergeIncompat {}
+
+/// The merge contract for sharded ingestion.
+///
+/// A sketch implementing this trait can be deployed as `N` private
+/// per-thread shards over a partitioned stream (every packet of a flow
+/// lands in the same shard) and folded back into one queryable sketch.
+/// The contract:
+///
+/// - both operands were built by the same constructor call (identical
+///   dimensions, key width, and hash seeds) — anything else returns
+///   [`MergeIncompat`];
+/// - after a successful merge, `self` answers queries for the *union*
+///   stream with the sketch's usual semantics (unbiased for CocoSketch,
+///   overestimating for Count-Min, vote-based for Elastic);
+/// - [`conserved_weight`](MergeSketch::conserved_weight) keeps
+///   reporting the exact union weight for sketches that conserve it.
+pub trait MergeSketch: Sketch + Send {
+    /// Merge a same-configuration shard into `self`, consuming it.
+    fn merge_shard(&mut self, other: Self) -> Result<(), MergeIncompat>;
+
+    /// The total stream weight this sketch provably accounts for, when
+    /// the structure conserves it exactly: `Some(total)` means the sum
+    /// of the sketch's counters equals the inserted (or merged) stream
+    /// weight — the conservation invariant sharded-engine tests assert.
+    /// `None` means the structure cannot make that claim (e.g. Elastic's
+    /// 8-bit light counters saturate).
+    fn conserved_weight(&self) -> Option<u64> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

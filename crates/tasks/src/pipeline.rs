@@ -1,4 +1,4 @@
-//! Multi-key deployment strategies.
+//! Multi-key deployment strategies with an epoch lifecycle.
 //!
 //! Given a set of keys to measure, the evaluation deploys algorithms in
 //! one of three ways (§7.1):
@@ -10,34 +10,115 @@
 //!   instance updated on every packet (cost grows linearly in keys).
 //! - **R-HHH**: one SpaceSaving per key but only one, randomly chosen,
 //!   updated per packet (constant cost, sampling noise).
+//!
+//! A deployed [`Pipeline`] measures *continuously*: calling
+//! [`rotate`](Pipeline::rotate) seals the current window into an
+//! immutable [`Epoch`] inside the pipeline's [`EpochStore`] and
+//! redeploys fresh state (same plan, next epoch's seed) for the next
+//! window, mirroring how the data plane keeps forwarding while the
+//! control plane collects. Sealed epochs stay queryable — heavy-change
+//! detection diffs adjacent ones.
 
-use cocosketch::FlowTable;
+use cocosketch::{Epoch, EpochStore, FlowTable};
 use hashkit::FastMap;
 use sketches::{Rhhh, Sketch};
 use traffic::{FiveTuple, KeyBytes, KeySpec, Trace};
 
 use crate::algo::Algo;
 
-/// A deployed multi-key measurement pipeline.
-pub enum Pipeline {
-    /// One CocoSketch on `full`; `specs` answered by aggregation.
+/// Per-epoch seed salt: epoch `k` deploys with `seed + k * EPOCH_SEED_SALT`.
+///
+/// Chosen to match the historical two-pipeline heavy-change experiment
+/// (window 2 seeded `seed + 0x5EED`), so a rotating pipeline reproduces
+/// those figure CSVs bit-for-bit.
+pub const EPOCH_SEED_SALT: u64 = 0x5EED;
+
+/// The live measurement structures of the current epoch.
+enum Deployment {
+    /// One CocoSketch on the full key; specs answered by aggregation.
     Coco {
-        /// The single full-key sketch.
         sketch: Box<dyn Sketch>,
-        /// The full key it is deployed on.
         full: KeySpec,
-        /// The partial keys to answer.
         specs: Vec<KeySpec>,
     },
     /// One single-key sketch per key, all updated per packet.
     PerKey {
-        /// One instance per entry of `specs`.
         sketches: Vec<Box<dyn Sketch>>,
-        /// The measured keys.
         specs: Vec<KeySpec>,
     },
     /// R-HHH: per-key SpaceSavings, one sampled update per packet.
     Rhhh(Rhhh),
+}
+
+/// The recipe a [`Pipeline`] redeploys from on every rotation.
+enum Plan {
+    Algo {
+        algo: Algo,
+        specs: Vec<KeySpec>,
+        full: KeySpec,
+        mem_bytes: usize,
+        seed: u64,
+    },
+    Rhhh {
+        specs: Vec<KeySpec>,
+        mem_bytes: usize,
+        seed: u64,
+    },
+}
+
+impl Plan {
+    /// Build the deployment for epoch `epoch` (0-based).
+    fn build(&self, epoch: u64) -> Deployment {
+        match self {
+            Plan::Algo {
+                algo,
+                specs,
+                full,
+                mem_bytes,
+                seed,
+            } => {
+                let seed = seed.wrapping_add(epoch.wrapping_mul(EPOCH_SEED_SALT));
+                if algo.deploys_on_full_key() {
+                    Deployment::Coco {
+                        sketch: algo.build(*mem_bytes, full.key_bytes(), seed),
+                        full: *full,
+                        specs: specs.clone(),
+                    }
+                } else {
+                    let per = mem_bytes / specs.len();
+                    Deployment::PerKey {
+                        sketches: specs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, spec)| {
+                                algo.build(per, spec.key_bytes().max(1), seed + i as u64)
+                            })
+                            .collect(),
+                        specs: specs.clone(),
+                    }
+                }
+            }
+            Plan::Rhhh {
+                specs,
+                mem_bytes,
+                seed,
+            } => {
+                let seed = seed.wrapping_add(epoch.wrapping_mul(EPOCH_SEED_SALT));
+                Deployment::Rhhh(Rhhh::with_memory(*mem_bytes, specs.clone(), seed))
+            }
+        }
+    }
+}
+
+/// A deployed multi-key measurement pipeline with epoch rotation.
+pub struct Pipeline {
+    deployment: Deployment,
+    plan: Plan,
+    store: EpochStore,
+    /// Packets ingested into the *current* (unsealed) epoch.
+    packets: u64,
+    /// Weight ingested into the *current* (unsealed) epoch.
+    weight: u64,
 }
 
 impl Pipeline {
@@ -55,41 +136,49 @@ impl Pipeline {
     ) -> Self {
         assert!(!specs.is_empty(), "need at least one key");
         debug_assert!(specs.iter().all(|s| s.is_partial_of(&full)));
-        if algo.deploys_on_full_key() {
-            Pipeline::Coco {
-                sketch: algo.build(mem_bytes, full.key_bytes(), seed),
-                full,
-                specs: specs.to_vec(),
-            }
-        } else {
-            let per = mem_bytes / specs.len();
-            Pipeline::PerKey {
-                sketches: specs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, spec)| algo.build(per, spec.key_bytes().max(1), seed + i as u64))
-                    .collect(),
-                specs: specs.to_vec(),
-            }
-        }
+        let plan = Plan::Algo {
+            algo,
+            specs: specs.to_vec(),
+            full,
+            mem_bytes,
+            seed,
+        };
+        Self::from_plan(plan)
     }
 
     /// Deploy R-HHH for `specs` (its own strategy; `full` is implicit).
     pub fn deploy_rhhh(specs: &[KeySpec], mem_bytes: usize, seed: u64) -> Self {
-        Pipeline::Rhhh(Rhhh::with_memory(mem_bytes, specs.to_vec(), seed))
+        Self::from_plan(Plan::Rhhh {
+            specs: specs.to_vec(),
+            mem_bytes,
+            seed,
+        })
+    }
+
+    fn from_plan(plan: Plan) -> Self {
+        let deployment = plan.build(0);
+        Pipeline {
+            deployment,
+            plan,
+            store: EpochStore::new(),
+            packets: 0,
+            weight: 0,
+        }
     }
 
     /// Process one packet.
     #[inline]
     pub fn update(&mut self, flow: &FiveTuple, w: u64) {
-        match self {
-            Pipeline::Coco { sketch, full, .. } => sketch.update(&full.project(flow), w),
-            Pipeline::PerKey { sketches, specs } => {
+        self.packets += 1;
+        self.weight += w;
+        match &mut self.deployment {
+            Deployment::Coco { sketch, full, .. } => sketch.update(&full.project(flow), w),
+            Deployment::PerKey { sketches, specs } => {
                 for (sketch, spec) in sketches.iter_mut().zip(specs.iter()) {
                     sketch.update(&spec.project(flow), w);
                 }
             }
-            Pipeline::Rhhh(r) => r.update(flow, w),
+            Deployment::Rhhh(r) => r.update(flow, w),
         }
     }
 
@@ -100,7 +189,8 @@ impl Pipeline {
         }
     }
 
-    /// Estimated flow tables, one per measured key, in spec order.
+    /// Estimated flow tables of the **current** (unsealed) epoch, one
+    /// per measured key, in spec order.
     ///
     /// The CocoSketch arm runs the query-plane engine
     /// ([`FlowTable::query_all`]): specs that nest (prefix hierarchies)
@@ -109,13 +199,13 @@ impl Pipeline {
     /// scan in parallel — all bit-identical to per-spec
     /// [`FlowTable::query_partial`].
     pub fn estimates(&self) -> Vec<FastMap<KeyBytes, u64>> {
-        match self {
-            Pipeline::Coco {
+        match &self.deployment {
+            Deployment::Coco {
                 sketch,
                 full,
                 specs,
             } => FlowTable::new(*full, sketch.records()).query_all(specs),
-            Pipeline::PerKey { sketches, .. } => sketches
+            Deployment::PerKey { sketches, .. } => sketches
                 .iter()
                 .map(|sketch| {
                     let mut out: FastMap<KeyBytes, u64> = FastMap::default();
@@ -127,7 +217,7 @@ impl Pipeline {
                     out
                 })
                 .collect(),
-            Pipeline::Rhhh(r) => (0..r.num_levels())
+            Deployment::Rhhh(r) => (0..r.num_levels())
                 .map(|lvl| {
                     let mut out: FastMap<KeyBytes, u64> = FastMap::default();
                     for (k, v) in r.records_for(lvl) {
@@ -141,19 +231,87 @@ impl Pipeline {
 
     /// The measured keys, in estimate order.
     pub fn specs(&self) -> &[KeySpec] {
-        match self {
-            Pipeline::Coco { specs, .. } | Pipeline::PerKey { specs, .. } => specs,
-            Pipeline::Rhhh(r) => r.specs(),
+        match &self.deployment {
+            Deployment::Coco { specs, .. } | Deployment::PerKey { specs, .. } => specs,
+            Deployment::Rhhh(r) => r.specs(),
         }
     }
 
-    /// Modeled memory across all deployed structures.
+    /// Modeled memory across all deployed structures (current epoch).
     pub fn memory_bytes(&self) -> usize {
-        match self {
-            Pipeline::Coco { sketch, .. } => sketch.memory_bytes(),
-            Pipeline::PerKey { sketches, .. } => sketches.iter().map(|s| s.memory_bytes()).sum(),
-            Pipeline::Rhhh(r) => r.memory_bytes(),
+        match &self.deployment {
+            Deployment::Coco { sketch, .. } => sketch.memory_bytes(),
+            Deployment::PerKey { sketches, .. } => sketches.iter().map(|s| s.memory_bytes()).sum(),
+            Deployment::Rhhh(r) => r.memory_bytes(),
         }
+    }
+
+    /// Snapshot the current deployment into flow tables, one per
+    /// deployed structure.
+    ///
+    /// The Coco arm seals one full-key table (partial keys recovered at
+    /// query time, as in the live path); per-key and R-HHH deployments
+    /// seal one table per measured key, each under its own spec.
+    fn tables(&self) -> Vec<FlowTable> {
+        match &self.deployment {
+            Deployment::Coco { sketch, full, .. } => {
+                vec![FlowTable::new(*full, sketch.records())]
+            }
+            Deployment::PerKey { sketches, specs } => sketches
+                .iter()
+                .zip(specs.iter())
+                .map(|(sketch, spec)| FlowTable::new(*spec, sketch.records()))
+                .collect(),
+            Deployment::Rhhh(r) => (0..r.num_levels())
+                .map(|lvl| FlowTable::new(r.specs()[lvl], r.records_for(lvl)))
+                .collect(),
+        }
+    }
+
+    /// Seal the current window into the store and redeploy for the next.
+    ///
+    /// Returns the sealed epoch's id (dense from 0). The new window's
+    /// structures are rebuilt from the deployment plan with the next
+    /// epoch's seed (`seed + k * `[`EPOCH_SEED_SALT`]), and the
+    /// per-window packet/weight counters reset — ingestion continues
+    /// seamlessly via [`update`](Pipeline::update).
+    pub fn rotate(&mut self) -> u64 {
+        let tables = self.tables();
+        let id = self.store.seal(tables, self.packets, self.weight);
+        self.packets = 0;
+        self.weight = 0;
+        self.deployment = self.plan.build(self.store.len() as u64);
+        id
+    }
+
+    /// The sealed epoch with `id`, if it exists.
+    pub fn sealed(&self, id: u64) -> Option<&Epoch> {
+        self.store.sealed(id)
+    }
+
+    /// The store of sealed epochs.
+    pub fn store(&self) -> &EpochStore {
+        &self.store
+    }
+
+    /// Estimates recovered from a **sealed** epoch, in spec order —
+    /// bit-identical to what [`estimates`](Pipeline::estimates)
+    /// returned just before that epoch was rotated out.
+    pub fn sealed_estimates(&self, id: u64) -> Option<Vec<FastMap<KeyBytes, u64>>> {
+        let epoch = self.store.sealed(id)?;
+        Some(match &self.plan {
+            // Full-key deployment: one table, partial keys by rollup.
+            Plan::Algo { algo, specs, .. } if algo.deploys_on_full_key() => {
+                epoch.primary().query_all(specs)
+            }
+            // One table per key: identity projection aggregates exactly
+            // like the live path's defensive sum.
+            _ => epoch
+                .tables
+                .iter()
+                .map(|t| t.query_partial(t.full_spec()))
+                .collect(),
+        })
     }
 }
 
@@ -237,7 +395,8 @@ mod tests {
     fn coco_estimates_match_per_spec_queries() {
         // The query-plane engine behind `estimates` (single-pass +
         // rollup + parallel scan) must agree bit-for-bit with the naive
-        // per-spec aggregation it replaced.
+        // per-spec aggregation it replaced. Sealing exposes the same
+        // table, so the sealed epoch is the reference here.
         let t = trace();
         let mut pipe = Pipeline::deploy(
             Algo::OURS,
@@ -247,16 +406,105 @@ mod tests {
             7,
         );
         pipe.run(&t);
-        let (table, specs) = match &pipe {
-            Pipeline::Coco {
-                sketch,
-                full,
-                specs,
-            } => (FlowTable::new(*full, sketch.records()), specs.clone()),
-            _ => unreachable!(),
-        };
-        let expect: Vec<_> = specs.iter().map(|s| table.query_partial(s)).collect();
-        assert_eq!(pipe.estimates(), expect);
+        let live = pipe.estimates();
+        let id = pipe.rotate();
+        let table = pipe.sealed(id).unwrap().primary();
+        let expect: Vec<_> = pipe
+            .specs()
+            .iter()
+            .map(|s| table.query_partial(s))
+            .collect();
+        assert_eq!(live, expect);
+    }
+
+    #[test]
+    fn rotation_seals_live_estimates_bit_for_bit() {
+        // For every deployment strategy: estimates() just before
+        // rotate() == sealed_estimates(id) just after.
+        let t = trace();
+        let pipes = [
+            Pipeline::deploy(
+                Algo::OURS,
+                &KeySpec::PAPER_SIX,
+                KeySpec::FIVE_TUPLE,
+                128 * 1024,
+                11,
+            ),
+            Pipeline::deploy(
+                Algo::CmHeap,
+                &KeySpec::PAPER_SIX,
+                KeySpec::FIVE_TUPLE,
+                256 * 1024,
+                12,
+            ),
+            Pipeline::deploy_rhhh(
+                &[KeySpec::src_prefix(24), KeySpec::src_prefix(16)],
+                128 * 1024,
+                13,
+            ),
+        ];
+        for mut pipe in pipes {
+            pipe.run(&t);
+            let live = pipe.estimates();
+            let id = pipe.rotate();
+            assert_eq!(pipe.sealed_estimates(id).unwrap(), live);
+        }
+    }
+
+    #[test]
+    fn rotation_accounts_packets_and_weight() {
+        let t = trace();
+        let total: u64 = t.packets.iter().map(|p| u64::from(p.weight)).sum();
+        let mut pipe = Pipeline::deploy(
+            Algo::OURS,
+            &[KeySpec::SRC_IP],
+            KeySpec::FIVE_TUPLE,
+            64 * 1024,
+            5,
+        );
+        pipe.run(&t);
+        let id = pipe.rotate();
+        let epoch = pipe.sealed(id).unwrap();
+        assert_eq!(epoch.packets, t.packets.len() as u64);
+        assert_eq!(epoch.weight, total);
+        // The next window starts from zero.
+        pipe.run(&t);
+        let id2 = pipe.rotate();
+        let epoch2 = pipe.sealed(id2).unwrap();
+        assert_eq!(
+            (epoch2.packets, epoch2.weight),
+            (t.packets.len() as u64, total)
+        );
+        assert_eq!(pipe.store().len(), 2);
+    }
+
+    #[test]
+    fn rotation_reseeds_like_independent_deployments() {
+        // Epoch k of one rotating pipeline must be bit-identical to a
+        // fresh pipeline seeded `seed + k * EPOCH_SEED_SALT` — the
+        // contract that keeps historical two-pipeline experiments
+        // reproducible through the rotation path.
+        let t = trace();
+        let mut rotating = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            128 * 1024,
+            21,
+        );
+        rotating.run(&t);
+        rotating.rotate();
+        rotating.run(&t);
+
+        let mut fresh = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            128 * 1024,
+            21 + EPOCH_SEED_SALT,
+        );
+        fresh.run(&t);
+        assert_eq!(rotating.estimates(), fresh.estimates());
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn prev_code(toks: &[Token], i: usize) -> Option<usize> {
 // ---------------------------------------------------------------------
 
 /// Every `unsafe` block (`unsafe {`) and `unsafe impl` must have a
-/// comment containing `SAFETY:` starting within [`SAFETY_WINDOW_LINES`]
+/// comment containing `SAFETY:` starting within `SAFETY_WINDOW_LINES`
 /// lines above it (or on its own line). `unsafe fn` declarations are
 /// exempt: their obligation sits at each call site, which is itself an
 /// `unsafe` block this rule covers.

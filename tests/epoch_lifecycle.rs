@@ -1,0 +1,213 @@
+//! Cross-crate integration of the epoch lifecycle: a continuously
+//! ingesting engine session seals windows into epochs, epochs persist
+//! through the versioned envelope, and the windowed tasks (heavy
+//! change) read adjacent sealed epochs — core, engine, and tasks
+//! working the protocol end to end.
+
+use cocosketch::{epoch, Epoch, EpochStore};
+use engine::{EngineConfig, ShardedCocoSketch};
+use sketches::Sketch;
+use tasks::heavy_change;
+use tasks::{Algo, Pipeline};
+use traffic::gen::{heavy_change_pair, TraceConfig};
+use traffic::presets::caida_like;
+use traffic::{KeyBytes, KeySpec};
+
+fn projected(scale: usize, seed: u64) -> Vec<(KeyBytes, u64)> {
+    let t = caida_like(scale, seed);
+    t.packets
+        .iter()
+        .map(|p| (KeySpec::FIVE_TUPLE.project(&p.flow), u64::from(p.weight)))
+        .collect()
+}
+
+fn config(threads: usize) -> EngineConfig {
+    EngineConfig {
+        threads,
+        buckets: 2048,
+        ..EngineConfig::default()
+    }
+}
+
+/// A session rotating every W packets must partition the stream into
+/// epochs that survive the persistence envelope bit-for-bit and land
+/// densely in an [`EpochStore`], for every thread count.
+#[test]
+fn session_epochs_roundtrip_through_store_and_persistence() {
+    let pkts = projected(300, 11);
+    let total: u64 = pkts.iter().map(|&(_, w)| w).sum();
+    let window = pkts.len() / 3 + 1;
+    let full = KeySpec::FIVE_TUPLE;
+    for threads in [1, 2, 4] {
+        let mut session = ShardedCocoSketch::new(config(threads)).session();
+        let mut store = EpochStore::new();
+        for chunk in pkts.chunks(window) {
+            session.push_batch(chunk);
+            store.push(session.rotate_collect().to_epoch(full));
+        }
+        let tail = session.finish();
+        assert_eq!(tail.packets, 0, "every chunk was sealed");
+        assert_eq!(store.len(), 3, "{threads} threads");
+
+        let (sealed_packets, sealed_weight) = store
+            .iter()
+            .fold((0, 0), |(p, w), e| (p + e.packets, w + e.weight));
+        assert_eq!(sealed_packets, pkts.len() as u64);
+        assert_eq!(sealed_weight, total, "{threads} threads lost weight");
+
+        for sealed in store.iter() {
+            // Persistence is lossless: envelope -> bytes -> envelope.
+            let decoded = epoch::decode(&epoch::encode(sealed)).unwrap();
+            assert_eq!(&decoded, sealed, "epoch {} roundtrip", sealed.id);
+            // Each epoch's table conserves exactly its window's weight.
+            assert_eq!(sealed.primary().total(), sealed.weight);
+        }
+        // Dense ids make adjacency total over the sealed range.
+        for earlier in 0..store.len() as u64 - 1 {
+            let (a, b) = store.adjacent(earlier).unwrap();
+            assert_eq!((a.id, b.id), (earlier, earlier + 1));
+        }
+    }
+}
+
+/// Epoch k of a rotating session must equal a one-shot engine run over
+/// only that window's packets — rotation adds lifecycle, not noise.
+#[test]
+fn rotated_epochs_match_one_shot_runs_per_window() {
+    let pkts = projected(250, 23);
+    let window = pkts.len() / 2 + 1;
+    for threads in [1, 3] {
+        let engine = ShardedCocoSketch::new(config(threads));
+        let mut session = engine.session();
+        for (k, chunk) in pkts.chunks(window).enumerate() {
+            session.push_batch(chunk);
+            let sealed = session.rotate_collect();
+            let one_shot = engine.run(chunk);
+            assert_eq!(
+                sealed.sketch.records(),
+                one_shot.sketch.records(),
+                "epoch {k} at {threads} threads diverged from one-shot"
+            );
+        }
+        session.finish();
+    }
+}
+
+/// The tasks layer drives one pipeline across both heavy-change
+/// windows; its sealed epochs must score identically to the historical
+/// two-pipeline deployment for full-key and per-key strategies alike.
+#[test]
+fn rotating_heavy_change_matches_two_pipelines_across_algos() {
+    let (w1, w2) = heavy_change_pair(
+        &TraceConfig {
+            packets: 30_000,
+            flows: 2_000,
+            alpha: 1.15,
+            ..TraceConfig::default()
+        },
+        40,
+        0.7,
+    );
+    for (algo, seed) in [
+        (Algo::OURS, 3u64),
+        (Algo::SpaceSaving, 4),
+        (Algo::Elastic, 5),
+    ] {
+        let specs = [KeySpec::SRC_IP, KeySpec::SRC_DST];
+        let rotated = heavy_change::run(
+            &w1,
+            &w2,
+            &specs,
+            KeySpec::FIVE_TUPLE,
+            algo,
+            128 * 1024,
+            1e-3,
+            seed,
+        );
+        let two = heavy_change::run_two_pipelines(
+            &w1,
+            &w2,
+            &specs,
+            KeySpec::FIVE_TUPLE,
+            algo,
+            128 * 1024,
+            1e-3,
+            seed,
+        );
+        assert_eq!(rotated.per_key, two.per_key, "{algo:?}");
+    }
+}
+
+/// Rotation across more than two windows: every adjacent pair of
+/// sealed epochs is independently diffable, and a planted traffic
+/// change shows up in exactly the boundary where it was planted.
+#[test]
+fn multi_window_diffs_localize_a_planted_change() {
+    let (quiet, changed) = heavy_change_pair(
+        &TraceConfig {
+            packets: 25_000,
+            flows: 1_500,
+            alpha: 1.2,
+            ..TraceConfig::default()
+        },
+        30,
+        0.8,
+    );
+    // Windows: quiet, quiet, changed — the change sits at boundary 1→2.
+    let mut pipe = Pipeline::deploy(
+        Algo::OURS,
+        &[KeySpec::FIVE_TUPLE],
+        KeySpec::FIVE_TUPLE,
+        128 * 1024,
+        17,
+    );
+    pipe.run(&quiet);
+    pipe.rotate();
+    pipe.run(&quiet);
+    pipe.rotate();
+    pipe.run(&changed);
+    pipe.rotate();
+
+    let magnitude = |earlier: u64| -> u64 {
+        let est_a = &pipe.sealed_estimates(earlier).unwrap()[0];
+        let est_b = &pipe.sealed_estimates(earlier + 1).unwrap()[0];
+        let mut diffs: Vec<u64> = heavy_change::diff_table(est_a, est_b)
+            .values()
+            .copied()
+            .collect();
+        diffs.sort_unstable_by(|a, b| b.cmp(a));
+        // Sum of the top-30 |Δ| — the planted changes dominate it.
+        diffs.iter().take(30).sum()
+    };
+    let steady = magnitude(0);
+    let change = magnitude(1);
+    assert!(
+        change > steady * 3,
+        "planted change not localized: boundary 0->1 magnitude {steady}, 1->2 {change}"
+    );
+
+    let (a, b) = pipe.store().adjacent(1).unwrap();
+    assert_eq!((a.id, b.id), (1, 2));
+    assert_eq!(pipe.store().len(), 3);
+}
+
+/// An [`Epoch`] built by hand persists like an engine-built one —
+/// the envelope does not depend on who sealed it (multi-table per-key
+/// epochs included).
+#[test]
+fn per_key_epochs_roundtrip_with_many_tables() {
+    let t = caida_like(150, 31);
+    let mut pipe = Pipeline::deploy(
+        Algo::CmHeap,
+        &[KeySpec::SRC_IP, KeySpec::DST_IP, KeySpec::SRC_DST],
+        KeySpec::FIVE_TUPLE,
+        96 * 1024,
+        41,
+    );
+    pipe.run(&t);
+    let id = pipe.rotate();
+    let sealed: &Epoch = pipe.sealed(id).unwrap();
+    assert_eq!(sealed.tables.len(), 3, "one table per measured key");
+    let decoded = epoch::decode(&epoch::encode(sealed)).unwrap();
+    assert_eq!(&decoded, sealed);
+}

@@ -205,6 +205,59 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn snapshot_roundtrips_any_table(stream in arb_stream(), seed in any::<u64>()) {
+        // The persistence format is lossless for any sketch-produced
+        // table: full spec, row order, keys, and values all survive.
+        let full = KeySpec::FIVE_TUPLE;
+        let mut s = BasicCocoSketch::new(2, 16, full.key_bytes(), seed);
+        for (flow, w) in &stream {
+            s.update(&full.project(flow), *w);
+        }
+        let table = FlowTable::new(full, s.records());
+        let back = cocosketch::snapshot::decode(&cocosketch::snapshot::encode(&table)).unwrap();
+        prop_assert_eq!(back, table);
+    }
+
+    #[test]
+    fn epoch_roundtrips_any_tables(
+        stream in arb_stream(),
+        id in any::<u64>(),
+        packets in any::<u64>(),
+        weight in any::<u64>(),
+        n_tables in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        // The epoch envelope is lossless around any number of tables
+        // (zero included) and any accounting values.
+        let full = KeySpec::FIVE_TUPLE;
+        let tables: Vec<FlowTable> = (0..n_tables)
+            .map(|i| {
+                let mut s = BasicCocoSketch::new(2, 8, full.key_bytes(), seed + i as u64);
+                for (flow, w) in &stream {
+                    s.update(&full.project(flow), *w);
+                }
+                FlowTable::new(full, s.records())
+            })
+            .collect();
+        let sealed = cocosketch::Epoch { id, packets, weight, tables };
+        let back = cocosketch::epoch::decode(&cocosketch::epoch::encode(&sealed)).unwrap();
+        prop_assert_eq!(back, sealed);
+    }
+
+    #[test]
+    fn epoch_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes must decode to Ok or Err, never panic —
+        // with or without a valid-looking magic prefix.
+        let _ = cocosketch::epoch::decode(&bytes);
+        let mut with_magic = b"CEP1".to_vec();
+        with_magic.extend_from_slice(&bytes);
+        let _ = cocosketch::epoch::decode(&with_magic);
+        let mut with_table_magic = b"CFT1".to_vec();
+        with_table_magic.extend_from_slice(&bytes);
+        let _ = cocosketch::snapshot::decode(&with_table_magic);
+    }
 }
 
 #[test]
