@@ -15,7 +15,7 @@ commands:
   generate  --preset caida|mawi --out FILE [--scale N] [--seed S]
   measure   (--trace FILE | --pcap FILE) --out FILE
             [--memory 500KB] [--d 2] [--seed S] [--threads N]
-            [--window PACKETS]
+            [--window PACKETS] [--keep-epochs N]
   query     --table FILE --key KEY [--top K] [--threshold T]
   stats     --table FILE --key KEY
   info      (--trace FILE | --table FILE)
@@ -52,6 +52,8 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 /// [`engine::EngineSession`]: every `PACKETS` packets the live sketch
 /// is sealed into an epoch (without pausing ingestion) and written to
 /// `OUT.epochN`; the trailing partial window seals on finish.
+/// `--keep-epochs N` bounds the store to the last N sealed epochs
+/// (older ones are evicted as sealing proceeds and never written).
 pub fn measure(argv: &[String]) -> Result<(), String> {
     let opts = Opts::parse(argv)?;
     let out = opts.path("out")?;
@@ -60,8 +62,12 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     let seed = opts.u64_or("seed", 0xC0C0)?;
     let threads = parse_threads(opts.get("threads").unwrap_or("1"))?;
     let window = opts.u64_or("window", 0)?;
+    let keep_epochs = opts.u64_or("keep-epochs", 0)? as usize;
     if d == 0 {
         return Err("--d must be positive".into());
+    }
+    if keep_epochs > 0 && window == 0 {
+        return Err("--keep-epochs only applies with --window".into());
     }
 
     let trace = if let Some(path) = opts.get("pcap") {
@@ -87,7 +93,7 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
         },
     );
     if window > 0 {
-        return measure_windowed(&engine, &trace, full, window, &out, threads);
+        return measure_windowed(&engine, &trace, full, window, keep_epochs, &out, threads);
     }
     let run = engine.run_trace(&trace, &full);
     let table = run.flow_table(full);
@@ -106,40 +112,59 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
 }
 
 /// The `--window` path: one continuously-running session, one sealed
-/// epoch file per window of `window` packets.
+/// epoch file per window of `window` packets. `keep_epochs > 0` caps
+/// the store to the last N epochs via [`EpochStore::evict_to`].
 fn measure_windowed(
     engine: &ShardedCocoSketch,
     trace: &Trace,
     full: KeySpec,
     window: u64,
+    keep_epochs: usize,
     out: &std::path::Path,
     threads: usize,
 ) -> Result<(), String> {
     let mut session = engine.session();
     let mut store = EpochStore::new();
+    let mut total = 0u64;
+    let mut evicted = 0usize;
     let started = std::time::Instant::now();
     let mut in_window = 0u64;
+    let mut cap = |store: &mut EpochStore| {
+        if keep_epochs > 0 {
+            evicted += store.evict_to(keep_epochs);
+        }
+    };
     for p in &trace.packets {
         session.push(full.project(&p.flow), u64::from(p.weight));
         in_window += 1;
         if in_window == window {
-            store.push(session.rotate_collect().to_epoch(full));
+            let sealed = session.rotate_collect().to_epoch(full);
+            total += sealed.packets;
+            store.push(sealed);
+            cap(&mut store);
             in_window = 0;
         }
     }
     let last = session.finish();
     if last.packets > 0 {
-        store.push(last.to_epoch(full));
+        let sealed = last.to_epoch(full);
+        total += sealed.packets;
+        store.push(sealed);
+        cap(&mut store);
     }
     let elapsed = started.elapsed();
-    let total: u64 = store.iter().map(|e| e.packets).sum();
     let mpps = total as f64 / elapsed.as_secs_f64() / 1e6;
     println!(
         "measured {total} packets in {elapsed:?} ({mpps:.2} Mpps, {threads} thread{}); \
-         {} epoch{} of <= {window} packets",
+         {} epoch{} of <= {window} packets{}",
         if threads == 1 { "" } else { "s" },
         store.len(),
         if store.len() == 1 { "" } else { "s" },
+        if evicted > 0 {
+            format!(" ({evicted} older evicted by --keep-epochs {keep_epochs})")
+        } else {
+            String::new()
+        },
     );
     for sealed in store.iter() {
         let path = out.with_file_name(format!(

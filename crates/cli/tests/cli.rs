@@ -183,6 +183,76 @@ fn windowed_measure_emits_queryable_epochs() {
 }
 
 #[test]
+fn keep_epochs_retains_only_the_last_n() {
+    let dir = tmpdir("keepepochs");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    let out = run(&[
+        "generate",
+        "--preset",
+        "caida",
+        "--scale",
+        "2000",
+        "--seed",
+        "7",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Same rotation cadence as above (two full windows plus a tail),
+    // but capped to the most recent epoch: ids 0 and 1 are evicted
+    // before writing, and only the tail epoch reaches disk — under its
+    // original id, not renumbered.
+    let out = run(&[
+        "measure",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--memory",
+        "100KB",
+        "--window",
+        "5000",
+        "--keep-epochs",
+        "1",
+        "--out",
+        table.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("evicted by --keep-epochs 1"), "{text}");
+    assert!(!dir.join("t.cft.epoch0").exists(), "{text}");
+    assert!(!dir.join("t.cft.epoch1").exists(), "{text}");
+    assert!(dir.join("t.cft.epoch2").exists(), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_epochs_requires_window() {
+    let out = run(&[
+        "measure",
+        "--trace",
+        "unused.cct",
+        "--keep-epochs",
+        "2",
+        "--out",
+        "unused.cft",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--keep-epochs only applies with --window")
+    );
+}
+
+#[test]
 fn rejects_unknown_command() {
     let out = run(&["frobnicate"]);
     assert!(!out.status.success());

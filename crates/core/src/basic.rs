@@ -89,7 +89,7 @@ impl BasicCocoSketch {
     /// configurations.
     pub fn with_memory(mem_bytes: usize, d: usize, key_bytes: usize, seed: u64) -> Self {
         let bucket_bytes = key_bytes + COUNTER_BYTES;
-        let l = (mem_bytes / (d * bucket_bytes)).max(1);
+        let l = (mem_bytes / (d * bucket_bytes).max(1)).max(1);
         Self::new(d, l, key_bytes, seed)
     }
 
@@ -136,9 +136,9 @@ impl BasicCocoSketch {
         let mut min_value = u64::MAX;
         let mut ties = 0u64;
         for &s in slots {
-            let b = &self.buckets[s];
+            let b = &self.buckets[s]; // LINT: bounded(slot() = array*l + fastrange(<l) < d*l = buckets.len())
             if b.value > 0 && b.key == *key {
-                self.buckets[s].value += w;
+                self.buckets[s].value = b.value.wrapping_add(w); // LINT: bounded(same slot() invariant)
                 return;
             }
             if b.value < min_value {
@@ -152,11 +152,11 @@ impl BasicCocoSketch {
                 }
             }
         }
-        let b = &mut self.buckets[min_slot];
-        b.value += w;
+        let b = &mut self.buckets[min_slot]; // LINT: bounded(min_slot tracks a slot seen in the loop above)
+        b.value = b.value.wrapping_add(w);
         let value_after = b.value;
         if self.rng.coin(w, value_after) {
-            self.buckets[min_slot].key = *key;
+            self.buckets[min_slot].key = *key; // LINT: bounded(same min_slot)
         }
     }
 
@@ -168,13 +168,13 @@ impl BasicCocoSketch {
                 continue;
             }
             if mine.value == 0 || mine.key == theirs.key {
-                mine.value += theirs.value;
+                mine.value = mine.value.wrapping_add(theirs.value);
                 if mine.key != theirs.key {
                     mine.key = theirs.key; // previously-empty bucket
                 }
                 continue;
             }
-            let total = mine.value + theirs.value;
+            let total = mine.value.wrapping_add(theirs.value);
             if rng.coin(theirs.value, total) {
                 mine.key = theirs.key;
             }
@@ -184,6 +184,7 @@ impl BasicCocoSketch {
 }
 
 impl Sketch for BasicCocoSketch {
+    // LINT: hot
     fn update(&mut self, key: &KeyBytes, w: u64) {
         debug_assert!(w > 0, "zero-weight packets are meaningless");
         // Pass 1: an existing record absorbs the packet with zero
@@ -193,9 +194,9 @@ impl Sketch for BasicCocoSketch {
         let mut ties = 0u64;
         for i in 0..self.d {
             let s = self.slot(i, key);
-            let b = &self.buckets[s];
+            let b = &self.buckets[s]; // LINT: bounded(slot() = array*l + fastrange(<l) < d*l = buckets.len())
             if b.value > 0 && b.key == *key {
-                self.buckets[s].value += w;
+                self.buckets[s].value = b.value.wrapping_add(w); // LINT: bounded(same slot() invariant)
                 return;
             }
             // Track the minimum with uniform tie-breaking (reservoir
@@ -213,11 +214,11 @@ impl Sketch for BasicCocoSketch {
         }
         // Pass 2: bump the minimum candidate and stochastically take it
         // over (Eq. 3).
-        let b = &mut self.buckets[min_slot];
-        b.value += w;
+        let b = &mut self.buckets[min_slot]; // LINT: bounded(min_slot tracks a slot seen in the loop above)
+        b.value = b.value.wrapping_add(w);
         let value_after = b.value;
         if self.rng.coin(w, value_after) {
-            self.buckets[min_slot].key = *key;
+            self.buckets[min_slot].key = *key; // LINT: bounded(same min_slot)
         }
     }
 
@@ -229,6 +230,7 @@ impl Sketch for BasicCocoSketch {
     /// bucket accesses (software pipelining). Results are bit-identical
     /// to calling [`update`](Sketch::update) per packet — same RNG draw
     /// order — so batching is purely a throughput knob.
+    // LINT: hot
     fn update_batch(&mut self, batch: &[(KeyBytes, u64)]) {
         const WINDOW: usize = 8;
         const MAX_FAST_D: usize = 8;
@@ -241,19 +243,20 @@ impl Sketch for BasicCocoSketch {
         let mut slots = [[0usize; MAX_FAST_D]; WINDOW];
         for window in batch.chunks(WINDOW) {
             for (j, (key, _)) in window.iter().enumerate() {
+                // LINT: bounded(j < WINDOW via chunks(WINDOW); d <= MAX_FAST_D checked above)
                 for (i, slot) in slots[j][..self.d].iter_mut().enumerate() {
                     *slot = self.slot(i, key);
                 }
             }
             for (j, (key, w)) in window.iter().enumerate() {
-                self.apply_at_slots(key, *w, &slots[j][..self.d]);
+                self.apply_at_slots(key, *w, &slots[j][..self.d]); // LINT: bounded(j < WINDOW via chunks(WINDOW); d <= MAX_FAST_D checked above)
             }
         }
     }
 
     fn query(&self, key: &KeyBytes) -> u64 {
         for i in 0..self.d {
-            let b = &self.buckets[self.slot(i, key)];
+            let b = &self.buckets[self.slot(i, key)]; // LINT: bounded(slot() < d*l = buckets.len())
             if b.value > 0 && b.key == *key {
                 return b.value;
             }

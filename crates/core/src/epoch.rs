@@ -80,12 +80,12 @@ pub fn decode(data: &[u8]) -> io::Result<Epoch> {
     if data.len() < HEADER_LEN {
         return Err(err("truncated epoch header"));
     }
-    if &data[0..4] != EPOCH_MAGIC {
+    if data.get(0..4) != Some(EPOCH_MAGIC.as_slice()) {
         return Err(err("bad epoch magic"));
     }
     let word = |at: usize| {
         let mut b = [0u8; 8];
-        b.copy_from_slice(&data[at..at + 8]);
+        b.copy_from_slice(&data[at..at + 8]); // LINT: bounded(callers pass at + 8 <= HEADER_LEN <= data.len(), checked above)
         u64::from_le_bytes(b)
     };
     let id = word(4);
@@ -95,15 +95,15 @@ pub fn decode(data: &[u8]) -> io::Result<Epoch> {
     let mut tables = Vec::new();
     let mut at = HEADER_LEN;
     for i in 0..n_tables {
-        if data.len() - at < 4 {
+        let Some(prefix) = data.get(at..at + 4) else {
             return Err(err(&format!("truncated length prefix of table {i}")));
-        }
-        let len = u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]]) as usize;
+        };
+        let len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize;
         at += 4;
-        if data.len() - at < len {
+        let Some(body) = data.get(at..at + len) else {
             return Err(err(&format!("truncated body of table {i}")));
-        }
-        tables.push(snapshot::decode(&data[at..at + len])?);
+        };
+        tables.push(snapshot::decode(body)?);
         at += len;
     }
     if at != data.len() {
@@ -117,14 +117,22 @@ pub fn decode(data: &[u8]) -> io::Result<Epoch> {
     })
 }
 
-/// An in-order collection of sealed epochs with dense id assignment.
+/// An in-order collection of sealed epochs with dense id assignment
+/// and keep-last-N retention.
 ///
 /// The store is the query-plane side of the rotation protocol: while
 /// the data plane ingests epoch N+1, everything up to N sits here,
-/// immutable and addressable by id.
+/// immutable and addressable by id. Long-running deployments cap the
+/// store with [`evict_to`](Self::evict_to): the oldest epochs are
+/// dropped but ids keep counting up from where sealing left off, so
+/// adjacency (`(n, n+1)` diffs) over the retained suffix never
+/// renumbers.
 #[derive(Debug, Default)]
 pub struct EpochStore {
+    /// Retained epochs; `epochs[i].id == base + i`.
     epochs: Vec<Epoch>,
+    /// Id of the oldest retained epoch == number of evicted epochs.
+    base: u64,
 }
 
 impl EpochStore {
@@ -133,10 +141,16 @@ impl EpochStore {
         Self::default()
     }
 
+    /// The id the next [`seal`](Self::seal) or [`push`](Self::push)
+    /// will assign.
+    pub fn next_id(&self) -> u64 {
+        self.base + self.epochs.len() as u64
+    }
+
     /// Seal a window: take its tables and accounting, assign the next
     /// dense id, and return it.
     pub fn seal(&mut self, tables: Vec<FlowTable>, packets: u64, weight: u64) -> u64 {
-        let id = self.epochs.len() as u64;
+        let id = self.next_id();
         self.epochs.push(Epoch {
             id,
             packets,
@@ -156,7 +170,7 @@ impl EpochStore {
     pub fn push(&mut self, epoch: Epoch) -> u64 {
         assert_eq!(
             epoch.id,
-            self.epochs.len() as u64,
+            self.next_id(),
             "epoch ids must be dense and in order"
         );
         let id = epoch.id;
@@ -164,9 +178,10 @@ impl EpochStore {
         id
     }
 
-    /// The sealed epoch with this id, if sealed already.
+    /// The sealed epoch with this id, if sealed and still retained.
     pub fn sealed(&self, id: u64) -> Option<&Epoch> {
-        self.epochs.get(usize::try_from(id).ok()?)
+        let slot = id.checked_sub(self.base)?;
+        self.epochs.get(usize::try_from(slot).ok()?)
     }
 
     /// The most recently sealed epoch.
@@ -174,17 +189,35 @@ impl EpochStore {
         self.epochs.last()
     }
 
-    /// Number of sealed epochs.
+    /// Number of retained epochs (evicted ones no longer count).
     pub fn len(&self) -> usize {
         self.epochs.len()
     }
 
-    /// True when nothing has been sealed yet.
+    /// True when no epoch is retained.
     pub fn is_empty(&self) -> bool {
         self.epochs.is_empty()
     }
 
-    /// Iterate sealed epochs in id order.
+    /// Id of the oldest retained epoch, if any.
+    pub fn oldest_id(&self) -> Option<u64> {
+        self.epochs.first().map(|e| e.id)
+    }
+
+    /// Drop the oldest epochs until at most `keep` remain; returns how
+    /// many were evicted. Ids are not reused: the next seal continues
+    /// the dense sequence, and lookups for evicted ids return `None`.
+    /// `keep == 0` empties the store (useful before shutdown).
+    pub fn evict_to(&mut self, keep: usize) -> usize {
+        let excess = self.epochs.len().saturating_sub(keep);
+        if excess > 0 {
+            self.epochs.drain(..excess);
+            self.base += excess as u64;
+        }
+        excess
+    }
+
+    /// Iterate retained epochs in id order.
     pub fn iter(&self) -> impl Iterator<Item = &Epoch> {
         self.epochs.iter()
     }
@@ -256,6 +289,56 @@ mod tests {
             })
         }));
         assert!(r.is_err(), "gap in ids must panic");
+    }
+
+    #[test]
+    fn evict_to_keeps_the_last_n_without_renumbering() {
+        let mut store = EpochStore::new();
+        for i in 0..5u32 {
+            store.seal(vec![table(2, i)], u64::from(i), u64::from(i) * 2);
+        }
+        assert_eq!(store.evict_to(2), 3);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.oldest_id(), Some(3));
+        assert!(store.sealed(2).is_none(), "evicted ids must not resolve");
+        assert_eq!(store.sealed(3).unwrap().packets, 3);
+        assert_eq!(store.latest().unwrap().id, 4);
+        // Adjacency over the retained suffix still works; pairs that
+        // straddle the eviction horizon do not.
+        assert!(store.adjacent(2).is_none());
+        assert!(store.adjacent(3).is_some());
+        // Sealing continues the dense sequence past the eviction.
+        assert_eq!(store.next_id(), 5);
+        assert_eq!(store.seal(vec![table(1, 9)], 1, 1), 5);
+        assert_eq!(store.iter().map(|e| e.id).collect::<Vec<_>>(), [3, 4, 5]);
+        // push() keeps enforcing density against the offset sequence.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = EpochStore::new();
+            s.seal(vec![], 0, 0);
+            s.seal(vec![], 0, 0);
+            s.evict_to(1);
+            s.push(Epoch {
+                id: 1, // next dense id is 2
+                packets: 0,
+                weight: 0,
+                tables: vec![],
+            })
+        }));
+        assert!(r.is_err(), "stale id after eviction must panic");
+    }
+
+    #[test]
+    fn evict_to_edge_cases() {
+        let mut store = EpochStore::new();
+        assert_eq!(store.evict_to(0), 0, "empty store evicts nothing");
+        store.seal(vec![], 1, 1);
+        store.seal(vec![], 2, 2);
+        assert_eq!(store.evict_to(10), 0, "keep larger than len is a no-op");
+        assert_eq!(store.evict_to(0), 2, "keep 0 empties the store");
+        assert!(store.is_empty());
+        assert_eq!(store.oldest_id(), None);
+        assert_eq!(store.next_id(), 2, "ids never restart");
+        assert_eq!(store.seal(vec![], 3, 3), 2);
     }
 
     #[test]

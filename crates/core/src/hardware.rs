@@ -102,7 +102,7 @@ impl HardwareCocoSketch {
         seed: u64,
     ) -> Self {
         let bucket_bytes = key_bytes + COUNTER_BYTES;
-        let l = (mem_bytes / (d * bucket_bytes)).max(1);
+        let l = (mem_bytes / (d * bucket_bytes).max(1)).max(1);
         Self::new(d, l, key_bytes, division, seed)
     }
 
@@ -125,8 +125,10 @@ impl HardwareCocoSketch {
     /// every packet's weight exactly once, so each array's total equals
     /// the stream total (per-array conservation).
     pub fn array_total(&self, array: usize) -> u64 {
-        self.buckets[array * self.l..(array + 1) * self.l]
+        self.buckets
             .iter()
+            .skip(array * self.l)
+            .take(self.l)
             .map(|b| b.value)
             .sum()
     }
@@ -143,12 +145,12 @@ impl HardwareCocoSketch {
             Combine::Median => {
                 estimates.sort_unstable();
                 if n % 2 == 1 {
-                    estimates[n / 2]
+                    estimates[n / 2] // LINT: bounded(n = len >= 1; n/2 < n)
                 } else {
-                    (estimates[n / 2 - 1] + estimates[n / 2]) / 2
+                    (estimates[n / 2 - 1] + estimates[n / 2]) / 2 // LINT: bounded(even n >= 2 here; n/2 - 1 and n/2 are < n)
                 }
             }
-            Combine::Mean => estimates.iter().sum::<u64>() / n as u64,
+            Combine::Mean => estimates.iter().sum::<u64>() / n as u64, // LINT: bounded(n = len >= 1: empty case returned above)
         }
     }
 }
@@ -159,19 +161,20 @@ impl Sketch for HardwareCocoSketch {
         for i in 0..self.d {
             let s = self.slot(i, key);
             // Value path: unconditional increment (no key dependency).
-            self.buckets[s].value += w;
-            let value = self.buckets[s].value;
-            // Key path: replace with probability w / value. Skipping the
-            // draw when the key already matches is an optimization only —
-            // replacing a key with itself is a no-op.
+            self.buckets[s].value = self.buckets[s].value.wrapping_add(w); // LINT: bounded(slot() = array*l + fastrange(<l) < d*l = buckets.len())
+            let value = self.buckets[s].value; // LINT: bounded(same slot() invariant)
+                                               // Key path: replace with probability w / value. Skipping the
+                                               // draw when the key already matches is an optimization only —
+                                               // replacing a key with itself is a no-op.
             if self.buckets[s].key != *key {
+                // LINT: bounded(same slot() invariant)
                 let threshold = match self.division {
                     DivisionMode::Exact => exact_threshold(w, value),
                     DivisionMode::ApproxTofino => approx_threshold(w, value),
                 };
                 let draw = self.rng.next_u64() >> 32;
                 if draw < threshold {
-                    self.buckets[s].key = *key;
+                    self.buckets[s].key = *key; // LINT: bounded(same slot() invariant)
                 }
             }
         }
@@ -186,7 +189,7 @@ impl Sketch for HardwareCocoSketch {
         // unbiased in expectation but far less accurate per flow.)
         let mut estimates: Vec<u64> = (0..self.d)
             .filter_map(|i| {
-                let b = &self.buckets[self.slot(i, key)];
+                let b = &self.buckets[self.slot(i, key)]; // LINT: bounded(slot() < d*l = buckets.len())
                 (b.value > 0 && b.key == *key).then_some(b.value)
             })
             .collect();

@@ -31,7 +31,7 @@ pub fn exact_threshold(w: u64, value: u64) -> u64 {
     if w >= value {
         return 1 << 32;
     }
-    ((w as u128 * (1u128 << 32)) / value as u128) as u64
+    ((w as u128 * (1u128 << 32)) / value as u128) as u64 // LINT: bounded(contract: value > 0, debug-asserted above)
 }
 
 /// Tofino-style approximate reciprocal: `~2^32 / value` computed from
@@ -45,12 +45,12 @@ pub fn exact_threshold(w: u64, value: u64) -> u64 {
 pub fn approx_reciprocal(value: u64) -> u64 {
     debug_assert!(value > 0);
     if value < 8 {
-        return (1u64 << 32) / value;
+        return (1u64 << 32) / value; // LINT: bounded(contract: value > 0, debug-asserted above)
     }
     let msb = 63 - value.leading_zeros() as u64; // index of highest set bit, >= 3
     let shift = msb - 3;
     let mantissa = (value >> shift) as usize; // in 8..=15
-    RECIP_TABLE[mantissa - 8] >> shift
+    RECIP_TABLE[mantissa - 8] >> shift // LINT: bounded(mantissa in 8..=15, so the index is in 0..=7 = table len)
 }
 
 /// Approximate threshold for probability `w / value` on Tofino:

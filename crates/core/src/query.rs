@@ -301,6 +301,7 @@ impl FlowTable {
         // children are born sorted, so theirs is kept as a byproduct.
         let mut sorted: Vec<Option<Vec<(KeyBytes, u64)>>> = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
+            // LINT: bounded(i < specs.len() = is_root.len())
             if is_root[i] {
                 out.push(
                     root_maps
@@ -310,7 +311,8 @@ impl FlowTable {
                 sorted.push(None);
                 continue;
             }
-            let parent = Self::best_parent(specs, i, |j| out[j].len());
+            let parent = Self::best_parent(specs, i, |j| out[j].len()); // LINT: bounded(best_parent yields j < i = out.len())
+                                                                        // LINT: bounded(parent < i = out.len())
             if out[parent].len() * 2 > self.rows.len() {
                 // The parent is barely smaller than the table itself:
                 // sorting it, merging, and materializing a near-equal
@@ -321,13 +323,14 @@ impl FlowTable {
                 sorted.push(None);
                 continue;
             }
+            // LINT: bounded(parent < i = sorted.len())
             let parent_rows: &[(KeyBytes, u64)] = sorted[parent].get_or_insert_with(|| {
                 let mut rows: Vec<(KeyBytes, u64)> =
-                    out[parent].iter().map(|(k, &v)| (*k, v)).collect();
+                    out[parent].iter().map(|(k, &v)| (*k, v)).collect(); // LINT: bounded(parent < i = out.len())
                 Self::sort_entries(&mut rows);
                 rows
             });
-            let rolled = Self::roll_level(parent_rows, &spec.projector(&specs[parent]));
+            let rolled = Self::roll_level(parent_rows, &spec.projector(&specs[parent])); // LINT: bounded(parent < i <= specs.len())
             out.push(rolled.iter().copied().collect());
             sorted.push(Some(rolled));
         }
@@ -341,7 +344,7 @@ impl FlowTable {
         let is_root: Vec<bool> = specs
             .iter()
             .enumerate()
-            .map(|(i, spec)| !(0..i).any(|j| spec.is_partial_of(&specs[j])))
+            .map(|(i, spec)| !(0..i).any(|j| spec.is_partial_of(&specs[j]))) // LINT: bounded(j < i <= specs.len())
             .collect();
         let root_specs: Vec<KeySpec> = specs
             .iter()
@@ -386,7 +389,7 @@ impl FlowTable {
     /// specs it is a partial key of, the one with the smallest result.
     fn best_parent(specs: &[KeySpec], i: usize, result_len: impl Fn(usize) -> usize) -> usize {
         (0..i)
-            .filter(|&j| specs[i].is_partial_of(&specs[j]))
+            .filter(|&j| specs[i].is_partial_of(&specs[j])) // LINT: bounded(caller passes i < specs.len(); j < i)
             .min_by_key(|&j| result_len(j))
             .unwrap_or_else(|| invariant::violated("a non-root spec has an earlier ancestor"))
     }
@@ -444,6 +447,7 @@ impl FlowTable {
 
         let mut out: Vec<Vec<(KeyBytes, u64)>> = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
+            // LINT: bounded(i < specs.len() = is_root.len())
             if is_root[i] {
                 let mut rows: Vec<(KeyBytes, u64)> = root_maps
                     .next()
@@ -454,10 +458,10 @@ impl FlowTable {
                 out.push(rows);
                 continue;
             }
-            let parent = Self::best_parent(specs, i, |j| out[j].len());
+            let parent = Self::best_parent(specs, i, |j| out[j].len()); // LINT: bounded(best_parent yields j < i = out.len())
             out.push(Self::roll_level(
-                &out[parent],
-                &spec.projector(&specs[parent]),
+                &out[parent],                    // LINT: bounded(parent < i = out.len())
+                &spec.projector(&specs[parent]), // LINT: bounded(parent < i <= specs.len())
             ));
         }
         out

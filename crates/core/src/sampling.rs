@@ -57,7 +57,7 @@ impl<S: Sketch> SampledCoco<S> {
         }
         // Inverse-CDF of the geometric distribution.
         let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
-        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64 // LINT: bounded(f64 division, not integer: ln() returns f64)
     }
 
     /// The sampling probability.

@@ -43,7 +43,7 @@ pub fn decode(data: &[u8]) -> io::Result<FlowTable> {
     if data.len() < 13 {
         return Err(err("truncated header"));
     }
-    if &data[0..4] != MAGIC {
+    if data.get(0..4) != Some(MAGIC.as_slice()) {
         return Err(err("bad magic"));
     }
     let spec = KeySpec {
@@ -59,16 +59,16 @@ pub fn decode(data: &[u8]) -> io::Result<FlowTable> {
     let rows = u32::from_le_bytes([data[9], data[10], data[11], data[12]]) as usize;
     let key_len = spec.encoded_len();
     let row_len = key_len + 8;
-    let body = &data[13..];
+    let body = &data[13..]; // LINT: bounded(data.len() >= 13 checked above)
     if body.len() != rows * row_len {
         return Err(err("row section length mismatch"));
     }
     let mut out = Vec::with_capacity(rows);
     for chunk in body.chunks_exact(row_len) {
-        let key = KeyBytes::new(&chunk[..key_len]);
-        // `chunks_exact(row_len)` guarantees exactly 8 size bytes here.
+        let key = KeyBytes::new(&chunk[..key_len]); // LINT: bounded(chunk.len() = row_len = key_len + 8 via chunks_exact)
+                                                    // `chunks_exact(row_len)` guarantees exactly 8 size bytes here.
         let mut size = [0u8; 8];
-        size.copy_from_slice(&chunk[key_len..]);
+        size.copy_from_slice(&chunk[key_len..]); // LINT: bounded(chunk.len() = row_len = key_len + 8 via chunks_exact)
         let size = u64::from_le_bytes(size);
         out.push((key, size));
     }

@@ -123,6 +123,7 @@ impl<T: Copy + Send> SpscRing<T> {
         let tail = self.tail.0.load(Ordering::Acquire);
         let free = self.capacity() - head.wrapping_sub(tail);
         let n = items.len().min(free);
+        // LINT: bounded(n = items.len().min(free) <= items.len())
         for (i, item) in items[..n].iter().enumerate() {
             self.buf[head.wrapping_add(i) & self.mask].with_mut(|slot| {
                 // SAFETY: `n` is capped to the free window computed

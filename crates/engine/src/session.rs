@@ -295,7 +295,8 @@ impl<S: MergeSketch + 'static> EngineSession<S> {
     #[inline]
     pub fn push(&mut self, key: KeyBytes, w: u64) {
         let shard = ShardedEngine::<S>::shard_of(&key, self.config.threads);
-        self.stages[shard].push(Cmd::Pkt(key, w));
+        self.stages[shard].push(Cmd::Pkt(key, w)); // LINT: bounded(shard_of() < threads = stages.len())
+                                                   // LINT: bounded(same shard_of() bound)
         if self.stages[shard].len() == self.config.batch {
             self.flush(shard);
         }
@@ -309,10 +310,10 @@ impl<S: MergeSketch + 'static> EngineSession<S> {
     }
 
     fn flush(&mut self, shard: usize) {
-        let stage = &mut self.stages[shard];
+        let stage = &mut self.stages[shard]; // LINT: bounded(callers pass shard = shard_of() < threads)
         let mut sent = 0usize;
         while sent < stage.len() {
-            let pushed = self.rings[shard].push_slice(&stage[sent..]);
+            let pushed = self.rings[shard].push_slice(&stage[sent..]); // LINT: bounded(shard < threads = rings.len(); sent < stage.len() loop condition)
             if pushed == 0 {
                 std::thread::yield_now();
             }

@@ -254,7 +254,7 @@ impl<S: MergeSketch + 'static> ShardedEngine<S> {
             let flush = |shard: usize, stage: &mut Vec<(KeyBytes, u64)>| {
                 let mut sent = 0usize;
                 while sent < stage.len() {
-                    let pushed = rings[shard].push_slice(&stage[sent..]);
+                    let pushed = rings[shard].push_slice(&stage[sent..]); // LINT: bounded(shard < threads = rings.len(); sent < stage.len() loop condition)
                     if pushed == 0 {
                         std::thread::yield_now();
                     }
@@ -264,9 +264,10 @@ impl<S: MergeSketch + 'static> ShardedEngine<S> {
             };
             for p in packets {
                 let shard = Self::shard_of(&p.0, cfg.threads);
-                stages[shard].push(*p);
+                stages[shard].push(*p); // LINT: bounded(shard_of() < threads = stages.len())
+                                        // LINT: bounded(same shard_of() bound)
                 if stages[shard].len() == cfg.batch {
-                    flush(shard, &mut stages[shard]);
+                    flush(shard, &mut stages[shard]); // LINT: bounded(same shard_of() bound)
                 }
             }
             for (shard, stage) in stages.iter_mut().enumerate() {

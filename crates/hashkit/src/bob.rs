@@ -29,10 +29,12 @@ fn mix(mut a: u32, mut b: u32, mut c: u32) -> (u32, u32, u32) {
 }
 
 /// Read up to 4 little-endian bytes starting at `data[i]`, zero-padded.
+/// Out-of-range `i` reads as zero (the tail folds below may probe past
+/// the remainder).
 #[inline(always)]
 fn le_partial(data: &[u8], i: usize) -> u32 {
     let mut v = 0u32;
-    for (shift, &byte) in data[i..].iter().take(4).enumerate() {
+    for (shift, &byte) in data.iter().skip(i).take(4).enumerate() {
         v |= u32::from(byte) << (8 * shift);
     }
     v
@@ -86,45 +88,29 @@ fn bob_hash_generic(data: &[u8], seed: u32) -> u32 {
     let mut b = golden;
     let mut c = seed;
 
-    let mut i = 0usize;
-    while data.len() - i >= 12 {
-        a = a.wrapping_add(u32::from_le_bytes([
-            data[i],
-            data[i + 1],
-            data[i + 2],
-            data[i + 3],
-        ]));
-        b = b.wrapping_add(u32::from_le_bytes([
-            data[i + 4],
-            data[i + 5],
-            data[i + 6],
-            data[i + 7],
-        ]));
-        c = c.wrapping_add(u32::from_le_bytes([
-            data[i + 8],
-            data[i + 9],
-            data[i + 10],
-            data[i + 11],
-        ]));
+    let mut blocks = data.chunks_exact(12);
+    for blk in blocks.by_ref() {
+        a = a.wrapping_add(u32::from_le_bytes([blk[0], blk[1], blk[2], blk[3]]));
+        b = b.wrapping_add(u32::from_le_bytes([blk[4], blk[5], blk[6], blk[7]]));
+        c = c.wrapping_add(u32::from_le_bytes([blk[8], blk[9], blk[10], blk[11]]));
         let (x, y, z) = mix(a, b, c);
         a = x;
         b = y;
         c = z;
-        i += 12;
     }
 
     // Trailing bytes: c's low byte is reserved for the length, as in the
     // original (the first byte of c is the length, so keys that are
     // prefixes of each other hash differently).
+    let tail = blocks.remainder();
     c = c.wrapping_add(data.len() as u32);
-    let rem = data.len() - i;
-    a = a.wrapping_add(le_partial(data, i));
-    if rem > 4 {
-        b = b.wrapping_add(le_partial(data, i + 4));
+    a = a.wrapping_add(le_partial(tail, 0));
+    if tail.len() > 4 {
+        b = b.wrapping_add(le_partial(tail, 4));
     }
-    if rem > 8 {
+    if tail.len() > 8 {
         // Shift by one byte: the length already occupies c's low byte.
-        c = c.wrapping_add(le_partial(data, i + 8) << 8);
+        c = c.wrapping_add(le_partial(tail, 8) << 8);
     }
     let (_, _, c) = mix(a, b, c);
     c

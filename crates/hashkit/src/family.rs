@@ -50,7 +50,7 @@ impl HashFamily {
     /// Hash `key` with the `i`-th function.
     #[inline]
     pub fn hash(&self, i: usize, key: &[u8]) -> u32 {
-        bob_hash(key, self.seeds[i])
+        bob_hash(key, self.seeds[i]) // LINT: bounded(i < d is the family contract; callers iterate 0..len())
     }
 
     /// Bucket index of `key` in an array of `len` buckets under the `i`-th
@@ -65,7 +65,7 @@ impl HashFamily {
     /// resource accounting, which charges per configured hash unit).
     #[inline]
     pub fn seed(&self, i: usize) -> u32 {
-        self.seeds[i]
+        self.seeds[i] // LINT: bounded(i < d is the family contract; callers iterate 0..len())
     }
 }
 

@@ -66,9 +66,9 @@ impl Hasher for FastHasher {
         let rem = chunks.remainder();
         if !rem.is_empty() {
             let mut word = [0u8; 8];
-            word[..rem.len()].copy_from_slice(rem);
-            // Tag the tail with its length so prefixes hash differently
-            // even when the spare bytes are zero.
+            word[..rem.len()].copy_from_slice(rem); // LINT: bounded(chunks_exact(8) remainder has len < 8)
+                                                    // Tag the tail with its length so prefixes hash differently
+                                                    // even when the spare bytes are zero.
             word[7] = rem.len() as u8;
             self.mix_word(u64::from_le_bytes(word));
         }

@@ -48,7 +48,7 @@ impl SplitMix64 {
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0);
-        self.next_u64() % n
+        self.next_u64() % n // LINT: bounded(contract: n > 0, debug-asserted above)
     }
 
     /// Uniform integer in `[lo, hi)` (half-open, like `gen_range`).
@@ -78,7 +78,7 @@ impl SplitMix64 {
         if xs.is_empty() {
             None
         } else {
-            Some(&xs[self.below(xs.len() as u64) as usize])
+            xs.get(self.below(xs.len() as u64) as usize)
         }
     }
 }
@@ -134,14 +134,14 @@ impl XorShift64Star {
         }
         // Map the draw into [0, den): success iff draw < num. The modulo
         // bias is ≤ den/2^64, negligible for counter-sized denominators.
-        self.next_u64() % den < num
+        self.next_u64() % den < num // LINT: bounded(num >= den early-return above implies den > 0)
     }
 
     /// Uniform integer in `[0, n)`. `n` must be non-zero.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0);
-        self.next_u64() % n
+        self.next_u64() % n // LINT: bounded(contract: n > 0, debug-asserted above)
     }
 }
 

@@ -41,7 +41,7 @@ impl CountMin {
     pub fn insert(&mut self, key: &KeyBytes, w: u64) {
         for (i, row) in self.rows.iter_mut().enumerate() {
             let j = self.hashes.index(i, key.as_slice(), self.width);
-            row[j] += w;
+            row[j] += w; // LINT: bounded(j = fastrange(<width) = row.len())
         }
     }
 
@@ -51,7 +51,7 @@ impl CountMin {
         self.rows
             .iter()
             .enumerate()
-            .map(|(i, row)| row[self.hashes.index(i, key.as_slice(), self.width)])
+            .map(|(i, row)| row[self.hashes.index(i, key.as_slice(), self.width)]) // LINT: bounded(fastrange(<width) = row.len())
             .min()
             .unwrap_or(0)
     }

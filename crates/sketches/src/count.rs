@@ -53,7 +53,7 @@ impl CountSketch {
     pub fn insert(&mut self, key: &KeyBytes, w: u64) {
         for i in 0..self.rows.len() {
             let j = self.index_hashes.index(i, key.as_slice(), self.width);
-            self.rows[i][j] += self.sign(i, key) * w as i64;
+            self.rows[i][j] += self.sign(i, key) * w as i64; // LINT: bounded(i < rows.len(); j = fastrange(<width) = rows[i].len())
         }
     }
 
@@ -63,15 +63,15 @@ impl CountSketch {
         let mut ests: Vec<i64> = (0..self.rows.len())
             .map(|i| {
                 let j = self.index_hashes.index(i, key.as_slice(), self.width);
-                self.rows[i][j] * self.sign(i, key)
+                self.rows[i][j] * self.sign(i, key) // LINT: bounded(i < rows.len(); j = fastrange(<width) = rows[i].len())
             })
             .collect();
         ests.sort_unstable();
         let n = ests.len();
         let med = if n % 2 == 1 {
-            ests[n / 2]
+            ests[n / 2] // LINT: bounded(n = len >= 1: depth >= 1; n/2 < n)
         } else {
-            (ests[n / 2 - 1] + ests[n / 2]) / 2
+            (ests[n / 2 - 1] + ests[n / 2]) / 2 // LINT: bounded(even n >= 2 here; n/2 - 1 and n/2 are < n)
         };
         med.max(0) as u64
     }

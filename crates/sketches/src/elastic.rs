@@ -74,20 +74,20 @@ impl ElasticSketch {
     #[inline]
     fn light_insert(&mut self, key: &KeyBytes, w: u64) {
         let j = self.hashes.index(1, key.as_slice(), self.light.len());
-        self.light[j] = self.light[j].saturating_add(w.min(255) as u8);
+        self.light[j] = self.light[j].saturating_add(w.min(255) as u8); // LINT: bounded(j = fastrange(<light.len()))
     }
 
     #[inline]
     fn light_query(&self, key: &KeyBytes) -> u64 {
         let j = self.hashes.index(1, key.as_slice(), self.light.len());
-        u64::from(self.light[j])
+        u64::from(self.light[j]) // LINT: bounded(j = fastrange(<light.len()))
     }
 }
 
 impl Sketch for ElasticSketch {
     fn update(&mut self, key: &KeyBytes, w: u64) {
         let i = self.hashes.index(0, key.as_slice(), self.heavy.len());
-        let b = &mut self.heavy[i];
+        let b = &mut self.heavy[i]; // LINT: bounded(i = fastrange(<heavy.len()))
         if !b.occupied {
             *b = HeavyBucket {
                 key: *key,
@@ -99,10 +99,10 @@ impl Sketch for ElasticSketch {
             return;
         }
         if b.key == *key {
-            b.vote_pos += w;
+            b.vote_pos = b.vote_pos.wrapping_add(w);
             return;
         }
-        b.vote_neg += w;
+        b.vote_neg = b.vote_neg.wrapping_add(w);
         if b.vote_neg >= LAMBDA * b.vote_pos {
             // Ostracism: the resident flow is demoted to the light part
             // and the challenger takes the bucket. Its earlier packets
@@ -131,9 +131,10 @@ impl Sketch for ElasticSketch {
 
     fn query(&self, key: &KeyBytes) -> u64 {
         let i = self.hashes.index(0, key.as_slice(), self.heavy.len());
-        let b = &self.heavy[i];
+        let b = &self.heavy[i]; // LINT: bounded(i = fastrange(<heavy.len()))
         if b.occupied && b.key == *key {
-            b.vote_pos + if b.flag { self.light_query(key) } else { 0 }
+            b.vote_pos
+                .wrapping_add(if b.flag { self.light_query(key) } else { 0 })
         } else {
             self.light_query(key)
         }
@@ -145,7 +146,7 @@ impl Sketch for ElasticSketch {
             .filter(|b| b.occupied)
             .map(|b| {
                 let light = if b.flag { self.light_query(&b.key) } else { 0 };
-                (b.key, b.vote_pos + light)
+                (b.key, b.vote_pos.wrapping_add(light))
             })
             .collect()
     }
@@ -193,19 +194,19 @@ impl MergeSketch for ElasticSketch {
             *mine = mine.saturating_add(*theirs);
         }
         for i in 0..self.heavy.len() {
-            let theirs = other.heavy[i];
+            let theirs = other.heavy[i]; // LINT: bounded(i < heavy.len(), equal lengths checked above)
             if !theirs.occupied {
                 continue;
             }
-            let mine = self.heavy[i];
+            let mine = self.heavy[i]; // LINT: bounded(i < heavy.len())
             if !mine.occupied {
-                self.heavy[i] = theirs;
+                self.heavy[i] = theirs; // LINT: bounded(i < heavy.len())
                 continue;
             }
             if mine.key == theirs.key {
-                let b = &mut self.heavy[i];
-                b.vote_pos += theirs.vote_pos;
-                b.vote_neg += theirs.vote_neg;
+                let b = &mut self.heavy[i]; // LINT: bounded(i < heavy.len())
+                b.vote_pos = b.vote_pos.wrapping_add(theirs.vote_pos);
+                b.vote_neg = b.vote_neg.wrapping_add(theirs.vote_neg);
                 b.flag |= theirs.flag;
                 continue;
             }
@@ -218,8 +219,12 @@ impl MergeSketch for ElasticSketch {
             } else {
                 (mine, theirs)
             };
+            // LINT: bounded(i < heavy.len())
             self.heavy[i] = HeavyBucket {
-                vote_neg: winner.vote_neg + loser.vote_neg + loser.vote_pos,
+                vote_neg: winner
+                    .vote_neg
+                    .wrapping_add(loser.vote_neg)
+                    .wrapping_add(loser.vote_pos),
                 ..winner
             };
             let mut rest = loser.vote_pos;

@@ -35,12 +35,12 @@ impl Rhhh {
     /// 1-d HHH, or the 33x33 grid for 2-d).
     pub fn with_memory(mem_bytes: usize, specs: Vec<KeySpec>, seed: u64) -> Self {
         assert!(!specs.is_empty(), "R-HHH needs at least one level");
-        let per_level = mem_bytes / specs.len();
+        let per_level = mem_bytes / specs.len(); // LINT: bounded(specs non-empty, asserted above)
         let levels = specs
             .iter()
             .map(|spec| {
                 let key_bytes = spec.encoded_len().max(1);
-                let cap = (per_level / StreamSummary::bytes_per_item(key_bytes)).max(1);
+                let cap = (per_level / StreamSummary::bytes_per_item(key_bytes)).max(1); // LINT: bounded(bytes_per_item sums positive constants)
                 SpaceSaving::new(cap, key_bytes)
             })
             .collect();
@@ -62,20 +62,20 @@ impl Rhhh {
     pub fn update(&mut self, flow: &FiveTuple, w: u64) {
         self.packets += 1;
         let lvl = self.rng.below(self.levels.len() as u64) as usize;
-        let key = self.specs[lvl].project(flow);
-        self.levels[lvl].update(&key, w);
+        let key = self.specs[lvl].project(flow); // LINT: bounded(lvl = below(levels.len()) and levels.len() == specs.len())
+        self.levels[lvl].update(&key, w); // LINT: bounded(same lvl bound)
     }
 
     /// Estimated size of `key` at hierarchy level `level`, unscaled
     /// sample count multiplied by `H` to undo the per-packet sampling.
     pub fn query(&self, level: usize, key: &KeyBytes) -> u64 {
-        self.levels[level].query(key) * self.num_levels() as u64
+        self.levels[level].query(key) * self.num_levels() as u64 // LINT: bounded(caller contract: level < num_levels())
     }
 
     /// Recorded flows of one level, estimates rescaled by `H`.
     pub fn records_for(&self, level: usize) -> Vec<(KeyBytes, u64)> {
         let h = self.num_levels() as u64;
-        self.levels[level]
+        self.levels[level] // LINT: bounded(caller contract: level < num_levels())
             .records()
             .into_iter()
             .map(|(k, v)| (k, v * h))

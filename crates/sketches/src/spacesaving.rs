@@ -29,7 +29,7 @@ impl SpaceSaving {
     /// Size to a memory budget (charged at the Stream-Summary's real
     /// per-item cost, auxiliary structures included).
     pub fn with_memory(mem_bytes: usize, key_bytes: usize) -> Self {
-        let cap = (mem_bytes / StreamSummary::bytes_per_item(key_bytes)).max(1);
+        let cap = (mem_bytes / StreamSummary::bytes_per_item(key_bytes)).max(1); // LINT: bounded(bytes_per_item sums positive constants)
         Self::new(cap, key_bytes)
     }
 

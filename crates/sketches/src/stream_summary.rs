@@ -108,9 +108,34 @@ impl StreamSummary {
         self.slots.len() >= self.capacity
     }
 
+    /// Slot by arena id. Ids are minted by `insert` (`slots.len()` at
+    /// the time) and slots are never removed, so every stored id stays
+    /// in bounds for the structure's lifetime.
+    #[inline]
+    fn slot(&self, s: u32) -> &Slot {
+        &self.slots[s as usize] // LINT: bounded(arena ids minted by insert; slots are never removed)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, s: u32) -> &mut Slot {
+        &mut self.slots[s as usize] // LINT: bounded(arena ids minted by insert; slots are never removed)
+    }
+
+    /// Bucket by arena id. Ids come from `alloc_bucket` — an in-bounds
+    /// push or a recycled id — so the same arena argument applies.
+    #[inline]
+    fn bucket(&self, b: u32) -> &Bucket {
+        &self.buckets[b as usize] // LINT: bounded(arena ids minted by alloc_bucket; entries recycled, never removed)
+    }
+
+    #[inline]
+    fn bucket_mut(&mut self, b: u32) -> &mut Bucket {
+        &mut self.buckets[b as usize] // LINT: bounded(arena ids minted by alloc_bucket; entries recycled, never removed)
+    }
+
     /// Count of `key`, if tracked.
     pub fn get(&self, key: &KeyBytes) -> Option<u64> {
-        self.index.get(key).map(|&s| self.slots[s as usize].count)
+        self.index.get(key).map(|&s| self.slot(s).count)
     }
 
     /// True when `key` is tracked.
@@ -124,7 +149,7 @@ impl StreamSummary {
         if self.bucket_head == NIL {
             0
         } else {
-            self.buckets[self.bucket_head as usize].count
+            self.bucket(self.bucket_head).count
         }
     }
 
@@ -143,7 +168,7 @@ impl StreamSummary {
         let Some(&slot) = self.index.get(key) else {
             return false;
         };
-        let new_count = self.slots[slot as usize].count + w;
+        let new_count = self.slot(slot).count.wrapping_add(w);
         self.move_slot(slot, new_count);
         true
     }
@@ -179,36 +204,36 @@ impl StreamSummary {
     /// inserts while not full and replaces only once full).
     pub fn bump_min(&mut self, w: u64, replace_with: Option<KeyBytes>) -> (KeyBytes, u64) {
         assert!(self.bucket_head != NIL, "bump_min on empty StreamSummary");
-        let victim = self.buckets[self.bucket_head as usize].head;
-        let old_key = self.slots[victim as usize].key;
-        let old_count = self.slots[victim as usize].count;
+        let victim = self.bucket(self.bucket_head).head;
+        let old_key = self.slot(victim).key;
+        let old_count = self.slot(victim).count;
         if let Some(new_key) = replace_with {
             debug_assert!(
                 !self.index.contains_key(&new_key),
                 "replacement key already tracked"
             );
             self.index.remove(&old_key);
-            self.slots[victim as usize].key = new_key;
+            self.slot_mut(victim).key = new_key;
             self.index.insert(new_key, victim);
         }
-        self.move_slot(victim, old_count + w);
+        self.move_slot(victim, old_count.wrapping_add(w));
         (old_key, old_count)
     }
 
     /// Detach `slot` from its bucket and re-attach it at `new_count`.
     fn move_slot(&mut self, slot: u32, new_count: u64) {
-        let old_bucket = self.slots[slot as usize].bucket;
-        debug_assert!(new_count > self.buckets[old_bucket as usize].count);
+        let old_bucket = self.slot(slot).bucket;
+        debug_assert!(new_count > self.bucket(old_bucket).count);
         self.detach(slot);
         // Counts only grow, so the target bucket is at or after the old
         // one; search forward from it.
         let target = self.find_or_make_bucket_after(old_bucket, new_count);
         self.attach(slot, target);
         // Free the old bucket if the move emptied it.
-        if self.buckets[old_bucket as usize].head == NIL {
+        if self.bucket(old_bucket).head == NIL {
             self.unlink_bucket(old_bucket);
         }
-        self.slots[slot as usize].count = new_count;
+        self.slot_mut(slot).count = new_count;
     }
 
     /// Unlink `slot` from its bucket's item list (bucket kept even if
@@ -216,16 +241,16 @@ impl StreamSummary {
     fn detach(&mut self, slot: u32) {
         let Slot {
             prev, next, bucket, ..
-        } = self.slots[slot as usize];
+        } = *self.slot(slot);
         if prev != NIL {
-            self.slots[prev as usize].next = next;
+            self.slot_mut(prev).next = next;
         } else {
-            self.buckets[bucket as usize].head = next;
+            self.bucket_mut(bucket).head = next;
         }
         if next != NIL {
-            self.slots[next as usize].prev = prev;
+            self.slot_mut(next).prev = prev;
         }
-        let s = &mut self.slots[slot as usize];
+        let s = self.slot_mut(slot);
         s.prev = NIL;
         s.next = NIL;
         s.bucket = NIL;
@@ -233,21 +258,23 @@ impl StreamSummary {
 
     /// Push `slot` onto `bucket`'s item list.
     fn attach(&mut self, slot: u32, bucket: u32) {
-        let head = self.buckets[bucket as usize].head;
-        self.slots[slot as usize].next = head;
-        self.slots[slot as usize].prev = NIL;
-        self.slots[slot as usize].bucket = bucket;
-        self.slots[slot as usize].count = self.buckets[bucket as usize].count;
+        let head = self.bucket(bucket).head;
+        let count = self.bucket(bucket).count;
+        let s = self.slot_mut(slot);
+        s.next = head;
+        s.prev = NIL;
+        s.bucket = bucket;
+        s.count = count;
         if head != NIL {
-            self.slots[head as usize].prev = slot;
+            self.slot_mut(head).prev = slot;
         }
-        self.buckets[bucket as usize].head = slot;
+        self.bucket_mut(bucket).head = slot;
     }
 
     /// Allocate a bucket node.
     fn alloc_bucket(&mut self, count: u64) -> u32 {
         if let Some(b) = self.free_buckets.pop() {
-            self.buckets[b as usize] = Bucket {
+            *self.bucket_mut(b) = Bucket {
                 count,
                 head: NIL,
                 prev: NIL,
@@ -267,15 +294,15 @@ impl StreamSummary {
 
     /// Remove an empty bucket from the ordered list and recycle it.
     fn unlink_bucket(&mut self, b: u32) {
-        debug_assert_eq!(self.buckets[b as usize].head, NIL);
-        let Bucket { prev, next, .. } = self.buckets[b as usize];
+        debug_assert_eq!(self.bucket(b).head, NIL);
+        let Bucket { prev, next, .. } = *self.bucket(b);
         if prev != NIL {
-            self.buckets[prev as usize].next = next;
+            self.bucket_mut(prev).next = next;
         } else {
             self.bucket_head = next;
         }
         if next != NIL {
-            self.buckets[next as usize].prev = prev;
+            self.bucket_mut(next).prev = prev;
         }
         self.free_buckets.push(b);
     }
@@ -285,19 +312,21 @@ impl StreamSummary {
     fn link_bucket_after(&mut self, b: u32, after: u32) {
         if after == NIL {
             let old_head = self.bucket_head;
-            self.buckets[b as usize].next = old_head;
-            self.buckets[b as usize].prev = NIL;
+            let nb = self.bucket_mut(b);
+            nb.next = old_head;
+            nb.prev = NIL;
             if old_head != NIL {
-                self.buckets[old_head as usize].prev = b;
+                self.bucket_mut(old_head).prev = b;
             }
             self.bucket_head = b;
         } else {
-            let next = self.buckets[after as usize].next;
-            self.buckets[b as usize].prev = after;
-            self.buckets[b as usize].next = next;
-            self.buckets[after as usize].next = b;
+            let next = self.bucket(after).next;
+            let nb = self.bucket_mut(b);
+            nb.prev = after;
+            nb.next = next;
+            self.bucket_mut(after).next = b;
             if next != NIL {
-                self.buckets[next as usize].prev = b;
+                self.bucket_mut(next).prev = b;
             }
         }
     }
@@ -311,13 +340,13 @@ impl StreamSummary {
     /// Same, but scanning forward from `start` (a live bucket whose count
     /// is `< count`) — the fast path for increments.
     fn find_or_make_bucket_after(&mut self, start: u32, count: u64) -> u32 {
-        debug_assert!(self.buckets[start as usize].count < count);
-        self.find_or_make_bucket_scan(self.buckets[start as usize].next, start, count)
+        debug_assert!(self.bucket(start).count < count);
+        self.find_or_make_bucket_scan(self.bucket(start).next, start, count)
     }
 
     fn find_or_make_bucket_scan(&mut self, mut cur: u32, mut last_below: u32, count: u64) -> u32 {
         while cur != NIL {
-            let c = self.buckets[cur as usize].count;
+            let c = self.bucket(cur).count;
             if c == count {
                 return cur;
             }
@@ -325,7 +354,7 @@ impl StreamSummary {
                 break;
             }
             last_below = cur;
-            cur = self.buckets[cur as usize].next;
+            cur = self.bucket(cur).next;
         }
         let b = self.alloc_bucket(count);
         self.link_bucket_after(b, last_below);

@@ -66,7 +66,7 @@ impl TopK {
 
     /// Current estimate of `key`, if tracked.
     pub fn get(&self, key: &KeyBytes) -> Option<u64> {
-        self.pos.get(key).map(|&i| self.heap[i].1)
+        self.pos.get(key).map(|&i| self.heap[i].1) // LINT: bounded(pos values always index heap; kept in sync by swap/offer)
     }
 
     /// Report a fresh estimate for `key`.
@@ -75,8 +75,8 @@ impl TopK {
     /// is room or if they beat the current minimum (which is evicted).
     pub fn offer(&mut self, key: KeyBytes, estimate: u64) {
         if let Some(&i) = self.pos.get(&key) {
-            let old = self.heap[i].1;
-            self.heap[i].1 = estimate;
+            let old = self.heap[i].1; // LINT: bounded(pos values always index heap; kept in sync by swap/offer)
+            self.heap[i].1 = estimate; // LINT: bounded(same pos-map invariant)
             if estimate > old {
                 self.sift_down(i);
             } else {
@@ -110,13 +110,14 @@ impl TopK {
 
     fn swap(&mut self, a: usize, b: usize) {
         self.heap.swap(a, b);
-        self.pos.insert(self.heap[a].0, a);
-        self.pos.insert(self.heap[b].0, b);
+        self.pos.insert(self.heap[a].0, a); // LINT: bounded(caller contract: a, b < heap.len())
+        self.pos.insert(self.heap[b].0, b); // LINT: bounded(caller contract: a, b < heap.len())
     }
 
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
+            // LINT: bounded(caller contract: i < heap.len(); parent < i)
             if self.heap[i].1 < self.heap[parent].1 {
                 self.swap(i, parent);
                 i = parent;
@@ -130,9 +131,11 @@ impl TopK {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut smallest = i;
+            // LINT: bounded(l guarded; smallest starts at i < heap.len())
             if l < self.heap.len() && self.heap[l].1 < self.heap[smallest].1 {
                 smallest = l;
             }
+            // LINT: bounded(r guarded; smallest in {i, l} already checked)
             if r < self.heap.len() && self.heap[r].1 < self.heap[smallest].1 {
                 smallest = r;
             }

@@ -17,7 +17,7 @@ pub const COUNTER_BYTES: usize = 4;
 /// caller would have to special-case it, so the floor is one bucket.
 pub fn buckets_for(mem_bytes: usize, bucket_bytes: usize) -> usize {
     debug_assert!(bucket_bytes > 0);
-    (mem_bytes / bucket_bytes).max(1)
+    (mem_bytes / bucket_bytes.max(1)).max(1)
 }
 
 /// A streaming frequency sketch over one key.

@@ -43,7 +43,7 @@ impl UnivMon {
     /// Build with an explicit level count from a total memory budget.
     pub fn with_levels(mem_bytes: usize, levels: usize, key_bytes: usize, seed: u64) -> Self {
         assert!(levels > 0, "UnivMon needs at least one level");
-        let per_level = (mem_bytes / levels).max(1);
+        let per_level = (mem_bytes / levels).max(1); // LINT: bounded(levels > 0 asserted above)
         let heap_mem = (per_level as f64 * Self::HEAP_SHARE) as usize;
         let heap_cap = buckets_for(heap_mem, key_bytes + COUNTER_BYTES);
         let levels = (0..levels)
@@ -84,6 +84,7 @@ impl UnivMon {
 impl Sketch for UnivMon {
     fn update(&mut self, key: &KeyBytes, w: u64) {
         let z = self.max_level(key);
+        // LINT: bounded(max_level() returns z < levels.len())
         for level in self.levels[..=z].iter_mut() {
             level.cs.insert(key, w);
             let est = level.cs.estimate(key);

@@ -38,7 +38,7 @@ impl UnbiasedSpaceSaving {
     /// Size to a memory budget (auxiliary structures charged; see
     /// [`StreamSummary::bytes_per_item`]).
     pub fn with_memory(mem_bytes: usize, key_bytes: usize, seed: u64) -> Self {
-        let cap = (mem_bytes / StreamSummary::bytes_per_item(key_bytes)).max(1);
+        let cap = (mem_bytes / StreamSummary::bytes_per_item(key_bytes)).max(1); // LINT: bounded(bytes_per_item sums positive constants)
         Self::new(cap, key_bytes, seed)
     }
 
@@ -114,7 +114,7 @@ impl NaiveUss {
     /// paper's point is per-packet cost at equal accuracy, so give it
     /// the same number of counters.
     pub fn with_memory(mem_bytes: usize, key_bytes: usize, seed: u64) -> Self {
-        let cap = (mem_bytes / StreamSummary::bytes_per_item(key_bytes)).max(1);
+        let cap = (mem_bytes / StreamSummary::bytes_per_item(key_bytes)).max(1); // LINT: bounded(bytes_per_item sums positive constants)
         Self::new(cap, key_bytes, seed)
     }
 }
@@ -142,7 +142,7 @@ impl Sketch for NaiveUss {
             .enumerate()
             .min_by_key(|&(_, &(_, v))| v)
             .unwrap_or_else(|| hashkit::invariant::violated("a full USS table is non-empty"));
-        let entry = &mut self.entries[min_idx];
+        let entry = &mut self.entries[min_idx]; // LINT: bounded(min_idx comes from enumerate() over entries)
         entry.1 += w;
         let value_after = entry.1;
         if self.rng.coin(w, value_after) {

@@ -45,7 +45,7 @@ impl KeyBytes {
             bytes.len()
         );
         let mut buf = [0u8; MAX_KEY_BYTES];
-        buf[..bytes.len()].copy_from_slice(bytes);
+        buf[..bytes.len()].copy_from_slice(bytes); // LINT: bounded(bytes.len() <= MAX_KEY_BYTES asserted above)
         Self {
             len: bytes.len() as u8,
             buf,
@@ -55,7 +55,7 @@ impl KeyBytes {
     /// The encoded bytes.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {
-        &self.buf[..self.len as usize]
+        &self.buf[..self.len as usize] // LINT: bounded(len <= MAX_KEY_BYTES is the type invariant)
     }
 
     /// The full backing array. Bytes past [`len`](Self::len) are always

@@ -173,27 +173,27 @@ impl KeySpec {
         let mut n = 0usize;
         if self.src_ip_bits > 0 {
             let v = ft.src_ip & prefix_mask(self.src_ip_bits);
-            buf[n..n + 4].copy_from_slice(&v.to_be_bytes());
+            buf[n..n + 4].copy_from_slice(&v.to_be_bytes()); // LINT: bounded(n tracks encoded_len() <= MAX_KEY_BYTES = buf.len())
             n += 4;
         }
         if self.dst_ip_bits > 0 {
             let v = ft.dst_ip & prefix_mask(self.dst_ip_bits);
-            buf[n..n + 4].copy_from_slice(&v.to_be_bytes());
+            buf[n..n + 4].copy_from_slice(&v.to_be_bytes()); // LINT: bounded(n tracks encoded_len() <= MAX_KEY_BYTES = buf.len())
             n += 4;
         }
         if self.src_port {
-            buf[n..n + 2].copy_from_slice(&ft.src_port.to_be_bytes());
+            buf[n..n + 2].copy_from_slice(&ft.src_port.to_be_bytes()); // LINT: bounded(n tracks encoded_len() <= MAX_KEY_BYTES = buf.len())
             n += 2;
         }
         if self.dst_port {
-            buf[n..n + 2].copy_from_slice(&ft.dst_port.to_be_bytes());
+            buf[n..n + 2].copy_from_slice(&ft.dst_port.to_be_bytes()); // LINT: bounded(n tracks encoded_len() <= MAX_KEY_BYTES = buf.len())
             n += 2;
         }
         if self.proto {
-            buf[n] = ft.proto;
+            buf[n] = ft.proto; // LINT: bounded(n tracks encoded_len() <= MAX_KEY_BYTES = buf.len())
             n += 1;
         }
-        KeyBytes::new(&buf[..n])
+        KeyBytes::new(&buf[..n]) // LINT: bounded(n = encoded_len() <= MAX_KEY_BYTES = buf.len())
     }
 
     /// Decode a key encoded under this spec back into a [`FiveTuple`]
@@ -287,8 +287,8 @@ impl KeySpec {
         let mut n = 0usize;
         let mut field = |at: usize, width: usize, field_mask: &[u8]| {
             for i in 0..width {
-                src[n + i] = (at + i) as u8;
-                mask[n + i] = field_mask[i];
+                src[n + i] = (at + i) as u8; // LINT: bounded(n + width tracks encoded_len() <= MAX_KEY_BYTES)
+                mask[n + i] = field_mask[i]; // LINT: bounded(same n + width bound; i < width = field_mask.len())
             }
             n += width;
         };
@@ -393,13 +393,14 @@ impl Projector {
         let src_buf = key.raw();
         let out_buf = out.raw_mut();
         for i in 0..MAX_KEY_BYTES {
-            out_buf[i] = src_buf[usize::from(self.src[i])] & self.mask[i];
+            out_buf[i] = src_buf[usize::from(self.src[i])] & self.mask[i]; // LINT: bounded(i < MAX_KEY_BYTES, every array here is [u8; MAX_KEY_BYTES], and src entries are < full_len)
         }
         out.set_len(self.out_len);
     }
 
     /// Project `key` into a fresh [`KeyBytes`].
     #[inline]
+    // LINT: hot
     pub fn project(&self, key: &KeyBytes) -> KeyBytes {
         let mut out = KeyBytes::EMPTY;
         self.project_into(key, &mut out);
@@ -422,7 +423,8 @@ impl Projector {
     pub fn preserves_order(&self) -> bool {
         let mut seen_partial = false;
         for i in 0..MAX_KEY_BYTES {
-            let m = self.mask[i];
+            let m = self.mask[i]; // LINT: bounded(i < MAX_KEY_BYTES = mask.len())
+                                  // LINT: bounded(i < MAX_KEY_BYTES = src.len())
             if m != 0 && (seen_partial || usize::from(self.src[i]) != i) {
                 return false;
             }

@@ -50,7 +50,7 @@ impl<'a> Reader<'a> {
         if self.remaining() < n {
             return None;
         }
-        let out = &self.data[self.pos..self.pos + n];
+        let out = self.data.get(self.pos..self.pos + n)?;
         self.pos += n;
         Some(out)
     }

@@ -3,10 +3,10 @@
 //!
 //! Supported grammar — everything `lint.toml` needs and nothing more:
 //! `#` comments, top-level `key = [array-of-strings]` (single line),
-//! `[attrs]` with the same key shape, and `[[allow]]` entries with
-//! `key = "string"` fields. Anything else is a hard error, so a typo
-//! in the policy file fails the lint run instead of silently relaxing
-//! it.
+//! `[attrs]`/`[overflow]`/`[hot]` with the same key shape, and
+//! `[[allow]]` entries with `key = "string"` fields. Anything else is
+//! a hard error, so a typo in the policy file fails the lint run
+//! instead of silently relaxing it.
 
 /// One allowlist entry: suppresses findings of `rule` in `file`.
 /// `reason` is mandatory and must be non-empty — an allowlist without
@@ -19,8 +19,25 @@ pub struct AllowEntry {
     pub rule: String,
     /// Why the exemption is sound; surfaces in `--explain` style docs.
     pub reason: String,
+    /// Optional call-chain glob (`*` wildcards) an interprocedural
+    /// finding's chain must match for the entry to apply. Empty: match
+    /// any chain (including none).
+    pub chain: String,
     /// Line of the `[[allow]]` header, for error reporting.
     pub line: u32,
+}
+
+/// Match `pattern` (a glob where `*` matches any run of characters,
+/// including `::`) against `text`, anchored at both ends.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[u8], t: &[u8]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some(b'*') => (0..=t.len()).any(|skip| inner(&p[1..], &t[skip..])),
+            Some(&c) => t.first() == Some(&c) && inner(&p[1..], &t[1..]),
+        }
+    }
+    inner(pattern.as_bytes(), text.as_bytes())
 }
 
 /// Parsed `lint.toml`.
@@ -36,12 +53,20 @@ pub struct Config {
     pub deny_unsafe: Vec<String>,
     /// File/rule exemptions.
     pub allows: Vec<AllowEntry>,
+    /// `[overflow] counters`: identifier names the overflow rule
+    /// treats as counter accumulators.
+    pub overflow_counters: Vec<String>,
+    /// `[hot] extra`: qualified-path suffixes treated as hot entry
+    /// points in addition to inline `// LINT: hot` markers.
+    pub hot_extra: Vec<String>,
 }
 
 #[derive(PartialEq)]
 enum Section {
     Top,
     Attrs,
+    Overflow,
+    Hot,
     Allow,
 }
 
@@ -68,6 +93,14 @@ pub fn parse(src: &str) -> Result<Config, String> {
             section = Section::Attrs;
             continue;
         }
+        if line == "[overflow]" {
+            section = Section::Overflow;
+            continue;
+        }
+        if line == "[hot]" {
+            section = Section::Hot;
+            continue;
+        }
         if line.starts_with('[') {
             return Err(format!("lint.toml:{lineno}: unknown section {line}"));
         }
@@ -79,11 +112,14 @@ pub fn parse(src: &str) -> Result<Config, String> {
             (Section::Top, "data_plane") => cfg.data_plane = parse_array(value, lineno)?,
             (Section::Attrs, "forbid_unsafe") => cfg.forbid_unsafe = parse_array(value, lineno)?,
             (Section::Attrs, "deny_unsafe") => cfg.deny_unsafe = parse_array(value, lineno)?,
+            (Section::Overflow, "counters") => cfg.overflow_counters = parse_array(value, lineno)?,
+            (Section::Hot, "extra") => cfg.hot_extra = parse_array(value, lineno)?,
             (Section::Allow, "file") => last_allow(&mut cfg)?.file = parse_string(value, lineno)?,
             (Section::Allow, "rule") => last_allow(&mut cfg)?.rule = parse_string(value, lineno)?,
             (Section::Allow, "reason") => {
                 last_allow(&mut cfg)?.reason = parse_string(value, lineno)?
             }
+            (Section::Allow, "chain") => last_allow(&mut cfg)?.chain = parse_string(value, lineno)?,
             _ => return Err(format!("lint.toml:{lineno}: unknown key `{key}`")),
         }
     }
@@ -189,6 +225,44 @@ reason = "metrics only"
     fn unknown_key_is_fatal() {
         let err = parse("data_plne = [\"a\"]\n").unwrap_err();
         assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn parses_overflow_hot_and_chain_keys() {
+        let cfg = parse(
+            "data_plane = [\"a\"]\n\
+             [overflow]\n\
+             counters = [\"value\", \"weight\"]\n\
+             [hot]\n\
+             extra = [\"Ring::push\"]\n\
+             [[allow]]\n\
+             file = \"crates/a/src/x.rs\"\n\
+             rule = \"transitive-panic\"\n\
+             chain = \"a::entry -> *\"\n\
+             reason = \"entry validates its input\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.overflow_counters, vec!["value", "weight"]);
+        assert_eq!(cfg.hot_extra, vec!["Ring::push"]);
+        assert_eq!(cfg.allows[0].chain, "a::entry -> *");
+    }
+
+    #[test]
+    fn unknown_keys_in_new_sections_are_fatal() {
+        let err = parse("[overflow]\ncounter = [\"value\"]\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        let err = parse("[hot]\nextras = []\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn glob_matching_is_anchored_with_star_wildcards() {
+        assert!(glob_match("a::entry -> *", "a::entry -> b::deep"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*::deep", "a::b::deep"));
+        assert!(!glob_match("a::entry", "a::entry -> b::deep"));
+        assert!(glob_match("a*c*e", "abcde"));
+        assert!(!glob_match("a*z", "abcde"));
     }
 
     #[test]

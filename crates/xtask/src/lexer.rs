@@ -20,8 +20,9 @@ pub enum TokKind {
     Comment(String),
     /// String/char/byte literal (contents irrelevant to the rules).
     Literal,
-    /// Numeric literal.
-    Num,
+    /// Numeric literal, with its source text (the overflow/division
+    /// rules need to distinguish `0`, nonzero, and float literals).
+    Num(String),
     /// A lifetime such as `'a` (distinct from a char literal).
     Lifetime,
 }
@@ -106,6 +107,24 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                 });
                 i = j;
             }
+            // Raw identifier `r#ident`: one identifier token carrying
+            // the full `r#` spelling so it can never collide with a
+            // keyword the rules look for (`r#fn` is not `fn`).
+            'r' if chars.get(i + 1) == Some(&'#')
+                && chars
+                    .get(i + 2)
+                    .is_some_and(|c| c.is_alphabetic() || *c == '_') =>
+            {
+                let mut j = i + 2;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident(chars[i..j].iter().collect()),
+                    line: start_line,
+                });
+                i = j;
+            }
             '\'' => {
                 // Lifetime iff an identifier follows and is NOT closed
                 // by another quote ('a vs 'a').
@@ -156,7 +175,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                     j += 1;
                 }
                 toks.push(Token {
-                    kind: TokKind::Num,
+                    kind: TokKind::Num(chars[i..j].iter().collect()),
                     line: start_line,
                 });
                 i = j;
@@ -226,9 +245,17 @@ fn scan_char(chars: &[char], mut j: usize) -> usize {
 
 /// Scan a literal with an `r`/`b`/`br` prefix starting at `i`; returns
 /// the index just past it.
+///
+/// Raw strings (any prefix containing `r`) have **no escape
+/// processing**: `r"\"` is a complete string holding one backslash.
+/// Routing them through the escape-aware [`scan_string`] would let a
+/// trailing backslash swallow the rest of the file — and with it any
+/// `unwrap()`/`panic!` tokens the rules should have seen.
 fn scan_prefixed_literal(chars: &[char], i: usize) -> usize {
     let mut j = i;
+    let mut raw = false;
     while matches!(chars.get(j), Some('r') | Some('b')) {
+        raw |= chars[j] == 'r';
         j += 1;
     }
     let mut hashes = 0;
@@ -237,8 +264,9 @@ fn scan_prefixed_literal(chars: &[char], i: usize) -> usize {
         j += 1;
     }
     match chars.get(j) {
-        Some('"') if hashes > 0 => {
-            // Raw string: ends at `"` followed by `hashes` hashes.
+        Some('"') if raw => {
+            // Raw string: no escapes; ends at `"` followed by exactly
+            // `hashes` hashes (zero hashes: the very next quote).
             j += 1;
             while j < chars.len() {
                 if chars[j] == '"'
@@ -306,6 +334,63 @@ mod tests {
             .find(|t| t.kind == TokKind::Ident("end".into()))
             .unwrap();
         assert_eq!(end.line, 7);
+    }
+
+    #[test]
+    fn raw_string_backslash_does_not_swallow_following_code() {
+        // `r"\"` is a complete raw string (one backslash); the escape-
+        // aware scanner used to treat `\"` as an escaped quote and
+        // consume to end of input, hiding the unwrap from the rules.
+        let src = "let re = r\"\\\"; x.unwrap();";
+        assert_eq!(idents(src), vec!["let", "re", "x", "unwrap"]);
+        // Same for byte-raw strings.
+        let src = "let re = br\"\\\"; x.unwrap();";
+        assert_eq!(idents(src), vec!["let", "re", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn zero_hash_raw_string_hides_panic_tokens() {
+        let src = r#"let s = r"panic!() unwrap()"; go();"#;
+        assert_eq!(idents(src), vec!["let", "s", "go"]);
+    }
+
+    #[test]
+    fn hashed_raw_strings_end_only_at_matching_hashes() {
+        // The `"#` inside the body has too few hashes to close.
+        let src = "let s = r##\"inner \"# unwrap()\"##; done();";
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments_hide_panic_tokens() {
+        let src = "/* outer /* panic!() */ still /* deep */ comment */ call();";
+        assert_eq!(idents(src), vec!["call"]);
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_alias_keywords() {
+        let toks = tokenize("let r#fn = r#match;");
+        let ids: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec!["let", "r#fn", "r#match"]);
+    }
+
+    #[test]
+    fn num_tokens_carry_their_text() {
+        let toks = tokenize("a / 0; b % 32; c / 2.5");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "32", "2.5"]);
     }
 
     #[test]

@@ -20,9 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 use rules::Finding;
@@ -58,6 +61,9 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
     }
 
     let mut findings = Vec::new();
+    // (file, line) pairs the per-file panic-path rule reports; the
+    // transitive rule skips them so one unwrap is never two findings.
+    let mut panic_path_sites: Vec<(String, u32)> = Vec::new();
     for krate in &crates {
         let (src_files, other_files) = workspace::rust_files(root, krate);
         let is_data_plane = cfg.data_plane.contains(&krate.name);
@@ -68,7 +74,13 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
             let name = rel.to_string_lossy().replace('\\', "/");
             findings.extend(rules::safety_comment(&name, &toks));
             if is_data_plane && src_files.contains(rel) {
-                findings.extend(rules::data_plane_rules(rel, &toks));
+                let dp = rules::data_plane_rules(rel, &toks);
+                panic_path_sites.extend(
+                    dp.iter()
+                        .filter(|f| f.rule == "panic-path")
+                        .map(|f| (f.file.clone(), f.line)),
+                );
+                findings.extend(dp);
             }
         }
         // Crate-root attributes per tier.
@@ -94,11 +106,48 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
         }
     }
 
-    // Apply the allowlist; every entry must earn its keep.
+    // Interprocedural pass: build the workspace call graph once, then
+    // run the dataflow rules over it.
+    let graph = callgraph::build(root, &crates)?;
+    let df_cfg = dataflow::DataflowConfig {
+        data_plane: cfg.data_plane.clone(),
+        counters: cfg.overflow_counters.clone(),
+        hot_extra: cfg.hot_extra.clone(),
+    };
+    // A `[hot] extra` suffix naming no workspace fn is rot — the fn
+    // was renamed or removed and the policy silently stopped applying.
+    for suffix in &cfg.hot_extra {
+        let hits = graph.fns.iter().any(|f| {
+            f.qualified.ends_with(suffix.as_str())
+                && f.qualified[..f.qualified.len() - suffix.len()].ends_with("::")
+        });
+        if !hits {
+            return Err(format!(
+                "lint.toml [hot] extra entry `{suffix}` matches no workspace fn — remove or fix it"
+            ));
+        }
+    }
+    let covered = |file: &str, line: u32| {
+        panic_path_sites
+            .iter()
+            .any(|(f, l)| f == file && *l == line)
+    };
+    findings.extend(dataflow::transitive_panic(&graph, &df_cfg, &covered));
+    findings.extend(dataflow::overflow(&graph, &df_cfg));
+    findings.extend(dataflow::hot_alloc(&graph, &df_cfg));
+    findings.extend(dataflow::marker_errors(&graph));
+
+    // Apply the allowlist; every entry must earn its keep. An entry
+    // with a `chain` glob only covers findings whose call chain
+    // matches it.
     let mut used = vec![false; cfg.allows.len()];
     findings.retain(|f| {
         for (idx, allow) in cfg.allows.iter().enumerate() {
-            if allow.file == f.file && allow.rule == f.rule {
+            let chain_ok = allow.chain.is_empty()
+                || f.chain
+                    .as_deref()
+                    .is_some_and(|c| config::glob_match(&allow.chain, c));
+            if allow.file == f.file && allow.rule == f.rule && chain_ok {
                 used[idx] = true;
                 return false;
             }
@@ -115,6 +164,7 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
                     "[[allow]] for {} / {} suppresses nothing — remove it",
                     allow.file, allow.rule
                 ),
+                chain: None,
             });
         }
     }

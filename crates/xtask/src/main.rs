@@ -8,9 +8,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint [--format human|json|sarif] [--out FILE]");
             eprintln!();
             eprintln!("subcommands:");
             eprintln!("  lint    run the cocolint static-analysis pass (policy: lint.toml)");
@@ -19,27 +19,88 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint() -> ExitCode {
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut format = Format::Human;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "cocolint: --format takes human|json|sarif, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("cocolint: --out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("cocolint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let Some(root) = find_workspace_root() else {
         eprintln!("cocolint: no lint.toml found between the current directory and filesystem root");
         return ExitCode::FAILURE;
     };
-    match xtask::run_lint(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("cocolint: clean");
-            ExitCode::SUCCESS
+    let findings = match xtask::run_lint(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("cocolint: error: {e}");
+            return ExitCode::FAILURE;
         }
-        Ok(findings) => {
+    };
+
+    // Machine formats always render (an empty results array is valid
+    // output — CI uploads it either way); human mode prints findings
+    // to stderr and a status line.
+    let rendered = match format {
+        Format::Human => None,
+        Format::Json => Some(xtask::sarif::render_json(&findings)),
+        Format::Sarif => Some(xtask::sarif::render(&findings)),
+    };
+    if let Some(text) = rendered {
+        match &out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("cocolint: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => print!("{text}"),
+        }
+    }
+    if findings.is_empty() {
+        if matches!(format, Format::Human) {
+            println!("cocolint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if matches!(format, Format::Human) {
             for f in &findings {
                 eprintln!("{f}");
             }
-            eprintln!("cocolint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
         }
-        Err(e) => {
-            eprintln!("cocolint: error: {e}");
-            ExitCode::FAILURE
-        }
+        eprintln!("cocolint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
     }
 }
 

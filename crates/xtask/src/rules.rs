@@ -31,6 +31,10 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// For interprocedural rules: the call chain from a data-plane
+    /// entry point to the offending site, rendered `a::b -> c::d`.
+    /// `[[allow]]` entries with a `chain` pattern match against this.
+    pub chain: Option<String>,
 }
 
 impl std::fmt::Display for Finding {
@@ -39,7 +43,11 @@ impl std::fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        if let Some(chain) = &self.chain {
+            write!(f, "\n    call chain: {chain}")?;
+        }
+        Ok(())
     }
 }
 
@@ -114,6 +122,7 @@ pub fn safety_comment(file: &str, toks: &[Token]) -> Vec<Finding> {
                 message: format!(
                     "{target} without a `// SAFETY:` comment within {SAFETY_WINDOW_LINES} lines"
                 ),
+                chain: None,
             });
         }
     }
@@ -149,6 +158,7 @@ pub fn panic_path(file: &str, toks: &[Token]) -> Vec<Finding> {
                     message: format!(
                         ".{name}() on the data plane — return a typed error or use hashkit::invariant::violated with a written argument"
                     ),
+                    chain: None,
                 });
             }
         } else if PANIC_MACROS.contains(&name) {
@@ -163,6 +173,7 @@ pub fn panic_path(file: &str, toks: &[Token]) -> Vec<Finding> {
                     message: format!(
                         "{name}! on the data plane — see panic-path policy in DESIGN.md"
                     ),
+                    chain: None,
                 });
             }
         }
@@ -194,6 +205,7 @@ pub fn wall_clock(file: &str, toks: &[Token]) -> Vec<Finding> {
                 message: format!(
                     "{name} in deterministic sketch code — time must not influence sketch state"
                 ),
+                chain: None,
             });
         } else if ENTROPY_IDENTS.contains(&name) {
             findings.push(Finding {
@@ -203,6 +215,7 @@ pub fn wall_clock(file: &str, toks: &[Token]) -> Vec<Finding> {
                 message: format!(
                     "{name} draws ambient entropy — use a seeded hashkit::XorShift64Star instead"
                 ),
+                chain: None,
             });
         }
     }
@@ -234,6 +247,7 @@ pub fn default_hashmap(file: &str, toks: &[Token]) -> Vec<Finding> {
                 message: format!(
                     "{name} uses the SipHash + random-seed default on a hot path — use hashkit::{fast}"
                 ),
+                chain: None,
             });
         }
     }
@@ -273,6 +287,7 @@ pub fn require_crate_attr(
             line: 1,
             rule: "crate-attrs",
             message: format!("crate root is missing #![{level}({lint_name})]"),
+            chain: None,
         })
     }
 }

@@ -1,0 +1,300 @@
+//! SARIF 2.1.0 output for cocolint findings.
+//!
+//! Hand-rolled serialization (the workspace builds offline with zero
+//! dependencies): a minimal JSON string escaper plus the subset of the
+//! SARIF object model that `github/codeql-action/upload-sarif` and
+//! other consumers require — `runs[0].tool.driver` with a populated
+//! rule catalog, and one `result` per finding carrying `ruleId`,
+//! `message.text`, and a `physicalLocation` (workspace-relative URI +
+//! 1-based `startLine`). Call-chain context travels in the message
+//! text so it survives viewers that only render messages.
+
+use crate::rules::Finding;
+
+/// Tool version stamped into `tool.driver.version`.
+const VERSION: &str = "2.0.0";
+
+/// Escape `s` for inclusion in a JSON string literal (RFC 8259 §7:
+/// quote, backslash, and control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Short description per rule id, for the `tool.driver.rules` catalog.
+/// Unknown ids (future rules) get a generic entry rather than failing.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "safety-comment" => "every unsafe block carries a written // SAFETY: argument",
+        "panic-path" => "data-plane code must not contain syntactic panic sites",
+        "transitive-panic" => {
+            "no data-plane pub fn may transitively reach a panic site anywhere in the workspace"
+        }
+        "overflow" => "counter accumulators use wrapping/saturating/checked arithmetic",
+        "hot-alloc" => "LINT: hot functions must not transitively allocate outside cold branches",
+        "wall-clock" => "data-plane code must not read wall-clock time",
+        "default-hashmap" => "data-plane code uses deterministic hashing",
+        "crate-attrs" => "crate roots carry the lint attributes their tier requires",
+        "unused-allow" => "every lint.toml [[allow]] entry must still suppress something",
+        "lint-marker" => "inline LINT: markers must be well-formed and carry a reason",
+        _ => "cocolint finding",
+    }
+}
+
+/// Render `findings` as a complete SARIF 2.1.0 log.
+pub fn render(findings: &[Finding]) -> String {
+    // Rule catalog: distinct ids in first-appearance order.
+    let mut rule_ids: Vec<&str> = Vec::new();
+    for f in findings {
+        if !rule_ids.contains(&f.rule) {
+            rule_ids.push(f.rule);
+        }
+    }
+
+    let rules_json: Vec<String> = rule_ids
+        .iter()
+        .map(|id| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                escape(id),
+                escape(rule_description(id))
+            )
+        })
+        .collect();
+
+    let results_json: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            let rule_index = rule_ids.iter().position(|r| *r == f.rule).unwrap_or(0);
+            let mut text = f.message.clone();
+            if let Some(chain) = &f.chain {
+                text.push_str("; call chain: ");
+                text.push_str(chain);
+            }
+            format!(
+                "{{\"ruleId\":\"{}\",\"ruleIndex\":{},\"level\":\"error\",\
+                 \"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\
+                 \"artifactLocation\":{{\"uri\":\"{}\",\"uriBaseId\":\"%SRCROOT%\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]}}",
+                escape(f.rule),
+                rule_index,
+                escape(&text),
+                escape(&f.file),
+                f.line.max(1)
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\
+         \"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"cocolint\",\"version\":\"{VERSION}\",\
+         \"informationUri\":\"https://example.invalid/cocolint\",\
+         \"rules\":[{rules}]}}}},\
+         \"columnKind\":\"utf16CodeUnits\",\
+         \"results\":[{results}]}}]}}\n",
+        rules = rules_json.join(","),
+        results = results_json.join(",")
+    )
+}
+
+/// Render `findings` as a plain JSON array (the `--format json` shape:
+/// `[{"file", "line", "rule", "message", "chain"?}]`).
+pub fn render_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            let chain = match &f.chain {
+                Some(c) => format!(",\"chain\":\"{}\"", escape(c)),
+                None => String::new(),
+            };
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"{}}}",
+                escape(&f.file),
+                f.line,
+                escape(f.rule),
+                escape(&f.message),
+                chain
+            )
+        })
+        .collect();
+    format!("[{}]\n", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny recursive-descent JSON checker: enough to prove the
+    /// hand-rolled output is well-formed without a JSON dependency.
+    fn check_json(s: &str) -> Result<(), String> {
+        let b: Vec<char> = s.chars().collect();
+        let mut i = 0usize;
+        fn ws(b: &[char], i: &mut usize) {
+            while *i < b.len() && b[*i].is_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[char], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            match b.get(*i) {
+                Some('{') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        string(b, i)?;
+                        ws(b, i);
+                        if b.get(*i) != Some(&':') {
+                            return Err(format!("expected ':' at {i:?}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(',') => *i += 1,
+                            Some('}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                        }
+                    }
+                }
+                Some('[') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(',') => *i += 1,
+                            Some(']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            other => return Err(format!("expected ',' or ']', got {other:?}")),
+                        }
+                    }
+                }
+                Some('"') => string(b, i),
+                Some(c) if c.is_ascii_digit() || *c == '-' => {
+                    while *i < b.len()
+                        && (b[*i].is_ascii_digit() || matches!(b[*i], '.' | 'e' | 'E' | '+' | '-'))
+                    {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                Some('t') | Some('f') | Some('n') => {
+                    while *i < b.len() && b[*i].is_ascii_alphabetic() {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected {other:?}")),
+            }
+        }
+        fn string(b: &[char], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            if b.get(*i) != Some(&'"') {
+                return Err(format!("expected '\"' at {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    '\\' => *i += 2,
+                    '"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        value(&b, &mut i)?;
+        ws(&b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing content at {i}"));
+        }
+        Ok(())
+    }
+
+    fn demo_findings() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/core/src/basic.rs".to_string(),
+                line: 42,
+                rule: "transitive-panic",
+                message: "a \"quoted\" message with a\nnewline and \\backslash".to_string(),
+                chain: Some("cocosketch::Sketch::update -> util::deep".to_string()),
+            },
+            Finding {
+                file: "lint.toml".to_string(),
+                line: 7,
+                rule: "unused-allow",
+                message: "suppresses nothing".to_string(),
+                chain: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn sarif_output_is_valid_json_with_required_fields() {
+        let out = render(&demo_findings());
+        check_json(&out).unwrap();
+        assert!(out.contains("\"version\":\"2.1.0\""));
+        assert!(out.contains("\"name\":\"cocolint\""));
+        assert!(out.contains("\"ruleId\":\"transitive-panic\""));
+        assert!(out.contains("\"startLine\":42"));
+        assert!(out.contains("\"uri\":\"crates/core/src/basic.rs\""));
+        // The rule catalog holds one entry per distinct rule id.
+        assert!(out.contains("\"id\":\"transitive-panic\""));
+        assert!(out.contains("\"id\":\"unused-allow\""));
+        // Chain context rides along inside the message text.
+        assert!(out.contains("call chain: cocosketch::Sketch::update"));
+    }
+
+    #[test]
+    fn empty_findings_produce_an_empty_results_array() {
+        let out = render(&[]);
+        check_json(&out).unwrap();
+        assert!(out.contains("\"results\":[]"));
+    }
+
+    #[test]
+    fn json_format_escapes_and_round_trips_structure() {
+        let out = render_json(&demo_findings());
+        check_json(&out).unwrap();
+        assert!(out.contains("\\\"quoted\\\""));
+        assert!(out.contains("\\n"));
+        assert!(out.contains("\"chain\":\"cocosketch::Sketch::update"));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape("q\"w\\e"), "q\\\"w\\\\e");
+    }
+}

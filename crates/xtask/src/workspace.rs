@@ -10,6 +10,9 @@ pub struct CrateInfo {
     pub name: String,
     /// Crate directory, relative to the workspace root.
     pub dir: PathBuf,
+    /// Direct dependency names from `[dependencies]` (the call-graph
+    /// resolver only lets a crate call into crates it depends on).
+    pub deps: Vec<String>,
 }
 
 impl CrateInfo {
@@ -46,6 +49,7 @@ pub fn discover(root: &Path) -> Result<Vec<CrateInfo>, String> {
         found.push(CrateInfo {
             name,
             dir: PathBuf::from("crates").join(entry.file_name()),
+            deps: dependency_names(&text),
         });
     }
     found.sort_by(|a, b| a.name.cmp(&b.name));
@@ -72,6 +76,34 @@ fn package_name(manifest: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Dependency names from every `[dependencies]` /
+/// `[dev-dependencies]` / `[build-dependencies]` section of a
+/// manifest. Dev-deps are included because the call graph also walks
+/// test helpers; over-approximating the dep set only widens candidate
+/// resolution, never hides an edge.
+fn dependency_names(manifest: &str) -> Vec<String> {
+    let mut in_deps = false;
+    let mut deps = Vec::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]"
+                || line == "[dev-dependencies]"
+                || line == "[build-dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, _)) = line.split_once('=') {
+            deps.push(key.trim().trim_matches('"').to_string());
+        }
+    }
+    deps.sort();
+    deps.dedup();
+    deps
 }
 
 /// All `.rs` files of a crate, relative to the workspace root, split

@@ -1,0 +1,29 @@
+//! Mini data-plane crate for the interprocedural-rule tests.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+/// Entry point whose panic lives two call-levels down, in `util`.
+pub fn entry(x: u64) -> u64 {
+    helper(x)
+}
+
+fn helper(x: u64) -> u64 {
+    util::deep(x)
+}
+
+/// Counter holder for the overflow fixture finding.
+pub struct Bucket {
+    /// The `lint.toml [overflow] counters` accumulator.
+    pub count: u64,
+}
+
+/// Unchecked `+=` on a configured counter: the overflow finding.
+pub fn bump(b: &mut Bucket, w: u64) {
+    b.count += w;
+}
+
+// LINT: hot
+/// Hot entry point whose allocation lives one call-level down.
+pub fn fast(x: u64) -> u64 {
+    util::build(x)
+}

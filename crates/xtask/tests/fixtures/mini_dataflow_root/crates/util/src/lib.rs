@@ -1,0 +1,13 @@
+//! Mini utility crate: the panic and allocation sites the data-plane
+//! crate reaches transitively.
+
+/// The unwrap the transitive-panic rule must trace back to `dp::entry`.
+pub fn deep(x: u64) -> u64 {
+    Some(x).unwrap()
+}
+
+/// The `vec!` the hot-alloc rule must trace back to `dp::fast`.
+pub fn build(x: u64) -> u64 {
+    let v = vec![x];
+    v[0]
+}

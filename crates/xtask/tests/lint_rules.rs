@@ -100,6 +100,7 @@ fn findings_render_as_file_line_rule() {
         line: 7,
         rule: "safety-comment",
         message: "msg".into(),
+        chain: None,
     };
     assert_eq!(
         f.to_string(),
@@ -145,4 +146,108 @@ fn run_lint_applies_allowlist_and_reports_unused_entries() {
 fn run_lint_rejects_config_naming_unknown_crates() {
     let err = xtask::run_lint(&fixture_root("mini_bad_root")).unwrap_err();
     assert!(err.contains("unknown crate `ghost`"), "{err}");
+}
+
+#[test]
+fn dataflow_fixture_pins_file_line_and_chain_per_rule() {
+    // One fixture workspace, one finding per interprocedural rule,
+    // each pinned to its exact file:line (and call chain where the
+    // rule carries one) so the rules cannot silently drift.
+    let findings = xtask::run_lint(&fixture_root("mini_dataflow_root")).unwrap();
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(rendered.len(), 3, "{rendered:#?}");
+
+    assert!(
+        rendered[0].starts_with("crates/dp/src/lib.rs:22: [overflow]"),
+        "{rendered:#?}"
+    );
+    assert!(findings[0].chain.is_none());
+
+    assert!(
+        rendered[1].starts_with("crates/util/src/lib.rs:6: [transitive-panic]"),
+        "{rendered:#?}"
+    );
+    assert_eq!(
+        findings[1].chain.as_deref(),
+        Some("dp::entry -> dp::helper -> util::deep"),
+        "{rendered:#?}"
+    );
+
+    assert!(
+        rendered[2].starts_with("crates/util/src/lib.rs:11: [hot-alloc]"),
+        "{rendered:#?}"
+    );
+    assert_eq!(
+        findings[2].chain.as_deref(),
+        Some("dp::fast -> util::build"),
+        "{rendered:#?}"
+    );
+}
+
+/// Recursively copy `from` into `to` (fixture workspaces are tiny).
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+#[test]
+fn mutation_inserting_a_deep_unwrap_is_caught_with_its_chain() {
+    // The do-the-rules-actually-fire test: take the fixture workspace,
+    // graft a brand-new unwrap two call-levels below a brand-new
+    // data-plane pub fn, and require the transitive rule to surface it
+    // with the full entry-to-site chain.
+    let scratch = std::env::temp_dir().join(format!("cocolint_mutation_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&fixture_root("mini_dataflow_root"), &scratch);
+
+    let baseline = xtask::run_lint(&scratch).unwrap();
+
+    let dp = scratch.join("crates/dp/src/lib.rs");
+    let mut dp_src = std::fs::read_to_string(&dp).unwrap();
+    dp_src.push_str(
+        "\n/// Mutation: a second entry point over a fresh util chain.\n\
+         pub fn entry2(x: u64) -> u64 {\n\
+             util::extra(x)\n\
+         }\n",
+    );
+    std::fs::write(&dp, dp_src).unwrap();
+
+    let util = scratch.join("crates/util/src/lib.rs");
+    let mut util_src = std::fs::read_to_string(&util).unwrap();
+    let unwrap_line = util_src.lines().count() as u32 + 8; // 1-based line of the inserted unwrap
+    util_src.push_str(
+        "\n/// Mutation: one hop between the entry and the panic.\n\
+         pub fn extra(x: u64) -> u64 {\n\
+             inner(x)\n\
+         }\n\
+         \n\
+         fn inner(x: u64) -> u64 {\n\
+             x.checked_add(1).unwrap()\n\
+         }\n",
+    );
+    std::fs::write(&util, util_src).unwrap();
+
+    let mutated = xtask::run_lint(&scratch).unwrap();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    assert_eq!(mutated.len(), baseline.len() + 1, "{mutated:#?}");
+    let new = mutated
+        .iter()
+        .find(|f| f.rule == "transitive-panic" && f.line == unwrap_line)
+        .unwrap_or_else(|| panic!("inserted unwrap not reported: {mutated:#?}"));
+    assert_eq!(new.file, "crates/util/src/lib.rs");
+    assert!(new.message.contains("`.unwrap()`"), "{new}");
+    assert_eq!(
+        new.chain.as_deref(),
+        Some("dp::entry2 -> util::extra -> util::inner"),
+        "{new}"
+    );
 }

@@ -3,34 +3,67 @@
 # offline-build policy in DESIGN.md): release build, default test
 # suite, and a warnings-are-errors lint pass. The heavy (feature-gated)
 # suites are opt-in: VERIFY_HEAVY=1 scripts/verify.sh
+#
+# Each gate reports its wall time so slow-gate regressions are visible
+# in CI logs; the cocolint gate additionally enforces a hard budget
+# (the lint must stay fast enough to run on every commit).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+# now_s: integer seconds since the epoch (POSIX sh, no bashisms).
+now_s() { date +%s; }
+
+gate_begin() {
+    echo "==> $1"
+    GATE_T0=$(now_s)
+}
+
+gate_end() {
+    echo "    ($1: $(($(now_s) - GATE_T0))s)"
+}
+
+gate_begin "cargo fmt --check"
 cargo fmt --all --check
+gate_end "fmt"
 
-echo "==> cargo build --release"
+gate_begin "cargo build --release"
 cargo build --release
+gate_end "build"
 
-echo "==> cargo test -q"
+gate_begin "cargo test -q"
 cargo test -q
+gate_end "test"
 
-echo "==> cargo clippy --workspace -- -D warnings"
+gate_begin "cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+gate_end "clippy"
 
-echo "==> cargo doc (rustdoc warnings are errors)"
+gate_begin "cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+gate_end "doc"
 
-echo "==> cocolint (cargo run -p xtask -- lint)"
+# cocolint gets a wall-time budget: interprocedural analysis over the
+# whole workspace must stay under 10s (binary is prebuilt by the
+# build gate above, so this times the analysis, not compilation).
+gate_begin "cocolint (cargo run -p xtask -- lint)"
+LINT_T0=$(now_s)
 cargo run -q -p xtask -- lint
+LINT_ELAPSED=$(($(now_s) - LINT_T0))
+gate_end "lint"
+if [ "$LINT_ELAPSED" -gt 10 ]; then
+    echo "verify: FAIL — cocolint took ${LINT_ELAPSED}s (budget: 10s)" >&2
+    exit 1
+fi
 
 if [ "${VERIFY_HEAVY:-0}" = "1" ]; then
-    echo "==> heavy suites (proptest + criterion shims)"
+    gate_begin "heavy suites (proptest + criterion shims)"
     cargo test -q -p integration --features heavy-tests
     cargo check -q -p cocosketch-bench --features heavy-tests --benches
-    echo "==> engine model checking (loom shim)"
+    gate_end "heavy"
+    gate_begin "engine model checking (loom shim)"
     cargo test -q -p engine --features heavy-tests
+    gate_end "model"
 fi
 
 echo "verify: OK"
