@@ -14,7 +14,7 @@ cocosketch <command> [--flag value]...
 commands:
   generate  --preset caida|mawi --out FILE [--scale N] [--seed S]
   measure   (--trace FILE | --pcap FILE) --out FILE
-            [--memory 500KB] [--d 2] [--seed S] [--threads N]
+            [--memory 500KB] [--d 2] [--seed S] [--threads N] [--pin]
             [--window PACKETS] [--keep-epochs N]
   query     --table FILE --key KEY [--top K] [--threshold T]
   stats     --table FILE --key KEY
@@ -54,6 +54,10 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 /// `OUT.epochN`; the trailing partial window seals on finish.
 /// `--keep-epochs N` bounds the store to the last N sealed epochs
 /// (older ones are evicted as sealing proceeds and never written).
+///
+/// `--pin` pins shard workers to cores round-robin (shard i → core
+/// i % cores) with first-touch shard allocation on the pinned core;
+/// see `engine::affinity`. Best-effort and Linux-only.
 pub fn measure(argv: &[String]) -> Result<(), String> {
     let opts = Opts::parse(argv)?;
     let out = opts.path("out")?;
@@ -61,6 +65,7 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     let d = opts.u64_or("d", 2)? as usize;
     let seed = opts.u64_or("seed", 0xC0C0)?;
     let threads = parse_threads(opts.get("threads").unwrap_or("1"))?;
+    let pin = opts.bool_or("pin", false)?;
     let window = opts.u64_or("window", 0)?;
     let keep_epochs = opts.u64_or("keep-epochs", 0)? as usize;
     if d == 0 {
@@ -89,6 +94,7 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
             d,
             key_bytes: full.key_bytes(),
             seed,
+            pin,
             ..EngineConfig::default()
         },
     );
@@ -100,11 +106,12 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     std::fs::write(&out, snapshot::encode(&table))
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!(
-        "measured {} packets in {:?} ({:.2} Mpps, {threads} thread{}); {} recorded flows -> {}",
+        "measured {} packets in {:?} ({:.2} Mpps, {threads} thread{}{}); {} recorded flows -> {}",
         run.processed,
         run.elapsed,
         run.mpps,
         if threads == 1 { "" } else { "s" },
+        if pin { ", pinned" } else { "" },
         table.len(),
         out.display()
     );

@@ -62,11 +62,19 @@ impl Opts {
             if !flag.starts_with("--") {
                 return Err(format!("expected a --flag, found `{flag}`"));
             }
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| format!("missing value after {flag}"))?;
-            pairs.push((flag[2..].to_string(), value.clone()));
-            i += 2;
+            // A flag followed by another --flag (or by nothing) is a
+            // bare boolean switch, e.g. `--pin`; it reads as "true".
+            // Flags that take values always consume the next token.
+            match argv.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    pairs.push((flag[2..].to_string(), value.clone()));
+                    i += 2;
+                }
+                _ => {
+                    pairs.push((flag[2..].to_string(), "true".to_string()));
+                    i += 1;
+                }
+            }
         }
         Ok(Self { pairs })
     }
@@ -93,6 +101,17 @@ impl Opts {
             Some(v) => v
                 .parse()
                 .map_err(|_| format!("--{name} takes an integer, got `{v}`")),
+        }
+    }
+
+    /// Boolean switch: absent → `default`; bare (`--pin`) → true;
+    /// explicit `--pin true|false` also accepted.
+    pub(crate) fn bool_or(&self, name: &str, default: bool) -> Result<bool, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some("true") | Some("1") => Ok(true),
+            Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(format!("--{name} takes true/false, got `{v}`")),
         }
     }
 }

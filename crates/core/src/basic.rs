@@ -1,18 +1,47 @@
 //! The basic CocoSketch (§4.1): stochastic variance minimization over
 //! `d` hashed buckets.
 
-use hashkit::{HashFamily, XorShift64Star};
+use hashkit::simd::LANES;
+use hashkit::{bob_hash_13x8, fastrange, prefetch_read, HashFamily, KeyWords8, XorShift64Star};
 use sketches::{Sketch, COUNTER_BYTES};
 use traffic::KeyBytes;
 
 /// One (key, value) bucket. A zero value marks an unclaimed bucket (the
 /// first packet to touch it always wins the key with probability
 /// `w / (0 + w) = 1`).
+///
+/// The layout is pinned: `#[repr(C)]` over the 17-byte `#[repr(C)]`
+/// [`KeyBytes`] and the 8-aligned value gives exactly 32 bytes, so two
+/// buckets tile one 64-byte cache line (see [`BucketLine`]).
 #[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
 struct Bucket {
     key: KeyBytes,
     value: u64,
 }
+
+/// A cache line of two [`Bucket`]s.
+///
+/// `align(64)` makes every line start on a cache-line boundary, so the
+/// software prefetch issued by the batched update pulls a candidate
+/// bucket's *entire* line with one hint and a probe never straddles two
+/// lines. Bucket `s` of the flat array-major layout lives in line
+/// `s >> 1`, half `s & 1`.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C, align(64))]
+struct BucketLine([Bucket; 2]);
+
+// Compile-time layout contract for the prefetched probe: if KeyBytes or
+// Bucket grows, these fire and the cache-line math above must be redone.
+const _: () = assert!(std::mem::size_of::<Bucket>() == 32);
+const _: () = assert!(std::mem::size_of::<BucketLine>() == 64);
+const _: () = assert!(std::mem::align_of::<BucketLine>() == 64);
+
+/// Window width of the batched update: one lane-parallel hash call.
+const WINDOW: usize = LANES;
+/// Largest `d` served by the stack-allocated fast path; beyond it the
+/// chunked heap-row path ([`BasicCocoSketch::update_batch_wide`]) runs.
+const MAX_FAST_D: usize = 8;
 
 /// How ties between equal-minimum candidate buckets are broken.
 ///
@@ -48,9 +77,12 @@ pub enum TieBreak {
 #[derive(Debug, Clone)]
 pub struct BasicCocoSketch {
     /// `d * l` buckets, array-major: bucket `j` of array `i` lives at
-    /// `i * l + j` (one contiguous allocation, cache-friendlier than a
-    /// Vec of Vecs).
-    buckets: Vec<Bucket>,
+    /// flat index `i * l + j`, stored two to a 64-byte [`BucketLine`]
+    /// (one contiguous cache-line-aligned allocation). When `d * l` is
+    /// odd the final line's second half is a phantom bucket that no
+    /// slot ever maps to; it stays at value 0 forever, so iterating it
+    /// is harmless everywhere values of 0 are skipped or summed.
+    lines: Vec<BucketLine>,
     hashes: HashFamily,
     rng: XorShift64Star,
     d: usize,
@@ -68,7 +100,7 @@ impl BasicCocoSketch {
             "d beyond 64 is never useful and breaks tie-break sampling"
         );
         Self {
-            buckets: vec![Bucket::default(); d * l],
+            lines: vec![BucketLine::default(); (d * l).div_ceil(2)],
             hashes: HashFamily::new(d, seed),
             rng: XorShift64Star::new(seed ^ 0xC0C0_5EED),
             d,
@@ -103,11 +135,31 @@ impl BasicCocoSketch {
         array * self.l + self.hashes.index(array, key.as_slice(), self.l)
     }
 
+    /// Bucket at flat slot `s` (line `s >> 1`, half `s & 1`).
+    #[inline]
+    fn bucket(&self, s: usize) -> &Bucket {
+        &self.lines[s >> 1].0[s & 1] // LINT: bounded(s < d*l <= 2*lines.len(): the slot() invariant)
+    }
+
+    /// Mutable [`Self::bucket`].
+    #[inline]
+    fn bucket_mut(&mut self, s: usize) -> &mut Bucket {
+        &mut self.lines[s >> 1].0[s & 1] // LINT: bounded(s < d*l <= 2*lines.len(): the slot() invariant)
+    }
+
+    /// All buckets in flat-slot order, including the phantom half of an
+    /// odd-`d*l` final line (permanently value 0, so every caller that
+    /// skips or sums zero values can iterate it freely).
+    #[inline]
+    fn iter_buckets(&self) -> impl Iterator<Item = &Bucket> {
+        self.lines.iter().flat_map(|line| line.0.iter())
+    }
+
     /// Sum of all bucket values. Every update adds exactly `w` to
     /// exactly one value, so this always equals the total inserted
     /// weight — the conservation invariant the tests lean on.
     pub fn total_value(&self) -> u64 {
-        self.buckets.iter().map(|b| b.value).sum()
+        self.iter_buckets().map(|b| b.value).sum()
     }
 
     /// True when both sketches hash with the same seeded family (a
@@ -136,34 +188,130 @@ impl BasicCocoSketch {
         let mut min_value = u64::MAX;
         let mut ties = 0u64;
         for &s in slots {
-            let b = &self.buckets[s]; // LINT: bounded(slot() = array*l + fastrange(<l) < d*l = buckets.len())
+            // One bucket_mut: the absorb case (the common one on real
+            // traffic) mutates in place without recomputing the line
+            // index; the miss case only copies the value out, ending
+            // the borrow before the RNG is touched.
+            let b = self.bucket_mut(s);
             if b.value > 0 && b.key == *key {
-                self.buckets[s].value = b.value.wrapping_add(w); // LINT: bounded(same slot() invariant)
+                b.value = b.value.wrapping_add(w);
                 return;
             }
-            if b.value < min_value {
-                min_value = b.value;
+            let bv = b.value;
+            if bv < min_value {
+                min_value = bv;
                 min_slot = s;
                 ties = 1;
-            } else if b.value == min_value && self.tie_break == TieBreak::Random {
+            } else if bv == min_value && self.tie_break == TieBreak::Random {
                 ties += 1;
                 if self.rng.below(ties) == 0 {
                     min_slot = s;
                 }
             }
         }
-        let b = &mut self.buckets[min_slot]; // LINT: bounded(min_slot tracks a slot seen in the loop above)
+        let b = self.bucket_mut(min_slot);
         b.value = b.value.wrapping_add(w);
         let value_after = b.value;
         if self.rng.coin(w, value_after) {
-            self.buckets[min_slot].key = *key; // LINT: bounded(same min_slot)
+            self.bucket_mut(min_slot).key = *key;
+        }
+    }
+
+    /// Compute the `d` candidate slots for every key of `window` into
+    /// `slots`, then prefetch the corresponding bucket cache lines.
+    ///
+    /// 13-byte keys (the encoded 5-tuple, the dominant width) go
+    /// through the lane-parallel kernel: the window is transposed once
+    /// and all eight lanes are hashed per array seed, reusing the
+    /// transposed words across seeds. Any other width drops the whole
+    /// window to per-key scalar hashing — still bit-identical, since
+    /// [`hashkit::bob_hash`] dispatches 13-byte keys to the same
+    /// scalar kernel the lanes replicate.
+    ///
+    /// Hashing reads no bucket state and draws no randomness, so the
+    /// caller may hash a window ahead of applying the previous one
+    /// (software pipelining) without perturbing results; the prefetch
+    /// gives the bucket lines one window of memory latency to arrive.
+    // LINT: hot
+    #[inline]
+    fn hash_window(&self, window: &[(KeyBytes, u64)], slots: &mut [[usize; MAX_FAST_D]; WINDOW]) {
+        debug_assert!(window.len() <= WINDOW && self.d <= MAX_FAST_D);
+        let mut words = KeyWords8::zeroed();
+        let mut all13 = true;
+        for (lane, (key, _)) in window.iter().enumerate() {
+            match <&[u8; 13]>::try_from(key.as_slice()) {
+                Ok(k13) => words.set_lane(lane, k13),
+                Err(_) => {
+                    all13 = false;
+                    break;
+                }
+            }
+        }
+        if all13 {
+            for i in 0..self.d {
+                let hashes = bob_hash_13x8(&words, self.hashes.seed(i));
+                for (row, &h) in slots.iter_mut().zip(hashes.iter()) {
+                    row[i] = i * self.l + fastrange(h, self.l); // LINT: bounded(i < d <= MAX_FAST_D = row.len())
+                }
+            }
+        } else {
+            for ((key, _), row) in window.iter().zip(slots.iter_mut()) {
+                // LINT: bounded(d <= MAX_FAST_D is the fast-path gate)
+                for (i, slot) in row[..self.d].iter_mut().enumerate() {
+                    *slot = self.slot(i, key);
+                }
+            }
+        }
+        for (_, row) in window.iter().zip(slots.iter()) {
+            // LINT: bounded(d <= MAX_FAST_D is the fast-path gate)
+            for &s in &row[..self.d] {
+                prefetch_read(std::ptr::from_ref(self.bucket(s)));
+            }
+        }
+    }
+
+    /// Apply one hashed window through the RNG-order-preserving
+    /// [`Self::apply_at_slots`].
+    // LINT: hot
+    #[inline]
+    fn apply_window(&mut self, window: &[(KeyBytes, u64)], slots: &[[usize; MAX_FAST_D]; WINDOW]) {
+        for ((key, w), row) in window.iter().zip(slots.iter()) {
+            self.apply_at_slots(key, *w, &row[..self.d]); // LINT: bounded(d <= MAX_FAST_D = row.len())
+        }
+    }
+
+    /// Chunked slow path for `d > MAX_FAST_D`: the same hash-then-apply
+    /// split as the fast path, with heap slot rows since `d` exceeds
+    /// the stack row width. Replaces the old per-packet fallback, which
+    /// paid the full [`Sketch::update`] (re-hashing per packet with no
+    /// window pipelining). Hashing draws no randomness, so RNG order —
+    /// and therefore final sketch state — stays bit-identical to
+    /// per-packet updates (a test pins this).
+    fn update_batch_wide(&mut self, batch: &[(KeyBytes, u64)]) {
+        // One scratch allocation per batch call, amortized over every
+        // window of the batch; d > MAX_FAST_D is off the fast path.
+        // LINT: cold(one scratch alloc per batch call; d > MAX_FAST_D is off the fast path)
+        let mut rows = { vec![0usize; self.d * WINDOW] };
+        for window in batch.chunks(WINDOW) {
+            for ((key, _), row) in window.iter().zip(rows.chunks_mut(self.d)) {
+                for (i, slot) in row.iter_mut().enumerate() {
+                    *slot = self.slot(i, key);
+                }
+            }
+            for ((key, w), row) in window.iter().zip(rows.chunks(self.d)) {
+                self.apply_at_slots(key, *w, row);
+            }
         }
     }
 
     /// Bucket-wise merge (values add; key conflicts resolved by the
     /// Theorem 1 coin). Callers have already validated compatibility.
+    /// Phantom buckets pair with phantom buckets (same dims on both
+    /// sides) and are skipped by the zero-value check.
     pub(crate) fn merge_buckets(&mut self, other: &BasicCocoSketch, rng: &mut XorShift64Star) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+        let mine_iter = self.lines.iter_mut().flat_map(|line| line.0.iter_mut());
+        let theirs_iter = other.iter_buckets();
+        for (mine, theirs) in mine_iter.zip(theirs_iter) {
             if theirs.value == 0 {
                 continue;
             }
@@ -194,18 +342,19 @@ impl Sketch for BasicCocoSketch {
         let mut ties = 0u64;
         for i in 0..self.d {
             let s = self.slot(i, key);
-            let b = &self.buckets[s]; // LINT: bounded(slot() = array*l + fastrange(<l) < d*l = buckets.len())
+            let b = self.bucket_mut(s);
             if b.value > 0 && b.key == *key {
-                self.buckets[s].value = b.value.wrapping_add(w); // LINT: bounded(same slot() invariant)
+                b.value = b.value.wrapping_add(w);
                 return;
             }
+            let bv = b.value;
             // Track the minimum with uniform tie-breaking (reservoir
             // over tied slots, driven by the sketch RNG).
-            if b.value < min_value {
-                min_value = b.value;
+            if bv < min_value {
+                min_value = bv;
                 min_slot = s;
                 ties = 1;
-            } else if b.value == min_value && self.tie_break == TieBreak::Random {
+            } else if bv == min_value && self.tie_break == TieBreak::Random {
                 ties += 1;
                 if self.rng.below(ties) == 0 {
                     min_slot = s;
@@ -214,49 +363,55 @@ impl Sketch for BasicCocoSketch {
         }
         // Pass 2: bump the minimum candidate and stochastically take it
         // over (Eq. 3).
-        let b = &mut self.buckets[min_slot]; // LINT: bounded(min_slot tracks a slot seen in the loop above)
+        let b = self.bucket_mut(min_slot);
         b.value = b.value.wrapping_add(w);
         let value_after = b.value;
         if self.rng.coin(w, value_after) {
-            self.buckets[min_slot].key = *key; // LINT: bounded(same min_slot)
+            self.bucket_mut(min_slot).key = *key;
         }
     }
 
-    /// Batched hot path: hash a window of keys up front, then apply.
+    /// Batched hot path: hash a whole window lane-parallel, prefetch
+    /// its bucket lines, then apply — one window ahead of the applies.
     ///
     /// The per-packet walk interleaves hashing (pure, state-free) with
-    /// bucket reads that depend on those hashes; splitting them lets
-    /// the hash computations of a window pipeline independently of the
-    /// bucket accesses (software pipelining). Results are bit-identical
-    /// to calling [`update`](Sketch::update) per packet — same RNG draw
-    /// order — so batching is purely a throughput knob.
+    /// bucket reads that depend on those hashes; splitting them lets a
+    /// window's hashes go through [`bob_hash_13x8`] (AVX2 when built
+    /// with the `simd` feature on a supporting host) while the
+    /// *previous* window's bucket accesses retire, and the prefetches
+    /// issued at hash time hide the bucket lines' memory latency.
+    /// Results are bit-identical to calling [`update`](Sketch::update)
+    /// per packet — same RNG draw order — so batching is purely a
+    /// throughput knob; the throughput bench asserts that identity
+    /// before timing anything.
     // LINT: hot
     fn update_batch(&mut self, batch: &[(KeyBytes, u64)]) {
-        const WINDOW: usize = 8;
-        const MAX_FAST_D: usize = 8;
         if self.d > MAX_FAST_D {
-            for (key, w) in batch {
-                self.update(key, *w);
-            }
+            self.update_batch_wide(batch);
             return;
         }
-        let mut slots = [[0usize; MAX_FAST_D]; WINDOW];
-        for window in batch.chunks(WINDOW) {
-            for (j, (key, _)) in window.iter().enumerate() {
-                // LINT: bounded(j < WINDOW via chunks(WINDOW); d <= MAX_FAST_D checked above)
-                for (i, slot) in slots[j][..self.d].iter_mut().enumerate() {
-                    *slot = self.slot(i, key);
-                }
-            }
-            for (j, (key, w)) in window.iter().enumerate() {
-                self.apply_at_slots(key, *w, &slots[j][..self.d]); // LINT: bounded(j < WINDOW via chunks(WINDOW); d <= MAX_FAST_D checked above)
-            }
+        // Double-buffered slot rows: hash window k+1 into one buffer
+        // while window k is applied from the other. The buffers swap by
+        // index toggle (`cur ^ 1`), never by copying.
+        let mut bufs = [[[0usize; MAX_FAST_D]; WINDOW]; 2];
+        let mut cur = 0usize;
+        let mut chunks = batch.chunks(WINDOW);
+        let Some(mut window) = chunks.next() else {
+            return;
+        };
+        self.hash_window(window, &mut bufs[cur & 1]);
+        for upcoming in chunks {
+            self.hash_window(upcoming, &mut bufs[(cur ^ 1) & 1]);
+            self.apply_window(window, &bufs[cur & 1]);
+            cur ^= 1;
+            window = upcoming;
         }
+        self.apply_window(window, &bufs[cur & 1]);
     }
 
     fn query(&self, key: &KeyBytes) -> u64 {
         for i in 0..self.d {
-            let b = &self.buckets[self.slot(i, key)]; // LINT: bounded(slot() < d*l = buckets.len())
+            let b = self.bucket(self.slot(i, key));
             if b.value > 0 && b.key == *key {
                 return b.value;
             }
@@ -265,8 +420,7 @@ impl Sketch for BasicCocoSketch {
     }
 
     fn records(&self) -> Vec<(KeyBytes, u64)> {
-        self.buckets
-            .iter()
+        self.iter_buckets()
             .filter(|b| b.value > 0)
             .map(|b| (b.key, b.value))
             .collect()
@@ -442,17 +596,86 @@ mod tests {
         assert_ne!(run(1), run(2));
     }
 
+    /// A key of exactly `width` bytes derived from `i` (13 exercises
+    /// the lane-parallel fast path; everything else the scalar hash).
+    fn kw(i: u32, width: usize) -> KeyBytes {
+        let mut bytes = vec![0u8; width];
+        for (j, b) in bytes.iter_mut().enumerate() {
+            *b = (i.wrapping_mul(2_654_435_761).wrapping_add(j as u32 * 97)) as u8;
+        }
+        KeyBytes::new(&bytes)
+    }
+
+    /// The full RNG-order pin: for every supported `d` (fast path,
+    /// boundary, and wide path) and for the 13-byte SIMD width as well
+    /// as generic widths, update_batch must end in bucket state
+    /// bit-identical to per-packet updates.
     #[test]
     fn batched_updates_are_bit_identical_to_scalar() {
-        // update_batch must consume the RNG in the same order as the
-        // scalar path, so the two runs end in identical bucket state.
         let mut rng = hashkit::XorShift64Star::new(42);
-        let packets: Vec<(KeyBytes, u64)> = (0..20_000)
-            .map(|_| (k((rng.next_u64() % 700) as u32), 1 + rng.next_u64() % 4))
+        let packets: Vec<(u32, u64)> = (0..6_000)
+            .map(|_| ((rng.next_u64() % 700) as u32, 1 + rng.next_u64() % 4))
             .collect();
-        for d in [2usize, 4] {
-            let mut scalar = BasicCocoSketch::new(d, 64, 4, 17);
-            let mut batched = BasicCocoSketch::new(d, 64, 4, 17);
+        for width in [4usize, 13, 16] {
+            let stream: Vec<(KeyBytes, u64)> =
+                packets.iter().map(|&(i, w)| (kw(i, width), w)).collect();
+            for d in 1usize..=10 {
+                let mut scalar = BasicCocoSketch::new(d, 64, width, 17);
+                let mut batched = BasicCocoSketch::new(d, 64, width, 17);
+                for (key, w) in &stream {
+                    scalar.update(key, *w);
+                }
+                batched.update_batch(&stream);
+                let mut a = scalar.records();
+                let mut b = batched.records();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "d={d} width={width}: batched diverged from scalar");
+                assert_eq!(scalar.total_value(), batched.total_value());
+            }
+        }
+    }
+
+    /// Batch-boundary shapes: empty batches, batches shorter than one
+    /// window, and non-multiple-of-8 lengths, fed as a split stream
+    /// (several update_batch calls) against one scalar run.
+    #[test]
+    fn batched_updates_handle_ragged_windows() {
+        let mut rng = hashkit::XorShift64Star::new(99);
+        let stream: Vec<(KeyBytes, u64)> = (0..1_000)
+            .map(|_| (kw((rng.next_u64() % 80) as u32, 13), 1 + rng.next_u64() % 3))
+            .collect();
+        for d in [2usize, 3, 9] {
+            let mut scalar = BasicCocoSketch::new(d, 32, 13, 7);
+            let mut batched = BasicCocoSketch::new(d, 32, 13, 7);
+            for (key, w) in &stream {
+                scalar.update(key, *w);
+            }
+            // Ragged split: 0, 1, 5, 8, 13, 27, … packets per call.
+            let mut rest = stream.as_slice();
+            for take in [0usize, 1, 5, 8, 13, 27, 96, usize::MAX] {
+                let n = take.min(rest.len());
+                let (head, tail) = rest.split_at(n);
+                batched.update_batch(head);
+                rest = tail;
+            }
+            batched.update_batch(rest);
+            let mut a = scalar.records();
+            let mut b = batched.records();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "d={d}: ragged batching diverged");
+        }
+    }
+
+    /// The wide path (`d > MAX_FAST_D`) must hash each key once per
+    /// array, not once per array per pass — and still match scalar.
+    #[test]
+    fn batched_updates_fall_back_above_fast_width() {
+        let packets: Vec<(KeyBytes, u64)> = (0..2_000u32).map(|i| (k(i % 50), 1)).collect();
+        for d in [9usize, 10] {
+            let mut scalar = BasicCocoSketch::new(d, 8, 4, 3);
+            let mut batched = BasicCocoSketch::new(d, 8, 4, 3);
             for (key, w) in &packets {
                 scalar.update(key, *w);
             }
@@ -461,27 +684,25 @@ mod tests {
             let mut b = batched.records();
             a.sort_unstable();
             b.sort_unstable();
-            assert_eq!(a, b, "d={d}: batched path diverged from scalar");
+            assert_eq!(a, b, "d={d}");
             assert_eq!(scalar.total_value(), batched.total_value());
         }
     }
 
+    /// Odd `d*l` leaves a phantom half-bucket in the last cache line;
+    /// it must never absorb weight or surface in records.
     #[test]
-    fn batched_updates_fall_back_above_fast_width() {
-        // d > 8 takes the scalar fallback inside update_batch; results
-        // must still be identical to per-packet updates.
-        let packets: Vec<(KeyBytes, u64)> = (0..2_000u32).map(|i| (k(i % 50), 1)).collect();
-        let mut scalar = BasicCocoSketch::new(9, 8, 4, 3);
-        let mut batched = BasicCocoSketch::new(9, 8, 4, 3);
-        for (key, w) in &packets {
-            scalar.update(key, *w);
+    fn odd_bucket_count_keeps_phantom_bucket_empty() {
+        let mut s = BasicCocoSketch::new(3, 5, 4, 21); // d*l = 15, odd
+        let mut rng = hashkit::XorShift64Star::new(8);
+        let mut total = 0u64;
+        for _ in 0..10_000 {
+            let w = 1 + rng.next_u64() % 4;
+            s.update(&k((rng.next_u64() % 100) as u32), w);
+            total += w;
         }
-        batched.update_batch(&packets);
-        let mut a = scalar.records();
-        let mut b = batched.records();
-        a.sort_unstable();
-        b.sort_unstable();
-        assert_eq!(a, b);
+        assert_eq!(s.total_value(), total);
+        assert!(s.records().len() <= 15, "phantom bucket leaked a record");
     }
 
     #[test]

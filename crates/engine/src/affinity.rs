@@ -1,0 +1,182 @@
+//! Shard-to-core pinning: a minimal, libc-free `sched_setaffinity(2)`
+//! wrapper, Linux x86-64 only and a reported no-op everywhere else.
+//!
+//! Why the engine pins: the shard workers are busy-polling PMD-style
+//! loops whose working set (the shard's bucket lines plus its ring) is
+//! sized to stay cache-resident. Letting the scheduler migrate a worker
+//! invalidates that working set and, on multi-socket hosts, can strand
+//! the shard's pages on a remote NUMA node. Pinning each worker to one
+//! core *before* the shard is allocated gives first-touch allocation on
+//! the pinned core's node — the shard's memory is local for the whole
+//! run.
+//!
+//! Why no libc: the workspace builds hermetically with zero external
+//! crates, so the syscall is issued directly with inline assembly. The
+//! surface is deliberately tiny — set the calling thread's affinity to
+//! a single CPU — and the one `unsafe` block is SAFETY-audited below
+//! and covered by cocolint's safety-comment rule.
+//!
+//! Pinning is always best-effort: a failed pin (container cpuset
+//! restrictions, exotic kernels) degrades to unpinned ingestion, never
+//! to an error the data plane has to handle mid-stream. Callers that
+//! care inspect the returned [`PinError`].
+
+use std::fmt;
+
+/// Highest CPU index expressible in the affinity mask: 1024 CPUs, the
+/// same set size glibc's `cpu_set_t` defaults to.
+pub const MAX_CPUS: usize = 1024;
+
+/// Why a pin request was not applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinError {
+    /// The requested core index is `>= MAX_CPUS`.
+    CoreOutOfRange(usize),
+    /// The kernel rejected the call; the payload is the `errno` value
+    /// (commonly `EINVAL` when the core is outside the cpuset cgroup).
+    Os(i32),
+    /// Not Linux x86-64: pinning is unsupported on this target and the
+    /// engine runs unpinned.
+    Unsupported,
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinError::CoreOutOfRange(core) => {
+                write!(f, "core {core} out of range (max {MAX_CPUS})")
+            }
+            PinError::Os(errno) => write!(f, "sched_setaffinity failed with errno {errno}"),
+            PinError::Unsupported => write!(f, "thread pinning unsupported on this target"),
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// Pin the calling thread to `core`.
+///
+/// The affinity persists for the thread's lifetime (the engine pins
+/// worker threads it owns; the single-thread path pins the caller,
+/// which `measure --pin` opts into knowingly).
+pub fn pin_current_thread(core: usize) -> Result<(), PinError> {
+    if core >= MAX_CPUS {
+        return Err(PinError::CoreOutOfRange(core));
+    }
+    imp::pin(core)
+}
+
+/// Usable cores on this host, minimum 1. Falls back to 1 when the
+/// parallelism probe is unavailable (it needs no entropy or clock, so
+/// this stays deterministic).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The core shard `shard` lands on under the engine's round-robin
+/// layout: shard *i* → core `i % cores`. One shard per core until the
+/// host runs out, then wrap — the layout the throughput bench records
+/// in its JSON.
+pub fn core_for_shard(shard: usize) -> usize {
+    shard % available_cores().max(1)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::{PinError, MAX_CPUS};
+
+    /// `sched_setaffinity` syscall number on x86-64.
+    const SYS_SCHED_SETAFFINITY: i64 = 203;
+
+    pub(super) fn pin(core: usize) -> Result<(), PinError> {
+        let mut mask = [0u64; MAX_CPUS / 64];
+        mask[core >> 6] |= 1u64 << (core & 63); // LINT: bounded(core < MAX_CPUS checked by the caller, so core >> 6 < MAX_CPUS/64 = mask.len())
+        let ret: i64;
+        // SAFETY: sched_setaffinity(pid=0, len, mask) only *reads*
+        // `len` bytes from `mask`, which is a live local of exactly
+        // `size_of_val(&mask)` bytes for the whole call; pid 0 means
+        // the calling thread, so no other thread's state is touched.
+        // The `syscall` instruction clobbers rcx/r11 (declared) and
+        // writes only rax (the return slot). No Rust memory is written,
+        // no allocation happens, and the stack is not used (nostack).
+        #[allow(unsafe_code)]
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+                in("rdi") 0usize,
+                in("rsi") core::mem::size_of_val(&mask),
+                in("rdx") mask.as_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        if ret < 0 {
+            Err(PinError::Os(-ret as i32))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    use super::PinError;
+
+    pub(super) fn pin(_core: usize) -> Result<(), PinError> {
+        Err(PinError::Unsupported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_is_rejected_before_the_syscall() {
+        assert_eq!(
+            pin_current_thread(MAX_CPUS),
+            Err(PinError::CoreOutOfRange(MAX_CPUS))
+        );
+        assert_eq!(
+            pin_current_thread(usize::MAX),
+            Err(PinError::CoreOutOfRange(usize::MAX))
+        );
+    }
+
+    #[test]
+    fn pinning_to_core_zero_works_on_linux() {
+        // Core 0 exists on every host this runs on. On non-Linux
+        // targets the call reports Unsupported instead.
+        let r = pin_current_thread(0);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            // A cpuset-restricted container may exclude core 0; accept
+            // an OS error but not out-of-range/unsupported.
+            assert!(
+                matches!(r, Ok(()) | Err(PinError::Os(_))),
+                "unexpected pin result {r:?}"
+            );
+        } else {
+            assert_eq!(r, Err(PinError::Unsupported));
+        }
+    }
+
+    #[test]
+    fn round_robin_layout_covers_all_cores() {
+        let cores = available_cores();
+        assert!(cores >= 1);
+        for shard in 0..(2 * cores) {
+            assert_eq!(core_for_shard(shard), shard % cores);
+        }
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(PinError::CoreOutOfRange(9999).to_string().contains("9999"));
+        assert!(PinError::Os(22).to_string().contains("22"));
+        assert!(!PinError::Unsupported.to_string().is_empty());
+    }
+}

@@ -29,9 +29,17 @@
 //!   hot path into an [`session::EpochRun`] (persistable as a
 //!   [`cocosketch::Epoch`]).
 //!
-//! This is the only crate in the workspace allowed to use `unsafe`
-//! (the slot accesses in the ring, each with a documented ownership
-//! argument). Two machine checks back the hand-written arguments: the
+//! - [`affinity`]: shard-to-core pinning — a libc-free, SAFETY-audited
+//!   `sched_setaffinity(2)` wrapper (Linux x86-64; no-op elsewhere)
+//!   that both engines use when [`sharded::EngineConfig::pin`] is set,
+//!   pinning each worker *before* its shard is allocated so first
+//!   touch places bucket memory NUMA-local to the worker's core.
+//!
+//! This crate is the data plane's designated `unsafe` crate (the slot
+//! accesses in the ring, each with a documented ownership argument,
+//! plus the affinity syscall; `hashkit` additionally carries the
+//! audited prefetch/AVX2 intrinsics behind `deny(unsafe_code)`). Two
+//! machine checks back the hand-written arguments: the
 //! `cocolint` pass (`cargo run -p xtask -- lint`) requires every
 //! `unsafe` block to carry a `// SAFETY:` comment, and with
 //! `--features heavy-tests` the ring compiles against the `loom` model
@@ -41,11 +49,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod affinity;
 pub mod ring;
 pub mod session;
 pub mod sharded;
 pub(crate) mod sync;
 
+pub use affinity::{available_cores, core_for_shard, pin_current_thread, PinError};
 pub use ring::SpscRing;
 pub use session::{Cmd, EngineSession, EpochRun, PendingEpoch, SealSlot};
 pub use sharded::{EngineConfig, EngineRun, ShardedCocoSketch, ShardedEngine};

@@ -263,13 +263,26 @@ impl<S: MergeSketch + 'static> EngineSession<S> {
         let workers = rings
             .iter()
             .zip(&slots)
-            .map(|(ring, slot)| {
+            .enumerate()
+            .map(|(idx, (ring, slot))| {
                 let ring = Arc::clone(ring);
                 let slot = Arc::clone(slot);
                 let done = Arc::clone(&done);
                 let factory = Arc::clone(&factory);
                 let batch = config.batch;
-                std::thread::spawn(move || worker_loop(&ring, &slot, &done, &*factory, batch))
+                let pin = config.pin;
+                std::thread::spawn(move || {
+                    // Pin before worker_loop builds its shards: the
+                    // first-touch allocations inside (active + spare
+                    // sketches) then land NUMA-local to the pinned
+                    // core. Best-effort, like the one-shot engine.
+                    if pin {
+                        let _ = crate::affinity::pin_current_thread(
+                            crate::affinity::core_for_shard(idx),
+                        );
+                    }
+                    worker_loop(&ring, &slot, &done, &*factory, batch)
+                })
             })
             .collect();
         Self {

@@ -63,6 +63,14 @@ pub struct EngineConfig {
     pub key_bytes: usize,
     /// Master seed shared by every shard.
     pub seed: u64,
+    /// Pin shard workers to cores (shard `i` → core `i % cores`, see
+    /// [`crate::affinity`]) and allocate each shard *after* pinning so
+    /// first touch lands its pages on the pinned core's NUMA node.
+    /// Best-effort: a failed pin degrades to unpinned ingestion.
+    /// Sketch contents are unaffected either way — pinning only moves
+    /// where the work runs. With `threads == 1` the *calling* thread
+    /// is pinned (and stays pinned after the run).
+    pub pin: bool,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +83,7 @@ impl Default for EngineConfig {
             buckets: 8192,
             key_bytes: KeySpec::FIVE_TUPLE.key_bytes(),
             seed: 0xC0C0,
+            pin: false,
         }
     }
 }
@@ -193,7 +202,12 @@ impl<S: MergeSketch + 'static> ShardedEngine<S> {
         let cfg = self.config;
         if cfg.threads == 1 {
             // Single shard: no ring, no thread — the batched hot path
-            // on the caller's thread is the honest baseline.
+            // on the caller's thread is the honest baseline. Pin (when
+            // asked) before allocating the shard: first touch then
+            // happens on the pinned core.
+            if cfg.pin {
+                let _ = crate::affinity::pin_current_thread(crate::affinity::core_for_shard(0));
+            }
             let mut sketch = self.make_shard();
             let start = Instant::now();
             sketch.update_batch(packets);
@@ -219,10 +233,22 @@ impl<S: MergeSketch + 'static> ShardedEngine<S> {
         let (shards, per_shard, weight) = std::thread::scope(|scope| {
             let workers: Vec<_> = rings
                 .iter()
-                .map(|ring| {
+                .enumerate()
+                .map(|(idx, ring)| {
                     let done = &done;
-                    let mut sketch = self.make_shard();
+                    let factory = self.factory();
                     scope.spawn(move || {
+                        // Pin first, then build the shard *on the
+                        // worker*: first-touch allocation places the
+                        // bucket lines on the pinned core's NUMA node.
+                        // Best-effort — a refused pin (cpuset) just
+                        // runs this worker unpinned.
+                        if cfg.pin {
+                            let _ = crate::affinity::pin_current_thread(
+                                crate::affinity::core_for_shard(idx),
+                            );
+                        }
+                        let mut sketch = factory();
                         let mut chunk: Vec<(KeyBytes, u64)> = Vec::with_capacity(cfg.batch);
                         let mut processed = 0u64;
                         let mut weight = 0u64;

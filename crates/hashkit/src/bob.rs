@@ -15,7 +15,7 @@
 /// Identical to the C macro: every lane is reversibly mixed with the other
 /// two, so no entropy is lost between rounds.
 #[inline(always)]
-fn mix(mut a: u32, mut b: u32, mut c: u32) -> (u32, u32, u32) {
+pub(crate) fn mix(mut a: u32, mut b: u32, mut c: u32) -> (u32, u32, u32) {
     a = a.wrapping_sub(b).wrapping_sub(c) ^ (c >> 13);
     b = b.wrapping_sub(c).wrapping_sub(a) ^ (a << 8);
     c = c.wrapping_sub(a).wrapping_sub(b) ^ (b >> 13);

@@ -13,6 +13,10 @@
 //! - [`HashFamily`]: `d` pairwise-independent-in-practice seeded hash
 //!   functions, the building block for multi-array sketches, indexing
 //!   arrays via the division-free [`fastrange`] reduction;
+//! - [`simd`]: lane-parallel [`simd::bob_hash_13x8`] kernels (portable
+//!   lane-loop always; explicit AVX2 behind the `simd` cargo feature
+//!   with runtime dispatch) plus the [`prefetch_read`] cache-control
+//!   shim, both serving the batched sketch hot path;
 //! - [`SplitMix64`] and [`XorShift64Star`]: tiny, allocation-free PRNGs.
 //!   `XorShift64Star` drives the probabilistic key-replacement decisions
 //!   in the sketch hot path; `SplitMix64` doubles as the workspace's
@@ -23,8 +27,15 @@
 //! Everything here is deterministic given its seeds; experiments built on
 //! top are bit-reproducible.
 
+//!
+//! Unsafe policy: the crate is `#![deny(unsafe_code)]`. The only
+//! escape hatches are the item-level `#[allow(unsafe_code)]` blocks in
+//! [`simd`] — the prefetch hint and the feature-gated AVX2 kernel —
+//! each carrying a SAFETY comment audited by cocolint's
+//! safety-comment rule (see `lint.toml`, `deny_unsafe`).
+
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod bob;
@@ -32,6 +43,7 @@ mod family;
 pub mod fastmap;
 pub mod invariant;
 mod rng;
+pub mod simd;
 
 pub use bob::{bob_hash, bob_hash64, bob_hash_13};
 pub use family::{fastrange, HashFamily};
@@ -39,3 +51,4 @@ pub use fastmap::{
     fast_map_with_capacity, fast_set_with_capacity, FastBuildHasher, FastHasher, FastMap, FastSet,
 };
 pub use rng::{SplitMix64, XorShift64Star};
+pub use simd::{bob_hash_13x8, prefetch_read, KeyWords8};

@@ -18,7 +18,13 @@ pub const MAX_KEY_BYTES: usize = 16;
 /// length is part of the value, so keys produced by different
 /// [`KeySpec`](crate::KeySpec)s of different widths never compare equal by
 /// accident.
+/// The layout is pinned to `#[repr(C)]` (17 bytes: length prefix then
+/// payload) because sketch buckets embed the key directly and assert
+/// their own size/alignment at compile time — see `Bucket` in
+/// `cocosketch::basic`, which packs two `(KeyBytes, u64)` buckets per
+/// 64-byte cache line.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(C)]
 pub struct KeyBytes {
     len: u8,
     buf: [u8; MAX_KEY_BYTES],

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Compare a fresh throughput bench JSON against the committed baseline.
+#
+#   scripts/bench_compare.sh [NEW] [BASELINE]
+#
+# Defaults: NEW=results/BENCH_throughput.json (what `cargo run --release
+# -p cocosketch-bench --bin throughput` writes), BASELINE=
+# baselines/BENCH_throughput.json (committed before the vectorized hot
+# path landed). Prints the scalar and single-shard ratios; exits 1 if
+# the single-shard ratio falls below BENCH_MIN_RATIO (default 1.0, i.e.
+# "no regression"; CI may set it higher to enforce a speedup).
+#
+# Zero dependencies beyond POSIX sh + awk, like the rest of scripts/.
+set -eu
+
+NEW=${1:-results/BENCH_throughput.json}
+BASE=${2:-baselines/BENCH_throughput.json}
+MIN=${BENCH_MIN_RATIO:-1.0}
+
+[ -f "$NEW" ] || { echo "bench_compare: missing $NEW (run the throughput bench first)" >&2; exit 2; }
+[ -f "$BASE" ] || { echo "bench_compare: missing baseline $BASE" >&2; exit 2; }
+
+# Extract `"key": <number>` from a one-key-per-line JSON document.
+field() {
+    awk -v key="\"$2\":" '
+        index($0, key) {
+            sub(".*" key "[ ]*", ""); sub("[,}].*", ""); print; exit
+        }' "$1"
+}
+
+compare() {
+    name=$1
+    old=$(field "$BASE" "$name")
+    new=$(field "$NEW" "$name")
+    if [ -z "$old" ] || [ -z "$new" ]; then
+        echo "bench_compare: $name: missing in one of the files (old='$old' new='$new')"
+        return
+    fi
+    awk -v o="$old" -v n="$new" -v name="$name" \
+        'BEGIN { printf "bench_compare: %-28s %10.4f -> %10.4f  (%.3fx)\n", name, o, n, n / o }'
+}
+
+compare scalar_mpps
+compare single_shard_batched_mpps
+
+old=$(field "$BASE" single_shard_batched_mpps)
+new=$(field "$NEW" single_shard_batched_mpps)
+awk -v o="$old" -v n="$new" -v min="$MIN" 'BEGIN {
+    ratio = n / o
+    if (ratio < min) {
+        printf "bench_compare: FAIL: single-shard ratio %.3f below threshold %s\n", ratio, min
+        exit 1
+    }
+    printf "bench_compare: OK: single-shard ratio %.3f (threshold %s)\n", ratio, min
+}'

@@ -35,6 +35,19 @@ gate_begin "cargo test -q"
 cargo test -q
 gate_end "test"
 
+# The vectorized hot path compiles to different code under
+# `--features simd` (AVX2 dispatch in hashkit, batched probe in core),
+# so the data-plane crates are tested in both configurations. On
+# non-AVX2 hosts the dispatch falls back to the portable kernel and
+# the same suites still assert scalar bit-identity.
+gate_begin "cargo test -q --features simd (vectorized hot path)"
+cargo test -q -p hashkit -p cocosketch -p engine -p cocosketch-cli --features simd
+gate_end "simd-test"
+
+gate_begin "cargo build --release --features simd (bench binaries)"
+cargo build -q --release -p cocosketch-bench --features simd
+gate_end "simd-build"
+
 gate_begin "cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 gate_end "clippy"
@@ -59,6 +72,7 @@ fi
 if [ "${VERIFY_HEAVY:-0}" = "1" ]; then
     gate_begin "heavy suites (proptest + criterion shims)"
     cargo test -q -p integration --features heavy-tests
+    cargo test -q -p integration --features heavy-tests,simd --test proptest_invariants
     cargo check -q -p cocosketch-bench --features heavy-tests --benches
     gate_end "heavy"
     gate_begin "engine model checking (loom shim)"

@@ -281,3 +281,74 @@ fn query_engine_paths_on_empty_table() {
         .iter()
         .all(Vec::is_empty));
 }
+
+/// Arbitrary packet streams over explicit key widths: 13 bytes (the
+/// SIMD fast-path width), plus 4 and 16 (generic scalar widths). Byte
+/// values are drawn from a compact range so duplicate keys occur.
+fn arb_wide_stream() -> impl Strategy<Value = (usize, Vec<(KeyBytes, u64)>)> {
+    (
+        prop_oneof![Just(4usize), Just(13usize), Just(16usize)],
+        prop::collection::vec((prop::collection::vec(0u8..8, 16..17), 1u64..100), 0..400),
+    )
+        .prop_map(|(width, raw)| {
+            let stream = raw
+                .into_iter()
+                .map(|(bytes, w)| (KeyBytes::new(&bytes[..width]), w))
+                .collect();
+            (width, stream)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simd_hash_lanes_match_scalar(
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 13..14), 8..9),
+        seed in any::<u32>(),
+    ) {
+        // The 8-lane kernel (AVX2 when compiled with `simd` on a
+        // supporting host, the portable fallback otherwise) must be
+        // bit-identical to the scalar hash, lane by lane.
+        let mut words = hashkit::KeyWords8::zeroed();
+        let mut expect = [0u32; 8];
+        for (lane, bytes) in keys.iter().enumerate() {
+            let key: &[u8; 13] = bytes.as_slice().try_into().unwrap();
+            words.set_lane(lane, key);
+            expect[lane] = hashkit::bob_hash_13(key, seed);
+        }
+        prop_assert_eq!(hashkit::bob_hash_13x8(&words, seed), expect);
+    }
+
+    #[test]
+    fn batched_updates_match_per_packet(
+        width_stream in arb_wide_stream(),
+        d in 1usize..=10,
+        l in 1usize..48,
+        seed in any::<u64>(),
+        split in 0usize..64,
+    ) {
+        // update_batch (vectorized + prefetched when d <= 8 and the
+        // keys are 13 bytes; the chunked wide path otherwise) must end
+        // in bucket state bit-identical to per-packet update — the
+        // same buckets, values, and RNG draw order — for any stream,
+        // any split into batches (empty and non-multiple-of-8
+        // included), and any (d, l).
+        let (width, stream) = width_stream;
+        let mut scalar = BasicCocoSketch::new(d, l, width, seed);
+        let mut batched = BasicCocoSketch::new(d, l, width, seed);
+        for (k, w) in &stream {
+            scalar.update(k, *w);
+        }
+        let cut = split.min(stream.len());
+        let (head, tail) = stream.split_at(cut);
+        batched.update_batch(head);
+        batched.update_batch(tail);
+        prop_assert_eq!(batched.total_value(), scalar.total_value());
+        let mut want = scalar.records();
+        let mut got = batched.records();
+        want.sort();
+        got.sort();
+        prop_assert_eq!(got, want);
+    }
+}
