@@ -2,7 +2,7 @@
 
 use crate::args::{parse_key, parse_memory, parse_threads};
 use crate::Opts;
-use cocosketch::{epoch, snapshot, EpochStore, FlowTable};
+use cocosketch::{epoch, snapshot, Epoch, EpochStore, FlowTable};
 use engine::{EngineConfig, ShardedCocoSketch};
 use tasks::stats as table_stats;
 use traffic::{io as trace_io, presets, KeySpec, Trace};
@@ -15,13 +15,17 @@ commands:
   generate  --preset caida|mawi --out FILE [--scale N] [--seed S]
   measure   (--trace FILE | --pcap FILE) --out FILE
             [--memory 500KB] [--d 2] [--seed S] [--threads N] [--pin]
-            [--window PACKETS] [--keep-epochs N]
+            [--window PACKETS] [--keep-epochs N] [--serve ADDR]
   query     --table FILE --key KEY [--top K] [--threshold T]
   stats     --table FILE --key KEY
   info      (--trace FILE | --table FILE)
 
 keys: 5tuple, srcip, dstip, srcip/NN, dstip/NN, src-dst,
-      srcip-srcport, dstip-dstport, empty";
+      srcip-srcport, dstip-dstport, empty
+
+--serve ADDR (unix:PATH or HOST:PORT) keeps the process resident after
+measuring, answering partial-key queries from the sealed epochs over
+the wire protocol until a client sends a shutdown request.";
 
 /// `generate`: write a synthetic trace to disk.
 pub fn generate(argv: &[String]) -> Result<(), String> {
@@ -58,6 +62,15 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 /// `--pin` pins shard workers to cores round-robin (shard i → core
 /// i % cores) with first-touch shard allocation on the pinned core;
 /// see `engine::affinity`. Best-effort and Linux-only.
+///
+/// `--serve ADDR` keeps the process resident after measuring as a
+/// [`serve`] wire server answering partial-key queries from the
+/// sealed result. With `--window` the server starts *before* ingest
+/// and each sealed epoch is published to it as rotation proceeds, so
+/// readers query earlier windows while later ones are still filling;
+/// without `--window` the finished table is published as epoch 0.
+/// Either way the process exits when a client sends a shutdown
+/// request (`serve::Client::shutdown`).
 pub fn measure(argv: &[String]) -> Result<(), String> {
     let opts = Opts::parse(argv)?;
     let out = opts.path("out")?;
@@ -68,11 +81,15 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     let pin = opts.bool_or("pin", false)?;
     let window = opts.u64_or("window", 0)?;
     let keep_epochs = opts.u64_or("keep-epochs", 0)? as usize;
+    let serve_addr = opts.get("serve");
     if d == 0 {
         return Err("--d must be positive".into());
     }
     if keep_epochs > 0 && window == 0 {
         return Err("--keep-epochs only applies with --window".into());
+    }
+    if serve_addr == Some("true") {
+        return Err("--serve takes an address: unix:PATH or HOST:PORT".into());
     }
 
     let trace = if let Some(path) = opts.get("pcap") {
@@ -99,7 +116,14 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
         },
     );
     if window > 0 {
-        return measure_windowed(&engine, &trace, full, window, keep_epochs, &out, threads);
+        let wopts = WindowedOpts {
+            window,
+            keep_epochs,
+            out: &out,
+            threads,
+            serve_addr,
+        };
+        return measure_windowed(&engine, &trace, full, wopts);
     }
     let run = engine.run_trace(&trace, &full);
     let table = run.flow_table(full);
@@ -115,28 +139,101 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
         table.len(),
         out.display()
     );
+    if let Some(addr) = serve_addr {
+        // Measurement is done: publish the whole run as epoch 0 and
+        // serve on the calling thread until a client shuts us down.
+        let (mut publisher, svc) = serve::service(1);
+        publisher.publish_epoch(Epoch {
+            id: 0,
+            packets: run.processed,
+            weight: table.total(),
+            tables: vec![table],
+        });
+        serve_blocking(addr, svc)?;
+    }
     Ok(())
+}
+
+/// Bind `addr` and answer wire queries on the calling thread until a
+/// client sends a shutdown request.
+fn serve_blocking(addr: &str, svc: std::sync::Arc<serve::Service>) -> Result<(), String> {
+    let server = serve::Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("serving on {}", server.addr());
+    let served = server
+        .run(svc)
+        .map_err(|e| format!("serving {addr}: {e}"))?;
+    println!(
+        "server stopped after {served} connection{}",
+        if served == 1 { "" } else { "s" }
+    );
+    Ok(())
+}
+
+/// Options for the `--window` path, grouped to keep call sites (and
+/// clippy) happy.
+struct WindowedOpts<'a> {
+    window: u64,
+    keep_epochs: usize,
+    out: &'a std::path::Path,
+    threads: usize,
+    serve_addr: Option<&'a str>,
 }
 
 /// The `--window` path: one continuously-running session, one sealed
 /// epoch file per window of `window` packets. `keep_epochs > 0` caps
 /// the store to the last N epochs via [`EpochStore::evict_to`].
+///
+/// With `serve_addr` set, the wire server is bound and running before
+/// the first packet is ingested, and every sealed epoch is published
+/// to the resident [`serve::Service`] the moment rotation seals it —
+/// wire readers query earlier windows concurrently with ingest. After
+/// the epoch files are written the publisher is dropped and the
+/// server keeps answering until a client sends a shutdown request.
 fn measure_windowed(
     engine: &ShardedCocoSketch,
     trace: &Trace,
     full: KeySpec,
-    window: u64,
-    keep_epochs: usize,
-    out: &std::path::Path,
-    threads: usize,
+    opts: WindowedOpts<'_>,
 ) -> Result<(), String> {
+    let WindowedOpts {
+        window,
+        keep_epochs,
+        out,
+        threads,
+        serve_addr,
+    } = opts;
+    let mut serving = match serve_addr {
+        Some(addr) => {
+            // The service's catalog retains what --keep-epochs keeps
+            // on disk (everything, when unset); its eviction is
+            // internal, so the `cap` closure below only trims the
+            // store that feeds the epoch files.
+            let keep = if keep_epochs > 0 {
+                keep_epochs
+            } else {
+                usize::MAX
+            };
+            let (publisher, svc) = serve::service(keep);
+            let server = serve::Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            println!("serving on {}", server.addr());
+            Some((publisher, std::thread::spawn(move || server.run(svc))))
+        }
+        None => None,
+    };
     let mut session = engine.session();
     let mut store = EpochStore::new();
     let mut total = 0u64;
     let mut evicted = 0usize;
     let started = std::time::Instant::now();
     let mut in_window = 0u64;
-    let mut cap = |store: &mut EpochStore| {
+    // Seal one epoch: publish to the resident service (if serving),
+    // retain for the epoch files, cap the store to --keep-epochs.
+    let mut seal = |store: &mut EpochStore, sealed: Epoch| {
+        let sealed = std::sync::Arc::new(sealed);
+        if let Some((publisher, _)) = serving.as_mut() {
+            publisher.publish(std::sync::Arc::clone(&sealed));
+        }
+        store.push_arc(sealed);
         if keep_epochs > 0 {
             evicted += store.evict_to(keep_epochs);
         }
@@ -147,8 +244,7 @@ fn measure_windowed(
         if in_window == window {
             let sealed = session.rotate_collect().to_epoch(full);
             total += sealed.packets;
-            store.push(sealed);
-            cap(&mut store);
+            seal(&mut store, sealed);
             in_window = 0;
         }
     }
@@ -156,8 +252,7 @@ fn measure_windowed(
     if last.packets > 0 {
         let sealed = last.to_epoch(full);
         total += sealed.packets;
-        store.push(sealed);
-        cap(&mut store);
+        seal(&mut store, sealed);
     }
     let elapsed = started.elapsed();
     let mpps = total as f64 / elapsed.as_secs_f64() / 1e6;
@@ -190,6 +285,19 @@ fn measure_windowed(
             sealed.weight,
             sealed.primary().len(),
             path.display()
+        );
+    }
+    if let Some((publisher, handle)) = serving {
+        // Sealing is finished; the server keeps answering from the
+        // published epochs until a client asks it to stop.
+        drop(publisher);
+        let served = handle
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| format!("serving {}: {e}", serve_addr.unwrap_or("?")))?;
+        println!(
+            "server stopped after {served} connection{}",
+            if served == 1 { "" } else { "s" }
         );
     }
     Ok(())

@@ -252,6 +252,225 @@ fn keep_epochs_requires_window() {
     );
 }
 
+/// Poll-connect to a serve address until the server comes up.
+fn connect_with_retry(addr: &str) -> serve::Client<Box<dyn serve::wire::ReadWrite>> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        match serve::connect(addr) {
+            Ok(client) => return client,
+            Err(e) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "server never came up on {addr}: {e}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Wait (bounded) for the resident service to have published `want`
+/// epochs, returning the final info.
+fn wait_for_epochs(
+    client: &mut serve::Client<Box<dyn serve::wire::ReadWrite>>,
+    want: usize,
+) -> serve::ServiceInfo {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let info = client.info().expect("info");
+        if info.epochs >= want {
+            return info;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "service stuck at {} epochs, wanted {want}",
+            info.epochs
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+/// Bounded wait for the serving child to exit after a shutdown request.
+fn wait_bounded(mut child: std::process::Child) -> std::process::Output {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(_) => return child.wait_with_output().expect("wait_with_output"),
+            None if std::time::Instant::now() >= deadline => {
+                child.kill().ok();
+                child.wait().ok();
+                panic!("serving process did not exit after shutdown");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(25)),
+        }
+    }
+}
+
+#[test]
+fn measure_serve_answers_wire_queries_bit_identically() {
+    use serve::Select;
+    use traffic::KeySpec;
+
+    let dir = tmpdir("serve-windowed");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    let sock = dir.join("serve.sock");
+    let addr = format!("unix:{}", sock.display());
+    let out = run(&[
+        "generate",
+        "--preset",
+        "caida",
+        "--scale",
+        "2000",
+        "--seed",
+        "7",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Same cadence as the plain windowed test (two full epochs plus a
+    // tail), but resident: the process keeps serving after sealing.
+    let child = Command::new(bin())
+        .args([
+            "measure",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--memory",
+            "100KB",
+            "--window",
+            "5000",
+            "--serve",
+            &addr,
+            "--out",
+            table.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serving measure");
+
+    // The server binds before ingest; epochs appear as rotation seals
+    // them while ingest is still running.
+    let mut client = connect_with_retry(&addr);
+    let info = wait_for_epochs(&mut client, 3);
+    assert_eq!(info.ids, Some((0, 2)));
+
+    // Served answers are bit-identical to querying the epoch file the
+    // same process writes (poll: files land after the final seal).
+    let epoch0 = dir.join("t.cft.epoch0");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !epoch0.exists() {
+        assert!(std::time::Instant::now() < deadline, "epoch0 never written");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let sealed = cocosketch::epoch::decode(&std::fs::read(&epoch0).unwrap()).unwrap();
+    for spec in [KeySpec::SRC_IP, KeySpec::SRC_DST, KeySpec::FIVE_TUPLE] {
+        let answer = client.partial(Select::Id(0), &spec).expect("partial");
+        let direct = sealed.primary().query_all_entries(&[spec]);
+        assert_eq!(answer.primary().rows(), direct[0].as_slice(), "{spec:?}");
+        assert_eq!(answer.packets, sealed.packets);
+    }
+    // Windowed rollup across all three epochs covers the whole trace.
+    let win = client.window(0, 2, &KeySpec::SRC_IP).expect("window");
+    let trace_data = traffic::io::load(&trace).unwrap();
+    assert_eq!(win.packets, trace_data.len() as u64);
+    assert_eq!(win.weight, trace_data.total_weight());
+
+    client.shutdown().expect("shutdown");
+    let out = wait_bounded(child);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("serving on "), "{text}");
+    assert!(text.contains("server stopped after"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn measure_serve_without_window_serves_the_run_as_epoch_zero() {
+    use serve::Select;
+    use traffic::KeySpec;
+
+    let dir = tmpdir("serve-plain");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    let sock = dir.join("serve.sock");
+    let addr = format!("unix:{}", sock.display());
+    run(&[
+        "generate",
+        "--preset",
+        "mawi",
+        "--scale",
+        "1000",
+        "--seed",
+        "3",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    let child = Command::new(bin())
+        .args([
+            "measure",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--memory",
+            "100KB",
+            "--serve",
+            &addr,
+            "--out",
+            table.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serving measure");
+
+    let mut client = connect_with_retry(&addr);
+    let info = wait_for_epochs(&mut client, 1);
+    assert_eq!(info.ids, Some((0, 0)));
+    // The served epoch is the run's flow table, bit-identical to the
+    // table file written before serving began.
+    let table_bytes = std::fs::read(&table).unwrap();
+    let direct = cocosketch::snapshot::decode(&table_bytes).unwrap();
+    let answer = client
+        .partial(Select::Latest, &KeySpec::FIVE_TUPLE)
+        .expect("partial");
+    let want = direct.query_all_entries(&[KeySpec::FIVE_TUPLE]);
+    assert_eq!(answer.primary().rows(), want[0].as_slice());
+
+    client.shutdown().expect("shutdown");
+    let out = wait_bounded(child);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_requires_an_address() {
+    let out = run(&[
+        "measure",
+        "--trace",
+        "unused.cct",
+        "--serve",
+        "--out",
+        "unused.cft",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--serve takes an address"));
+}
+
 #[test]
 fn rejects_unknown_command() {
     let out = run(&["frobnicate"]);

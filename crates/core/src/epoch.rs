@@ -24,6 +24,7 @@
 use crate::query::FlowTable;
 use crate::snapshot;
 use std::io;
+use std::sync::Arc;
 
 /// Envelope magic for a serialized epoch. Distinct from the flow-table
 /// magic (`b"CFT1"`) so readers can sniff which format a file holds.
@@ -127,10 +128,17 @@ pub fn decode(data: &[u8]) -> io::Result<Epoch> {
 /// dropped but ids keep counting up from where sealing left off, so
 /// adjacency (`(n, n+1)` diffs) over the retained suffix never
 /// renumbers.
+///
+/// Epochs are held behind [`Arc`] so concurrent readers (the resident
+/// query service in `crates/serve`) can clone a handle via
+/// [`sealed_arc`](Self::sealed_arc) and keep querying a snapshot that
+/// the store has since evicted: eviction drops the store's reference,
+/// not the epoch, and sealed epochs are immutable, so an outstanding
+/// handle stays bit-identical for as long as the reader holds it.
 #[derive(Debug, Default)]
 pub struct EpochStore {
     /// Retained epochs; `epochs[i].id == base + i`.
-    epochs: Vec<Epoch>,
+    epochs: Vec<Arc<Epoch>>,
     /// Id of the oldest retained epoch == number of evicted epochs.
     base: u64,
 }
@@ -151,12 +159,12 @@ impl EpochStore {
     /// dense id, and return it.
     pub fn seal(&mut self, tables: Vec<FlowTable>, packets: u64, weight: u64) -> u64 {
         let id = self.next_id();
-        self.epochs.push(Epoch {
+        self.epochs.push(Arc::new(Epoch {
             id,
             packets,
             weight,
             tables,
-        });
+        }));
         id
     }
 
@@ -168,6 +176,17 @@ impl EpochStore {
     /// assign next — ids are the adjacency relation, so gaps or
     /// reordering would silently corrupt windowed diffs.
     pub fn push(&mut self, epoch: Epoch) -> u64 {
+        self.push_arc(Arc::new(epoch))
+    }
+
+    /// [`push`](Self::push) for an epoch already behind an [`Arc`]
+    /// (e.g. one shared with a query-service catalog) — stores the
+    /// handle without cloning the tables.
+    ///
+    /// # Panics
+    /// Panics when `epoch.id` is not the next dense id, exactly like
+    /// [`push`](Self::push).
+    pub fn push_arc(&mut self, epoch: Arc<Epoch>) -> u64 {
         assert_eq!(
             epoch.id,
             self.next_id(),
@@ -180,13 +199,29 @@ impl EpochStore {
 
     /// The sealed epoch with this id, if sealed and still retained.
     pub fn sealed(&self, id: u64) -> Option<&Epoch> {
+        self.slot(id).map(|a| a.as_ref())
+    }
+
+    /// A shared handle to the sealed epoch with this id. The handle
+    /// stays valid — queryable and bit-identical — even after
+    /// [`evict_to`](Self::evict_to) drops the store's own reference.
+    pub fn sealed_arc(&self, id: u64) -> Option<Arc<Epoch>> {
+        self.slot(id).cloned()
+    }
+
+    fn slot(&self, id: u64) -> Option<&Arc<Epoch>> {
         let slot = id.checked_sub(self.base)?;
         self.epochs.get(usize::try_from(slot).ok()?)
     }
 
     /// The most recently sealed epoch.
     pub fn latest(&self) -> Option<&Epoch> {
-        self.epochs.last()
+        self.epochs.last().map(|a| a.as_ref())
+    }
+
+    /// A shared handle to the most recently sealed epoch.
+    pub fn latest_arc(&self) -> Option<Arc<Epoch>> {
+        self.epochs.last().cloned()
     }
 
     /// Number of retained epochs (evicted ones no longer count).
@@ -219,7 +254,7 @@ impl EpochStore {
 
     /// Iterate retained epochs in id order.
     pub fn iter(&self) -> impl Iterator<Item = &Epoch> {
-        self.epochs.iter()
+        self.epochs.iter().map(|a| a.as_ref())
     }
 
     /// The adjacent pair `(earlier, earlier + 1)` — the unit of
@@ -339,6 +374,72 @@ mod tests {
         assert_eq!(store.oldest_id(), None);
         assert_eq!(store.next_id(), 2, "ids never restart");
         assert_eq!(store.seal(vec![], 3, 3), 2);
+    }
+
+    #[test]
+    fn arc_outlives_eviction_bit_identical() {
+        let mut store = EpochStore::new();
+        for i in 0..4u32 {
+            store.seal(vec![table(40, i * 100)], u64::from(i) + 10, 99);
+        }
+        // A reader grabs epoch 1 before the store evicts it.
+        let held = store.sealed_arc(1).unwrap();
+        let before_bytes = encode(&held);
+        let spec = KeySpec::SRC_IP;
+        let before_answer = held.primary().query_all_entries(&[spec]);
+        assert_eq!(store.evict_to(2), 2);
+        assert!(store.sealed(1).is_none(), "store dropped its reference");
+        assert!(store.sealed_arc(1).is_none(), "stale id returns None");
+        // The outstanding handle is unaffected: same bytes, same answers.
+        assert_eq!(encode(&held), before_bytes);
+        assert_eq!(held.primary().query_all_entries(&[spec]), before_answer);
+        assert_eq!(held.id, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_survive_eviction() {
+        // Threaded version of the above: readers hold Arcs and keep
+        // querying while the owning thread seals and evicts under them.
+        let mut store = EpochStore::new();
+        for i in 0..3u32 {
+            store.seal(vec![table(64, i)], u64::from(i), u64::from(i));
+        }
+        let spec = KeySpec::SRC_IP;
+        let handles: Vec<_> = (0..3)
+            .map(|id| {
+                let epoch = store.sealed_arc(id).unwrap();
+                let expect = epoch.primary().query_all_entries(&[spec]);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(epoch.primary().query_all_entries(&[spec]), expect);
+                    }
+                    (epoch.id, epoch.packets)
+                })
+            })
+            .collect();
+        // Evict everything the readers are using, then keep sealing.
+        store.evict_to(0);
+        for i in 3..6u32 {
+            store.seal(vec![table(8, i)], u64::from(i), 0);
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let (id, packets) = h.join().unwrap();
+            assert_eq!((id, packets), (i as u64, i as u64));
+        }
+        assert_eq!(store.oldest_id(), Some(3));
+    }
+
+    #[test]
+    fn push_arc_shares_without_copying() {
+        let mut store = EpochStore::new();
+        let epoch = Arc::new(Epoch {
+            id: 0,
+            packets: 5,
+            weight: 9,
+            tables: vec![table(3, 0)],
+        });
+        store.push_arc(Arc::clone(&epoch));
+        assert!(Arc::ptr_eq(&store.sealed_arc(0).unwrap(), &epoch));
     }
 
     #[test]

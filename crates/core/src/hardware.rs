@@ -166,8 +166,8 @@ impl Sketch for HardwareCocoSketch {
                                                // Key path: replace with probability w / value. Skipping the
                                                // draw when the key already matches is an optimization only —
                                                // replacing a key with itself is a no-op.
-            if self.buckets[s].key != *key {
-                // LINT: bounded(same slot() invariant)
+            let key_differs = self.buckets[s].key != *key; // LINT: bounded(same slot() invariant)
+            if key_differs {
                 let threshold = match self.division {
                     DivisionMode::Exact => exact_threshold(w, value),
                     DivisionMode::ApproxTofino => approx_threshold(w, value),

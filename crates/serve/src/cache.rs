@@ -1,0 +1,279 @@
+//! Lock-free, insert-only cache of compiled projectors.
+//!
+//! Every partial-key query needs the gather/mask [`Projector`] from
+//! the table's full key to the queried spec. Compilation is cheap but
+//! not free, and a resident service answers the same handful of specs
+//! millions of times across readers and epochs — so compiled plans
+//! are interned once in a fixed-capacity, open-addressed table and
+//! thereafter read with a single `Acquire` load per probe.
+//!
+//! Slots move `EMPTY → BUSY → FULL`, and `FULL` is final: entries are
+//! never replaced or removed, which is what makes lock-free reads
+//! trivially sound (a `FULL` slot's payload was `Release`-published
+//! and never changes again). Losing an insert race or running out of
+//! slots degrades to compiling the projector directly — correctness
+//! never depends on the cache, only the per-query constant factor
+//! does. Duplicate entries for one key (two racing inserters landing
+//! in different slots) are possible and benign: compilation is
+//! deterministic, so both hold bit-identical plans.
+
+use crate::sync::{AtomicU64, AtomicUsize, Ordering, UnsafeCell};
+use traffic::{KeySpec, Projector};
+
+/// Slot states. `FULL` is terminal.
+const EMPTY: usize = 0;
+const BUSY: usize = 1;
+const FULL: usize = 2;
+
+/// Number of slots. Two specs (full and partial) have well under 2^16
+/// practically distinct values each, and a deployment queries a few
+/// dozen at most; 512 slots keeps the table one page and collisions
+/// negligible.
+const SLOTS: usize = 512;
+
+/// Probe limit before giving up and compiling directly.
+const PROBE_LIMIT: usize = 16;
+
+/// One interned projector, keyed by the (full, spec) pair it maps.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    full: KeySpec,
+    spec: KeySpec,
+    projector: Projector,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: AtomicUsize,
+    entry: UnsafeCell<Option<Entry>>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            state: AtomicUsize::new(EMPTY),
+            entry: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// Running hit/miss accounting, readable while the cache is live.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from an interned entry.
+    pub hits: u64,
+    /// Lookups that compiled and interned a new entry.
+    pub misses: u64,
+    /// Lookups that compiled directly (probe limit hit, or an insert
+    /// race lost) without interning.
+    pub bypasses: u64,
+}
+
+/// The shared projector cache. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct ProjectorCache {
+    slots: Vec<Slot>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+// SAFETY: the `UnsafeCell` payload of a slot is written exactly once,
+// between a successful `EMPTY → BUSY` compare-exchange (which elects a
+// unique writer for that slot) and the `Release` store of `FULL`;
+// readers dereference it only after an `Acquire` load observes `FULL`,
+// so every read happens-after the unique write and no two accesses
+// conflict. `FULL` is terminal — the payload is immutable from then
+// on. The model tests in `tests/model.rs` check the election and the
+// publish edge under the loom shim.
+#[allow(unsafe_code)] // audited: see the SAFETY comment above
+unsafe impl Sync for ProjectorCache {}
+
+impl ProjectorCache {
+    /// An empty cache with the default slot count.
+    pub fn new() -> Self {
+        Self {
+            slots: (0..SLOTS).map(|_| Slot::new()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// Deterministic slot index for a (full, spec) pair.
+    fn index(full: &KeySpec, spec: &KeySpec) -> usize {
+        let pack = |s: &KeySpec| {
+            [
+                s.src_ip_bits,
+                s.dst_ip_bits,
+                u8::from(s.src_port) | u8::from(s.dst_port) << 1 | u8::from(s.proto) << 2,
+            ]
+        };
+        let mut bytes = [0u8; 6];
+        bytes[..3].copy_from_slice(&pack(full)); // LINT: bounded(constant range into [u8; 6])
+        bytes[3..].copy_from_slice(&pack(spec)); // LINT: bounded(constant range into [u8; 6])
+        hashkit::bob_hash(&bytes, 0x5EEDCAFE) as usize & (SLOTS - 1)
+    }
+
+    /// The compiled projector from `full` to `spec`, interned on first
+    /// use. Exactly [`KeySpec::projector`]'s result — the cache can
+    /// only change *when* compilation happens, never its output.
+    ///
+    /// # Panics
+    /// Panics when `spec` is not a partial key of `full`, matching
+    /// [`KeySpec::projector`]'s contract.
+    // LINT: hot
+    pub fn projector(&self, full: &KeySpec, spec: &KeySpec) -> Projector {
+        let mut idx = Self::index(full, spec);
+        for _ in 0..PROBE_LIMIT {
+            let slot = &self.slots[idx]; // LINT: bounded(idx is masked by SLOTS - 1 at every step)
+            match slot.state.load(Ordering::Acquire) {
+                FULL => {
+                    let found = slot.entry.with(|entry| {
+                        // SAFETY: FULL was observed with Acquire, so
+                        // the unique writer's payload store (made
+                        // before its Release of FULL) is visible, and
+                        // the payload never changes again.
+                        #[allow(unsafe_code)] // audited: publish edge above
+                        let entry = unsafe { &*entry };
+                        entry
+                            .filter(|e| e.full == *full && e.spec == *spec)
+                            .map(|e| e.projector)
+                    });
+                    if let Some(projector) = found {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return projector;
+                    }
+                }
+                // Not a match guard on purpose: the compare-exchange
+                // has a side effect (it *is* the writer election), and
+                // burying it in a guard would hide that.
+                #[allow(clippy::collapsible_match)]
+                EMPTY => {
+                    if slot
+                        .state
+                        .compare_exchange(EMPTY, BUSY, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        // We own this slot now: compile, publish.
+                        let projector = spec.projector(full);
+                        slot.entry.with_mut(|entry| {
+                            // SAFETY: the compare-exchange elected us
+                            // the slot's unique writer; readers wait
+                            // for FULL before touching the payload.
+                            #[allow(unsafe_code)] // audited: election above
+                            let entry = unsafe { &mut *entry };
+                            *entry = Some(Entry {
+                                full: *full,
+                                spec: *spec,
+                                projector,
+                            });
+                        });
+                        slot.state.store(FULL, Ordering::Release);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return projector;
+                    }
+                    // Lost the election; the winner may be interning a
+                    // different key. Fall through to the next slot.
+                }
+                _ => {
+                    // BUSY: a writer is mid-insert. Probing on (rather
+                    // than spinning) keeps the reader wait-free here.
+                }
+            }
+            idx = (idx + 1) & (SLOTS - 1);
+        }
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+        spec.projector(full)
+    }
+
+    /// Current counters (each totalled independently, so a snapshot
+    /// taken during concurrent lookups may be mid-update by ±1).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ProjectorCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+#[cfg(not(feature = "loom"))]
+mod tests {
+    use super::*;
+    use traffic::{FiveTuple, KeySpec};
+
+    #[test]
+    fn caches_and_reuses() {
+        let cache = ProjectorCache::new();
+        let full = KeySpec::FIVE_TUPLE;
+        for _ in 0..10 {
+            for spec in KeySpec::PAPER_SIX {
+                let direct = spec.projector(&full);
+                let cached = cache.projector(&full, &spec);
+                // Identical plans: same output on a probe key.
+                let key = full.project(&FiveTuple::new(0xA1B2C3D4, 0x01020304, 53, 443, 17));
+                assert_eq!(cached.project(&key), direct.project(&key));
+                assert_eq!(cached.out_len(), direct.out_len());
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 6, "each spec compiled exactly once");
+        assert_eq!(stats.hits, 54);
+        assert_eq!(stats.bypasses, 0);
+    }
+
+    #[test]
+    fn distinguishes_full_keys() {
+        let cache = ProjectorCache::new();
+        let spec = KeySpec::SRC_IP;
+        let a = cache.projector(&KeySpec::FIVE_TUPLE, &spec);
+        let b = cache.projector(&KeySpec::SRC_DST, &spec);
+        // Different full keys compile different plans (widths differ).
+        assert_eq!(a.full_len(), KeySpec::FIVE_TUPLE.encoded_len());
+        assert_eq!(b.full_len(), KeySpec::SRC_DST.encoded_len());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = std::sync::Arc::new(ProjectorCache::new());
+        let full = KeySpec::FIVE_TUPLE;
+        let key = full.project(&FiveTuple::new(7, 8, 9, 10, 6));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let mut outs = Vec::new();
+                    for _ in 0..500 {
+                        for spec in KeySpec::PAPER_SIX {
+                            outs.push(cache.projector(&full, &spec).project(&key));
+                        }
+                    }
+                    outs
+                })
+            })
+            .collect();
+        let first = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .reduce(|a, b| {
+                assert_eq!(a, b, "all threads see identical projections");
+                a
+            })
+            .unwrap();
+        assert_eq!(first.len(), 3000);
+        let stats = cache.stats();
+        // Everything after warm-up hits; racing first inserts may
+        // bypass or duplicate, but never miscount the total.
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, 12000);
+        assert!(stats.misses >= 6);
+    }
+}

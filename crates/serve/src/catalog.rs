@@ -1,0 +1,446 @@
+//! Lock-free publication of sealed epoch snapshots.
+//!
+//! The catalog is the hand-off point between one ingest/seal thread
+//! and any number of query readers. Readers resolve epoch ids to
+//! [`Arc<Epoch>`] handles without ever taking a lock; the single
+//! writer publishes a new epoch (and evicts old ones) with two atomic
+//! stores and a bounded wait for in-flight readers.
+//!
+//! # The left-right protocol
+//!
+//! An atomic-pointer swap over an immutable list would force the
+//! writer to clone the whole retained list per publish. Instead the
+//! catalog keeps **two** copies of its state and a `read_idx` switch:
+//!
+//! * **Readers** *pin* the current read side — increment that side's
+//!   reader count, then re-check `read_idx`. If the switch moved
+//!   between the two steps they retract the increment and retry (at
+//!   most once per concurrent publish); otherwise they read the
+//!   pinned side's state and unpin. Pin and unpin are one `fetch_add`
+//!   / `fetch_sub` each: wait-free in the absence of a concurrent
+//!   publish, lock-free always.
+//! * **The writer** applies each mutation twice: first to the write
+//!   side (quiescent by induction — see below), then flips `read_idx`
+//!   so new readers land on the fresh side, waits for the old side's
+//!   reader count to drain to zero, and applies the same mutation to
+//!   the now-quiescent old side. The two sides converge after every
+//!   publish; the writer never blocks readers and readers never block
+//!   each other.
+//!
+//! `SeqCst` on the pin increment / re-check and on the flip / drain
+//! load is load-bearing: the four accesses form a store-buffering
+//! pattern (reader: `inc; check`, writer: `flip; drain`), and with
+//! weaker orderings both could pass — a reader confirmed on a side the
+//! writer believes drained. The model tests in `tests/model.rs` run
+//! this exact code under the loom shim and catch that mutation.
+//!
+//! A *straggler* — a reader that loaded `read_idx` before a flip and
+//! increments the stale side's count arbitrarily later — is benign by
+//! construction: its re-check is doomed to fail (the switch has
+//! moved), so it retracts without ever touching the side's state, and
+//! its transient increment only delays a future drain by one
+//! scheduler slice. That is why the write side is quiescent at the
+//! start of every mutation: the previous mutation drained it, and the
+//! only increments that can land on it afterwards belong to
+//! stragglers, which never read.
+//!
+//! Eviction and reclamation need no epoch-based scheme: the state
+//! holds `Arc<Epoch>`, so dropping an epoch from both sides leaves
+//! any handle a reader already cloned alive and bit-identical
+//! ([`Epoch`]s are sealed/immutable) for as long as the reader keeps
+//! it.
+
+use crate::sync::{yield_now, AtomicUsize, Ordering, UnsafeCell};
+use cocosketch::Epoch;
+use std::sync::Arc;
+
+/// Retained snapshots, one side of the left-right pair.
+///
+/// Same shape as `cocosketch::EpochStore`'s retention model: dense
+/// ids, `epochs[i].id == base + i`, eviction advances `base`.
+#[derive(Clone, Debug, Default)]
+struct CatalogState {
+    /// Id of the oldest retained epoch.
+    base: u64,
+    /// Retained epochs in id order.
+    epochs: Vec<Arc<Epoch>>,
+}
+
+impl CatalogState {
+    fn push(&mut self, epoch: &Arc<Epoch>) {
+        assert_eq!(
+            epoch.id,
+            self.base + self.epochs.len() as u64,
+            "published epoch ids must be dense and in order"
+        );
+        self.epochs.push(Arc::clone(epoch));
+    }
+
+    fn evict_to(&mut self, keep: usize) -> usize {
+        let excess = self.epochs.len().saturating_sub(keep);
+        if excess > 0 {
+            self.epochs.drain(..excess);
+            self.base += excess as u64;
+        }
+        excess
+    }
+
+    fn get(&self, id: u64) -> Option<&Arc<Epoch>> {
+        let slot = id.checked_sub(self.base)?;
+        self.epochs.get(usize::try_from(slot).ok()?)
+    }
+}
+
+/// One side of the pair: a reader count guarding a state copy.
+#[derive(Debug, Default)]
+struct Side {
+    /// Readers currently pinned to this side.
+    readers: AtomicUsize,
+    /// The state copy; mutated only by the single writer, and only
+    /// while no reader is (or can become) pinned here.
+    state: UnsafeCell<CatalogState>,
+}
+
+/// The shared left-right core. See the module docs for the protocol.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    /// Which side readers should pin: 0 or 1. Flipped only by the
+    /// writer.
+    read_idx: AtomicUsize,
+    sides: [Side; 2],
+}
+
+// SAFETY: `Shared` is shared across threads while holding
+// `UnsafeCell<CatalogState>`s. The left-right protocol (module docs)
+// guarantees exclusion: the writer mutates a side's state only while
+// that side is quiescent (drained of confirmed readers; stragglers
+// retract without reading), and readers dereference a side's state
+// only between a confirmed pin and the matching unpin, during which
+// the writer cannot start mutating it (the drain loop waits for the
+// unpin). The `tests/model.rs` suite checks this exclusion
+// exhaustively under the loom shim, including the SeqCst
+// store-buffering edge.
+#[allow(unsafe_code)] // audited: see the SAFETY comment above
+unsafe impl Sync for Shared {}
+
+impl Shared {
+    fn new() -> Self {
+        Self {
+            read_idx: AtomicUsize::new(0),
+            sides: [Side::default(), Side::default()],
+        }
+    }
+
+    /// Pin the current read side; returns its index (0 or 1).
+    // LINT: hot
+    fn pin(&self) -> usize {
+        loop {
+            let idx = self.read_idx.load(Ordering::Acquire);
+            self.sides[idx].readers.fetch_add(1, Ordering::SeqCst); // LINT: bounded(read_idx is only ever stored 0 or 1)
+            if self.read_idx.load(Ordering::SeqCst) == idx {
+                return idx;
+            }
+            // The switch moved under us: retract and retry on the new
+            // side. At most one retry per concurrent publish.
+            self.sides[idx].readers.fetch_sub(1, Ordering::SeqCst); // LINT: bounded(read_idx is only ever stored 0 or 1)
+        }
+    }
+
+    /// Release a [`pin`](Self::pin).
+    // LINT: hot
+    fn unpin(&self, idx: usize) {
+        self.sides[idx].readers.fetch_sub(1, Ordering::SeqCst); // LINT: bounded(unpin receives pin()'s return, 0 or 1)
+    }
+
+    /// Run `f` against a pinned, immutable view of the catalog state.
+    fn read<R>(&self, f: impl FnOnce(&CatalogState) -> R) -> R {
+        let idx = self.pin();
+        let side = &self.sides[idx]; // LINT: bounded(idx is pin()'s return, 0 or 1)
+        let out = side.state.with(|state| {
+            // SAFETY: between pin and unpin the writer cannot mutate
+            // this side (its drain loop waits for our count), so a
+            // shared reference is sound; the pointer is valid for the
+            // cell's lifetime.
+            #[allow(unsafe_code)] // audited: exclusion argument above
+            let view = unsafe { &*state };
+            f(view)
+        });
+        self.unpin(idx);
+        out
+    }
+
+    /// Apply `mutate` to both sides, writer-only (`&mut self` on the
+    /// owning [`CatalogWriter`] enforces a single caller).
+    fn update(&self, mutate: impl Fn(&mut CatalogState)) {
+        // The writer is the only thread that stores read_idx, so a
+        // relaxed load reads its own last store.
+        let read = self.read_idx.load(Ordering::Relaxed);
+        let write = read ^ 1;
+        let write_side = &self.sides[write]; // LINT: bounded(write = read ^ 1 with read in {0, 1})
+        let read_side = &self.sides[read]; // LINT: bounded(read came from read_idx, 0 or 1)
+        write_side.state.with_mut(|state| {
+            // SAFETY: the write side is quiescent — drained by the
+            // previous update's wait, and only stragglers (which never
+            // read) can still increment its count. No reader
+            // dereferences a side's state without a confirmed pin,
+            // and no pin on this side can confirm until the flip
+            // below.
+            #[allow(unsafe_code)] // audited: exclusion argument above
+            let state = unsafe { &mut *state };
+            mutate(state);
+        });
+        // Publish: readers from here on pin the freshly mutated side.
+        self.read_idx.store(write, Ordering::SeqCst);
+        // Drain: wait out readers still pinned to the old side. Each
+        // holds the pin only across one state lookup (no I/O, no
+        // allocation beyond an Arc clone), so this is a bounded wait.
+        while read_side.readers.load(Ordering::SeqCst) != 0 {
+            yield_now();
+        }
+        read_side.state.with_mut(|state| {
+            // SAFETY: drained above; as for the write side, only
+            // stragglers (which never read) can touch the count now,
+            // and new pins confirm against the *new* read side.
+            #[allow(unsafe_code)] // audited: exclusion argument above
+            let state = unsafe { &mut *state };
+            mutate(state);
+        });
+    }
+}
+
+/// A cloneable, lock-free read handle over published epochs.
+///
+/// Every method resolves against a pinned snapshot of the catalog
+/// state; returned [`Arc<Epoch>`] handles stay valid (queryable,
+/// bit-identical) even after the writer evicts those epochs.
+#[derive(Clone, Debug)]
+pub struct SnapshotCatalog {
+    shared: Arc<Shared>,
+}
+
+impl SnapshotCatalog {
+    /// The epoch with this id, if currently retained.
+    // LINT: hot
+    pub fn get(&self, id: u64) -> Option<Arc<Epoch>> {
+        self.shared.read(|s| s.get(id).cloned())
+    }
+
+    /// The most recently published epoch.
+    // LINT: hot
+    pub fn latest(&self) -> Option<Arc<Epoch>> {
+        self.shared.read(|s| s.epochs.last().cloned())
+    }
+
+    /// The retained epochs in `first..=last`, oldest first. Ids
+    /// outside the retained window are skipped, so the result can be
+    /// shorter than the requested range (or empty).
+    pub fn range(&self, first: u64, last: u64) -> Vec<Arc<Epoch>> {
+        self.shared.read(|s| {
+            let mut out = Vec::new();
+            let mut id = first;
+            while id <= last {
+                if let Some(e) = s.get(id) {
+                    out.push(Arc::clone(e));
+                }
+                let Some(next) = id.checked_add(1) else {
+                    break;
+                };
+                id = next;
+            }
+            out
+        })
+    }
+
+    /// `(oldest, latest)` retained ids, `None` while empty.
+    pub fn ids(&self) -> Option<(u64, u64)> {
+        self.shared.read(|s| {
+            let last = s.epochs.last()?;
+            Some((s.base, last.id))
+        })
+    }
+
+    /// Number of retained epochs.
+    pub fn len(&self) -> usize {
+        self.shared.read(|s| s.epochs.len())
+    }
+
+    /// True while nothing has been published (or all was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The single publishing handle for a catalog. Not `Clone`: `&mut
+/// self` on the mutating methods is what makes the left-right writer
+/// unique.
+#[derive(Debug)]
+pub struct CatalogWriter {
+    shared: Arc<Shared>,
+    keep: usize,
+}
+
+impl CatalogWriter {
+    /// Publish a sealed epoch and evict down to the retention limit in
+    /// one flip. Returns the published id.
+    ///
+    /// # Panics
+    /// Panics when `epoch.id` is not the next dense id — the catalog
+    /// inherits [`cocosketch::EpochStore`]'s dense-id contract.
+    pub fn publish(&mut self, epoch: Arc<Epoch>) -> u64 {
+        let id = epoch.id;
+        let keep = self.keep;
+        self.shared.update(move |s| {
+            s.push(&epoch);
+            s.evict_to(keep);
+        });
+        id
+    }
+
+    /// Evict the oldest epochs until at most `keep` remain; returns
+    /// how many were evicted. Lowering the limit here does not change
+    /// the retention applied by future [`publish`](Self::publish)
+    /// calls.
+    pub fn evict_to(&mut self, keep: usize) -> usize {
+        let evicted = std::cell::Cell::new(0);
+        self.shared.update(|s| evicted.set(s.evict_to(keep)));
+        // Both applications evict the same suffix (the sides converge
+        // after every update), so the last write is the answer.
+        evicted.get()
+    }
+
+    /// A new read handle onto this writer's catalog.
+    pub fn reader(&self) -> SnapshotCatalog {
+        SnapshotCatalog {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Create a catalog that keeps the last `keep` published epochs
+/// (`keep == 0` retains nothing — legal, mostly useful in tests).
+/// Returns the unique writer and a cloneable read handle.
+pub fn catalog(keep: usize) -> (CatalogWriter, SnapshotCatalog) {
+    let shared = Arc::new(Shared::new());
+    let writer = CatalogWriter {
+        shared: Arc::clone(&shared),
+        keep,
+    };
+    let reader = SnapshotCatalog { shared };
+    (writer, reader)
+}
+
+#[cfg(test)]
+#[cfg(not(feature = "loom"))]
+mod tests {
+    use super::*;
+    use cocosketch::FlowTable;
+    use traffic::{FiveTuple, KeySpec};
+
+    fn epoch(id: u64, rows: u32) -> Arc<Epoch> {
+        let full = KeySpec::FIVE_TUPLE;
+        let table = FlowTable::new(
+            full,
+            (0..rows)
+                .map(|i| {
+                    (
+                        full.project(&FiveTuple::new(i, i * 7, 80, 443, 6)),
+                        u64::from(i) + 1,
+                    )
+                })
+                .collect(),
+        );
+        Arc::new(Epoch {
+            id,
+            packets: u64::from(rows),
+            weight: u64::from(rows) * 2,
+            tables: vec![table],
+        })
+    }
+
+    #[test]
+    fn publish_then_read() {
+        let (mut w, r) = catalog(8);
+        assert!(r.is_empty());
+        assert!(r.latest().is_none());
+        assert_eq!(w.publish(epoch(0, 10)), 0);
+        assert_eq!(w.publish(epoch(1, 20)), 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0).unwrap().packets, 10);
+        assert_eq!(r.latest().unwrap().id, 1);
+        assert_eq!(r.ids(), Some((0, 1)));
+        assert!(r.get(2).is_none());
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let (mut w, r) = catalog(2);
+        for id in 0..5 {
+            w.publish(epoch(id, 4));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.ids(), Some((3, 4)));
+        assert!(r.get(2).is_none(), "evicted ids must not resolve");
+        assert_eq!(r.range(0, 10).len(), 2);
+        assert_eq!(w.evict_to(1), 1);
+        assert_eq!(r.ids(), Some((4, 4)));
+        assert_eq!(w.evict_to(0), 1);
+        assert!(r.is_empty());
+        // Publishing continues the dense sequence after a full evict.
+        assert_eq!(w.publish(epoch(5, 1)), 5);
+        assert_eq!(r.ids(), Some((5, 5)));
+    }
+
+    #[test]
+    fn handle_outlives_eviction() {
+        let (mut w, r) = catalog(1);
+        w.publish(epoch(0, 50));
+        let held = r.get(0).unwrap();
+        let before = cocosketch::epoch::encode(&held);
+        w.publish(epoch(1, 5)); // evicts 0 from the catalog
+        assert!(r.get(0).is_none());
+        assert_eq!(cocosketch::epoch::encode(&held), before);
+    }
+
+    #[test]
+    fn dense_id_violation_panics() {
+        let (mut w, _r) = catalog(4);
+        w.publish(epoch(0, 1));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.publish(epoch(7, 1));
+        }));
+        assert!(res.is_err(), "gap in published ids must panic");
+    }
+
+    #[test]
+    fn threaded_readers_during_publish() {
+        let (mut w, r) = catalog(3);
+        w.publish(epoch(0, 16));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    for _ in 0..2000 {
+                        if let Some(e) = r.latest() {
+                            // Epochs are internally consistent however
+                            // the publish interleaves.
+                            assert_eq!(e.packets, e.weight / 2);
+                            seen = seen.max(e.id);
+                        }
+                        if let Some((lo, hi)) = r.ids() {
+                            assert!(lo <= hi);
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for id in 1..50 {
+            w.publish(epoch(id, 16));
+        }
+        for h in readers {
+            assert!(h.join().unwrap() <= 49);
+        }
+        assert_eq!(r.ids(), Some((47, 49)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Resident query service for sealed CocoSketch epochs.
+//!
+//! CocoSketch's premise — answer **arbitrary** partial-key queries
+//! after the fact from one compact structure — only pays off
+//! operationally if many readers can ask concurrently while packets
+//! keep flowing. This crate is that serving layer:
+//!
+//! * [`mod@catalog`]: a lock-free [`catalog::SnapshotCatalog`] publishing
+//!   sealed [`cocosketch::Epoch`]s behind `Arc` handles — readers pin
+//!   a snapshot with two atomic ops, never a lock, and handles
+//!   outlive eviction.
+//! * [`cache`]: a lock-free, insert-only [`cache::ProjectorCache`] so
+//!   each compiled projection plan is built once and shared across
+//!   readers and epochs.
+//! * [`mod@service`]: the in-process API — a unique [`service::Publisher`]
+//!   for the seal thread, a shared [`service::Service`] for readers
+//!   (partial-key, hierarchy, and windowed rollup queries, always
+//!   bit-identical to querying the epoch's table directly).
+//! * [`wire`]: a length-prefixed protocol over Unix/TCP sockets
+//!   reusing the `CEP1` epoch envelope, with a std-only threaded
+//!   server and client.
+//!
+//! Concurrency claims are model-checked: `tests/model.rs` runs the
+//! real catalog and cache under the loom shim (`--features
+//! heavy-tests`) and exhausts every schedule within the preemption
+//! bound, including the seqcst edges the protocol depends on.
+
+#![deny(unsafe_code)] // audited item-level allows only (see lint.toml)
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod service;
+mod sync;
+pub mod wire;
+
+pub use cache::{CacheStats, ProjectorCache};
+pub use catalog::{catalog, CatalogWriter, SnapshotCatalog};
+pub use service::{service, Answer, Publisher, Select, Service, ServiceInfo};
+pub use wire::{connect, Client, Request, Response, Server};

@@ -1,0 +1,415 @@
+//! The in-process query service: a snapshot catalog plus a shared
+//! projector cache behind one read API.
+//!
+//! A [`Service`] is built with [`service`] and split at birth into the
+//! unique [`Publisher`] (kept by the ingest/seal thread) and a shared
+//! `Arc<Service>` handed to any number of reader threads — in-process
+//! callers, the wire server in [`crate::wire`], or both at once. Every
+//! reader method takes `&self`, never blocks the publisher, and
+//! answers from a sealed, immutable epoch snapshot, so an answer is
+//! bit-identical to running the same query directly on that epoch's
+//! table (`tests` and the `qps` bench both assert this against
+//! [`FlowTable::query_all_entries`]).
+
+use crate::cache::{CacheStats, ProjectorCache};
+use crate::catalog::{catalog, CatalogWriter, SnapshotCatalog};
+use cocosketch::{Epoch, FlowTable};
+use hashkit::{fast_map_with_capacity, FastMap};
+use std::sync::Arc;
+use traffic::{KeyBytes, KeySpec};
+
+/// Which epoch a query addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Select {
+    /// The most recently published epoch.
+    Latest,
+    /// The epoch with this id (fails if unpublished or evicted).
+    Id(u64),
+}
+
+/// One answered partial-key query: the sorted entry table for `spec`
+/// over the selected epoch(s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Answer {
+    /// Id of the answering epoch (the last one, for window queries).
+    pub epoch: u64,
+    /// Packets the answering epoch ingested (summed across epochs for
+    /// window queries).
+    pub packets: u64,
+    /// Stream weight the answering epoch ingested (summed likewise).
+    pub weight: u64,
+    /// The spec the entries are keyed by.
+    pub spec: KeySpec,
+    /// `(partial key, size)` rows, sorted by lexicographic key bytes —
+    /// the same shape [`FlowTable::query_all_entries`] produces.
+    pub entries: Vec<(KeyBytes, u64)>,
+}
+
+/// Catalog occupancy and cache effectiveness, for operators.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceInfo {
+    /// `(oldest, latest)` retained epoch ids, if any are retained.
+    pub ids: Option<(u64, u64)>,
+    /// Number of retained epochs.
+    pub epochs: usize,
+    /// Projector-cache counters.
+    pub cache: CacheStats,
+}
+
+/// The resident query service's shared read half.
+#[derive(Debug)]
+pub struct Service {
+    snapshots: SnapshotCatalog,
+    projectors: ProjectorCache,
+}
+
+/// The unique publishing half (wraps the catalog's single writer).
+#[derive(Debug)]
+pub struct Publisher {
+    writer: CatalogWriter,
+}
+
+/// Create a service retaining the last `keep` published epochs.
+pub fn service(keep: usize) -> (Publisher, Arc<Service>) {
+    let (writer, snapshots) = catalog(keep);
+    (
+        Publisher { writer },
+        Arc::new(Service {
+            snapshots,
+            projectors: ProjectorCache::new(),
+        }),
+    )
+}
+
+impl Publisher {
+    /// Publish a sealed epoch; readers see it before this returns.
+    ///
+    /// # Panics
+    /// Panics when `epoch.id` is not the next dense id (see
+    /// [`CatalogWriter::publish`]).
+    pub fn publish(&mut self, epoch: Arc<Epoch>) -> u64 {
+        self.writer.publish(epoch)
+    }
+
+    /// [`publish`](Self::publish) for an epoch not yet behind an
+    /// [`Arc`].
+    pub fn publish_epoch(&mut self, epoch: Epoch) -> u64 {
+        self.publish(Arc::new(epoch))
+    }
+
+    /// Evict down to `keep` retained epochs; returns how many were
+    /// dropped (readers holding handles keep them — see
+    /// [`mod@crate::catalog`]).
+    pub fn evict_to(&mut self, keep: usize) -> usize {
+        self.writer.evict_to(keep)
+    }
+}
+
+impl Service {
+    /// The selected epoch's snapshot handle, if retained.
+    // LINT: hot
+    pub fn snapshot(&self, sel: Select) -> Option<Arc<Epoch>> {
+        match sel {
+            Select::Latest => self.snapshots.latest(),
+            Select::Id(id) => self.snapshots.get(id),
+        }
+    }
+
+    /// Answer one partial-key query against the selected epoch's
+    /// primary table. `None` when the epoch is not retained, sealed no
+    /// tables, or `spec` is not a partial key of the table's full key.
+    pub fn partial(&self, sel: Select, spec: &KeySpec) -> Option<Answer> {
+        let epoch = self.snapshot(sel)?;
+        let table = epoch.tables.first()?;
+        let mut groups = self.aggregate(table, spec)?;
+        Some(Answer {
+            epoch: epoch.id,
+            packets: epoch.packets,
+            weight: epoch.weight,
+            spec: *spec,
+            entries: sorted_entries(&mut groups),
+        })
+    }
+
+    /// Answer a whole spec list (e.g. an HHH hierarchy) against the
+    /// selected epoch via the rollup engine, optionally filtering each
+    /// level to entries with `size >= threshold` (`threshold == 0`
+    /// keeps everything). Answers come back in `specs` order.
+    pub fn multi(&self, sel: Select, specs: &[KeySpec], threshold: u64) -> Option<Vec<Answer>> {
+        let epoch = self.snapshot(sel)?;
+        let table = epoch.tables.first()?;
+        let full = table.full_spec();
+        if specs.iter().any(|s| !s.is_partial_of(full)) {
+            return None;
+        }
+        let levels = table.query_all_entries(specs);
+        Some(
+            specs
+                .iter()
+                .zip(levels)
+                .map(|(spec, mut entries)| {
+                    if threshold > 1 {
+                        entries.retain(|&(_, size)| size >= threshold);
+                    }
+                    Answer {
+                        epoch: epoch.id,
+                        packets: epoch.packets,
+                        weight: epoch.weight,
+                        spec: *spec,
+                        entries,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Answer one spec over the retained epochs in `first..=last`,
+    /// summing sizes across windows (exact: per-epoch tables hold
+    /// exact per-key totals of what each window ingested). `None` when
+    /// no epoch in the range is retained or the spec doesn't fit;
+    /// otherwise the answer also reports how many epochs contributed.
+    pub fn window(&self, first: u64, last: u64, spec: &KeySpec) -> Option<(Answer, usize)> {
+        let epochs = self.snapshots.range(first, last);
+        let mut groups: FastMap<KeyBytes, u64> = FastMap::default();
+        let mut contributed = 0usize;
+        let mut last_id = 0u64;
+        let (mut packets, mut weight) = (0u64, 0u64);
+        for epoch in &epochs {
+            let Some(table) = epoch.tables.first() else {
+                continue;
+            };
+            let level = self.aggregate(table, spec)?;
+            for (key, size) in level {
+                *groups.entry(key).or_insert(0) += size;
+            }
+            contributed += 1;
+            last_id = epoch.id;
+            packets += epoch.packets;
+            weight += epoch.weight;
+        }
+        if contributed == 0 {
+            return None;
+        }
+        Some((
+            Answer {
+                epoch: last_id,
+                packets,
+                weight,
+                spec: *spec,
+                entries: sorted_entries(&mut groups),
+            },
+            contributed,
+        ))
+    }
+
+    /// Catalog occupancy and cache counters.
+    pub fn info(&self) -> ServiceInfo {
+        ServiceInfo {
+            ids: self.snapshots.ids(),
+            epochs: self.snapshots.len(),
+            cache: self.projectors.stats(),
+        }
+    }
+
+    /// `GROUP BY spec` over one table through the shared projector
+    /// cache — the service's hot loop. Matches
+    /// [`FlowTable::query_partial`]'s aggregation exactly (same
+    /// projector output, same u64 sums), so sorting the groups yields
+    /// [`FlowTable::query_all_entries`]'s rows bit-for-bit.
+    // LINT: hot
+    fn aggregate(&self, table: &FlowTable, spec: &KeySpec) -> Option<FastMap<KeyBytes, u64>> {
+        let full = table.full_spec();
+        if !spec.is_partial_of(full) {
+            return None;
+        }
+        let proj = self.projectors.projector(full, spec);
+        let hint = {
+            let bits = spec.cardinality_bits();
+            if bits >= usize::BITS - 1 {
+                table.len()
+            } else {
+                table.len().min(1usize << bits)
+            }
+        };
+        let mut groups: FastMap<KeyBytes, u64> = fast_map_with_capacity(hint);
+        let mut scratch = KeyBytes::EMPTY;
+        for (full_key, size) in table.rows() {
+            proj.project_into(full_key, &mut scratch);
+            *groups.entry(scratch).or_insert(0) += size;
+        }
+        Some(groups)
+    }
+}
+
+/// Drain a group map into the sorted-entry shape
+/// ([`FlowTable::query_all_entries`]'s comparator: lexicographic key
+/// bytes; keys are unique, so the order is total and deterministic).
+fn sorted_entries(groups: &mut FastMap<KeyBytes, u64>) -> Vec<(KeyBytes, u64)> {
+    let mut entries: Vec<(KeyBytes, u64)> = groups.drain().collect();
+    entries.sort_unstable_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+    entries
+}
+
+#[cfg(test)]
+#[cfg(not(feature = "loom"))]
+mod tests {
+    use super::*;
+    use traffic::FiveTuple;
+
+    fn epoch(id: u64, rows: u32, salt: u32) -> Epoch {
+        let full = KeySpec::FIVE_TUPLE;
+        let table = FlowTable::new(
+            full,
+            (0..rows)
+                .map(|i| {
+                    (
+                        full.project(&FiveTuple::new(
+                            (i + salt) % 97,
+                            i.wrapping_mul(2654435761) % 53,
+                            (i % 7) as u16,
+                            443,
+                            6,
+                        )),
+                        u64::from(i) + 1,
+                    )
+                })
+                .collect(),
+        );
+        Epoch {
+            id,
+            packets: u64::from(rows),
+            weight: (0..u64::from(rows)).map(|i| i + 1).sum(),
+            tables: vec![table],
+        }
+    }
+
+    #[test]
+    fn partial_matches_query_all_entries() {
+        let (mut publisher, svc) = service(4);
+        publisher.publish_epoch(epoch(0, 500, 3));
+        let held = svc.snapshot(Select::Id(0)).unwrap();
+        for spec in KeySpec::PAPER_SIX {
+            let served = svc.partial(Select::Id(0), &spec).unwrap();
+            let direct = held.primary().query_all_entries(&[spec]);
+            assert_eq!(served.entries, direct[0], "{spec:?}");
+            assert_eq!(served.epoch, 0);
+        }
+    }
+
+    #[test]
+    fn multi_matches_and_filters() {
+        let (mut publisher, svc) = service(4);
+        publisher.publish_epoch(epoch(0, 400, 11));
+        let held = svc.snapshot(Select::Latest).unwrap();
+        let specs = [KeySpec::SRC_DST, KeySpec::SRC_IP, KeySpec::EMPTY];
+        let direct = held.primary().query_all_entries(&specs);
+
+        let served = svc.multi(Select::Latest, &specs, 0).unwrap();
+        for (ans, want) in served.iter().zip(&direct) {
+            assert_eq!(&ans.entries, want);
+        }
+
+        let threshold = 1000;
+        let filtered = svc.multi(Select::Latest, &specs, threshold).unwrap();
+        for (ans, want) in filtered.iter().zip(&direct) {
+            let want: Vec<_> = want
+                .iter()
+                .copied()
+                .filter(|&(_, s)| s >= threshold)
+                .collect();
+            assert_eq!(ans.entries, want);
+        }
+    }
+
+    #[test]
+    fn window_sums_across_epochs() {
+        let (mut publisher, svc) = service(8);
+        for id in 0..3 {
+            publisher.publish_epoch(epoch(id, 200, id as u32 * 19));
+        }
+        let spec = KeySpec::SRC_IP;
+        let (answer, contributed) = svc.window(0, 2, &spec).unwrap();
+        assert_eq!(contributed, 3);
+        assert_eq!(answer.epoch, 2);
+        // Reference: merge the three direct per-epoch answers.
+        let mut expect: FastMap<KeyBytes, u64> = FastMap::default();
+        for id in 0..3 {
+            let e = svc.snapshot(Select::Id(id)).unwrap();
+            for (k, s) in &e.primary().query_all_entries(&[spec])[0] {
+                *expect.entry(*k).or_insert(0) += s;
+            }
+        }
+        assert_eq!(answer.entries, sorted_entries(&mut expect));
+        // Ranges clipped to retention still answer.
+        let (_, n) = svc.window(1, 99, &spec).unwrap();
+        assert_eq!(n, 2);
+        assert!(svc.window(40, 50, &spec).is_none());
+    }
+
+    #[test]
+    fn selection_and_validation_misses_are_none() {
+        let (mut publisher, svc) = service(2);
+        assert!(svc.partial(Select::Latest, &KeySpec::SRC_IP).is_none());
+        publisher.publish_epoch(epoch(0, 10, 0));
+        publisher.publish_epoch(epoch(1, 10, 1));
+        publisher.publish_epoch(epoch(2, 10, 2)); // evicts 0
+        assert!(svc.partial(Select::Id(0), &KeySpec::SRC_IP).is_none());
+        assert!(svc.partial(Select::Id(3), &KeySpec::SRC_IP).is_none());
+        // A spec that is not partial of the 5-tuple: impossible here
+        // (everything is), so exercise via a narrower full key.
+        let (mut p2, svc2) = service(2);
+        let narrow = KeySpec::SRC_IP;
+        p2.publish_epoch(Epoch {
+            id: 0,
+            packets: 0,
+            weight: 0,
+            tables: vec![FlowTable::new(narrow, vec![])],
+        });
+        assert!(svc2.partial(Select::Latest, &KeySpec::SRC_DST).is_none());
+        assert!(svc2
+            .multi(Select::Latest, &[narrow, KeySpec::SRC_DST], 0)
+            .is_none());
+        // Info reflects occupancy and cache activity.
+        assert!(svc.partial(Select::Latest, &KeySpec::SRC_IP).is_some());
+        let info = svc.info();
+        assert_eq!(info.ids, Some((1, 2)));
+        assert_eq!(info.epochs, 2);
+        assert!(info.cache.hits + info.cache.misses > 0);
+    }
+
+    #[test]
+    fn readers_and_publisher_run_concurrently() {
+        let (mut publisher, svc) = service(3);
+        publisher.publish_epoch(epoch(0, 300, 0));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let svc = Arc::clone(&svc);
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut answered = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        for spec in KeySpec::PAPER_SIX {
+                            if let Some(ans) = svc.partial(Select::Latest, &spec) {
+                                // Conservation: entries sum to the
+                                // epoch's total weight on every spec.
+                                let total: u64 = ans.entries.iter().map(|&(_, s)| s).sum();
+                                let e = svc.snapshot(Select::Id(ans.epoch));
+                                if let Some(e) = e {
+                                    assert_eq!(total, e.weight);
+                                }
+                                answered += 1;
+                            }
+                        }
+                    }
+                    answered
+                });
+            }
+            for id in 1..40 {
+                publisher.publish_epoch(epoch(id, 300, id as u32));
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(svc.info().ids, Some((37, 39)));
+    }
+}

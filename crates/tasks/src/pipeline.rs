@@ -284,6 +284,25 @@ impl Pipeline {
         id
     }
 
+    /// [`rotate`](Pipeline::rotate), also publishing the sealed epoch
+    /// to a resident query service: readers on the service's
+    /// [`serve::Service`] see the new epoch before this returns, while
+    /// the pipeline's own store keeps its (shared, not copied) handle
+    /// for windowed tasks. Returns the sealed epoch's id.
+    ///
+    /// # Panics
+    /// Panics if `publisher` has already published epochs the pipeline
+    /// did not seal (the catalog enforces the dense-id contract).
+    pub fn rotate_publish(&mut self, publisher: &mut serve::Publisher) -> u64 {
+        let id = self.rotate();
+        let epoch = self
+            .store
+            .sealed_arc(id)
+            .expect("rotate() always retains the epoch it seals");
+        publisher.publish(epoch);
+        id
+    }
+
     /// The sealed epoch with `id`, if it exists.
     pub fn sealed(&self, id: u64) -> Option<&Epoch> {
         self.store.sealed(id)
@@ -535,5 +554,39 @@ mod tests {
     #[should_panic(expected = "at least one key")]
     fn empty_specs_panics() {
         Pipeline::deploy(Algo::OURS, &[], KeySpec::FIVE_TUPLE, 1024, 1);
+    }
+
+    #[test]
+    fn rotate_publish_serves_sealed_estimates() {
+        // The service must answer exactly what the pipeline's own
+        // sealed-epoch query path answers — same table, same rollup.
+        let t = trace();
+        let mut pipe = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            128 * 1024,
+            31,
+        );
+        let (mut publisher, svc) = serve::service(4);
+        pipe.run(&t);
+        let id = pipe.rotate_publish(&mut publisher);
+        pipe.run(&t);
+        let id2 = pipe.rotate_publish(&mut publisher);
+        assert_eq!((id, id2), (0, 1));
+
+        // Shared handle, not a copy.
+        let held = svc.snapshot(serve::Select::Id(0)).unwrap();
+        assert_eq!(held.id, 0);
+
+        for (i, spec) in pipe.specs().iter().enumerate() {
+            let served = svc.partial(serve::Select::Id(1), spec).unwrap();
+            let direct = pipe
+                .sealed(1)
+                .unwrap()
+                .primary()
+                .query_all_entries(&[*spec]);
+            assert_eq!(served.entries, direct[0], "spec #{i}");
+        }
     }
 }

@@ -46,6 +46,9 @@ pub struct Config {
     /// Crates whose non-test code the panic-path / wall-clock /
     /// default-hashmap rules apply to.
     pub data_plane: Vec<String>,
+    /// Crates whose non-test code must not name blocking sync
+    /// primitives (`Mutex`, `RwLock`, `Condvar`) — the lock-free rule.
+    pub lock_free: Vec<String>,
     /// Crates that must carry `#![forbid(unsafe_code)]`.
     pub forbid_unsafe: Vec<String>,
     /// Crates that must carry `#![deny(unsafe_code)]` (audited unsafe
@@ -110,6 +113,7 @@ pub fn parse(src: &str) -> Result<Config, String> {
         let (key, value) = (key.trim(), value.trim());
         match (&section, key) {
             (Section::Top, "data_plane") => cfg.data_plane = parse_array(value, lineno)?,
+            (Section::Top, "lock_free") => cfg.lock_free = parse_array(value, lineno)?,
             (Section::Attrs, "forbid_unsafe") => cfg.forbid_unsafe = parse_array(value, lineno)?,
             (Section::Attrs, "deny_unsafe") => cfg.deny_unsafe = parse_array(value, lineno)?,
             (Section::Overflow, "counters") => cfg.overflow_counters = parse_array(value, lineno)?,
@@ -196,6 +200,7 @@ mod tests {
             r#"
 # comment
 data_plane = ["a", "b"]
+lock_free = ["b"]
 
 [attrs]
 forbid_unsafe = ["c"]  # trailing comment
@@ -209,6 +214,7 @@ reason = "metrics only"
         )
         .unwrap();
         assert_eq!(cfg.data_plane, vec!["a", "b"]);
+        assert_eq!(cfg.lock_free, vec!["b"]);
         assert_eq!(cfg.forbid_unsafe, vec!["c"]);
         assert!(cfg.deny_unsafe.is_empty());
         assert_eq!(cfg.allows.len(), 1);

@@ -42,7 +42,12 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
     let crates = workspace::discover(root)?;
 
     let known: Vec<&str> = crates.iter().map(|c| c.name.as_str()).collect();
-    for tier in [&cfg.data_plane, &cfg.forbid_unsafe, &cfg.deny_unsafe] {
+    for tier in [
+        &cfg.data_plane,
+        &cfg.forbid_unsafe,
+        &cfg.deny_unsafe,
+        &cfg.lock_free,
+    ] {
         for name in tier {
             if !known.contains(&name.as_str()) {
                 return Err(format!(
@@ -67,6 +72,7 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
     for krate in &crates {
         let (src_files, other_files) = workspace::rust_files(root, krate);
         let is_data_plane = cfg.data_plane.contains(&krate.name);
+        let is_lock_free = cfg.lock_free.contains(&krate.name);
         for rel in src_files.iter().chain(other_files.iter()) {
             let text = std::fs::read_to_string(root.join(rel))
                 .map_err(|e| format!("cannot read {}: {e}", rel.display()))?;
@@ -81,6 +87,9 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
                         .map(|f| (f.file.clone(), f.line)),
                 );
                 findings.extend(dp);
+            }
+            if is_lock_free && src_files.contains(rel) {
+                findings.extend(rules::lock_free_rules(rel, &toks));
             }
         }
         // Crate-root attributes per tier.

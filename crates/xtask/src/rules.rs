@@ -6,6 +6,7 @@
 //! | `panic-path`      | data-plane `src/`, non-test   | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `wall-clock`      | data-plane `src/`, non-test   | `Instant`, `SystemTime`, ambient-entropy randomness (`thread_rng`, `RandomState`, …) |
 //! | `default-hashmap` | data-plane `src/`, non-test   | `HashMap`/`HashSet` (the SipHash + random-seed defaults) instead of `FastMap`/`FastSet` |
+//! | `lock-free`       | `lock_free` `src/`, non-test  | `Mutex`, `RwLock`, `Condvar` — serving readers coordinate through atomics only |
 //! | `crate-attrs`     | crate roots, per `lint.toml`  | missing `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` / data-plane hardening attrs |
 //!
 //! "Non-test" exempts `#[cfg(test)]` items (brace-matched spans) and
@@ -220,6 +221,48 @@ pub fn wall_clock(file: &str, toks: &[Token]) -> Vec<Finding> {
         }
     }
     findings
+}
+
+// ---------------------------------------------------------------------
+// lock-free
+// ---------------------------------------------------------------------
+
+const BLOCKING_SYNC_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// Crates in `lint.toml`'s `lock_free` tier serve readers concurrently
+/// with a publisher by protocol (atomics + epoch pinning), not by
+/// blocking: one lock on the read path would let a descheduled reader
+/// stall the publisher (or vice versa) and quietly void the
+/// progress-freedom the loom models verify. Naming a blocking sync
+/// primitive in non-test code is therefore a finding, whatever it
+/// guards.
+pub fn lock_free(file: &str, toks: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for tok in toks {
+        let Some(name) = ident(tok) else { continue };
+        if BLOCKING_SYNC_TYPES.contains(&name) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: tok.line,
+                rule: "lock-free",
+                message: format!(
+                    "{name} in a lock-free crate — readers and publisher coordinate \
+                     through atomics only (see serve::catalog's left-right protocol)"
+                ),
+                chain: None,
+            });
+        }
+    }
+    findings
+}
+
+/// [`lock_free`] with `#[cfg(test)]` spans exempted, mirroring
+/// [`data_plane_rules`] — tests may lock to build harnesses.
+pub fn lock_free_rules(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    let name = file.to_string_lossy().replace('\\', "/");
+    let findings = lock_free(&name, toks);
+    let spans = cfg_test_spans(toks);
+    exempt_test_spans(findings, &spans)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,31 @@
+// Fixture for the lock-free rule. Not compiled — scanned by
+// tests/lint_rules.rs.
+
+use std::sync::Mutex; // VIOLATION
+use std::sync::{Condvar, RwLock}; // VIOLATION x2
+
+pub struct Guarded {
+    state: Mutex<Vec<u64>>, // VIOLATION
+}
+
+pub fn blocked(g: &Guarded) -> usize {
+    let lock: std::sync::RwLock<u8> = Default::default(); // VIOLATION
+    drop(lock);
+    g.state.lock().map(|v| v.len()).unwrap_or(0)
+}
+
+pub fn atomics_are_fine(x: &std::sync::atomic::AtomicUsize) -> usize {
+    // The sanctioned primitives: atomics, and the words "Mutex" or
+    // "RwLock" inside comments or strings must not be flagged.
+    let _ = "Mutex RwLock Condvar";
+    x.load(std::sync::atomic::Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_lock() {
+        let m = std::sync::Mutex::new(1u8);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -83,6 +83,13 @@ fn default_hashmap_flags_exactly_the_marked_lines() {
 }
 
 #[test]
+fn lock_free_flags_exactly_the_marked_lines() {
+    let src = include_str!("fixtures/lock_free.rs");
+    let findings = rules::lock_free_rules(Path::new("fixture"), &tokenize(src));
+    assert_eq!(lines_of(&findings, "lock-free"), marker_lines(src));
+}
+
+#[test]
 fn cfg_test_span_covers_the_whole_module() {
     // The panic-path fixture ends in a #[cfg(test)] mod whose contents
     // would otherwise produce three findings; pin the exact span so

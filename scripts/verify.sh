@@ -78,6 +78,9 @@ if [ "${VERIFY_HEAVY:-0}" = "1" ]; then
     gate_begin "engine model checking (loom shim)"
     cargo test -q -p engine --features heavy-tests
     gate_end "model"
+    gate_begin "serve model checking (catalog/cache under loom)"
+    cargo test -q -p serve --features heavy-tests
+    gate_end "serve-model"
 fi
 
 echo "verify: OK"
