@@ -7,7 +7,12 @@
 //! 1. **readers only** — 1/2/4/8 reader threads hammering partial-key
 //!    queries (the paper's six keys, round-robin) against retained
 //!    epochs; aggregate QPS plus per-query p50/p99 latency;
-//! 2. **readers + ingest** — the same reader fleet while a full-rate
+//! 2. **slow client** — each fast fleet re-run with one throttled
+//!    reader alongside (query, sleep 5 ms — the in-process stand-in
+//!    for a wire client draining responses slowly, well under serve's
+//!    io timeout); the fast readers' p99 with vs without it shows
+//!    whether a laggard can stall everyone else;
+//! 3. **readers + ingest** — the same reader fleet while a full-rate
 //!    ingest thread keeps pushing packets, rotating, and publishing a
 //!    new epoch per window (evicting under the readers); the ingest
 //!    rate is recorded alongside a no-reader baseline of the identical
@@ -127,14 +132,24 @@ struct ReaderStats {
     queries: u64,
 }
 
-/// Run `readers` query threads against `svc` for ~`duration`. Each
-/// thread cycles the paper's six keys and alternates latest/by-id
-/// selection over `ids` (empty `ids` → latest only, for runs where
-/// eviction is racing the readers).
-fn run_readers(svc: &Arc<Service>, readers: usize, duration: Duration, ids: &[u64]) -> ReaderStats {
+/// Run `readers` full-rate query threads against `svc` for
+/// ~`duration`, optionally joined by one throttled reader that sleeps
+/// `slow_sleep` between queries (a stand-in for a wire client that
+/// drains its responses slowly). Each fast thread cycles the paper's
+/// six keys and alternates latest/by-id selection over `ids` (empty
+/// `ids` → latest only, for runs where eviction is racing the
+/// readers). Returns fast-reader-only stats plus the slow reader's
+/// query count (0 when no slow reader ran).
+fn run_reader_fleet(
+    svc: &Arc<Service>,
+    readers: usize,
+    slow_sleep: Option<Duration>,
+    duration: Duration,
+    ids: &[u64],
+) -> (ReaderStats, u64) {
     let stop = AtomicBool::new(false);
     let specs = KeySpec::PAPER_SIX;
-    let (qps_sum, mut latencies) = std::thread::scope(|scope| {
+    let (qps_sum, mut latencies, slow_queries) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..readers)
             .map(|r| {
                 let svc = Arc::clone(svc);
@@ -162,6 +177,29 @@ fn run_readers(svc: &Arc<Service>, readers: usize, duration: Duration, ids: &[u6
                 })
             })
             .collect();
+        let slow = slow_sleep.map(|sleep| {
+            let svc = Arc::clone(svc);
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut n = 0u64;
+                let mut i = 1usize; // desync from fast thread 0's cycle
+                while !stop.load(Ordering::Relaxed) {
+                    let spec = specs[i % specs.len()];
+                    let sel = if ids.is_empty() {
+                        Select::Latest
+                    } else {
+                        Select::Id(ids[i % ids.len()])
+                    };
+                    if let Some(ans) = svc.partial(sel, &spec) {
+                        std::hint::black_box(ans.entries.len());
+                    }
+                    n += 1;
+                    i += 1;
+                    std::thread::sleep(sleep);
+                }
+                n
+            })
+        });
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
         let mut qps_sum = 0.0;
@@ -171,15 +209,24 @@ fn run_readers(svc: &Arc<Service>, readers: usize, duration: Duration, ids: &[u6
             qps_sum += qps;
             all.extend(lats);
         }
-        (qps_sum, all)
+        let slow_queries = slow.map_or(0, |h| h.join().expect("slow reader thread"));
+        (qps_sum, all, slow_queries)
     });
     latencies.sort_unstable();
-    ReaderStats {
-        qps: qps_sum,
-        p50_us: percentile(&latencies, 0.50) as f64 / 1e3,
-        p99_us: percentile(&latencies, 0.99) as f64 / 1e3,
-        queries: latencies.len() as u64,
-    }
+    (
+        ReaderStats {
+            qps: qps_sum,
+            p50_us: percentile(&latencies, 0.50) as f64 / 1e3,
+            p99_us: percentile(&latencies, 0.99) as f64 / 1e3,
+            queries: latencies.len() as u64,
+        },
+        slow_queries,
+    )
+}
+
+/// Fast readers only — the original fleet shape.
+fn run_readers(svc: &Arc<Service>, readers: usize, duration: Duration, ids: &[u64]) -> ReaderStats {
+    run_reader_fleet(svc, readers, None, duration, ids).0
 }
 
 /// The with-ingest ingest loop: keep pushing the trace (wrapping),
@@ -306,6 +353,30 @@ fn main() {
         .map(|(_, s)| s.qps)
         .unwrap_or_else(|| no_ingest[0].1.qps / no_ingest[0].0 as f64);
 
+    // Section 1b: slow-client interference. One throttled reader —
+    // querying, then sleeping SLOW_SLEEP, like a wire client that
+    // drains its responses slowly (well under serve's 5 s io timeout,
+    // so the wire layer would never disconnect it) — joins each fast
+    // fleet, and the fast readers' p99 is compared against the
+    // section-1 run without it. Readers share no mutable state and
+    // the slow reader holds no pin across its sleep, so with a spare
+    // core the modeled fast-reader p99 is the without-slow-client
+    // number; the measured column additionally includes this host's
+    // scheduler interleaving (dominant on a single-core box).
+    const SLOW_SLEEP: Duration = Duration::from_millis(5);
+    let mut slow_client: Vec<(usize, f64, ReaderStats, u64)> = Vec::new();
+    for (r, base) in &no_ingest {
+        let (stats, slow_q) = run_reader_fleet(&svc, *r, Some(SLOW_SLEEP), duration, &ids);
+        eprintln!(
+            "qps: {r} fast reader{} + 1 slow: p99 {:.1} us (vs {:.1} us without; \
+             slow client made {slow_q} queries)",
+            if *r == 1 { "" } else { "s" },
+            stats.p99_us,
+            base.p99_us
+        );
+        slow_client.push((*r, base.p99_us, stats, slow_q));
+    }
+
     // Section 2: ingest baseline — the identical rotate+publish loop
     // with no readers attached (publish cost included, so the
     // with-readers comparison isolates reader interference only).
@@ -420,6 +491,21 @@ fn main() {
             s.queries
         );
     }
+    let mut rows_slow = String::new();
+    for (idx, (r, base_p99, s, slow_q)) in slow_client.iter().enumerate() {
+        if idx > 0 {
+            rows_slow.push_str(",\n");
+        }
+        let _ = write!(
+            rows_slow,
+            "    {{\"fast_readers\": {r}, \"measured_qps\": {:.1}, \
+             \"p99_us_without_slow_client\": {base_p99:.2}, \
+             \"measured_p99_us_with_slow_client\": {:.2}, \
+             \"modeled_p99_us_with_slow_client\": {base_p99:.2}, \
+             \"queries\": {}, \"slow_client_queries\": {slow_q}}}",
+            s.qps, s.p99_us, s.queries
+        );
+    }
     let mut rows_with = String::new();
     for (idx, (r, s, mpps, pub_us)) in with_ingest.iter().enumerate() {
         if idx > 0 {
@@ -455,12 +541,20 @@ fn main() {
          substitution: measured single-reader capacity x readers, valid because readers share no \
          mutable state (snapshot pin = two atomics, projector cache insert-only and warm); \
          modeled_ingest_mpps assumes a dedicated ingest core, whose only cross-thread cost is the \
-         measured publish flip (publish_us_mean, already included in the baseline loop)\",\n  \
-         \"no_ingest\": [\n{rows_no}\n  ],\n  \"with_ingest\": [\n{rows_with}\n  ]\n}}\n",
+         measured publish flip (publish_us_mean, already included in the baseline loop); \
+         slow_client adds one throttled reader (query, sleep {slow_ms} ms) per fast fleet — \
+         readers share no mutable state and the slow reader holds no pin across its sleep, so \
+         modeled_p99_us_with_slow_client (a spare core for the mostly-idle thread) equals the \
+         without-slow-client p99, while the measured column includes this host's scheduler \
+         interleaving, dominant on a single-core box\",\n  \
+         \"no_ingest\": [\n{rows_no}\n  ],\n  \
+         \"slow_client\": {{\"slow_sleep_ms\": {slow_ms}, \"rows\": [\n{rows_slow}\n  ]}},\n  \
+         \"with_ingest\": [\n{rows_with}\n  ]\n}}\n",
         packets.len(),
         args.seed,
         sealed.len(),
         args.duration_ms,
+        slow_ms = SLOW_SLEEP.as_millis(),
     );
     print!("{json}");
     std::fs::create_dir_all(&args.out_dir).expect("create out dir");

@@ -60,7 +60,13 @@ pub fn decode(data: &[u8]) -> io::Result<FlowTable> {
     let key_len = spec.encoded_len();
     let row_len = key_len + 8;
     let body = &data[13..]; // LINT: bounded(data.len() >= 13 checked above)
-    if body.len() != rows * row_len {
+                            // `rows` comes off the wire: the product must not wrap, or a huge
+                            // row count with a tiny body passes the equality below and the
+                            // reserve allocates against a fictitious length.
+    let need = rows
+        .checked_mul(row_len)
+        .ok_or_else(|| err("row count overflows the row section"))?;
+    if body.len() != need {
         return Err(err("row section length mismatch"));
     }
     let mut out = Vec::with_capacity(rows);

@@ -136,12 +136,15 @@ impl Shared {
     fn pin(&self) -> usize {
         loop {
             let idx = self.read_idx.load(Ordering::Acquire);
+            // LINT: seqcst(store-buffering edge: reader `inc readers; load read_idx` vs writer `store read_idx; load readers` — without a single total order both can miss each other's write and a confirmed pin overlaps the writer's mutation)
             self.sides[idx].readers.fetch_add(1, Ordering::SeqCst); // LINT: bounded(read_idx is only ever stored 0 or 1)
+                                                                    // LINT: seqcst(the confirm load is the reader half of the store-buffering edge above; Acquire here could read the pre-flip index while the writer's drain load misses our increment)
             if self.read_idx.load(Ordering::SeqCst) == idx {
                 return idx;
             }
             // The switch moved under us: retract and retry on the new
             // side. At most one retry per concurrent publish.
+            // LINT: seqcst(the retraction must enter the same total order as the writer's drain loads, or the drain could observe the stale increment forever)
             self.sides[idx].readers.fetch_sub(1, Ordering::SeqCst); // LINT: bounded(read_idx is only ever stored 0 or 1)
         }
     }
@@ -149,6 +152,7 @@ impl Shared {
     /// Release a [`pin`](Self::pin).
     // LINT: hot
     fn unpin(&self, idx: usize) {
+        // LINT: seqcst(the unpin decrement must be totally ordered with the writer's drain loads so the drain's `readers == 0` observation really means this reader left the side)
         self.sides[idx].readers.fetch_sub(1, Ordering::SeqCst); // LINT: bounded(unpin receives pin()'s return, 0 or 1)
     }
 
@@ -190,10 +194,12 @@ impl Shared {
             mutate(state);
         });
         // Publish: readers from here on pin the freshly mutated side.
+        // LINT: seqcst(writer half of the store-buffering edge: `store read_idx; load readers` — Release here would let the flip and the drain load reorder against a racing reader's `inc; check`)
         self.read_idx.store(write, Ordering::SeqCst);
         // Drain: wait out readers still pinned to the old side. Each
         // holds the pin only across one state lookup (no I/O, no
         // allocation beyond an Arc clone), so this is a bounded wait.
+        // LINT: seqcst(the drain load pairs with the flip store above in one total order; it must not read a count that predates a reader's SeqCst increment)
         while read_side.readers.load(Ordering::SeqCst) != 0 {
             yield_now();
         }

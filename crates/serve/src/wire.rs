@@ -36,6 +36,15 @@
 //! they scale with cores). A `shutdown` request stops the accept loop
 //! and ends [`Server::run`] once in-flight connections finish; that
 //! keeps CLI end-to-end tests hermetic.
+//!
+//! Accepted sockets carry read/write timeouts
+//! ([`DEFAULT_IO_TIMEOUT`], 5 s; configurable via
+//! [`Server::set_io_timeout`], `None` disables): a client that stalls
+//! mid-frame — half a length prefix, a body that never arrives, a
+//! response never drained — has its connection closed at the next
+//! timed-out `read`/`write` instead of parking a server thread
+//! forever. Well-behaved clients are unaffected; the per-connection
+//! thread just returns and the socket drops.
 
 use crate::service::{Select, Service, ServiceInfo};
 use cocosketch::{epoch, Epoch, FlowTable};
@@ -423,12 +432,19 @@ impl Write for Stream {
     }
 }
 
+/// Default per-connection I/O timeout (see
+/// [`Server::set_io_timeout`]): generous for a LAN round trip, tight
+/// enough that a peer stalling mid-frame cannot hold a worker thread —
+/// and the shutdown join waiting on it — hostage indefinitely.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// The wire server: bind, then [`run`](Self::run) until a client sends
 /// `shutdown`.
 #[derive(Debug)]
 pub struct Server {
     listener: Listener,
     addr: String,
+    io_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -444,6 +460,7 @@ impl Server {
             Ok(Server {
                 listener: Listener::Unix(listener),
                 addr: format!("unix:{path}"),
+                io_timeout: Some(DEFAULT_IO_TIMEOUT),
             })
         } else {
             let hostport = addr.strip_prefix("tcp:").unwrap_or(addr);
@@ -452,8 +469,18 @@ impl Server {
             Ok(Server {
                 listener: Listener::Tcp(listener),
                 addr: format!("tcp:{local}"),
+                io_timeout: Some(DEFAULT_IO_TIMEOUT),
             })
         }
+    }
+
+    /// Override the per-connection read/write timeout applied to every
+    /// accepted stream (default [`DEFAULT_IO_TIMEOUT`]; `None` waits
+    /// forever, the pre-timeout behaviour). A peer that stalls past
+    /// the deadline mid-frame gets its connection closed; the server
+    /// and every other connection keep running.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) {
+        self.io_timeout = timeout;
     }
 
     /// The bound address, in the same `unix:`/`tcp:` syntax
@@ -479,6 +506,8 @@ impl Server {
                 Listener::Tcp(l) => match l.accept() {
                     Ok((s, _)) => {
                         s.set_nonblocking(false)?;
+                        s.set_read_timeout(self.io_timeout)?;
+                        s.set_write_timeout(self.io_timeout)?;
                         Some(Stream::Tcp(s))
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
@@ -487,6 +516,8 @@ impl Server {
                 Listener::Unix(l) => match l.accept() {
                     Ok((s, _)) => {
                         s.set_nonblocking(false)?;
+                        s.set_read_timeout(self.io_timeout)?;
+                        s.set_write_timeout(self.io_timeout)?;
                         Some(Stream::Unix(s))
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
@@ -799,6 +830,42 @@ mod tests {
         drop(raw);
 
         let mut client = connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn half_written_frame_times_out_and_closes_cleanly() {
+        let (_publisher, svc) = service(1);
+        let mut server = Server::bind("tcp:127.0.0.1:0").unwrap();
+        server.set_io_timeout(Some(Duration::from_millis(50)));
+        let addr = server.addr().to_string();
+        let join = std::thread::spawn(move || server.run(svc).unwrap());
+
+        // A stalling client: the length prefix promises 8 body bytes,
+        // only 3 ever arrive. The server's read timeout must end the
+        // connection instead of parking the worker thread forever.
+        let hostport = addr.strip_prefix("tcp:").unwrap().to_string();
+        let mut stalled = TcpStream::connect(&hostport).unwrap();
+        stalled.write_all(&8u32.to_le_bytes()).unwrap();
+        stalled.write_all(&[1, 2, 3]).unwrap();
+        stalled.flush().unwrap();
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match stalled.read(&mut buf) {
+            Ok(0) => {}                                                // clean close
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {} // also a close
+            Ok(n) => panic!("server answered a half-written frame with {n} bytes"),
+            Err(e) => panic!("server did not close the stalled connection: {e}"),
+        }
+        drop(stalled);
+
+        // The timeout ended that connection only: the server still
+        // answers well-behaved clients.
+        let mut client = connect(&addr).unwrap();
+        assert_eq!(client.info().unwrap().epochs, 0);
         client.shutdown().unwrap();
         join.join().unwrap();
     }

@@ -135,6 +135,64 @@ fn two_readers_one_publish() {
     });
 }
 
+/// The wire server's shutdown handshake: `serve_connection` finishes
+/// its response bookkeeping and then raises `stop` with a `Release`
+/// store; the accept loop `Acquire`-loads the flag. Once the acceptor
+/// observes `true`, everything the connection thread wrote beforehand
+/// has happened-before it — modeled here with a tracked cell standing
+/// in for the bookkeeping, so demoting either side to `Relaxed` turns
+/// the cell pair into a detected race.
+#[test]
+fn shutdown_flag_handoff_is_race_free() {
+    use loom::cell::UnsafeCell;
+    use loom::sync::atomic::{AtomicBool, Ordering};
+
+    struct Handshake {
+        stop: AtomicBool,
+        served: UnsafeCell<u64>,
+    }
+    // SAFETY: the Release store on `stop` publishes the `served` write,
+    // and the acceptor reads `served` only after an Acquire load
+    // observes `true` — the exclusion this model exists to check.
+    #[allow(unsafe_code)] // audited: see the SAFETY comment above
+    unsafe impl Sync for Handshake {}
+
+    check_exhaustive(|| {
+        let hs = Arc::new(Handshake {
+            stop: AtomicBool::new(false),
+            served: UnsafeCell::new(0),
+        });
+        let h2 = Arc::clone(&hs);
+        let worker = loom::thread::spawn(move || {
+            h2.served.with_mut(|p| {
+                // SAFETY: the single connection thread writes before
+                // the Release store; no reader until the flag is up.
+                #[allow(unsafe_code)] // audited: handshake argument above
+                unsafe {
+                    *p = 1
+                };
+            });
+            h2.stop.store(true, Ordering::Release);
+        });
+        loop {
+            if hs.stop.load(Ordering::Acquire) {
+                let v = hs.served.with(|p| {
+                    // SAFETY: Acquire saw the Release store, so the
+                    // worker's write happened-before this read.
+                    #[allow(unsafe_code)] // audited: handshake argument above
+                    unsafe {
+                        *p
+                    }
+                });
+                assert_eq!(v, 1, "shutdown flag published stale bookkeeping");
+                break;
+            }
+            loom::thread::yield_now();
+        }
+        worker.join().unwrap();
+    });
+}
+
 /// Cache slot election: two threads inserting the same key race on
 /// one `EMPTY -> BUSY` compare-exchange; both must come back with the
 /// (deterministic) compiled projector, and the published entry is

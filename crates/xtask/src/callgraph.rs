@@ -18,9 +18,11 @@
 //!   `path::to::name(...)` (qualified) and `.name(...)` (method) call
 //!   expressions, with the source line of each.
 //! - **Annotations**: `// LINT: bounded(reason)` lines (per-site
-//!   exemptions for the indexing/division panic sources) and
+//!   exemptions for the indexing/division panic sources),
 //!   `// LINT: cold(reason)` blocks (allocation-permitted branches on
-//!   otherwise hot paths).
+//!   otherwise hot paths), and `// LINT: relaxed(reason)` /
+//!   `// LINT: seqcst(reason)` lines (justified atomic orderings for
+//!   the atomics pass; see [`crate::atomics`]).
 //!
 //! ## Resolution policy (and its soundness caveats)
 //!
@@ -112,6 +114,18 @@ pub struct CallSite {
     pub resolved: Vec<usize>,
 }
 
+/// One `// LINT: relaxed(reason)` / `// LINT: seqcst(reason)` atomic
+/// ordering annotation, kept with its own position so the atomics pass
+/// can detect markers that justify nothing (annotation rot).
+#[derive(Debug)]
+pub struct OrderingMarker {
+    /// The comment's own 1-based line.
+    pub line: u32,
+    /// Source lines the marker covers: its own line, plus the next
+    /// line when the comment stands alone (same rule as `bounded`).
+    pub covers: Vec<u32>,
+}
+
 /// One parsed source file with its annotations.
 #[derive(Debug)]
 pub struct ParsedFile {
@@ -128,6 +142,12 @@ pub struct ParsedFile {
     pub bounded_lines: Vec<u32>,
     /// Line spans of `// LINT: cold(reason)` blocks.
     pub cold_spans: Vec<(u32, u32)>,
+    /// `// LINT: relaxed(reason)` annotations (justified `Relaxed`
+    /// stores, consumed by the atomics pass).
+    pub relaxed_markers: Vec<OrderingMarker>,
+    /// `// LINT: seqcst(reason)` annotations (justified `SeqCst`
+    /// accesses, consumed by the atomics pass).
+    pub seqcst_markers: Vec<OrderingMarker>,
     /// `LINT:` markers that failed to parse (missing reason/brace),
     /// as (line, message) — surfaced as findings, never ignored.
     pub marker_errors: Vec<(u32, String)>,
@@ -218,6 +238,8 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
     // ----- LINT: marker annotations --------------------------------
     let mut bounded_lines = Vec::new();
     let mut cold_spans = Vec::new();
+    let mut relaxed_markers = Vec::new();
+    let mut seqcst_markers = Vec::new();
     let mut marker_errors = Vec::new();
     let mut hot_lines = Vec::new();
     for (i, tok) in toks.iter().enumerate() {
@@ -269,13 +291,47 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
                         .to_string(),
                 )),
             }
+        } else if let Some(kind) = ["relaxed", "seqcst"]
+            .into_iter()
+            .find(|k| directive.starts_with(k))
+        {
+            // Ordering annotations share `bounded`'s coverage rule:
+            // trailing comments cover their own line, standalone
+            // comments the line below. The marker's own position is
+            // kept so the atomics pass can flag annotation rot.
+            match marker_reason(directive) {
+                Some(_) => {
+                    let standalone = !prev_code(&toks, i).is_some_and(|p| toks[p].line == tok.line);
+                    let mut covers = vec![tok.line];
+                    if standalone {
+                        covers.push(tok.line + 1);
+                    }
+                    let marker = OrderingMarker {
+                        line: tok.line,
+                        covers,
+                    };
+                    if kind == "relaxed" {
+                        relaxed_markers.push(marker);
+                    } else {
+                        seqcst_markers.push(marker);
+                    }
+                }
+                None => marker_errors.push((
+                    tok.line,
+                    format!(
+                        "`LINT: {kind}` marker without a written reason — use \
+                         `// LINT: {kind}(why this ordering is sound)`"
+                    ),
+                )),
+            }
         } else if directive.starts_with("hot") {
             hot_lines.push(tok.line);
         } else {
             marker_errors.push((
                 tok.line,
                 format!(
-                    "unknown `LINT:` directive `{}` — known: hot, bounded(reason), cold(reason)",
+                    "unknown `LINT:` directive `{}` — known: hot, bounded(reason), \
+                     cold(reason), relaxed(reason), seqcst(reason)",
                     directive.split_whitespace().next().unwrap_or("")
                 ),
             ));
@@ -476,6 +532,8 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
         test_spans,
         bounded_lines,
         cold_spans,
+        relaxed_markers,
+        seqcst_markers,
         marker_errors,
     });
 }
@@ -888,6 +946,32 @@ mod tests {
     fn markers_without_reasons_are_errors() {
         let g = graph_of("fn f() {}\n// LINT: bounded\n// LINT: cold()\n");
         assert_eq!(g.files[0].marker_errors.len(), 2);
+    }
+
+    #[test]
+    fn ordering_markers_are_collected_with_coverage() {
+        let g = graph_of(
+            "fn f(a: &AtomicUsize) {\n\
+                 a.store(1, Ordering::Relaxed); // LINT: relaxed(stat counter, no reader orders on it)\n\
+                 // LINT: seqcst(store-buffering edge vs. the reader's pin)\n\
+                 a.store(2, Ordering::SeqCst);\n\
+             }\n",
+        );
+        let file = &g.files[0];
+        assert_eq!(file.relaxed_markers.len(), 1);
+        assert_eq!(file.relaxed_markers[0].covers, vec![2]);
+        assert_eq!(file.seqcst_markers.len(), 1);
+        assert_eq!(file.seqcst_markers[0].line, 3);
+        assert_eq!(file.seqcst_markers[0].covers, vec![3, 4]);
+        assert!(file.marker_errors.is_empty());
+    }
+
+    #[test]
+    fn ordering_markers_without_reasons_are_errors() {
+        let g = graph_of("fn f() {}\n// LINT: relaxed\n// LINT: seqcst()\n");
+        assert_eq!(g.files[0].marker_errors.len(), 2);
+        assert!(g.files[0].marker_errors[0].1.contains("relaxed"));
+        assert!(g.files[0].marker_errors[1].1.contains("seqcst"));
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //!
 //! Supported grammar — everything `lint.toml` needs and nothing more:
 //! `#` comments, top-level `key = [array-of-strings]` (single line),
-//! `[attrs]`/`[overflow]`/`[hot]` with the same key shape, and
-//! `[[allow]]` entries with `key = "string"` fields. Anything else is
-//! a hard error, so a typo in the policy file fails the lint run
-//! instead of silently relaxing it.
+//! `[attrs]`/`[overflow]`/`[hot]`/`[taint]` with the same key shape,
+//! and `[[allow]]`/`[[atomics.protocol]]` entries with `key = "string"`
+//! (or single-line array) fields. Anything else is a hard error, so a
+//! typo in the policy file fails the lint run instead of silently
+//! relaxing it.
 
 /// One allowlist entry: suppresses findings of `rule` in `file`.
 /// `reason` is mandatory and must be non-empty — an allowlist without
@@ -24,6 +25,24 @@ pub struct AllowEntry {
     /// any chain (including none).
     pub chain: String,
     /// Line of the `[[allow]]` header, for error reporting.
+    pub line: u32,
+}
+
+/// One `[[atomics.protocol]]` entry: a named group of atomic fields
+/// implementing one synchronization protocol, linked to the model test
+/// that verifies it. Naming a nonexistent field or test is fatal —
+/// protocol tables must not rot.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolEntry {
+    /// Protocol name, e.g. `"left-right"` (documentation only).
+    pub name: String,
+    /// Crate (must be in the `lock_free` tier) declaring the fields.
+    pub krate: String,
+    /// Atomic field/binding names the protocol groups.
+    pub fields: Vec<String>,
+    /// Test fn (usually a loom model) that verifies the protocol.
+    pub model: String,
+    /// Line of the `[[atomics.protocol]]` header, for error reporting.
     pub line: u32,
 }
 
@@ -62,6 +81,17 @@ pub struct Config {
     /// `[hot] extra`: qualified-path suffixes treated as hot entry
     /// points in addition to inline `// LINT: hot` markers.
     pub hot_extra: Vec<String>,
+    /// `[taint] sources`: qualified-path suffixes of fns whose
+    /// byte-slice parameters carry untrusted (socket/file) input.
+    pub taint_sources: Vec<String>,
+    /// `[taint] sanitizers`: identifier names whose appearance in a
+    /// length expression bounds it (e.g. `MAX_FRAME`).
+    pub taint_sanitizers: Vec<String>,
+    /// `[taint] length_idents`: identifier names treated as
+    /// attacker-controlled lengths by the arithmetic sink.
+    pub taint_length_idents: Vec<String>,
+    /// `[[atomics.protocol]]` entries.
+    pub protocols: Vec<ProtocolEntry>,
 }
 
 #[derive(PartialEq)]
@@ -70,7 +100,9 @@ enum Section {
     Attrs,
     Overflow,
     Hot,
+    Taint,
     Allow,
+    Protocol,
 }
 
 /// Parse `src` (the contents of `lint.toml`). Errors carry the line
@@ -104,6 +136,18 @@ pub fn parse(src: &str) -> Result<Config, String> {
             section = Section::Hot;
             continue;
         }
+        if line == "[taint]" {
+            section = Section::Taint;
+            continue;
+        }
+        if line == "[[atomics.protocol]]" {
+            section = Section::Protocol;
+            cfg.protocols.push(ProtocolEntry {
+                line: lineno,
+                ..ProtocolEntry::default()
+            });
+            continue;
+        }
         if line.starts_with('[') {
             return Err(format!("lint.toml:{lineno}: unknown section {line}"));
         }
@@ -118,6 +162,23 @@ pub fn parse(src: &str) -> Result<Config, String> {
             (Section::Attrs, "deny_unsafe") => cfg.deny_unsafe = parse_array(value, lineno)?,
             (Section::Overflow, "counters") => cfg.overflow_counters = parse_array(value, lineno)?,
             (Section::Hot, "extra") => cfg.hot_extra = parse_array(value, lineno)?,
+            (Section::Taint, "sources") => cfg.taint_sources = parse_array(value, lineno)?,
+            (Section::Taint, "sanitizers") => cfg.taint_sanitizers = parse_array(value, lineno)?,
+            (Section::Taint, "length_idents") => {
+                cfg.taint_length_idents = parse_array(value, lineno)?
+            }
+            (Section::Protocol, "name") => {
+                last_protocol(&mut cfg)?.name = parse_string(value, lineno)?
+            }
+            (Section::Protocol, "crate") => {
+                last_protocol(&mut cfg)?.krate = parse_string(value, lineno)?
+            }
+            (Section::Protocol, "fields") => {
+                last_protocol(&mut cfg)?.fields = parse_array(value, lineno)?
+            }
+            (Section::Protocol, "model") => {
+                last_protocol(&mut cfg)?.model = parse_string(value, lineno)?
+            }
             (Section::Allow, "file") => last_allow(&mut cfg)?.file = parse_string(value, lineno)?,
             (Section::Allow, "rule") => last_allow(&mut cfg)?.rule = parse_string(value, lineno)?,
             (Section::Allow, "reason") => {
@@ -141,6 +202,15 @@ pub fn parse(src: &str) -> Result<Config, String> {
             ));
         }
     }
+    for p in &cfg.protocols {
+        if p.name.is_empty() || p.krate.is_empty() || p.model.is_empty() || p.fields.is_empty() {
+            return Err(format!(
+                "lint.toml:{}: [[atomics.protocol]] entry needs `name`, `crate`, `fields`, \
+                 and `model`",
+                p.line
+            ));
+        }
+    }
     Ok(cfg)
 }
 
@@ -148,6 +218,12 @@ fn last_allow(cfg: &mut Config) -> Result<&mut AllowEntry, String> {
     cfg.allows
         .last_mut()
         .ok_or_else(|| "lint.toml: key outside [[allow]] entry".to_string())
+}
+
+fn last_protocol(cfg: &mut Config) -> Result<&mut ProtocolEntry, String> {
+    cfg.protocols
+        .last_mut()
+        .ok_or_else(|| "lint.toml: key outside [[atomics.protocol]] entry".to_string())
 }
 
 /// Remove a trailing `#` comment, respecting `"`-quoted strings.
@@ -269,6 +345,38 @@ reason = "metrics only"
         assert!(!glob_match("a::entry", "a::entry -> b::deep"));
         assert!(glob_match("a*c*e", "abcde"));
         assert!(!glob_match("a*z", "abcde"));
+    }
+
+    #[test]
+    fn parses_taint_and_protocol_sections() {
+        let cfg = parse(
+            "[taint]\n\
+             sources = [\"wire::read_frame\", \"Request::decode\"]\n\
+             sanitizers = [\"MAX_FRAME\"]\n\
+             length_idents = [\"rows\"]\n\
+             [[atomics.protocol]]\n\
+             name = \"left-right\"\n\
+             crate = \"serve\"\n\
+             fields = [\"read_idx\", \"readers\"]\n\
+             model = \"publish_vs_reader_is_race_free\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.taint_sources.len(), 2);
+        assert_eq!(cfg.taint_sanitizers, vec!["MAX_FRAME"]);
+        assert_eq!(cfg.taint_length_idents, vec!["rows"]);
+        assert_eq!(cfg.protocols.len(), 1);
+        assert_eq!(cfg.protocols[0].name, "left-right");
+        assert_eq!(cfg.protocols[0].krate, "serve");
+        assert_eq!(cfg.protocols[0].fields, vec!["read_idx", "readers"]);
+        assert_eq!(cfg.protocols[0].model, "publish_vs_reader_is_race_free");
+    }
+
+    #[test]
+    fn incomplete_protocol_entry_is_fatal() {
+        let err = parse("[[atomics.protocol]]\nname = \"p\"\ncrate = \"c\"\n").unwrap_err();
+        assert!(err.contains("needs `name`, `crate`, `fields`"), "{err}");
+        let err = parse("[taint]\nsource = []\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
     }
 
     #[test]

@@ -151,8 +151,9 @@ pub fn panic_sources(
 
 /// Classify the `[` at `k`: `Some` when it is expression indexing with
 /// an unbounded index, `None` when it is not indexing at all or the
-/// index is visibly bounded.
-fn index_site(toks: &[Token], k: usize, limit: usize) -> Option<PanicSource> {
+/// index is visibly bounded. Shared with the taint pass, whose
+/// indexing sink uses the same boundedness heuristics.
+pub(crate) fn index_site(toks: &[Token], k: usize, limit: usize) -> Option<PanicSource> {
     // Expression position: an indexable expression ends just before.
     let p = prev_code(toks, k)?;
     let indexable = match &toks[p].kind {

@@ -20,22 +20,63 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomics;
 pub mod callgraph;
 pub mod config;
 pub mod dataflow;
 pub mod lexer;
 pub mod rules;
 pub mod sarif;
+pub mod taint;
 pub mod workspace;
 
 use rules::Finding;
 use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Wall-clock spent in each lint phase, for `--timings` and for
+/// keeping `scripts/verify.sh`'s lint budget honest.
+#[derive(Debug, Default)]
+pub struct PassTimings {
+    /// Per-file token rules (safety comments, tier rules, crate attrs).
+    pub per_file: Duration,
+    /// Call-graph construction.
+    pub callgraph: Duration,
+    /// Interprocedural dataflow (panic/overflow/hot-alloc/markers).
+    pub dataflow: Duration,
+    /// Atomic-ordering protocol checker.
+    pub atomics: Duration,
+    /// Untrusted-input taint analysis.
+    pub taint: Duration,
+}
+
+impl PassTimings {
+    /// Render one line per phase, `name<TAB>millis`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, d) in [
+            ("per-file", self.per_file),
+            ("callgraph", self.callgraph),
+            ("dataflow", self.dataflow),
+            ("atomics", self.atomics),
+            ("taint", self.taint),
+        ] {
+            out.push_str(&format!("{name}\t{:.1}ms\n", d.as_secs_f64() * 1e3));
+        }
+        out
+    }
+}
 
 /// Run the full lint over the workspace at `root` (the directory
 /// containing `lint.toml` and `crates/`). Returns surviving findings;
 /// `Err` is reserved for configuration/IO failures, which must fail
 /// the run louder than any finding.
 pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
+    run_lint_with_timings(root).map(|(f, _)| f)
+}
+
+/// [`run_lint`], also reporting per-phase wall-clock timings.
+pub fn run_lint_with_timings(root: &Path) -> Result<(Vec<Finding>, PassTimings), String> {
     let cfg_text = std::fs::read_to_string(root.join("lint.toml"))
         .map_err(|e| format!("cannot read lint.toml: {e}"))?;
     let cfg = config::parse(&cfg_text)?;
@@ -65,10 +106,17 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
         }
     }
 
+    let mut timings = PassTimings::default();
     let mut findings = Vec::new();
     // (file, line) pairs the per-file panic-path rule reports; the
     // transitive rule skips them so one unwrap is never two findings.
     let mut panic_path_sites: Vec<(String, u32)> = Vec::new();
+    // crate name -> every fn name in its sources AND tests/benches,
+    // for the atomics pass's protocol <-> model-test linkage (loom
+    // models live under tests/, which the call graph does not parse).
+    let mut test_fns: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    let t0 = Instant::now();
     for krate in &crates {
         let (src_files, other_files) = workspace::rust_files(root, krate);
         let is_data_plane = cfg.data_plane.contains(&krate.name);
@@ -78,6 +126,20 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
                 .map_err(|e| format!("cannot read {}: {e}", rel.display()))?;
             let toks = lexer::tokenize(&text);
             let name = rel.to_string_lossy().replace('\\', "/");
+            {
+                let fns = test_fns.entry(krate.name.clone()).or_default();
+                for (i, t) in toks.iter().enumerate() {
+                    if let lexer::TokKind::Ident(s) = &t.kind {
+                        if s == "fn" {
+                            if let Some(lexer::TokKind::Ident(fname)) =
+                                toks.get(i + 1).map(|t| &t.kind)
+                            {
+                                fns.push(fname.clone());
+                            }
+                        }
+                    }
+                }
+            }
             findings.extend(rules::safety_comment(&name, &toks));
             if is_data_plane && src_files.contains(rel) {
                 let dp = rules::data_plane_rules(rel, &toks);
@@ -115,9 +177,13 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
         }
     }
 
+    timings.per_file = t0.elapsed();
+
     // Interprocedural pass: build the workspace call graph once, then
     // run the dataflow rules over it.
+    let t0 = Instant::now();
     let graph = callgraph::build(root, &crates)?;
+    timings.callgraph = t0.elapsed();
     let df_cfg = dataflow::DataflowConfig {
         data_plane: cfg.data_plane.clone(),
         counters: cfg.overflow_counters.clone(),
@@ -141,10 +207,25 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
             .iter()
             .any(|(f, l)| f == file && *l == line)
     };
+    let t0 = Instant::now();
     findings.extend(dataflow::transitive_panic(&graph, &df_cfg, &covered));
     findings.extend(dataflow::overflow(&graph, &df_cfg));
     findings.extend(dataflow::hot_alloc(&graph, &df_cfg));
     findings.extend(dataflow::marker_errors(&graph));
+    timings.dataflow = t0.elapsed();
+
+    // v3 passes: atomic-ordering protocols and untrusted-input taint.
+    let t0 = Instant::now();
+    findings.extend(atomics::check(&graph, &cfg, &test_fns)?);
+    timings.atomics = t0.elapsed();
+    let taint_cfg = taint::TaintConfig {
+        sources: cfg.taint_sources.clone(),
+        sanitizers: cfg.taint_sanitizers.clone(),
+        length_idents: cfg.taint_length_idents.clone(),
+    };
+    let t0 = Instant::now();
+    findings.extend(taint::check(&graph, &taint_cfg)?);
+    timings.taint = t0.elapsed();
 
     // Apply the allowlist; every entry must earn its keep. An entry
     // with a `chain` glob only covers findings whose call chain
@@ -180,5 +261,5 @@ pub fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
 
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(findings)
+    Ok((findings, timings))
 }

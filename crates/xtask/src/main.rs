@@ -10,7 +10,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--format human|json|sarif] [--out FILE]");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [--format human|json|sarif] [--out FILE] [--timings]"
+            );
             eprintln!();
             eprintln!("subcommands:");
             eprintln!("  lint    run the cocolint static-analysis pass (policy: lint.toml)");
@@ -28,9 +30,11 @@ enum Format {
 fn lint(args: &[String]) -> ExitCode {
     let mut format = Format::Human;
     let mut out: Option<PathBuf> = None;
+    let mut timings = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--timings" => timings = true,
             "--format" => match it.next().map(String::as_str) {
                 Some("human") => format = Format::Human,
                 Some("json") => format = Format::Json,
@@ -61,8 +65,13 @@ fn lint(args: &[String]) -> ExitCode {
         eprintln!("cocolint: no lint.toml found between the current directory and filesystem root");
         return ExitCode::FAILURE;
     };
-    let findings = match xtask::run_lint(&root) {
-        Ok(findings) => findings,
+    let findings = match xtask::run_lint_with_timings(&root) {
+        Ok((findings, pass_times)) => {
+            if timings {
+                eprint!("{}", pass_times.render());
+            }
+            findings
+        }
         Err(e) => {
             eprintln!("cocolint: error: {e}");
             return ExitCode::FAILURE;

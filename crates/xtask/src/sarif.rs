@@ -12,7 +12,7 @@
 use crate::rules::Finding;
 
 /// Tool version stamped into `tool.driver.version`.
-const VERSION: &str = "2.0.0";
+const VERSION: &str = "3.0.0";
 
 /// Escape `s` for inclusion in a JSON string literal (RFC 8259 §7:
 /// quote, backslash, and control characters).
@@ -48,6 +48,24 @@ fn rule_description(rule: &str) -> &'static str {
         "crate-attrs" => "crate roots carry the lint attributes their tier requires",
         "unused-allow" => "every lint.toml [[allow]] entry must still suppress something",
         "lint-marker" => "inline LINT: markers must be well-formed and carry a reason",
+        "atomics-unpaired" => {
+            "an Acquire-loaded atomic needs a Release-or-stronger store somewhere, and vice versa"
+        }
+        "atomics-relaxed-store" => {
+            "Relaxed stores to Acquire-loaded atomics carry a // LINT: relaxed(reason) annotation"
+        }
+        "atomics-seqcst" => {
+            "SeqCst accesses document their store-buffering edge with // LINT: seqcst(reason)"
+        }
+        "atomics-unused-marker" => {
+            "every relaxed/seqcst ordering annotation still covers a matching atomic access"
+        }
+        "atomics-protocol" => {
+            "atomics with acquire/release edges belong to a named [[atomics.protocol]] with a model test"
+        }
+        "taint-alloc" => "allocations sized by untrusted wire input are clamped before use",
+        "taint-index" => "slice indexing with untrusted indices is bounded or annotated",
+        "taint-arith" => "length arithmetic on untrusted input uses checked operations",
         _ => "cocolint finding",
     }
 }

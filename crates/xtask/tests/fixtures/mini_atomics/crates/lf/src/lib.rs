@@ -1,0 +1,65 @@
+//! Mini lock-free crate for the atomics-pass end-to-end tests: one
+//! correctly paired protocol field, one violation per rule, and one
+//! pure-Relaxed counter that stays exempt.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The protocol zoo.
+pub struct Gate {
+    /// Paired and named in lint.toml's `[[atomics.protocol]]`.
+    pub flag: AtomicUsize,
+    /// Acquire-loaded but never Release-stored.
+    pub lost: AtomicUsize,
+    /// Paired, but belongs to no protocol.
+    pub orphan: AtomicUsize,
+    /// Pure Relaxed stat counter: exempt from every atomics rule.
+    pub ticks: AtomicUsize,
+}
+
+impl Gate {
+    /// The gate protocol's read side.
+    pub fn wait(&self) -> usize {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The gate protocol's publish side.
+    pub fn publish(&self, v: usize) {
+        self.flag.store(v, Ordering::Release);
+    }
+
+    /// Acquire load of a field no one ever Release-stores.
+    pub fn peek(&self) -> usize {
+        self.lost.load(Ordering::Acquire)
+    }
+
+    /// Unannotated Relaxed store to the Acquire-loaded `lost`.
+    pub fn clobber(&self, v: usize) {
+        self.lost.store(v, Ordering::Relaxed);
+    }
+
+    /// Unjustified SeqCst access.
+    pub fn strong(&self) -> usize {
+        self.orphan.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// The orphan's paired read side.
+    pub fn orphan_read(&self) -> usize {
+        self.orphan.load(Ordering::Acquire)
+    }
+
+    /// The orphan's paired write side.
+    pub fn orphan_write(&self, v: usize) {
+        self.orphan.store(v, Ordering::Release);
+    }
+
+    /// Counter bump: all-Relaxed groups carry no protocol.
+    pub fn tick(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// LINT: relaxed(stale - the store this once justified is gone)
+fn idle() {}
+
+// LINT: seqcst(stale - the access this once justified is gone)
+fn also_idle() {}

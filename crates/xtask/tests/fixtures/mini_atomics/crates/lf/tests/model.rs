@@ -1,0 +1,5 @@
+//! Stand-in model test: the `gate` protocol's lint.toml entry names
+//! this fn; renaming it must fail the lint (protocol rot).
+
+#[test]
+fn flag_handoff_is_race_free() {}

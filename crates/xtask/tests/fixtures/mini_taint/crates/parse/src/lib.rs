@@ -1,0 +1,33 @@
+//! Mini parser: one finding per taint sink shape, plus a
+//! comparison-sanitized allocation that stays clean.
+
+/// Largest frame the fixture accepts.
+pub const MAX_FRAME: usize = 1024;
+
+/// Unclamped allocation and wrapping length arithmetic.
+pub fn header(b: &[u8]) -> usize {
+    let rows = b.len();
+    let row_len = 4;
+    let v: Vec<u8> = Vec::with_capacity(rows);
+    if b.len() != rows * row_len {
+        return 0;
+    }
+    v.len() + at(b, rows)
+}
+
+/// Untrusted indexing without bounds or annotation.
+fn at(b: &[u8], i: usize) -> usize {
+    b[i] as usize
+}
+
+/// The length is compared against MAX_FRAME before the reserve: the
+/// allocation sink accepts the earlier comparison as sanitization.
+pub fn bounded_copy(b: &[u8]) -> Vec<u8> {
+    let n = b.len();
+    if n > MAX_FRAME {
+        return Vec::new();
+    }
+    let mut v = Vec::with_capacity(n);
+    v.extend_from_slice(b);
+    v
+}

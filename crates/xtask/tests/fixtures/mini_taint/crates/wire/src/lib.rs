@@ -1,0 +1,8 @@
+//! Mini wire crate: the taint source plus one clean clamped path.
+
+/// Everything downstream of here handles attacker bytes.
+pub fn ingest(body: &[u8]) -> usize {
+    let cap = body.len();
+    let buf: Vec<u8> = Vec::with_capacity(cap.min(16));
+    buf.capacity() + parse::header(body) + parse::bounded_copy(body).len()
+}

@@ -1,0 +1,217 @@
+//! Fixture tests for the v3 passes (atomics + taint): two mini
+//! workspaces pin every rule's exact file:line (and chain where the
+//! rule carries one), and mutation tests prove an injected violation —
+//! one weakened ordering, one deleted bounds check — is caught at its
+//! exact site rather than merely "somewhere".
+
+use std::path::Path;
+
+fn fixture_root(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Recursively copy `from` into `to` (fixture workspaces are tiny).
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+/// Copy a fixture into a scratch dir, run `mutate` on it, lint, clean
+/// up, and return (baseline, mutated) findings.
+fn lint_mutated(
+    fixture: &str,
+    tag: &str,
+    mutate: impl FnOnce(&Path),
+) -> (Vec<xtask::rules::Finding>, Vec<xtask::rules::Finding>) {
+    let scratch = std::env::temp_dir().join(format!("cocolint_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&fixture_root(fixture), &scratch);
+    let baseline = xtask::run_lint(&scratch).unwrap();
+    mutate(&scratch);
+    let mutated = xtask::run_lint(&scratch).unwrap();
+    let _ = std::fs::remove_dir_all(&scratch);
+    (baseline, mutated)
+}
+
+/// Replace `from` with `to` in `path`, asserting it was present.
+fn patch(path: &Path, from: &str, to: &str) {
+    let src = std::fs::read_to_string(path).unwrap();
+    assert!(
+        src.contains(from),
+        "fixture drifted: {from:?} not in {path:?}"
+    );
+    std::fs::write(path, src.replace(from, to)).unwrap();
+}
+
+#[test]
+fn atomics_fixture_pins_exact_findings() {
+    // One finding per atomics rule, each at its pinned line; the
+    // paired-and-protocol'd `flag` and the all-Relaxed `ticks` stay
+    // clean, and both flavors of ordering-marker rot are reported.
+    let findings = xtask::run_lint(&fixture_root("mini_atomics")).unwrap();
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(rendered.len(), 7, "{rendered:#?}");
+    // `lost` is only half a protocol, but its Acquire edge still makes
+    // it protocol-membership material — both protocol findings fire.
+    assert!(
+        rendered[0].starts_with("crates/lf/src/lib.rs:12: [atomics-protocol]"),
+        "{rendered:#?}"
+    );
+    assert!(findings[0].message.contains("`lost`"), "{rendered:#?}");
+    assert!(
+        rendered[1].starts_with("crates/lf/src/lib.rs:14: [atomics-protocol]"),
+        "{rendered:#?}"
+    );
+    assert!(findings[1].message.contains("`orphan`"), "{rendered:#?}");
+    assert!(
+        rendered[2].starts_with("crates/lf/src/lib.rs:32: [atomics-unpaired]"),
+        "{rendered:#?}"
+    );
+    assert!(
+        rendered[3].starts_with("crates/lf/src/lib.rs:37: [atomics-relaxed-store]"),
+        "{rendered:#?}"
+    );
+    assert!(
+        rendered[4].starts_with("crates/lf/src/lib.rs:42: [atomics-seqcst]"),
+        "{rendered:#?}"
+    );
+    assert!(
+        rendered[5].starts_with("crates/lf/src/lib.rs:61: [atomics-unused-marker]"),
+        "{rendered:#?}"
+    );
+    assert!(findings[5].message.contains("relaxed"), "{rendered:#?}");
+    assert!(
+        rendered[6].starts_with("crates/lf/src/lib.rs:64: [atomics-unused-marker]"),
+        "{rendered:#?}"
+    );
+    assert!(findings[6].message.contains("seqcst"), "{rendered:#?}");
+}
+
+#[test]
+fn taint_fixture_pins_exact_findings_and_chains() {
+    // One finding per taint sink shape, each with its source-to-sink
+    // chain; the `.min()`-clamped and MAX_FRAME-compared allocations
+    // stay clean.
+    let findings = xtask::run_lint(&fixture_root("mini_taint")).unwrap();
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(rendered.len(), 3, "{rendered:#?}");
+    assert!(
+        rendered[0].starts_with("crates/parse/src/lib.rs:11: [taint-alloc]"),
+        "{rendered:#?}"
+    );
+    assert_eq!(
+        findings[0].chain.as_deref(),
+        Some("wire::ingest -> parse::header"),
+        "{rendered:#?}"
+    );
+    assert!(
+        rendered[1].starts_with("crates/parse/src/lib.rs:12: [taint-arith]"),
+        "{rendered:#?}"
+    );
+    assert!(findings[1].message.contains("checked_mul"), "{rendered:#?}");
+    assert!(
+        rendered[2].starts_with("crates/parse/src/lib.rs:20: [taint-index]"),
+        "{rendered:#?}"
+    );
+    assert_eq!(
+        findings[2].chain.as_deref(),
+        Some("wire::ingest -> parse::header -> parse::at"),
+        "{rendered:#?}"
+    );
+}
+
+#[test]
+fn mutation_weakening_a_release_store_is_caught() {
+    // Demote the protocol field's Release publish to Relaxed: the
+    // Acquire load loses its pairing AND the store needs (and lacks)
+    // an annotation — both findings, at their exact lines.
+    let (baseline, mutated) = lint_mutated("mini_atomics", "atomics_mutation", |root| {
+        patch(
+            &root.join("crates/lf/src/lib.rs"),
+            "self.flag.store(v, Ordering::Release);",
+            "self.flag.store(v, Ordering::Relaxed);",
+        );
+    });
+    assert_eq!(mutated.len(), baseline.len() + 2, "{mutated:#?}");
+    let unpaired = mutated
+        .iter()
+        .find(|f| f.rule == "atomics-unpaired" && f.file == "crates/lf/src/lib.rs" && f.line == 22)
+        .unwrap_or_else(|| panic!("weakened store not caught as unpaired: {mutated:#?}"));
+    assert!(unpaired.message.contains("`flag`"), "{unpaired}");
+    assert!(
+        mutated
+            .iter()
+            .any(|f| f.rule == "atomics-relaxed-store" && f.line == 27),
+        "weakened store not caught as unannotated Relaxed: {mutated:#?}"
+    );
+}
+
+#[test]
+fn mutation_deleting_a_bounds_check_is_caught_with_chain() {
+    // Remove the MAX_FRAME guard in front of the clean allocation: the
+    // reserve three lines up now fires, with its full chain.
+    let (baseline, mutated) = lint_mutated("mini_taint", "taint_mutation", |root| {
+        patch(
+            &root.join("crates/parse/src/lib.rs"),
+            "    if n > MAX_FRAME {\n        return Vec::new();\n    }\n",
+            "",
+        );
+    });
+    assert_eq!(mutated.len(), baseline.len() + 1, "{mutated:#?}");
+    let alloc = mutated
+        .iter()
+        .find(|f| f.rule == "taint-alloc" && f.file == "crates/parse/src/lib.rs" && f.line == 27)
+        .unwrap_or_else(|| panic!("unguarded reserve not caught: {mutated:#?}"));
+    assert_eq!(
+        alloc.chain.as_deref(),
+        Some("wire::ingest -> parse::bounded_copy"),
+        "{alloc}"
+    );
+}
+
+#[test]
+fn renaming_a_protocol_model_test_is_fatal_rot() {
+    // The [[atomics.protocol]] <-> loom-model linkage: renaming the
+    // model fn must fail the whole lint, not drop a finding.
+    let scratch =
+        std::env::temp_dir().join(format!("cocolint_protocol_rot_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&fixture_root("mini_atomics"), &scratch);
+    patch(
+        &scratch.join("crates/lf/tests/model.rs"),
+        "fn flag_handoff_is_race_free()",
+        "fn flag_handoff_is_checked()",
+    );
+    let err = xtask::run_lint(&scratch).unwrap_err();
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(err.contains("flag_handoff_is_race_free"), "{err}");
+    assert!(err.contains("does not exist"), "{err}");
+}
+
+#[test]
+fn renaming_a_taint_source_is_fatal_rot() {
+    // A [taint] sources suffix matching no fn means the entry point
+    // was renamed and the policy silently stopped applying: fatal.
+    let scratch = std::env::temp_dir().join(format!("cocolint_taint_rot_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&fixture_root("mini_taint"), &scratch);
+    patch(
+        &scratch.join("crates/wire/src/lib.rs"),
+        "pub fn ingest(",
+        "pub fn swallow(",
+    );
+    let err = xtask::run_lint(&scratch).unwrap_err();
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(err.contains("wire::ingest"), "{err}");
+    assert!(err.contains("matches no workspace fn"), "{err}");
+}

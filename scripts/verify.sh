@@ -59,9 +59,11 @@ gate_end "doc"
 # cocolint gets a wall-time budget: interprocedural analysis over the
 # whole workspace must stay under 10s (binary is prebuilt by the
 # build gate above, so this times the analysis, not compilation).
-gate_begin "cocolint (cargo run -p xtask -- lint)"
+# --timings prints per-pass wall time (per-file, callgraph, dataflow,
+# atomics, taint) so a budget breach names the pass that regressed.
+gate_begin "cocolint (cargo run -p xtask -- lint --timings)"
 LINT_T0=$(now_s)
-cargo run -q -p xtask -- lint
+cargo run -q -p xtask -- lint --timings
 LINT_ELAPSED=$(($(now_s) - LINT_T0))
 gate_end "lint"
 if [ "$LINT_ELAPSED" -gt 10 ]; then
