@@ -15,17 +15,27 @@ commands:
   generate  --preset caida|mawi --out FILE [--scale N] [--seed S]
   measure   (--trace FILE | --pcap FILE) --out FILE
             [--memory 500KB] [--d 2] [--seed S] [--threads N] [--pin]
-            [--window PACKETS] [--keep-epochs N] [--serve ADDR]
-  query     --table FILE --key KEY [--top K] [--threshold T]
-  stats     --table FILE --key KEY
-  info      (--trace FILE | --table FILE)
+            [--window PACKETS] [--keep-epochs N] [--spill DIR]
+            [--compact-bucket B] [--serve ADDR]
+  query     (--table FILE | --dir DIR [--epoch K]) --key KEY
+            [--top K] [--threshold T]
+  stats     (--table FILE | --dir DIR [--epoch K]) --key KEY
+  info      (--trace FILE | --table FILE | --dir DIR)
 
 keys: 5tuple, srcip, dstip, srcip/NN, dstip/NN, src-dst,
       srcip-srcport, dstip-dstport, empty
 
+--spill DIR streams every sealed epoch into a durable epoch directory
+(manifest + immutable CEP1 segments) as it seals, so --keep-epochs N
+bounds memory without losing history; query/stats/info reopen the
+directory with --dir, and --compact-bucket B merges runs of B old
+epochs into coarser buckets in the background.
+
 --serve ADDR (unix:PATH or HOST:PORT) keeps the process resident after
 measuring, answering partial-key queries from the sealed epochs over
-the wire protocol until a client sends a shutdown request.";
+the wire protocol until a client sends a shutdown request. With
+--spill the service backfills epochs that aged out of memory from the
+directory.";
 
 /// `generate`: write a synthetic trace to disk.
 pub fn generate(argv: &[String]) -> Result<(), String> {
@@ -55,9 +65,15 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 /// With `--window PACKETS` the engine runs as a rotating
 /// [`engine::EngineSession`]: every `PACKETS` packets the live sketch
 /// is sealed into an epoch (without pausing ingestion) and written to
-/// `OUT.epochN`; the trailing partial window seals on finish.
-/// `--keep-epochs N` bounds the store to the last N sealed epochs
-/// (older ones are evicted as sealing proceeds and never written).
+/// `OUT.epochN` *as it seals* — streaming, not buffered to the end of
+/// the run; the trailing partial window seals on finish.
+/// `--keep-epochs N` bounds the in-memory store to the last N sealed
+/// epochs; epoch files (and the `--spill` directory, when given) still
+/// receive every epoch, so eviction bounds RSS without losing history.
+/// `--spill DIR` additionally streams each sealed epoch into a durable
+/// [`cocosketch::segment::EpochDir`] (manifest-backed, crash-safe) and
+/// `--compact-bucket B` runs a background compactor that merges runs
+/// of B old epochs into coarser buckets.
 ///
 /// `--pin` pins shard workers to cores round-robin (shard i → core
 /// i % cores) with first-touch shard allocation on the pinned core;
@@ -82,11 +98,25 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
     let window = opts.u64_or("window", 0)?;
     let keep_epochs = opts.u64_or("keep-epochs", 0)? as usize;
     let serve_addr = opts.get("serve");
+    let spill_dir = opts.get("spill");
+    let compact_bucket = opts.u64_or("compact-bucket", 0)? as usize;
     if d == 0 {
         return Err("--d must be positive".into());
     }
     if keep_epochs > 0 && window == 0 {
         return Err("--keep-epochs only applies with --window".into());
+    }
+    if spill_dir.is_some() && window == 0 {
+        return Err("--spill only applies with --window".into());
+    }
+    if spill_dir == Some("true") {
+        return Err("--spill takes a directory path".into());
+    }
+    if compact_bucket > 0 && spill_dir.is_none() {
+        return Err("--compact-bucket only applies with --spill".into());
+    }
+    if compact_bucket == 1 {
+        return Err("--compact-bucket must be at least 2 (or omitted)".into());
     }
     if serve_addr == Some("true") {
         return Err("--serve takes an address: unix:PATH or HOST:PORT".into());
@@ -122,6 +152,8 @@ pub fn measure(argv: &[String]) -> Result<(), String> {
             out: &out,
             threads,
             serve_addr,
+            spill_dir,
+            compact_bucket,
         };
         return measure_windowed(&engine, &trace, full, wopts);
     }
@@ -177,6 +209,18 @@ struct WindowedOpts<'a> {
     out: &'a std::path::Path,
     threads: usize,
     serve_addr: Option<&'a str>,
+    spill_dir: Option<&'a str>,
+    compact_bucket: usize,
+}
+
+/// `OUT.epochN` for epoch `id`.
+fn epoch_file(out: &std::path::Path, id: u64) -> std::path::PathBuf {
+    out.with_file_name(format!(
+        "{}.epoch{id}",
+        out.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "epochs".to_string()),
+    ))
 }
 
 /// The `--window` path: one continuously-running session, one sealed
@@ -201,19 +245,57 @@ fn measure_windowed(
         out,
         threads,
         serve_addr,
+        spill_dir,
+        compact_bucket,
     } = opts;
+    // Open the durable tier first: recovery runs before anything is
+    // appended, and both the store's spill sink and the service's cold
+    // reader hang off the same directory.
+    let spill = match spill_dir {
+        Some(dir) => {
+            let (shared, report) = cocosketch::SharedEpochDir::open(dir)
+                .map_err(|e| format!("opening --spill {dir}: {e}"))?;
+            if !report.quarantined.is_empty() {
+                eprintln!(
+                    "spill {dir}: quarantined {} torn file{} on open",
+                    report.quarantined.len(),
+                    if report.quarantined.len() == 1 {
+                        ""
+                    } else {
+                        "s"
+                    }
+                );
+            }
+            Some(shared)
+        }
+        None => None,
+    };
+    let compactor = match (&spill, compact_bucket) {
+        (Some(shared), bucket) if bucket >= 2 => Some(cocosketch::segment::spawn_compactor(
+            shared.clone(),
+            cocosketch::CompactionPolicy {
+                bucket,
+                // Keep at least what RAM keeps: per-epoch resolution on
+                // disk should outlive per-epoch residency in memory.
+                keep_recent: keep_epochs.max(bucket) as u64,
+            },
+        )),
+        _ => None,
+    };
     let mut serving = match serve_addr {
         Some(addr) => {
             // The service's catalog retains what --keep-epochs keeps
-            // on disk (everything, when unset); its eviction is
-            // internal, so the `cap` closure below only trims the
-            // store that feeds the epoch files.
+            // in RAM (everything, when unset); with --spill, epochs
+            // that age out of the catalog backfill from the directory.
             let keep = if keep_epochs > 0 {
                 keep_epochs
             } else {
                 usize::MAX
             };
-            let (publisher, svc) = serve::service(keep);
+            let (publisher, svc) = match &spill {
+                Some(shared) => serve::service_with_cold(keep, shared.reader()),
+                None => serve::service(keep),
+            };
             let server = serve::Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
             println!("serving on {}", server.addr());
             Some((publisher, std::thread::spawn(move || server.run(svc))))
@@ -222,14 +304,40 @@ fn measure_windowed(
     };
     let mut session = engine.session();
     let mut store = EpochStore::new();
+    if let Some(shared) = &spill {
+        // Backstop: should eviction ever race ahead of the eager
+        // appends below, evict_to re-spills instead of dropping.
+        store.attach_spill(Box::new(shared.clone()));
+    }
     let mut total = 0u64;
     let mut evicted = 0usize;
     let started = std::time::Instant::now();
     let mut in_window = 0u64;
-    // Seal one epoch: publish to the resident service (if serving),
-    // retain for the epoch files, cap the store to --keep-epochs.
-    let mut seal = |store: &mut EpochStore, sealed: Epoch| {
+    // Seal one epoch, streaming: durable segment append first, then
+    // the OUT.epochN file, then publication to the resident service,
+    // then retention capped to --keep-epochs. Ordering matters — by
+    // the time an epoch is visible anywhere, it is already durable.
+    let mut seal = |store: &mut EpochStore, sealed: Epoch| -> Result<(), String> {
         let sealed = std::sync::Arc::new(sealed);
+        if let Some(shared) = &spill {
+            shared
+                .append(&sealed)
+                .map_err(|e| format!("spilling epoch {}: {e}", sealed.id))?;
+            if let Some(compactor) = &compactor {
+                compactor.nudge();
+            }
+        }
+        let path = epoch_file(out, sealed.id);
+        std::fs::write(&path, epoch::encode(&sealed))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  epoch {}: {} packets, weight {}, {} flows -> {}",
+            sealed.id,
+            sealed.packets,
+            sealed.weight,
+            sealed.primary().len(),
+            path.display()
+        );
         if let Some((publisher, _)) = serving.as_mut() {
             publisher.publish(std::sync::Arc::clone(&sealed));
         }
@@ -237,6 +345,7 @@ fn measure_windowed(
         if keep_epochs > 0 {
             evicted += store.evict_to(keep_epochs);
         }
+        Ok(())
     };
     for p in &trace.packets {
         session.push(full.project(&p.flow), u64::from(p.weight));
@@ -244,7 +353,7 @@ fn measure_windowed(
         if in_window == window {
             let sealed = session.rotate_collect().to_epoch(full);
             total += sealed.packets;
-            seal(&mut store, sealed);
+            seal(&mut store, sealed)?;
             in_window = 0;
         }
     }
@@ -252,13 +361,13 @@ fn measure_windowed(
     if last.packets > 0 {
         let sealed = last.to_epoch(full);
         total += sealed.packets;
-        seal(&mut store, sealed);
+        seal(&mut store, sealed)?;
     }
     let elapsed = started.elapsed();
     let mpps = total as f64 / elapsed.as_secs_f64() / 1e6;
     println!(
         "measured {total} packets in {elapsed:?} ({mpps:.2} Mpps, {threads} thread{}); \
-         {} epoch{} of <= {window} packets{}",
+         {} epoch{} of <= {window} packets resident{}",
         if threads == 1 { "" } else { "s" },
         store.len(),
         if store.len() == 1 { "" } else { "s" },
@@ -268,23 +377,34 @@ fn measure_windowed(
             String::new()
         },
     );
-    for sealed in store.iter() {
-        let path = out.with_file_name(format!(
-            "{}.epoch{}",
-            out.file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| "epochs".to_string()),
-            sealed.id
-        ));
-        std::fs::write(&path, epoch::encode(sealed))
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    if let Some(err) = store.take_spill_error() {
+        return Err(format!("spill failed during eviction: {err}"));
+    }
+    if let Some(compactor) = compactor {
+        let totals = compactor.finish();
+        if let Some(err) = &totals.last_error {
+            return Err(format!(
+                "compaction failed ({} error{}): {err}",
+                totals.errors,
+                if totals.errors == 1 { "" } else { "s" }
+            ));
+        }
+        if totals.buckets > 0 {
+            println!(
+                "  compacted {} epochs into {} bucket{} ({} sweeps)",
+                totals.merged_epochs,
+                totals.buckets,
+                if totals.buckets == 1 { "" } else { "s" },
+                totals.rounds
+            );
+        }
+    }
+    if let Some(shared) = &spill {
+        let (first, last) = shared.ids().unwrap_or((0, 0));
         println!(
-            "  epoch {}: {} packets, weight {}, {} flows -> {}",
-            sealed.id,
-            sealed.packets,
-            sealed.weight,
-            sealed.primary().len(),
-            path.display()
+            "  spill: {} segment{} covering epochs {first}..={last}",
+            shared.len(),
+            if shared.len() == 1 { "" } else { "s" },
         );
     }
     if let Some((publisher, handle)) = serving {
@@ -304,6 +424,30 @@ fn measure_windowed(
 }
 
 fn load_table(opts: &Opts) -> Result<FlowTable, String> {
+    if let Some(dir) = opts.get("dir") {
+        if opts.get("table").is_some() {
+            return Err("--table and --dir are mutually exclusive".into());
+        }
+        let reader = cocosketch::DirReader::new(dir);
+        let sealed = match opts.get("epoch") {
+            Some(_) => {
+                let id = opts.u64_or("epoch", 0)?;
+                reader
+                    .read_epoch(id)
+                    .map_err(|e| format!("reading {dir}: {e}"))?
+                    .ok_or_else(|| format!("{dir}: epoch {id} is not stored as its own segment"))?
+            }
+            None => reader
+                .read_latest()
+                .map_err(|e| format!("reading {dir}: {e}"))?
+                .ok_or_else(|| format!("{dir}: no epochs stored"))?,
+        };
+        return sealed
+            .tables
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("{dir}: epoch sealed no tables"));
+    }
     let path = opts.path("table")?;
     let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     // Sniff the envelope by magic: `measure --window` writes sealed
@@ -429,6 +573,26 @@ pub fn info(argv: &[String]) -> Result<(), String> {
         println!("  distinct flows : {}", trace.distinct_flows());
         return Ok(());
     }
+    if let Some(dir) = opts.get("dir") {
+        let reader = cocosketch::DirReader::new(dir);
+        let segments = reader
+            .segments()
+            .map_err(|e| format!("reading {dir}: {e}"))?;
+        let buckets = segments.iter().filter(|m| m.is_bucket()).count();
+        let epochs = segments.len() - buckets;
+        let bytes: u64 = segments.iter().map(|m| m.bytes).sum();
+        println!("epoch directory {dir}:");
+        println!(
+            "  segments       : {} ({epochs} epoch, {buckets} bucket)",
+            segments.len()
+        );
+        match segments.first().zip(segments.last()) {
+            Some((lo, hi)) => println!("  epoch ids      : {}..={}", lo.first, hi.last),
+            None => println!("  epoch ids      : (none)"),
+        }
+        println!("  segment bytes  : {bytes}");
+        return Ok(());
+    }
     if opts.get("table").is_some() {
         let table = load_table(&opts)?;
         println!("flow table:");
@@ -437,5 +601,5 @@ pub fn info(argv: &[String]) -> Result<(), String> {
         println!("  total traffic  : {}", table.total());
         return Ok(());
     }
-    Err("info needs --trace FILE or --table FILE".into())
+    Err("info needs --trace FILE, --table FILE, or --dir DIR".into())
 }

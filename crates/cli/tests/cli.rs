@@ -205,9 +205,10 @@ fn keep_epochs_retains_only_the_last_n() {
     );
 
     // Same rotation cadence as above (two full windows plus a tail),
-    // but capped to the most recent epoch: ids 0 and 1 are evicted
-    // before writing, and only the tail epoch reaches disk — under its
-    // original id, not renumbered.
+    // but capped to the most recent epoch in memory. Sealing streams:
+    // every epoch file reaches disk the moment it seals — including
+    // ids 0 and 1, which --keep-epochs then evicts from RAM — so the
+    // retention cap bounds memory, never disk history.
     let out = run(&[
         "measure",
         "--trace",
@@ -228,11 +229,327 @@ fn keep_epochs_retains_only_the_last_n() {
     );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("evicted by --keep-epochs 1"), "{text}");
-    assert!(!dir.join("t.cft.epoch0").exists(), "{text}");
-    assert!(!dir.join("t.cft.epoch1").exists(), "{text}");
+    assert!(
+        text.contains("1 epoch of <= 5000 packets resident"),
+        "{text}"
+    );
+    assert!(dir.join("t.cft.epoch0").exists(), "{text}");
+    assert!(dir.join("t.cft.epoch1").exists(), "{text}");
     assert!(dir.join("t.cft.epoch2").exists(), "{text}");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spill_dir_round_trips_every_epoch_bit_identically() {
+    let dir = tmpdir("spill");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    let spill = dir.join("segments");
+    let out = run(&[
+        "generate",
+        "--preset",
+        "caida",
+        "--scale",
+        "2000",
+        "--seed",
+        "7",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Three epochs sealed, one resident: ids 0 and 1 exist only on
+    // disk by the time the run ends.
+    let out = run(&[
+        "measure",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--memory",
+        "100KB",
+        "--window",
+        "5000",
+        "--keep-epochs",
+        "1",
+        "--spill",
+        spill.to_str().unwrap(),
+        "--out",
+        table.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("spill: 3 segments covering epochs 0..=2"),
+        "{text}"
+    );
+    assert!(spill.join("MANIFEST").exists());
+
+    // Every sealed epoch — including the mid-run-evicted ones — answers
+    // from the directory bit-identically to its streamed epoch file.
+    for k in 0..3u64 {
+        let epoch_file = dir.join(format!("t.cft.epoch{k}"));
+        let from_dir = run(&[
+            "query",
+            "--dir",
+            spill.to_str().unwrap(),
+            "--epoch",
+            &k.to_string(),
+            "--key",
+            "srcip",
+            "--top",
+            "10",
+        ]);
+        let from_file = run(&[
+            "query",
+            "--table",
+            epoch_file.to_str().unwrap(),
+            "--key",
+            "srcip",
+            "--top",
+            "10",
+        ]);
+        assert!(
+            from_dir.status.success() && from_file.status.success(),
+            "epoch {k}: {} / {}",
+            String::from_utf8_lossy(&from_dir.stderr),
+            String::from_utf8_lossy(&from_file.stderr)
+        );
+        assert_eq!(from_dir.stdout, from_file.stdout, "epoch {k} diverged");
+    }
+
+    // --dir without --epoch answers from the newest stored epoch.
+    let latest = run(&[
+        "query",
+        "--dir",
+        spill.to_str().unwrap(),
+        "--key",
+        "srcip/16",
+    ]);
+    let tail = run(&[
+        "query",
+        "--table",
+        dir.join("t.cft.epoch2").to_str().unwrap(),
+        "--key",
+        "srcip/16",
+    ]);
+    assert!(latest.status.success() && tail.status.success());
+    assert_eq!(latest.stdout, tail.stdout);
+
+    // stats reads the directory through the same loader.
+    let out = run(&[
+        "stats",
+        "--dir",
+        spill.to_str().unwrap(),
+        "--epoch",
+        "0",
+        "--key",
+        "dstip",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("entropy"));
+
+    // info summarizes the segment inventory.
+    let out = run(&["info", "--dir", spill.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("3 (3 epoch, 0 bucket)"), "{text}");
+
+    // An id that was never sealed is a clean error, not a panic.
+    let out = run(&[
+        "query",
+        "--dir",
+        spill.to_str().unwrap(),
+        "--epoch",
+        "99",
+        "--key",
+        "srcip",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not stored as its own segment"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compact_bucket_merges_cold_epochs() {
+    let dir = tmpdir("compact");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    let spill = dir.join("segments");
+    let out = run(&[
+        "generate",
+        "--preset",
+        "caida",
+        "--scale",
+        "2000",
+        "--seed",
+        "7",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A tight window seals enough epochs that the compactor has cold
+    // history to fold. The expected layout is computable: with
+    // --compact-bucket 2 and --keep-epochs 1 the newest
+    // max(keep-epochs, bucket) = 2 ids stay single-epoch, and every
+    // aligned pair at or below the horizon becomes one bucket.
+    let packets = traffic::io::load(&trace).unwrap().len() as u64;
+    let epochs = packets.div_ceil(2000);
+    let newest = epochs - 1;
+    let horizon = newest - 2;
+    let buckets = ((horizon + 1) / 2) as usize;
+    let merged = buckets * 2;
+    assert!(buckets >= 1, "trace too small to exercise compaction");
+
+    let out = run(&[
+        "measure",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--memory",
+        "100KB",
+        "--window",
+        "2000",
+        "--keep-epochs",
+        "1",
+        "--spill",
+        spill.to_str().unwrap(),
+        "--compact-bucket",
+        "2",
+        "--out",
+        table.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains(&format!("compacted {merged} epochs into {buckets} bucket")),
+        "{text}"
+    );
+
+    let singles = epochs as usize - merged;
+    let out = run(&["info", "--dir", spill.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains(&format!(
+            "{} ({singles} epoch, {buckets} bucket)",
+            singles + buckets
+        )),
+        "{text}"
+    );
+
+    // Bucketed ids lose per-epoch resolution (by design); the retained
+    // singles still answer.
+    let out = run(&[
+        "query",
+        "--dir",
+        spill.to_str().unwrap(),
+        "--epoch",
+        "0",
+        "--key",
+        "srcip",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not stored as its own segment"));
+    let out = run(&[
+        "query",
+        "--dir",
+        spill.to_str().unwrap(),
+        "--epoch",
+        &newest.to_string(),
+        "--key",
+        "srcip",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spill_requires_window_and_a_path() {
+    let out = run(&[
+        "measure",
+        "--trace",
+        "unused.cct",
+        "--spill",
+        "d",
+        "--out",
+        "unused.cft",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spill only applies with --window"));
+
+    let out = run(&[
+        "measure",
+        "--trace",
+        "unused.cct",
+        "--window",
+        "100",
+        "--spill",
+        "--out",
+        "unused.cft",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spill takes a directory path"));
+}
+
+#[test]
+fn compact_bucket_requires_spill_and_at_least_two() {
+    let out = run(&[
+        "measure",
+        "--trace",
+        "unused.cct",
+        "--window",
+        "100",
+        "--compact-bucket",
+        "2",
+        "--out",
+        "unused.cft",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--compact-bucket only applies with --spill")
+    );
+
+    let out = run(&[
+        "measure",
+        "--trace",
+        "unused.cct",
+        "--window",
+        "100",
+        "--spill",
+        "d",
+        "--compact-bucket",
+        "1",
+        "--out",
+        "unused.cft",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--compact-bucket must be at least 2"));
 }
 
 #[test]

@@ -118,6 +118,23 @@ pub fn decode(data: &[u8]) -> io::Result<Epoch> {
     })
 }
 
+/// Where evicted epochs go instead of vanishing: the durable tier's
+/// half of the rotation protocol. [`EpochStore::evict_to`] offers each
+/// epoch it is about to drop to the attached sink; only epochs the
+/// sink confirms durable leave RAM, so a failing disk degrades to
+/// "history stops aging out" rather than "history is lost".
+///
+/// [`crate::segment::EpochDir`] and [`crate::segment::SharedEpochDir`]
+/// implement this by streaming the epoch as a CEP1 segment file.
+pub trait SpillSink {
+    /// Make `epoch` durable. Must be idempotent: the store may offer
+    /// the same epoch again after a partial failure.
+    fn spill(&mut self, epoch: &Arc<Epoch>) -> io::Result<()>;
+
+    /// True when epoch `id` is already durable (spill may be skipped).
+    fn is_durable(&self, id: u64) -> bool;
+}
+
 /// An in-order collection of sealed epochs with dense id assignment
 /// and keep-last-N retention.
 ///
@@ -135,12 +152,30 @@ pub fn decode(data: &[u8]) -> io::Result<Epoch> {
 /// the store has since evicted: eviction drops the store's reference,
 /// not the epoch, and sealed epochs are immutable, so an outstanding
 /// handle stays bit-identical for as long as the reader holds it.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct EpochStore {
     /// Retained epochs; `epochs[i].id == base + i`.
     epochs: Vec<Arc<Epoch>>,
     /// Id of the oldest retained epoch == number of evicted epochs.
     base: u64,
+    /// Durable tier, if attached: eviction spills here before dropping.
+    spill: Option<Box<dyn SpillSink + Send>>,
+    /// First spill failure since the last
+    /// [`take_spill_error`](Self::take_spill_error), surfaced out of
+    /// band so the eviction path stays infallible for callers without
+    /// a sink.
+    spill_error: Option<io::Error>,
+}
+
+impl std::fmt::Debug for EpochStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochStore")
+            .field("epochs", &self.epochs)
+            .field("base", &self.base)
+            .field("spill", &self.spill.as_ref().map(|_| "<sink>"))
+            .field("spill_error", &self.spill_error)
+            .finish()
+    }
 }
 
 impl EpochStore {
@@ -239,17 +274,57 @@ impl EpochStore {
         self.epochs.first().map(|e| e.id)
     }
 
+    /// Attach a durable tier: from now on,
+    /// [`evict_to`](Self::evict_to) hands epochs to `sink` instead of
+    /// dropping them. Replaces any previously attached sink.
+    pub fn attach_spill(&mut self, sink: Box<dyn SpillSink + Send>) {
+        self.spill = Some(sink);
+    }
+
+    /// True when a spill sink is attached.
+    pub fn has_spill(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// The first spill failure since the last call, if any. While an
+    /// error is pending the failed epoch (and everything newer) is
+    /// still retained in RAM — nothing was lost, eviction just
+    /// stopped early.
+    pub fn take_spill_error(&mut self) -> Option<io::Error> {
+        self.spill_error.take()
+    }
+
     /// Drop the oldest epochs until at most `keep` remain; returns how
     /// many were evicted. Ids are not reused: the next seal continues
     /// the dense sequence, and lookups for evicted ids return `None`.
     /// `keep == 0` empties the store (useful before shutdown).
+    ///
+    /// With a sink attached (see [`attach_spill`](Self::attach_spill))
+    /// each candidate is spilled first — skipped when the sink already
+    /// reports it durable, e.g. because the seal path streams epochs to
+    /// disk eagerly — and an epoch that fails to spill is *retained*
+    /// along with everything newer (order must stay dense); the error
+    /// is held for [`take_spill_error`](Self::take_spill_error).
     pub fn evict_to(&mut self, keep: usize) -> usize {
         let excess = self.epochs.len().saturating_sub(keep);
-        if excess > 0 {
-            self.epochs.drain(..excess);
-            self.base += excess as u64;
+        let mut evicted = excess;
+        if let Some(sink) = self.spill.as_mut() {
+            evicted = 0;
+            for epoch in self.epochs.iter().take(excess) {
+                if !sink.is_durable(epoch.id) {
+                    if let Err(e) = sink.spill(epoch) {
+                        self.spill_error = Some(e);
+                        break;
+                    }
+                }
+                evicted += 1;
+            }
         }
-        excess
+        if evicted > 0 {
+            self.epochs.drain(..evicted);
+            self.base += evicted as u64;
+        }
+        evicted
     }
 
     /// Iterate retained epochs in id order.
@@ -519,6 +594,65 @@ mod tests {
         let mut bytes = encode(&epoch);
         bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode(&bytes).is_err());
+    }
+
+    #[derive(Default)]
+    struct MemorySink {
+        spilled: Vec<Arc<Epoch>>,
+        fail_on: Option<u64>,
+    }
+
+    impl SpillSink for MemorySink {
+        fn spill(&mut self, epoch: &Arc<Epoch>) -> io::Result<()> {
+            if self.fail_on == Some(epoch.id) {
+                return Err(io::Error::other("disk on fire"));
+            }
+            self.spilled.push(Arc::clone(epoch));
+            Ok(())
+        }
+
+        fn is_durable(&self, id: u64) -> bool {
+            self.spilled.iter().any(|e| e.id == id)
+        }
+    }
+
+    #[test]
+    fn evict_to_spills_before_dropping() {
+        let mut store = EpochStore::new();
+        for i in 0..4u32 {
+            store.seal(vec![table(5, i)], u64::from(i), u64::from(i) * 3);
+        }
+        let held: Vec<_> = (0..4).map(|id| store.sealed_arc(id).unwrap()).collect();
+        store.attach_spill(Box::<MemorySink>::default());
+        assert!(store.has_spill());
+        assert_eq!(store.evict_to(1), 3);
+        assert!(store.take_spill_error().is_none());
+        assert_eq!(store.oldest_id(), Some(3));
+        // Can't reach into the boxed sink, so assert via the held Arcs:
+        // re-evicting must not re-spill (is_durable short-circuits) —
+        // covered by the dir-backed integration tests; here we at least
+        // know eviction completed and ids advanced densely.
+        assert_eq!(store.next_id(), 4);
+        drop(held);
+    }
+
+    #[test]
+    fn spill_failure_retains_epochs() {
+        let mut store = EpochStore::new();
+        for i in 0..4u32 {
+            store.seal(vec![table(5, i)], u64::from(i), u64::from(i) * 3);
+        }
+        store.attach_spill(Box::new(MemorySink {
+            spilled: Vec::new(),
+            fail_on: Some(1),
+        }));
+        // Epoch 0 spills; epoch 1 fails; 1..=3 must stay resident.
+        assert_eq!(store.evict_to(0), 1);
+        let err = store.take_spill_error().expect("error surfaced");
+        assert_eq!(err.to_string(), "disk on fire");
+        assert_eq!(store.oldest_id(), Some(1));
+        assert_eq!(store.len(), 3);
+        assert!(store.take_spill_error().is_none(), "error taken once");
     }
 
     #[test]

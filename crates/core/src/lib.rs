@@ -57,15 +57,19 @@ pub mod hardware;
 pub mod merge;
 pub mod probability;
 pub mod query;
+pub mod rollup_cache;
 pub mod sampling;
+pub mod segment;
 pub mod snapshot;
 
 pub use basic::{BasicCocoSketch, TieBreak};
-pub use epoch::{Epoch, EpochStore};
+pub use epoch::{Epoch, EpochStore, SpillSink};
 pub use hardware::{Combine, DivisionMode, HardwareCocoSketch};
 pub use merge::{merge_all, MergeError};
 pub use query::FlowTable;
+pub use rollup_cache::RollupCache;
 pub use sampling::SampledCoco;
+pub use segment::{CompactionPolicy, DirReader, EpochDir, SharedEpochDir};
 
 /// Which CocoSketch variant to instantiate (used by experiment harnesses
 /// that sweep the three versions of Figure 18a).

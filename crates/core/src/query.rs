@@ -535,6 +535,36 @@ impl FlowTable {
             .filter(|&(_, v)| v >= threshold)
             .collect()
     }
+
+    /// Merge tables recorded under the **same full-key spec** into one:
+    /// per-key `u64` sums in canonical (lexicographic key byte) row
+    /// order. Exact by construction — addition neither creates nor
+    /// drops weight, so the merged [`total`](Self::total) equals the
+    /// inputs' totals summed, and any partial-key query of the merged
+    /// table equals the per-key sum of the inputs' answers. This is the
+    /// table half of epoch compaction (`crate::segment`): bucketing
+    /// epochs must conserve weight exactly, and this is where that
+    /// exactness comes from.
+    ///
+    /// `None` when `tables` is empty or the specs disagree — merging
+    /// rows encoded under different full keys has no defined meaning.
+    pub fn merged(tables: &[&FlowTable]) -> Option<FlowTable> {
+        let first = tables.first()?;
+        let full = *first.full_spec();
+        if tables.iter().any(|t| *t.full_spec() != full) {
+            return None;
+        }
+        let mut acc: FastMap<KeyBytes, u64> =
+            fast_map_with_capacity(tables.iter().map(|t| t.len()).max().unwrap_or(0));
+        for table in tables {
+            for (key, size) in &table.rows {
+                *acc.entry(*key).or_insert(0) += size;
+            }
+        }
+        let mut rows: Vec<(KeyBytes, u64)> = acc.into_iter().collect();
+        Self::sort_entries(&mut rows);
+        Some(FlowTable::new(full, rows))
+    }
 }
 
 #[cfg(test)]
@@ -783,6 +813,31 @@ mod tests {
         let tiny = big_table(3);
         let expect: Vec<_> = specs.iter().map(|s| tiny.query_partial(s)).collect();
         assert_eq!(tiny.query_multi_parallel(&specs, 16), expect);
+    }
+
+    #[test]
+    fn merged_sums_per_key_and_conserves_total() {
+        let a = big_table(500);
+        let b = big_table(300); // deterministic generator → overlapping keys
+        let m = FlowTable::merged(&[&a, &b]).unwrap();
+        assert_eq!(m.total(), a.total() + b.total(), "weight conserved");
+        // Any partial-key answer of the merge is the per-key sum of the
+        // inputs' answers.
+        for spec in [KeySpec::SRC_IP, KeySpec::EMPTY, KeySpec::FIVE_TUPLE] {
+            let mut want = a.query_partial(&spec);
+            for (k, v) in b.query_partial(&spec) {
+                *want.entry(k).or_insert(0) += v;
+            }
+            assert_eq!(m.query_partial(&spec), want, "{spec}");
+        }
+        // Canonical row order: merging in either order is identical.
+        assert_eq!(FlowTable::merged(&[&b, &a]).unwrap().rows(), m.rows());
+        // Degenerate and error cases.
+        assert!(FlowTable::merged(&[]).is_none());
+        let narrow = FlowTable::new(KeySpec::SRC_IP, vec![]);
+        assert!(FlowTable::merged(&[&a, &narrow]).is_none(), "spec mismatch");
+        let solo = FlowTable::merged(&[&a]).unwrap();
+        assert_eq!(solo.total(), a.total());
     }
 
     #[test]

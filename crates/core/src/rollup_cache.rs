@@ -1,0 +1,283 @@
+//! A never-invalidating per-epoch rollup cache.
+//!
+//! Sealed epochs are immutable, so the answer to "spec S over epoch E"
+//! is a constant: once computed it can be cached forever and served
+//! bit-identical, with no invalidation protocol beyond a capacity
+//! bound. That property is the whole design — the cache key is
+//! `(epoch id, spec)`, the value is the sorted-entry answer of
+//! [`FlowTable::query_all_entries`](crate::FlowTable::query_all_entries)
+//! wrapped in an [`Arc`] (hits clone a
+//! pointer, not a table), and eviction is plain FIFO because *any*
+//! eviction policy is merely a performance choice here, never a
+//! correctness one.
+//!
+//! Misses batch: all uncached specs of one [`query`](RollupCache::query)
+//! call go through **one** `query_all_entries` call, so a prefix
+//! hierarchy still gets the rollup engine's shared-scan economics on a
+//! cold cache, and per-spec `Arc`s on a warm one.
+
+use crate::epoch::Epoch;
+use hashkit::{invariant, FastMap};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use traffic::{KeyBytes, KeySpec};
+
+/// One cached answer: the sorted `(key, size)` entries of a spec over
+/// an epoch's primary table, shared by reference.
+pub type CachedEntries = Arc<Vec<(KeyBytes, u64)>>;
+
+/// Hit/miss counters for reporting and cache-efficacy asserts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to scan the epoch.
+    pub misses: u64,
+}
+
+/// The per-epoch rollup cache (see the module docs).
+///
+/// Epoch ids must be unique per cache instance — they are the cache
+/// key's first half, exactly as dense ids are the identity relation in
+/// [`EpochStore`](crate::EpochStore). Answers come from the epoch's
+/// *primary* (first) table, matching the CLI's query path.
+#[derive(Debug)]
+pub struct RollupCache {
+    capacity: usize,
+    map: FastMap<(u64, KeySpec), CachedEntries>,
+    order: VecDeque<(u64, KeySpec)>,
+    stats: CacheStats,
+}
+
+impl RollupCache {
+    /// A cache holding at most `capacity` (epoch, spec) answers
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RollupCache {
+            capacity: capacity.max(1),
+            map: FastMap::default(),
+            order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Answer `specs` over `epoch`'s primary table, one result per spec
+    /// in order — bit-identical to a cold
+    /// [`FlowTable::query_all_entries`](crate::FlowTable::query_all_entries)
+    /// call, by construction: a miss
+    /// *is* that call (all misses of this invocation batched into one),
+    /// and a hit returns the stored result of a previous one, which
+    /// immutability keeps true forever.
+    ///
+    /// An epoch with no tables answers every spec with empty entries.
+    pub fn query(&mut self, epoch: &Epoch, specs: &[KeySpec]) -> Vec<CachedEntries> {
+        let mut out: Vec<Option<CachedEntries>> = Vec::with_capacity(specs.len());
+        let mut missing: Vec<KeySpec> = Vec::new();
+        for spec in specs {
+            match self.map.get(&(epoch.id, *spec)) {
+                Some(hit) => {
+                    self.stats.hits += 1;
+                    out.push(Some(Arc::clone(hit)));
+                }
+                None => {
+                    self.stats.misses += 1;
+                    missing.push(*spec);
+                    out.push(None);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let answers: Vec<CachedEntries> = match epoch.tables.first() {
+                Some(table) => table
+                    .query_all_entries(&missing)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+                None => missing.iter().map(|_| Arc::new(Vec::new())).collect(),
+            };
+            // Fill the output slots from the local results *before*
+            // touching capacity, so eviction within this call can never
+            // lose an answer the caller is owed.
+            let mut answers_iter = answers.iter().cloned();
+            for slot in out.iter_mut().filter(|s| s.is_none()) {
+                *slot =
+                    Some(answers_iter.next().unwrap_or_else(|| {
+                        invariant::violated("one batched answer per missed spec")
+                    }));
+            }
+            for (spec, answer) in missing.into_iter().zip(answers) {
+                let key = (epoch.id, spec);
+                // A repeated spec in one call produces the same answer
+                // twice; only the first insert owns an order slot.
+                if self.map.insert(key, answer).is_none() {
+                    self.order.push_back(key);
+                }
+            }
+            while self.map.len() > self.capacity {
+                match self.order.pop_front() {
+                    Some(oldest) => {
+                        self.map.remove(&oldest);
+                    }
+                    None => invariant::violated("cache order queue drained before its map"),
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| invariant::violated("every query slot filled above"))
+            })
+            .collect()
+    }
+
+    /// Hit/miss counters since construction (or [`clear`](Self::clear)).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop every cached answer and reset the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::FlowTable;
+    use traffic::FiveTuple;
+
+    fn epoch(id: u64, rows: u32) -> Epoch {
+        let full = KeySpec::FIVE_TUPLE;
+        let rows: Vec<(KeyBytes, u64)> = (0..rows)
+            .map(|i| {
+                (
+                    full.project(&FiveTuple::new(i % 97, i * 3, 80, 443, 6)),
+                    u64::from(i) + 1,
+                )
+            })
+            .collect();
+        let table = FlowTable::new(full, rows);
+        let weight = table.total();
+        Epoch {
+            id,
+            packets: 0,
+            weight,
+            tables: vec![table],
+        }
+    }
+
+    #[test]
+    fn hits_are_bit_identical_to_cold_scans() {
+        let e = epoch(0, 400);
+        let specs = [KeySpec::SRC_IP, KeySpec::src_prefix(16), KeySpec::EMPTY];
+        let cold = e.primary().query_all_entries(&specs);
+        let mut cache = RollupCache::new(64);
+        let miss = cache.query(&e, &specs);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+        let hit = cache.query(&e, &specs);
+        assert_eq!(cache.stats(), CacheStats { hits: 3, misses: 3 });
+        for ((m, h), c) in miss.iter().zip(&hit).zip(&cold) {
+            assert_eq!(m.as_ref(), c, "miss path equals cold scan");
+            assert_eq!(h.as_ref(), c, "hit path equals cold scan");
+            assert!(Arc::ptr_eq(m, h), "hits share the stored allocation");
+        }
+    }
+
+    #[test]
+    fn distinct_epochs_do_not_collide() {
+        let a = epoch(0, 100);
+        let b = epoch(1, 150);
+        let mut cache = RollupCache::new(64);
+        let spec = [KeySpec::SRC_IP];
+        let ra = cache.query(&a, &spec);
+        let rb = cache.query(&b, &spec);
+        assert_eq!(ra[0].as_ref(), &a.primary().query_all_entries(&spec)[0]);
+        assert_eq!(rb[0].as_ref(), &b.primary().query_all_entries(&spec)[0]);
+        assert_ne!(ra[0], rb[0], "different epochs, different answers");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn partial_hits_batch_the_misses() {
+        let e = epoch(3, 200);
+        let mut cache = RollupCache::new(64);
+        cache.query(&e, &[KeySpec::SRC_IP]);
+        let specs = [KeySpec::SRC_IP, KeySpec::DST_IP, KeySpec::EMPTY];
+        let got = cache.query(&e, &specs);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 3 });
+        let cold = e.primary().query_all_entries(&specs);
+        for (g, c) in got.iter().zip(&cold) {
+            assert_eq!(g.as_ref(), c);
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_fifo_but_never_lies() {
+        let e = epoch(0, 50);
+        let mut cache = RollupCache::new(2);
+        let specs = [KeySpec::SRC_IP, KeySpec::DST_IP, KeySpec::EMPTY];
+        // Three inserts through a capacity-2 cache: the answers of this
+        // very call must still all be correct.
+        let got = cache.query(&e, &specs);
+        let cold = e.primary().query_all_entries(&specs);
+        for (g, c) in got.iter().zip(&cold) {
+            assert_eq!(g.as_ref(), c);
+        }
+        assert_eq!(cache.len(), 2, "oldest entry evicted");
+        // The evicted spec misses again; the retained ones hit.
+        cache.query(&e, &specs);
+        assert_eq!(cache.stats().misses, 4, "3 cold + 1 re-fetch");
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn duplicate_specs_in_one_call() {
+        let e = epoch(0, 80);
+        let mut cache = RollupCache::new(8);
+        let specs = [KeySpec::SRC_IP, KeySpec::SRC_IP];
+        let got = cache.query(&e, &specs);
+        assert_eq!(got[0], got[1]);
+        assert_eq!(cache.len(), 1, "one entry, one order slot");
+        cache.query(&e, &specs);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn tableless_epoch_answers_empty() {
+        let bare = Epoch {
+            id: 9,
+            packets: 0,
+            weight: 0,
+            tables: vec![],
+        };
+        let mut cache = RollupCache::new(4);
+        let got = cache.query(&bare, &[KeySpec::SRC_IP]);
+        assert!(got[0].is_empty());
+        // And the empty answer caches like any other.
+        cache.query(&bare, &[KeySpec::SRC_IP]);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let e = epoch(0, 10);
+        let mut cache = RollupCache::new(4);
+        cache.query(&e, &[KeySpec::SRC_IP]);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

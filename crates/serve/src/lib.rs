@@ -37,5 +37,5 @@ pub mod wire;
 
 pub use cache::{CacheStats, ProjectorCache};
 pub use catalog::{catalog, CatalogWriter, SnapshotCatalog};
-pub use service::{service, Answer, Publisher, Select, Service, ServiceInfo};
+pub use service::{service, service_with_cold, Answer, Publisher, Select, Service, ServiceInfo};
 pub use wire::{connect, Client, Request, Response, Server};

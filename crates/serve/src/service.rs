@@ -13,7 +13,7 @@
 
 use crate::cache::{CacheStats, ProjectorCache};
 use crate::catalog::{catalog, CatalogWriter, SnapshotCatalog};
-use cocosketch::{Epoch, FlowTable};
+use cocosketch::{DirReader, Epoch, FlowTable};
 use hashkit::{fast_map_with_capacity, FastMap};
 use std::sync::Arc;
 use traffic::{KeyBytes, KeySpec};
@@ -61,6 +61,9 @@ pub struct ServiceInfo {
 pub struct Service {
     snapshots: SnapshotCatalog,
     projectors: ProjectorCache,
+    /// The durable tier, if attached: epochs that aged out of the
+    /// catalog are backfilled from this epoch directory on miss.
+    cold: Option<DirReader>,
 }
 
 /// The unique publishing half (wraps the catalog's single writer).
@@ -71,12 +74,29 @@ pub struct Publisher {
 
 /// Create a service retaining the last `keep` published epochs.
 pub fn service(keep: usize) -> (Publisher, Arc<Service>) {
+    service_inner(keep, None)
+}
+
+/// [`service`] with a durable tier attached: reads that miss the
+/// in-memory catalog fall through to `cold` (a stateless reader over
+/// an epoch directory that the seal path streams segments into), so
+/// readers can query windows that aged out of memory. Cold answers go
+/// through exactly the same aggregation as warm ones, and segment
+/// reads validate checksum and envelope, so a backfilled answer is
+/// bit-identical to the answer the in-memory epoch gave before
+/// eviction.
+pub fn service_with_cold(keep: usize, cold: DirReader) -> (Publisher, Arc<Service>) {
+    service_inner(keep, Some(cold))
+}
+
+fn service_inner(keep: usize, cold: Option<DirReader>) -> (Publisher, Arc<Service>) {
     let (writer, snapshots) = catalog(keep);
     (
         Publisher { writer },
         Arc::new(Service {
             snapshots,
             projectors: ProjectorCache::new(),
+            cold,
         }),
     )
 }
@@ -106,13 +126,47 @@ impl Publisher {
 }
 
 impl Service {
-    /// The selected epoch's snapshot handle, if retained.
+    /// The selected epoch's snapshot handle: from the in-memory
+    /// catalog when retained, else backfilled from the durable tier
+    /// (when one is attached — see [`service_with_cold`]). A cold read
+    /// that fails validation (torn, corrupt, or absent segment) is a
+    /// miss, never an error: the service's contract stays "`None` when
+    /// the epoch cannot be served".
     // LINT: hot
     pub fn snapshot(&self, sel: Select) -> Option<Arc<Epoch>> {
-        match sel {
+        let warm = match sel {
             Select::Latest => self.snapshots.latest(),
             Select::Id(id) => self.snapshots.get(id),
-        }
+        };
+        warm.or_else(|| {
+            // LINT: cold(catalog miss: one validated disk read backfills an evicted epoch)
+            match sel {
+                Select::Latest => self.cold_latest(),
+                Select::Id(id) => self.cold_get(id),
+            }
+        })
+    }
+
+    /// Backfill epoch `id` from the durable tier.
+    fn cold_get(&self, id: u64) -> Option<Arc<Epoch>> {
+        self.cold
+            .as_ref()?
+            .read_epoch(id)
+            .ok()
+            .flatten()
+            .map(Arc::new)
+    }
+
+    /// The durable tier's newest epoch (only reached when the catalog
+    /// is empty, e.g. a reader attached before the first publish of a
+    /// restarted collector).
+    fn cold_latest(&self) -> Option<Arc<Epoch>> {
+        self.cold
+            .as_ref()?
+            .read_latest()
+            .ok()
+            .flatten()
+            .map(Arc::new)
     }
 
     /// Answer one partial-key query against the selected epoch's
@@ -169,12 +223,19 @@ impl Service {
     /// no epoch in the range is retained or the spec doesn't fit;
     /// otherwise the answer also reports how many epochs contributed.
     pub fn window(&self, first: u64, last: u64, spec: &KeySpec) -> Option<(Answer, usize)> {
-        let epochs = self.snapshots.range(first, last);
+        let (lo, hi) = self.window_bounds(first, last)?;
         let mut groups: FastMap<KeyBytes, u64> = FastMap::default();
         let mut contributed = 0usize;
         let mut last_id = 0u64;
         let (mut packets, mut weight) = (0u64, 0u64);
-        for epoch in &epochs {
+        for id in lo..=hi {
+            // Per-id selection (not a catalog range scan) so cold
+            // epochs backfill exactly like single-epoch queries; ids
+            // absent from both tiers — evicted without a spill sink,
+            // or compacted into a bucket — simply don't contribute.
+            let Some(epoch) = self.snapshot(Select::Id(id)) else {
+                continue;
+            };
             let Some(table) = epoch.tables.first() else {
                 continue;
             };
@@ -200,6 +261,24 @@ impl Service {
             },
             contributed,
         ))
+    }
+
+    /// The id range `window` will walk: the union of warm (catalog)
+    /// and cold (directory) bounds, clamped to `first..=last`.
+    fn window_bounds(&self, first: u64, last: u64) -> Option<(u64, u64)> {
+        let warm = self.snapshots.ids();
+        let cold = self
+            .cold
+            .as_ref()
+            .and_then(|reader| reader.ids().ok().flatten());
+        let (lo, hi) = match (warm, cold) {
+            (Some((a, b)), Some((c, d))) => (a.min(c), b.max(d)),
+            (Some(bounds), None) | (None, Some(bounds)) => bounds,
+            (None, None) => return None,
+        };
+        let lo = lo.max(first);
+        let hi = hi.min(last);
+        (lo <= hi).then_some((lo, hi))
     }
 
     /// Catalog occupancy and cache counters.
@@ -375,6 +454,62 @@ mod tests {
         assert_eq!(info.ids, Some((1, 2)));
         assert_eq!(info.epochs, 2);
         assert!(info.cache.hits + info.cache.misses > 0);
+    }
+
+    #[test]
+    fn cold_backfill_serves_evicted_epochs_bit_identical() {
+        use cocosketch::segment::EpochDir;
+        let root = std::env::temp_dir().join(format!("serve-cold-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let (mut dir, _) = EpochDir::open(&root).unwrap();
+        let (mut publisher, svc) = service_with_cold(2, DirReader::new(&root));
+        let spec = KeySpec::SRC_IP;
+        let mut direct = Vec::new();
+        for id in 0..5u64 {
+            let e = epoch(id, 150, id as u32 * 7);
+            dir.append(&e).unwrap();
+            direct.push(e.primary().query_all_entries(&[spec])[0].clone());
+            publisher.publish_epoch(e);
+        }
+        assert_eq!(svc.info().ids, Some((3, 4)), "catalog holds the last 2");
+        // Every id answers — warm from the catalog, cold from disk —
+        // and cold answers match the pre-eviction direct scans exactly.
+        for id in 0..5u64 {
+            let ans = svc.partial(Select::Id(id), &spec).unwrap();
+            assert_eq!(ans.entries, direct[id as usize], "epoch {id}");
+            assert_eq!(ans.epoch, id);
+        }
+        assert!(svc.partial(Select::Id(9), &spec).is_none());
+        // A window spanning both tiers sums all five epochs.
+        let (answer, contributed) = svc.window(0, 4, &spec).unwrap();
+        assert_eq!(contributed, 5);
+        let mut expect: FastMap<KeyBytes, u64> = FastMap::default();
+        for entries in &direct {
+            for (k, s) in entries {
+                *expect.entry(*k).or_insert(0) += s;
+            }
+        }
+        assert_eq!(answer.entries, sorted_entries(&mut expect));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn cold_latest_answers_before_first_publish() {
+        use cocosketch::segment::EpochDir;
+        let root = std::env::temp_dir().join(format!("serve-cold-latest-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let (mut dir, _) = EpochDir::open(&root).unwrap();
+        for id in 0..2u64 {
+            dir.append(&epoch(id, 60, id as u32)).unwrap();
+        }
+        // A reader attaches to a restarted collector: nothing published
+        // yet, but the directory has history.
+        let (_publisher, svc) = service_with_cold(2, DirReader::new(&root));
+        let ans = svc.partial(Select::Latest, &KeySpec::SRC_IP).unwrap();
+        assert_eq!(ans.epoch, 1, "cold latest");
+        let (_, contributed) = svc.window(0, 9, &KeySpec::SRC_IP).unwrap();
+        assert_eq!(contributed, 2);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

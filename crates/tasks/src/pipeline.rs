@@ -280,7 +280,10 @@ impl Pipeline {
         let id = self.store.seal(tables, self.packets, self.weight);
         self.packets = 0;
         self.weight = 0;
-        self.deployment = self.plan.build(self.store.len() as u64);
+        // next_id(), not len(): eviction shrinks the store but must not
+        // rewind the seed schedule — epoch k's deployment is a function
+        // of k alone.
+        self.deployment = self.plan.build(self.store.next_id());
         id
     }
 
@@ -311,6 +314,29 @@ impl Pipeline {
     /// The store of sealed epochs.
     pub fn store(&self) -> &EpochStore {
         &self.store
+    }
+
+    /// Attach a durable tier to the pipeline's store: from now on,
+    /// [`evict_to`](Pipeline::evict_to) spills epochs to `sink`
+    /// (e.g. a [`cocosketch::SharedEpochDir`]) instead of dropping
+    /// them. See [`cocosketch::SpillSink`].
+    pub fn attach_spill(&mut self, sink: Box<dyn cocosketch::SpillSink + Send>) {
+        self.store.attach_spill(sink);
+    }
+
+    /// Bound resident history to the last `keep` sealed epochs,
+    /// spilling first when a sink is attached; returns how many epochs
+    /// left RAM. Ids keep counting — rotation, adjacency, and seeding
+    /// are unaffected.
+    pub fn evict_to(&mut self, keep: usize) -> usize {
+        self.store.evict_to(keep)
+    }
+
+    /// The first spill failure since the last call, if any (epochs that
+    /// failed to spill are still resident — see
+    /// [`cocosketch::EpochStore::take_spill_error`]).
+    pub fn take_spill_error(&mut self) -> Option<std::io::Error> {
+        self.store.take_spill_error()
     }
 
     /// Estimates recovered from a **sealed** epoch, in spec order —
@@ -554,6 +580,78 @@ mod tests {
     #[should_panic(expected = "at least one key")]
     fn empty_specs_panics() {
         Pipeline::deploy(Algo::OURS, &[], KeySpec::FIVE_TUPLE, 1024, 1);
+    }
+
+    #[test]
+    fn evicted_epochs_reload_from_spill_dir_bit_identical() {
+        // Rotate several windows with a keep-1 store spilling to an
+        // epoch directory; every evicted epoch must reload from disk
+        // bit-identical to the Arc held before eviction.
+        let t = trace();
+        let root = std::env::temp_dir().join(format!("tasks-spill-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let (shared, _) = cocosketch::SharedEpochDir::open(&root).unwrap();
+        let mut pipe = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            64 * 1024,
+            41,
+        );
+        pipe.attach_spill(Box::new(shared.clone()));
+        let mut held = Vec::new();
+        for _ in 0..4 {
+            pipe.run(&t);
+            let id = pipe.rotate();
+            held.push(pipe.store().sealed_arc(id).unwrap());
+            pipe.evict_to(1);
+            assert!(pipe.take_spill_error().is_none());
+        }
+        assert_eq!(pipe.store().len(), 1, "RAM bounded to the last epoch");
+        let reader = shared.reader();
+        for epoch in &held {
+            let from_disk = reader.read_epoch(epoch.id).unwrap().unwrap_or_else(|| {
+                // The newest epoch is still resident, not yet durable.
+                assert_eq!(epoch.id, 3);
+                (**epoch).clone()
+            });
+            assert_eq!(
+                cocosketch::epoch::encode(&from_disk),
+                cocosketch::epoch::encode(epoch),
+                "epoch {} reloads bit-identical",
+                epoch.id
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn eviction_does_not_rewind_the_seed_schedule() {
+        // Epoch k of an evicting pipeline must still match a fresh
+        // pipeline seeded for epoch k (the rotate() contract, now with
+        // eviction shrinking the store under it).
+        let t = trace();
+        let mut evicting = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            64 * 1024,
+            51,
+        );
+        evicting.run(&t);
+        evicting.rotate();
+        evicting.evict_to(0); // store now empty; next window is epoch 1
+        evicting.run(&t);
+
+        let mut fresh = Pipeline::deploy(
+            Algo::OURS,
+            &KeySpec::PAPER_SIX,
+            KeySpec::FIVE_TUPLE,
+            64 * 1024,
+            51 + EPOCH_SEED_SALT,
+        );
+        fresh.run(&t);
+        assert_eq!(evicting.estimates(), fresh.estimates());
     }
 
     #[test]

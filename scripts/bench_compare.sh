@@ -8,6 +8,7 @@
 #   throughput    results/BENCH_throughput.json  gate: single_shard_batched_mpps
 #   query_latency results/BENCH_query.json       gate: rollup_speedup
 #   qps           results/BENCH_qps.json         gate: single_reader_qps
+#   storage       results/BENCH_storage.json     gate: rollup_cache_speedup
 #
 # For each, prints old -> new with the ratio and exits 1 if the gated
 # metric's ratio falls below BENCH_MIN_RATIO (default 1.0, i.e. "no
@@ -93,6 +94,18 @@ if [ -f "$SNEW" ] && [ -f "$SBASE" ]; then
     gate "$SNEW" "$SBASE" single_reader_qps
 else
     echo "bench_compare: qps skipped (need $SNEW and $SBASE)"
+fi
+
+# --- storage ---------------------------------------------------------
+TNEW=results/BENCH_storage.json
+TBASE=baselines/BENCH_storage.json
+if [ -f "$TNEW" ] && [ -f "$TBASE" ]; then
+    compare "$TNEW" "$TBASE" seal_append_us_mean
+    compare "$TNEW" "$TBASE" scan_mb_per_s
+    compare "$TNEW" "$TBASE" rollup_cache_speedup
+    gate "$TNEW" "$TBASE" rollup_cache_speedup
+else
+    echo "bench_compare: storage skipped (need $TNEW and $TBASE)"
 fi
 
 exit $FAILED

@@ -35,6 +35,16 @@ gate_begin "cargo test -q"
 cargo test -q
 gate_end "test"
 
+# The durable epoch tier's crash-recovery contract (torn tails
+# quarantine at every truncation boundary, adoption heals the
+# rename/manifest crash window, spill round-trips bit-identically) is
+# a named gate: it also runs inside `cargo test -q` above, but a
+# recovery regression should fail with its own banner, not hide in
+# the workspace suite.
+gate_begin "cargo test -p integration --test storage_recovery (crash recovery)"
+cargo test -q -p integration --test storage_recovery
+gate_end "recovery"
+
 # The vectorized hot path compiles to different code under
 # `--features simd` (AVX2 dispatch in hashkit, batched probe in core),
 # so the data-plane crates are tested in both configurations. On

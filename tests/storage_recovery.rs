@@ -1,0 +1,256 @@
+//! Crash-recovery and durability integration of the epoch segment
+//! store: a torn tail quarantines instead of panicking (at *every*
+//! truncation boundary), adoption heals the crash window between the
+//! segment rename and the manifest rename, eviction spills epochs that
+//! reload bit-identically, compaction conserves weight per key exactly,
+//! and the rollup cache answers reloaded epochs bit-identical to cold
+//! scans.
+
+use cocosketch::segment::{CompactionPolicy, EpochDir, SharedEpochDir, MANIFEST_NAME};
+use cocosketch::{epoch, DirReader, Epoch, EpochStore, FlowTable, RollupCache};
+use engine::{EngineConfig, ShardedCocoSketch};
+use hashkit::FastMap;
+use traffic::presets::caida_like;
+use traffic::{FiveTuple, KeyBytes, KeySpec};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cocosketch-recovery-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small synthetic epoch whose table is deterministic in `id`.
+fn small_epoch(id: u64, rows: u32) -> Epoch {
+    let full = KeySpec::FIVE_TUPLE;
+    let entries: Vec<(KeyBytes, u64)> = (0..rows)
+        .map(|i| {
+            let flow = FiveTuple::new(i % 53 + id as u32, i * 7, 80, 443, 6);
+            (full.project(&flow), u64::from(i) + id + 1)
+        })
+        .collect();
+    let table = FlowTable::new(full, entries);
+    let weight = table.total();
+    Epoch {
+        id,
+        packets: u64::from(rows),
+        weight,
+        tables: vec![table],
+    }
+}
+
+/// Truncating the tail segment at every byte boundary must reopen
+/// without a panic, quarantine the torn file, and keep serving the
+/// prefix bit-identically.
+#[test]
+fn truncated_tail_quarantines_and_serves_the_prefix() {
+    let root = tmp("torn");
+    let (mut dir, _) = EpochDir::open(&root).unwrap();
+    for id in 0..3 {
+        dir.append(&small_epoch(id, 40)).unwrap();
+    }
+    let prefix: Vec<Vec<u8>> = (0..2)
+        .map(|id| epoch::encode(&dir.read_epoch(id).unwrap().unwrap()))
+        .collect();
+    let tail_path = root.join(dir.segments()[2].file_name());
+    let tail_bytes = std::fs::read(&tail_path).unwrap();
+    let manifest = std::fs::read(root.join(MANIFEST_NAME)).unwrap();
+    drop(dir);
+
+    for cut in 0..tail_bytes.len() {
+        std::fs::write(&tail_path, &tail_bytes[..cut]).unwrap();
+        std::fs::write(root.join(MANIFEST_NAME), &manifest).unwrap();
+        let (reopened, report) =
+            EpochDir::open(&root).unwrap_or_else(|e| panic!("cut {cut}: reopen failed: {e}"));
+        assert_eq!(report.quarantined.len(), 1, "cut {cut}");
+        assert!(
+            report.quarantined[0].to_string_lossy().ends_with(".torn"),
+            "cut {cut}: {:?}",
+            report.quarantined
+        );
+        assert!(!tail_path.exists(), "cut {cut}: torn tail renamed away");
+        assert_eq!(reopened.len(), 2, "cut {cut}: prefix survives");
+        for (id, want) in prefix.iter().enumerate() {
+            let got = reopened.read_epoch(id as u64).unwrap().unwrap();
+            assert_eq!(&epoch::encode(&got), want, "cut {cut}: epoch {id}");
+        }
+    }
+
+    // The healed directory accepts the lost epoch again...
+    let (mut healed, _) = EpochDir::open(&root).unwrap();
+    healed.append(&small_epoch(2, 40)).unwrap();
+    assert_eq!(healed.len(), 3);
+    drop(healed);
+
+    // ...and restoring the original bytes restores the full history
+    // (the leftover .torn file is inert).
+    std::fs::write(&tail_path, &tail_bytes).unwrap();
+    std::fs::write(root.join(MANIFEST_NAME), &manifest).unwrap();
+    let (restored, report) = EpochDir::open(&root).unwrap();
+    assert!(report.quarantined.is_empty(), "{report:?}");
+    assert_eq!(restored.len(), 3);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A crash after the segment rename but before the manifest rename
+/// leaves exactly the next dense id unlisted; reopen adopts it.
+#[test]
+fn adoption_heals_a_crash_between_segment_and_manifest_rename() {
+    let root = tmp("adopt");
+    let (mut dir, _) = EpochDir::open(&root).unwrap();
+    dir.append(&small_epoch(0, 30)).unwrap();
+    dir.append(&small_epoch(1, 30)).unwrap();
+    let stale_manifest = std::fs::read(root.join(MANIFEST_NAME)).unwrap();
+    let third = small_epoch(2, 30);
+    dir.append(&third).unwrap();
+    drop(dir);
+
+    // Roll the manifest back to before the third append: the segment
+    // file is durable, its directory entry is not.
+    std::fs::write(root.join(MANIFEST_NAME), &stale_manifest).unwrap();
+    let (reopened, report) = EpochDir::open(&root).unwrap();
+    assert_eq!(report.adopted, 1, "{report:?}");
+    assert!(report.quarantined.is_empty());
+    assert_eq!(reopened.len(), 3);
+    assert_eq!(
+        epoch::encode(&reopened.read_epoch(2).unwrap().unwrap()),
+        epoch::encode(&third)
+    );
+    drop(reopened);
+
+    // Adoption rewrote the manifest: a second reopen finds nothing new.
+    let (_, report) = EpochDir::open(&root).unwrap();
+    assert_eq!(report.adopted, 0);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Engine-sealed epochs pushed through an [`EpochStore`] with a spill
+/// sink reload from disk bit-identical to the in-memory seal, for
+/// every evicted id.
+#[test]
+fn eviction_spills_epochs_that_reload_bit_identically() {
+    let root = tmp("spill");
+    let trace = caida_like(400, 9);
+    let pkts: Vec<(KeyBytes, u64)> = trace
+        .packets
+        .iter()
+        .map(|p| (KeySpec::FIVE_TUPLE.project(&p.flow), u64::from(p.weight)))
+        .collect();
+    let window = pkts.len() / 4 + 1;
+    let full = KeySpec::FIVE_TUPLE;
+    let config = EngineConfig {
+        threads: 2,
+        buckets: 2048,
+        ..EngineConfig::default()
+    };
+    let mut session = ShardedCocoSketch::new(config).session();
+    let (shared, _) = SharedEpochDir::open(&root).unwrap();
+    let mut store = EpochStore::new();
+    store.attach_spill(Box::new(shared.clone()));
+
+    let mut held: Vec<Vec<u8>> = Vec::new();
+    for chunk in pkts.chunks(window) {
+        session.push_batch(chunk);
+        let sealed = session.rotate_collect().to_epoch(full);
+        held.push(epoch::encode(&sealed));
+        store.push(sealed);
+        store.evict_to(1);
+    }
+    assert!(store.take_spill_error().is_none());
+    assert_eq!(store.len(), 1, "retention capped to one resident epoch");
+
+    let reader = DirReader::new(&root);
+    let newest = held.len() as u64 - 1;
+    for (id, want) in held.iter().enumerate().take(held.len() - 1) {
+        let got = reader.read_epoch(id as u64).unwrap().unwrap();
+        assert_eq!(&epoch::encode(&got), want, "epoch {id} diverged on disk");
+    }
+    // The resident tail was never evicted, so nothing forced it out.
+    assert!(reader.read_epoch(newest).unwrap().is_none());
+    assert!(store.iter().any(|e| e.id == newest));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Compaction merges aligned runs into buckets while conserving the
+/// packet count, the total weight, and every per-key sum exactly.
+#[test]
+fn compaction_conserves_weight_and_per_key_sums_exactly() {
+    let root = tmp("compact");
+    let (mut dir, _) = EpochDir::open(&root).unwrap();
+    let epochs: Vec<Epoch> = (0..7).map(|id| small_epoch(id, 60)).collect();
+    for e in &epochs {
+        dir.append(e).unwrap();
+    }
+    let total_weight: u64 = epochs.iter().map(|e| e.weight).sum();
+    let total_packets: u64 = epochs.iter().map(|e| e.packets).sum();
+
+    // keep_recent 1 puts ids 0..=5 at or below the horizon: two
+    // aligned triples merge, epoch 6 stays single.
+    let report = dir
+        .compact(&CompactionPolicy {
+            bucket: 3,
+            keep_recent: 1,
+        })
+        .unwrap();
+    assert_eq!((report.buckets, report.merged_epochs), (2, 6));
+    assert_eq!(dir.len(), 3);
+
+    let all: Vec<Epoch> = dir.scan().collect::<std::io::Result<_>>().unwrap();
+    assert_eq!(all.iter().map(|e| e.weight).sum::<u64>(), total_weight);
+    assert_eq!(all.iter().map(|e| e.packets).sum::<u64>(), total_packets);
+
+    // Per-key conservation on the first bucket against a manual sum of
+    // its member epochs.
+    let mut want: FastMap<KeyBytes, u64> = FastMap::default();
+    for e in &epochs[..3] {
+        for &(k, v) in e.primary().rows() {
+            *want.entry(k).or_insert(0) += v;
+        }
+    }
+    let rows = all[0].primary().rows();
+    assert_eq!(rows.len(), want.len());
+    for &(k, v) in rows {
+        assert_eq!(want.get(&k), Some(&v));
+    }
+
+    // A compacted directory reopens clean.
+    drop(dir);
+    let (reopened, report) = EpochDir::open(&root).unwrap();
+    assert!(
+        report.quarantined.is_empty() && report.adopted == 0,
+        "{report:?}"
+    );
+    assert_eq!(reopened.len(), 3);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Rollup-cache hits over reloaded (disk-round-tripped) epochs are
+/// bit-identical to cold scans, and the counters track exactly.
+#[test]
+fn rollup_cache_hits_are_bit_identical_on_reloaded_epochs() {
+    let root = tmp("rollup");
+    let (mut dir, _) = EpochDir::open(&root).unwrap();
+    for id in 0..3 {
+        dir.append(&small_epoch(id, 80)).unwrap();
+    }
+    let reader = DirReader::new(&root);
+    let mut cache = RollupCache::new(4);
+    let specs = [KeySpec::SRC_IP, KeySpec::src_prefix(16), KeySpec::EMPTY];
+    for id in 0..3 {
+        let e = reader.read_epoch(id).unwrap().unwrap();
+        let cold = e.primary().query_all_entries(&specs);
+        let miss = cache.query(&e, &specs);
+        let hit = cache.query(&e, &specs);
+        for ((m, h), c) in miss.iter().zip(&hit).zip(&cold) {
+            assert_eq!(m.as_ref(), c, "epoch {id}: miss path");
+            assert_eq!(h.as_ref(), c, "epoch {id}: hit path");
+        }
+    }
+    // Per epoch: three misses, then three hits before FIFO eviction
+    // (capacity 4) can touch the entries just written.
+    assert_eq!(cache.stats().misses, 9);
+    assert_eq!(cache.stats().hits, 9);
+    assert_eq!(cache.len(), 4);
+    std::fs::remove_dir_all(&root).ok();
+}
