@@ -266,6 +266,20 @@ fn measure_windowed(
                     }
                 );
             }
+            // A session numbers its epochs from 0, and the directory's
+            // dense-id invariant means any previous run's segments
+            // collide with this run's ids. Refuse up front (after
+            // recovery has run and been reported): appending would
+            // either mix two runs' histories or fail mid-run at the
+            // first seal (EpochDir::append verifies re-offered ids
+            // byte-for-byte and rejects mismatches).
+            if let Some((first, last)) = shared.ids() {
+                return Err(format!(
+                    "--spill {dir}: directory already holds epochs {first}..={last} from a \
+                     previous run, and this run numbers epochs from 0; spill into a new or \
+                     empty directory (the old one still answers `query --dir {dir}`)"
+                ));
+            }
             Some(shared)
         }
         None => None,

@@ -490,6 +490,58 @@ fn compact_bucket_merges_cold_epochs() {
 }
 
 #[test]
+fn spill_refuses_a_non_empty_directory() {
+    let dir = tmpdir("spill-stale");
+    let trace = dir.join("t.cct");
+    let table = dir.join("t.cft");
+    let spill = dir.join("segments");
+    let out = run(&[
+        "generate",
+        "--preset",
+        "caida",
+        "--scale",
+        "500",
+        "--seed",
+        "3",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let args = [
+        "measure",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--memory",
+        "100KB",
+        "--window",
+        "2000",
+        "--spill",
+        spill.to_str().unwrap(),
+        "--out",
+        table.to_str().unwrap(),
+    ];
+    let out = run(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A second run would number its epochs from 0 again; spilling into
+    // the old directory must refuse up front instead of silently
+    // serving the first run's segments as this run's.
+    let out = run(&args);
+    assert!(!out.status.success(), "stale spill directory was accepted");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("already holds epochs"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn spill_requires_window_and_a_path() {
     let out = run(&[
         "measure",

@@ -546,8 +546,10 @@ impl FlowTable {
     /// epochs must conserve weight exactly, and this is where that
     /// exactness comes from.
     ///
-    /// `None` when `tables` is empty or the specs disagree — merging
-    /// rows encoded under different full keys has no defined meaning.
+    /// `None` when `tables` is empty, the specs disagree — merging rows
+    /// encoded under different full keys has no defined meaning — or a
+    /// per-key sum would overflow `u64` (checked here, not left to the
+    /// caller: wrapped sums would silently violate conservation).
     pub fn merged(tables: &[&FlowTable]) -> Option<FlowTable> {
         let first = tables.first()?;
         let full = *first.full_spec();
@@ -558,7 +560,8 @@ impl FlowTable {
             fast_map_with_capacity(tables.iter().map(|t| t.len()).max().unwrap_or(0));
         for table in tables {
             for (key, size) in &table.rows {
-                *acc.entry(*key).or_insert(0) += size;
+                let slot = acc.entry(*key).or_insert(0);
+                *slot = slot.checked_add(*size)?;
             }
         }
         let mut rows: Vec<(KeyBytes, u64)> = acc.into_iter().collect();
@@ -838,6 +841,19 @@ mod tests {
         assert!(FlowTable::merged(&[&a, &narrow]).is_none(), "spec mismatch");
         let solo = FlowTable::merged(&[&a]).unwrap();
         assert_eq!(solo.total(), a.total());
+    }
+
+    #[test]
+    fn merged_rejects_per_key_overflow() {
+        let full = KeySpec::FIVE_TUPLE;
+        let key = full.project(&FiveTuple::new(1, 2, 3, 4, 6));
+        let huge = FlowTable::new(full, vec![(key, u64::MAX)]);
+        let one = FlowTable::new(full, vec![(key, 1)]);
+        assert!(
+            FlowTable::merged(&[&huge, &one]).is_none(),
+            "a wrapped per-key sum must surface as None, not a silent wrap"
+        );
+        assert!(FlowTable::merged(&[&huge]).is_some(), "u64::MAX alone fits");
     }
 
     #[test]

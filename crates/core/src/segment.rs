@@ -446,14 +446,42 @@ impl EpochDir {
     }
 
     /// Stream one sealed epoch to disk: encode, write-to-temp, fsync,
-    /// atomic rename, then atomically replace the manifest. Appending
-    /// an id the directory already covers is a no-op (`Ok`): re-spill
-    /// after a partial failure must be idempotent. An id that would
-    /// leave a gap is `Err` — the dense sequence is the adjacency
-    /// relation, exactly as in [`EpochStore`](crate::EpochStore).
+    /// atomic rename, then atomically replace the manifest. Re-offering
+    /// an id the directory already covers is a verified no-op (`Ok`):
+    /// re-spill after a partial failure must be idempotent, so the
+    /// offered epoch's bytes are checked against the stored segment's
+    /// length and checksum and a mismatch is `Err` — a *different*
+    /// epoch wearing a stored id means the caller is appending a new
+    /// run into a stale directory, and silently dropping it would mix
+    /// two runs' histories. Ids the directory only holds inside a
+    /// compacted bucket cannot be verified (their per-epoch bytes are
+    /// gone) and are `Err` for the same reason. An id that would leave
+    /// a gap is `Err` — the dense sequence is the adjacency relation,
+    /// exactly as in [`EpochStore`](crate::EpochStore).
     pub fn append(&mut self, epoch: &Epoch) -> io::Result<()> {
-        if self.covers(epoch.id) {
-            return Ok(());
+        if let Some(meta) = self.segments.iter().find(|m| m.covers(epoch.id)) {
+            if meta.is_bucket() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "epoch {} was compacted into bucket {}..={}; cannot verify a \
+                         re-offered epoch against it (appending into a stale directory?)",
+                        epoch.id, meta.first, meta.last
+                    ),
+                ));
+            }
+            let data = epoch::encode(epoch);
+            if data.len() as u64 == meta.bytes && sum64(&data) == meta.sum {
+                return Ok(());
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "epoch {} is already stored with different contents; refusing to mix \
+                     runs (is this a stale directory from an earlier run?)",
+                    epoch.id
+                ),
+            ));
         }
         let next = self.next_id();
         if !self.segments.is_empty() && epoch.id != next {
@@ -710,8 +738,11 @@ pub fn merge_epochs(epochs: &[Epoch]) -> io::Result<Epoch> {
                 .checked_add(part.total())
                 .ok_or_else(|| data_err("bucket table total overflows u64".to_string()))?;
         }
-        let merged = FlowTable::merged(&parts)
-            .ok_or_else(|| data_err(format!("table {index} changes spec across the run")))?;
+        let merged = FlowTable::merged(&parts).ok_or_else(|| {
+            data_err(format!(
+                "table {index} changes spec across the run (or a per-key sum overflows)"
+            ))
+        })?;
         // Exact conservation: per-key u64 sums neither create nor lose
         // weight, so the merged total must equal the inputs' total.
         assert_eq!(
@@ -856,6 +887,15 @@ impl DirReader {
             .first()
             .zip(segments.last())
             .map(|(lo, hi)| (lo.first, hi.last)))
+    }
+
+    /// Read and fully validate (length, checksum, decode, id match)
+    /// the segment file behind one manifest entry — single epoch or
+    /// compacted bucket. Metas come from [`segments`](Self::segments);
+    /// reading all matching entries from one `segments()` call costs
+    /// one manifest parse instead of one per id.
+    pub fn read_segment(&self, meta: &SegmentMeta) -> io::Result<Epoch> {
+        read_segment(&self.root, meta)
     }
 
     /// The epoch stored exactly under `id` (compacted ids resolve to
@@ -1033,6 +1073,52 @@ mod tests {
         dir.append(&epoch(0, 5)).unwrap(); // idempotent re-spill
         assert_eq!(dir.len(), 1);
         assert!(dir.append(&epoch(7, 5)).is_err(), "gap must be rejected");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn append_rejects_a_different_epoch_wearing_a_stored_id() {
+        // A fresh run numbering from 0 into a stale directory must be
+        // an error, not a silent no-op that serves the old run's data.
+        let root = tmp("stale");
+        let (mut dir, _) = EpochDir::open(&root).unwrap();
+        dir.append(&epoch(0, 5)).unwrap();
+        let mut imposter = epoch(0, 9); // same id, different contents
+        let err = dir.append(&imposter).unwrap_err();
+        assert!(
+            err.to_string().contains("different contents"),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            dir.read_epoch(0).unwrap().unwrap(),
+            epoch(0, 5),
+            "the stored segment is untouched"
+        );
+        // Same rows but different metadata is still a different epoch.
+        imposter = epoch(0, 5);
+        imposter.packets += 1;
+        assert!(dir.append(&imposter).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn append_rejects_ids_held_only_inside_a_bucket() {
+        let root = tmp("bucketed-append");
+        let (mut dir, _) = EpochDir::open(&root).unwrap();
+        for id in 0..4 {
+            dir.append(&epoch(id, 10)).unwrap();
+        }
+        dir.compact(&CompactionPolicy {
+            bucket: 2,
+            keep_recent: 1,
+        })
+        .unwrap();
+        assert!(!dir.contains(0) && dir.covers(0), "0 lives in a bucket");
+        let err = dir.append(&epoch(0, 10)).unwrap_err();
+        assert!(
+            err.to_string().contains("compacted into bucket"),
+            "unexpected error: {err}"
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 

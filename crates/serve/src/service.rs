@@ -13,6 +13,8 @@
 
 use crate::cache::{CacheStats, ProjectorCache};
 use crate::catalog::{catalog, CatalogWriter, SnapshotCatalog};
+use crate::sync::{AtomicU64, Ordering};
+use cocosketch::segment::SegmentMeta;
 use cocosketch::{DirReader, Epoch, FlowTable};
 use hashkit::{fast_map_with_capacity, FastMap};
 use std::sync::Arc;
@@ -54,6 +56,12 @@ pub struct ServiceInfo {
     pub epochs: usize,
     /// Projector-cache counters.
     pub cache: CacheStats,
+    /// Cold-tier reads that failed with an I/O or validation error
+    /// (counted since the service was built). Cold failures answer as
+    /// misses so queries never error on a flaky disk, but a non-zero,
+    /// growing value here is how an operator tells a dying spill
+    /// directory apart from ordinary evicted/compacted misses.
+    pub cold_errors: u64,
 }
 
 /// The resident query service's shared read half.
@@ -64,6 +72,9 @@ pub struct Service {
     /// The durable tier, if attached: epochs that aged out of the
     /// catalog are backfilled from this epoch directory on miss.
     cold: Option<DirReader>,
+    /// Failed cold-tier reads (all-Relaxed counter; see
+    /// [`ServiceInfo::cold_errors`]).
+    cold_errors: AtomicU64,
 }
 
 /// The unique publishing half (wraps the catalog's single writer).
@@ -97,6 +108,7 @@ fn service_inner(keep: usize, cold: Option<DirReader>) -> (Publisher, Arc<Servic
             snapshots,
             projectors: ProjectorCache::new(),
             cold,
+            cold_errors: AtomicU64::new(0),
         }),
     )
 }
@@ -131,7 +143,8 @@ impl Service {
     /// (when one is attached — see [`service_with_cold`]). A cold read
     /// that fails validation (torn, corrupt, or absent segment) is a
     /// miss, never an error: the service's contract stays "`None` when
-    /// the epoch cannot be served".
+    /// the epoch cannot be served" — but every such failure bumps
+    /// [`ServiceInfo::cold_errors`] so it is not silent.
     // LINT: hot
     pub fn snapshot(&self, sel: Select) -> Option<Arc<Epoch>> {
         let warm = match sel {
@@ -147,26 +160,32 @@ impl Service {
         })
     }
 
+    /// Unwrap a cold-tier read, counting failures: an `Err` becomes a
+    /// miss (readers never error on a flaky disk) but increments the
+    /// [`ServiceInfo::cold_errors`] counter, so operators can tell a
+    /// dying cold tier from ordinary evicted/compacted misses.
+    fn note_cold<T>(&self, result: std::io::Result<Option<T>>) -> Option<T> {
+        match result {
+            Ok(found) => found,
+            Err(_) => {
+                self.cold_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     /// Backfill epoch `id` from the durable tier.
     fn cold_get(&self, id: u64) -> Option<Arc<Epoch>> {
-        self.cold
-            .as_ref()?
-            .read_epoch(id)
-            .ok()
-            .flatten()
-            .map(Arc::new)
+        let reader = self.cold.as_ref()?;
+        self.note_cold(reader.read_epoch(id)).map(Arc::new)
     }
 
     /// The durable tier's newest epoch (only reached when the catalog
     /// is empty, e.g. a reader attached before the first publish of a
     /// restarted collector).
     fn cold_latest(&self) -> Option<Arc<Epoch>> {
-        self.cold
-            .as_ref()?
-            .read_latest()
-            .ok()
-            .flatten()
-            .map(Arc::new)
+        let reader = self.cold.as_ref()?;
+        self.note_cold(reader.read_latest()).map(Arc::new)
     }
 
     /// Answer one partial-key query against the selected epoch's
@@ -217,23 +236,54 @@ impl Service {
         )
     }
 
-    /// Answer one spec over the retained epochs in `first..=last`,
-    /// summing sizes across windows (exact: per-epoch tables hold
-    /// exact per-key totals of what each window ingested). `None` when
-    /// no epoch in the range is retained or the spec doesn't fit;
-    /// otherwise the answer also reports how many epochs contributed.
+    /// Answer one spec over the epochs in `first..=last`, summing
+    /// sizes across windows (exact: per-epoch tables hold exact
+    /// per-key totals of what each window ingested). Warm ids come
+    /// from the catalog; everything else comes from the durable tier,
+    /// whose manifest is read **once per call**. A compacted bucket
+    /// whose whole id range lies inside the query contributes its
+    /// merged table — compaction conserves per-key sums exactly, so
+    /// that equals summing its member epochs — while a bucket that
+    /// straddles the range boundary is excluded (its per-epoch
+    /// resolution is gone; including it would over-count).
+    ///
+    /// `None` when nothing in the range can be served or the spec
+    /// doesn't fit; otherwise the answer also reports how many epoch
+    /// ids contributed weight (a bucket counts its whole span).
+    /// Comparing that count to the requested range is how callers
+    /// detect partial coverage: ids evicted without a spill sink,
+    /// straddling buckets, or failed cold reads (which also bump
+    /// [`ServiceInfo::cold_errors`]).
     pub fn window(&self, first: u64, last: u64, spec: &KeySpec) -> Option<(Answer, usize)> {
-        let (lo, hi) = self.window_bounds(first, last)?;
+        let cold_segments: Vec<SegmentMeta> = match &self.cold {
+            Some(reader) => self
+                .note_cold(reader.segments().map(Some))
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
+        let warm = self.snapshots.ids();
+        let cold = cold_segments
+            .first()
+            .zip(cold_segments.last())
+            .map(|(a, b)| (a.first, b.last));
+        let (lo, hi) = match (warm, cold) {
+            (Some((a, b)), Some((c, d))) => (a.min(c), b.max(d)),
+            (Some(bounds), None) | (None, Some(bounds)) => bounds,
+            (None, None) => return None,
+        };
+        let (lo, hi) = (lo.max(first), hi.min(last));
+        if lo > hi {
+            return None;
+        }
         let mut groups: FastMap<KeyBytes, u64> = FastMap::default();
         let mut contributed = 0usize;
         let mut last_id = 0u64;
         let (mut packets, mut weight) = (0u64, 0u64);
+        // Warm pass: catalog epochs are in memory and take precedence
+        // over their on-disk copies.
+        let mut warm_served: Vec<u64> = Vec::new();
         for id in lo..=hi {
-            // Per-id selection (not a catalog range scan) so cold
-            // epochs backfill exactly like single-epoch queries; ids
-            // absent from both tiers — evicted without a spill sink,
-            // or compacted into a bucket — simply don't contribute.
-            let Some(epoch) = self.snapshot(Select::Id(id)) else {
+            let Some(epoch) = self.snapshots.get(id) else {
                 continue;
             };
             let Some(table) = epoch.tables.first() else {
@@ -243,10 +293,38 @@ impl Service {
             for (key, size) in level {
                 *groups.entry(key).or_insert(0) += size;
             }
+            warm_served.push(id);
             contributed += 1;
-            last_id = epoch.id;
+            last_id = last_id.max(epoch.id);
             packets += epoch.packets;
             weight += epoch.weight;
+        }
+        // Cold pass: in-range segments the warm tier didn't serve —
+        // one validated read per segment, buckets included whole.
+        if let Some(reader) = &self.cold {
+            for meta in &cold_segments {
+                let in_range = lo <= meta.first && meta.last <= hi;
+                if !in_range || warm_served.iter().any(|&id| meta.covers(id)) {
+                    // Straddling buckets (and segments fully outside
+                    // the range) are skipped; the shortfall is visible
+                    // in `contributed`.
+                    continue;
+                }
+                let Some(epoch) = self.note_cold(reader.read_segment(meta).map(Some)) else {
+                    continue;
+                };
+                let Some(table) = epoch.tables.first() else {
+                    continue;
+                };
+                let level = self.aggregate(table, spec)?;
+                for (key, size) in level {
+                    *groups.entry(key).or_insert(0) += size;
+                }
+                contributed += (meta.last - meta.first + 1) as usize;
+                last_id = last_id.max(meta.last);
+                packets += epoch.packets;
+                weight += epoch.weight;
+            }
         }
         if contributed == 0 {
             return None;
@@ -263,30 +341,13 @@ impl Service {
         ))
     }
 
-    /// The id range `window` will walk: the union of warm (catalog)
-    /// and cold (directory) bounds, clamped to `first..=last`.
-    fn window_bounds(&self, first: u64, last: u64) -> Option<(u64, u64)> {
-        let warm = self.snapshots.ids();
-        let cold = self
-            .cold
-            .as_ref()
-            .and_then(|reader| reader.ids().ok().flatten());
-        let (lo, hi) = match (warm, cold) {
-            (Some((a, b)), Some((c, d))) => (a.min(c), b.max(d)),
-            (Some(bounds), None) | (None, Some(bounds)) => bounds,
-            (None, None) => return None,
-        };
-        let lo = lo.max(first);
-        let hi = hi.min(last);
-        (lo <= hi).then_some((lo, hi))
-    }
-
     /// Catalog occupancy and cache counters.
     pub fn info(&self) -> ServiceInfo {
         ServiceInfo {
             ids: self.snapshots.ids(),
             epochs: self.snapshots.len(),
             cache: self.projectors.stats(),
+            cold_errors: self.cold_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -490,6 +551,77 @@ mod tests {
             }
         }
         assert_eq!(answer.entries, sorted_entries(&mut expect));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn window_includes_fully_contained_buckets() {
+        use cocosketch::segment::{CompactionPolicy, EpochDir};
+        let root = std::env::temp_dir().join(format!("serve-bucket-win-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let (mut dir, _) = EpochDir::open(&root).unwrap();
+        let spec = KeySpec::SRC_IP;
+        let mut direct = Vec::new();
+        for id in 0..6u64 {
+            let e = epoch(id, 120, id as u32 * 13);
+            direct.push(e.primary().query_all_entries(&[spec])[0].clone());
+            dir.append(&e).unwrap();
+        }
+        // Horizon = 5 - 1 = 4: ids 0..=3 fold into buckets [0-1] and
+        // [2-3]; 4 and 5 stay single-epoch segments.
+        dir.compact(&CompactionPolicy {
+            bucket: 2,
+            keep_recent: 1,
+        })
+        .unwrap();
+        assert_eq!(dir.len(), 4);
+        // Nothing published: the whole window answers from disk, and
+        // the buckets' merged weight stands in exactly for their
+        // member epochs.
+        let (_publisher, svc) = service_with_cold(4, DirReader::new(&root));
+        let (answer, contributed) = svc.window(0, 5, &spec).unwrap();
+        assert_eq!(contributed, 6, "buckets count their whole span");
+        assert_eq!(answer.epoch, 5);
+        let mut expect: FastMap<KeyBytes, u64> = FastMap::default();
+        for entries in &direct {
+            for (k, s) in entries {
+                *expect.entry(*k).or_insert(0) += s;
+            }
+        }
+        assert_eq!(answer.entries, sorted_entries(&mut expect));
+        // A range that splits a bucket serves what it can; the
+        // excluded straddling bucket shows up as missing coverage.
+        let (partial_ans, n) = svc.window(1, 5, &spec).unwrap();
+        assert_eq!(n, 4, "bucket [2-3] plus singles 4, 5; [0-1] straddles");
+        let mut expect: FastMap<KeyBytes, u64> = FastMap::default();
+        for entries in &direct[2..] {
+            for (k, s) in entries {
+                *expect.entry(*k).or_insert(0) += s;
+            }
+        }
+        assert_eq!(partial_ans.entries, sorted_entries(&mut expect));
+        assert_eq!(svc.info().cold_errors, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn cold_read_failures_are_counted_not_silent() {
+        let root = std::env::temp_dir().join(format!("serve-cold-err-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        // A manifest that parses but names a segment file that does
+        // not exist: the read must answer as a miss AND be counted.
+        std::fs::write(root.join("MANIFEST"), "CDM1\nseg 0 0 64 0000000000000000\n").unwrap();
+        let (mut publisher, svc) = service_with_cold(2, DirReader::new(&root));
+        assert!(svc.partial(Select::Id(0), &KeySpec::SRC_IP).is_none());
+        assert_eq!(svc.info().cold_errors, 1, "missing segment is an error");
+        // A garbage manifest fails the window's cold scan, but warm
+        // epochs still answer — degraded, counted, never silent.
+        std::fs::write(root.join("MANIFEST"), "garbage").unwrap();
+        publisher.publish_epoch(epoch(0, 50, 1));
+        let (_, contributed) = svc.window(0, 0, &KeySpec::SRC_IP).unwrap();
+        assert_eq!(contributed, 1);
+        assert_eq!(svc.info().cold_errors, 2);
         std::fs::remove_dir_all(&root).ok();
     }
 

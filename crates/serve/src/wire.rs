@@ -273,6 +273,7 @@ impl Response {
                     info.cache.hits,
                     info.cache.misses,
                     info.cache.bypasses,
+                    info.cold_errors,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -301,6 +302,7 @@ impl Response {
                         misses: cur.u64()?,
                         bypasses: cur.u64()?,
                     },
+                    cold_errors: cur.u64()?,
                 };
                 cur.done()?;
                 Ok(Response::Info(info))
@@ -721,6 +723,7 @@ mod tests {
                 misses: 6,
                 bypasses: 1,
             },
+            cold_errors: 2,
         };
         let cases = [
             Response::Error("nope".into()),
