@@ -61,6 +61,7 @@ pub mod rollup_cache;
 pub mod sampling;
 pub mod segment;
 pub mod snapshot;
+pub mod vfs;
 
 pub use basic::{BasicCocoSketch, TieBreak};
 pub use epoch::{Epoch, EpochStore, SpillSink};
@@ -70,6 +71,7 @@ pub use query::FlowTable;
 pub use rollup_cache::RollupCache;
 pub use sampling::SampledCoco;
 pub use segment::{CompactionPolicy, DirReader, EpochDir, SharedEpochDir};
+pub use vfs::{StdFs, Vfs, VfsFile};
 
 /// Which CocoSketch variant to instantiate (used by experiment harnesses
 /// that sweep the three versions of Figure 18a).

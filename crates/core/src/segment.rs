@@ -64,9 +64,9 @@
 
 use crate::epoch::{self, Epoch, SpillSink};
 use crate::query::FlowTable;
+use crate::vfs::{StdFs, Vfs, VfsFile as _};
 use hashkit::{invariant, FastMap};
-use std::fs;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -251,39 +251,46 @@ pub struct OpenReport {
 ///   list is either adopted (next dense id), garbage-collected (ids
 ///   already covered), or quarantined — never silently served.
 #[derive(Debug)]
-pub struct EpochDir {
+pub struct EpochDir<V: Vfs = StdFs> {
+    fs: V,
     root: PathBuf,
     segments: Vec<SegmentMeta>,
 }
 
 impl EpochDir {
-    /// Open (or create) an epoch directory, running torn-tail recovery:
-    /// delete `*.tmp` leftovers, validate the manifest's entries in id
-    /// order (existence and exact length for all, checksum + full
-    /// decode for the tail), quarantine the first invalid entry and
-    /// everything after it, adopt fully-written unlisted segments that
-    /// continue the dense sequence, and garbage-collect files whose
-    /// ids the manifest already covers.
+    /// Open (or create) an epoch directory on the real filesystem;
+    /// see [`open_on`](Self::open_on) for the recovery it runs.
     pub fn open(root: impl AsRef<Path>) -> io::Result<(Self, OpenReport)> {
+        Self::open_on(StdFs, root)
+    }
+}
+
+impl<V: Vfs> EpochDir<V> {
+    /// Open (or create) an epoch directory on `fs`, running torn-tail
+    /// recovery: delete `*.tmp` leftovers, validate the manifest's
+    /// entries in id order (existence and exact length for all,
+    /// checksum + full decode for the tail), quarantine the first
+    /// invalid entry and everything after it, adopt fully-written
+    /// unlisted segments that continue the dense sequence, and
+    /// garbage-collect files whose ids the manifest already covers.
+    pub fn open_on(fs: V, root: impl AsRef<Path>) -> io::Result<(Self, OpenReport)> {
         let root = root.as_ref().to_path_buf();
-        fs::create_dir_all(&root)?;
+        fs.create_dir_all(&root)?;
         let mut report = OpenReport::default();
 
         // One directory listing: name -> byte length.
         let mut present: FastMap<String, u64> = FastMap::default();
-        for entry in fs::read_dir(&root)? {
-            let entry = entry?;
-            let name = entry.file_name().to_string_lossy().into_owned();
+        for (name, len) in fs.list_dir(&root)? {
             if name.ends_with(".tmp") {
-                fs::remove_file(entry.path())?;
+                fs.remove_file(&root.join(&name))?;
                 report.removed_temps += 1;
                 continue;
             }
-            present.insert(name, entry.metadata()?.len());
+            present.insert(name, len);
         }
 
         let listed: Vec<SegmentMeta> = match present.remove(MANIFEST_NAME) {
-            Some(_) => decode_manifest(&fs::read(root.join(MANIFEST_NAME))?)?,
+            Some(_) => decode_manifest(&fs.read(&root.join(MANIFEST_NAME))?)?,
             None => Vec::new(),
         };
 
@@ -297,7 +304,7 @@ impl EpochDir {
             if !quarantining {
                 let length_ok = present.get(&meta.file_name()) == Some(&meta.bytes);
                 let tail = idx + 1 == listed.len();
-                let valid = length_ok && (!tail || read_segment(&root, meta).is_ok());
+                let valid = length_ok && (!tail || read_segment(&fs, &root, meta).is_ok());
                 if valid {
                     segments.push(*meta);
                     present.remove(&meta.file_name());
@@ -308,7 +315,7 @@ impl EpochDir {
             if present.remove(&meta.file_name()).is_some() {
                 report
                     .quarantined
-                    .push(quarantine(&root, &meta.file_name())?);
+                    .push(quarantine(&fs, &root, &meta.file_name())?);
             }
         }
 
@@ -343,7 +350,7 @@ impl EpochDir {
             let Some(bytes) = present.remove(&name) else {
                 break;
             };
-            let data = fs::read(root.join(&name))?;
+            let data = fs.read(&root.join(&name))?;
             let candidate = SegmentMeta {
                 first: next,
                 last: next,
@@ -356,7 +363,7 @@ impl EpochDir {
                     report.adopted += 1;
                 }
                 _ => {
-                    report.quarantined.push(quarantine(&root, &name)?);
+                    report.quarantined.push(quarantine(&fs, &root, &name)?);
                     break;
                 }
             }
@@ -379,14 +386,14 @@ impl EpochDir {
                 continue;
             };
             if covered(first, last) {
-                fs::remove_file(root.join(&name))?;
+                fs.remove_file(&root.join(&name))?;
                 report.removed_orphans += 1;
             } else {
-                report.quarantined.push(quarantine(&root, &name)?);
+                report.quarantined.push(quarantine(&fs, &root, &name)?);
             }
         }
 
-        let dir = EpochDir { root, segments };
+        let dir = EpochDir { fs, root, segments };
         if dir.segments != listed {
             dir.write_manifest()?;
         }
@@ -500,7 +507,7 @@ impl EpochDir {
             bytes: data.len() as u64,
             sum: sum64(&data),
         };
-        write_file_atomic(&self.root, &meta.file_name(), &data)?;
+        write_file_atomic(&self.fs, &self.root, &meta.file_name(), &data)?;
         self.segments.push(meta);
         self.write_manifest()
     }
@@ -517,7 +524,7 @@ impl EpochDir {
             .iter()
             .find(|meta| !meta.is_bucket() && meta.first == id)
         {
-            Some(meta) => read_segment(&self.root, meta).map(Some),
+            Some(meta) => read_segment(&self.fs, &self.root, meta).map(Some),
             None => Ok(None),
         }
     }
@@ -526,7 +533,7 @@ impl EpochDir {
     pub fn scan(&self) -> impl Iterator<Item = io::Result<Epoch>> + '_ {
         self.segments
             .iter()
-            .map(move |meta| read_segment(&self.root, meta))
+            .map(move |meta| read_segment(&self.fs, &self.root, meta))
     }
 
     /// Decode the segments overlapping `first..=last`, in id order.
@@ -536,7 +543,7 @@ impl EpochDir {
         self.segments
             .iter()
             .filter(|meta| meta.first <= last && meta.last >= first)
-            .map(|meta| read_segment(&self.root, meta))
+            .map(|meta| read_segment(&self.fs, &self.root, meta))
             .collect()
     }
 
@@ -566,7 +573,7 @@ impl EpochDir {
                 .collect();
             let inputs: Vec<Epoch> = members
                 .iter()
-                .map(|meta| read_segment(&self.root, meta))
+                .map(|meta| read_segment(&self.fs, &self.root, meta))
                 .collect::<io::Result<_>>()?;
             let merged = merge_epochs(&inputs)?;
             let data = epoch::encode(&merged);
@@ -579,7 +586,7 @@ impl EpochDir {
                 bytes: data.len() as u64,
                 sum: sum64(&data),
             };
-            write_file_atomic(&self.root, &meta.file_name(), &data)?;
+            write_file_atomic(&self.fs, &self.root, &meta.file_name(), &data)?;
             self.segments
                 .splice(start..start + policy.bucket, std::iter::once(meta));
             self.write_manifest()?;
@@ -587,7 +594,7 @@ impl EpochDir {
             // is pure GC (a crash here leaves orphans that the next
             // open removes the same way).
             for member in &members {
-                fs::remove_file(self.root.join(member.file_name()))?;
+                self.fs.remove_file(&self.root.join(member.file_name()))?;
             }
             report.buckets += 1;
             report.merged_epochs += policy.bucket;
@@ -615,6 +622,7 @@ impl EpochDir {
     /// Atomically replace the manifest with the current segment list.
     fn write_manifest(&self) -> io::Result<()> {
         write_file_atomic(
+            &self.fs,
             &self.root,
             MANIFEST_NAME,
             encode_manifest(&self.segments).as_bytes(),
@@ -623,36 +631,36 @@ impl EpochDir {
 }
 
 /// Rename `name` to `name.torn` inside `root`, returning the new path.
-fn quarantine(root: &Path, name: &str) -> io::Result<PathBuf> {
+fn quarantine<V: Vfs>(fs: &V, root: &Path, name: &str) -> io::Result<PathBuf> {
     let to = root.join(format!("{name}{TORN_SUFFIX}"));
-    fs::rename(root.join(name), &to)?;
+    fs.rename(&root.join(name), &to)?;
     Ok(to)
 }
 
 /// Write `data` as `root/name` via temp file + fsync + atomic rename
 /// (+ best-effort directory fsync, so the rename itself is durable).
-fn write_file_atomic(root: &Path, name: &str, data: &[u8]) -> io::Result<()> {
+fn write_file_atomic<V: Vfs>(fs: &V, root: &Path, name: &str, data: &[u8]) -> io::Result<()> {
     let tmp = root.join(format!("{name}.tmp"));
-    let mut file = fs::File::create(&tmp)?;
+    let mut file = fs.create(&tmp)?;
     file.write_all(data)?;
     file.sync_all()?;
     drop(file);
-    fs::rename(&tmp, root.join(name))?;
+    fs.rename(&tmp, &root.join(name))?;
     // Directory fsync makes the rename durable on Linux; elsewhere
     // (and on filesystems that refuse fsync on a directory handle)
-    // this is best-effort.
-    if let Ok(dir) = fs::File::open(root) {
-        let _ = dir.sync_all();
-    }
+    // this is best-effort: only the rename's durability, never its
+    // atomicity, is at stake, and reopen adopts a segment whose
+    // directory entry was lost.
+    let _ = fs.sync_dir(root); // LINT: lossy(dir fsync is best-effort; reopen adopts a lost rename)
     Ok(())
 }
 
 /// Read a segment file and validate everything the manifest promises:
 /// exact length, checksum, a clean [`crate::epoch::decode`], and the
 /// envelope id matching the manifest's `first`.
-fn read_segment(root: &Path, meta: &SegmentMeta) -> io::Result<Epoch> {
+fn read_segment<V: Vfs>(fs: &V, root: &Path, meta: &SegmentMeta) -> io::Result<Epoch> {
     let path = root.join(meta.file_name());
-    let data = fs::read(&path)?;
+    let data = fs.read(&path)?;
     if data.len() as u64 != meta.bytes {
         return Err(data_err(format!(
             "{}: {} bytes on disk, manifest says {}",
@@ -760,7 +768,7 @@ pub fn merge_epochs(epochs: &[Epoch]) -> io::Result<Epoch> {
     })
 }
 
-impl SpillSink for EpochDir {
+impl<V: Vfs> SpillSink for EpochDir<V> {
     fn spill(&mut self, epoch: &Arc<Epoch>) -> io::Result<()> {
         self.append(epoch)
     }
@@ -772,18 +780,36 @@ impl SpillSink for EpochDir {
 
 /// A cloneable, thread-safe handle to one [`EpochDir`]: the seal path
 /// appends while a background [`Compactor`] merges, both through the
-/// same directory state. Lock poisoning is recovered, not propagated —
-/// the directory's own invariants are restored by reopen, so a
-/// panicked peer must not take the spill path down with it.
+/// same directory state.
+///
+/// # Poisoning policy: recover, never abort, never propagate
+///
+/// The internal `lock` helper strips [`PoisonError`], so a peer that
+/// panicked while holding the guard cannot deadlock or poison the
+/// seal/spill path. Recovery (rather than abort) is sound because
+/// every mutation runs disk-first: `append` and `compact` commit the
+/// segment file and manifest *before* touching the in-memory segment
+/// list, so a panic can only leave the in-memory list *behind* the
+/// disk — states the next `write_manifest` or reopen's adoption/GC
+/// already handle (verified schedule-by-schedule by `crashsim`). The
+/// in-memory list never runs ahead of a committed file, so no torn
+/// in-memory state can be published to disk by the surviving side.
 #[derive(Debug, Clone)]
-pub struct SharedEpochDir {
-    inner: Arc<Mutex<EpochDir>>,
+pub struct SharedEpochDir<V: Vfs = StdFs> {
+    inner: Arc<Mutex<EpochDir<V>>>,
 }
 
 impl SharedEpochDir {
     /// Open (or create) the directory; see [`EpochDir::open`].
     pub fn open(root: impl AsRef<Path>) -> io::Result<(Self, OpenReport)> {
-        let (dir, report) = EpochDir::open(root)?;
+        Self::open_on(StdFs, root)
+    }
+}
+
+impl<V: Vfs> SharedEpochDir<V> {
+    /// Open (or create) the directory on `fs`; see [`EpochDir::open_on`].
+    pub fn open_on(fs: V, root: impl AsRef<Path>) -> io::Result<(Self, OpenReport)> {
+        let (dir, report) = EpochDir::open_on(fs, root)?;
         Ok((
             SharedEpochDir {
                 inner: Arc::new(Mutex::new(dir)),
@@ -792,7 +818,7 @@ impl SharedEpochDir {
         ))
     }
 
-    fn lock(&self) -> MutexGuard<'_, EpochDir> {
+    fn lock(&self) -> MutexGuard<'_, EpochDir<V>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -834,12 +860,13 @@ impl SharedEpochDir {
     /// A lock-free read-only handle to the same directory, for readers
     /// (the resident query service) that must never contend with the
     /// seal path.
-    pub fn reader(&self) -> DirReader {
-        DirReader::new(self.lock().root())
+    pub fn reader(&self) -> DirReader<V> {
+        let guard = self.lock();
+        DirReader::on(guard.fs.clone(), guard.root())
     }
 }
 
-impl SpillSink for SharedEpochDir {
+impl<V: Vfs> SpillSink for SharedEpochDir<V> {
     fn spill(&mut self, epoch: &Arc<Epoch>) -> io::Result<()> {
         self.append(epoch)
     }
@@ -855,15 +882,27 @@ impl SpillSink for SharedEpochDir {
 /// like [`EpochDir::read_epoch`] but never repair — recovery belongs to the
 /// writer's [`EpochDir::open`].
 #[derive(Debug, Clone)]
-pub struct DirReader {
+pub struct DirReader<V: Vfs = StdFs> {
+    fs: V,
     root: PathBuf,
 }
 
 impl DirReader {
-    /// A reader over `root`. The directory may not exist yet; reads
-    /// simply find no epochs until a writer creates it.
+    /// A reader over `root` on the real filesystem. The directory may
+    /// not exist yet; reads simply find no epochs until a writer
+    /// creates it.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        DirReader { root: root.into() }
+        DirReader::on(StdFs, root)
+    }
+}
+
+impl<V: Vfs> DirReader<V> {
+    /// A reader over `root` on `fs`; see [`new`](DirReader::new).
+    pub fn on(fs: V, root: impl Into<PathBuf>) -> Self {
+        DirReader {
+            fs,
+            root: root.into(),
+        }
     }
 
     /// The directory this reader observes.
@@ -873,7 +912,7 @@ impl DirReader {
 
     /// The manifest's current entries (empty when no manifest exists).
     pub fn segments(&self) -> io::Result<Vec<SegmentMeta>> {
-        match fs::read(self.root.join(MANIFEST_NAME)) {
+        match self.fs.read(&self.root.join(MANIFEST_NAME)) {
             Ok(data) => decode_manifest(&data),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
             Err(e) => Err(e),
@@ -895,7 +934,7 @@ impl DirReader {
     /// reading all matching entries from one `segments()` call costs
     /// one manifest parse instead of one per id.
     pub fn read_segment(&self, meta: &SegmentMeta) -> io::Result<Epoch> {
-        read_segment(&self.root, meta)
+        read_segment(&self.fs, &self.root, meta)
     }
 
     /// The epoch stored exactly under `id` (compacted ids resolve to
@@ -906,7 +945,7 @@ impl DirReader {
             .iter()
             .find(|meta| !meta.is_bucket() && meta.first == id)
         {
-            Some(meta) => read_segment(&self.root, meta).map(Some),
+            Some(meta) => read_segment(&self.fs, &self.root, meta).map(Some),
             None => Ok(None),
         }
     }
@@ -917,7 +956,7 @@ impl DirReader {
     /// for the same callgraph reason as [`read_epoch`](Self::read_epoch).
     pub fn read_latest(&self) -> io::Result<Option<Epoch>> {
         match self.segments()?.last() {
-            Some(meta) => read_segment(&self.root, meta).map(Some),
+            Some(meta) => read_segment(&self.fs, &self.root, meta).map(Some),
             None => Ok(None),
         }
     }
@@ -951,7 +990,7 @@ pub struct Compactor {
 /// one sweep) and once more at shutdown. Event-driven by design: no
 /// timers, so behaviour is a deterministic function of the nudge
 /// sequence — the seal path nudges once per sealed epoch.
-pub fn spawn_compactor(dir: SharedEpochDir, policy: CompactionPolicy) -> Compactor {
+pub fn spawn_compactor<V: Vfs>(dir: SharedEpochDir<V>, policy: CompactionPolicy) -> Compactor {
     let (nudges, inbox) = mpsc::channel::<()>();
     let handle = std::thread::spawn(move || {
         let mut totals = CompactTotals::default();
@@ -1210,6 +1249,53 @@ mod tests {
         assert_eq!(reader.ids().unwrap(), Some((0, 8)));
         let segments = shared.len();
         assert!(segments < 9, "compaction shrank {segments} < 9 segments");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_deadlocking_the_spill_path() {
+        // A peer (in production: the Compactor thread) that panics
+        // while holding the directory guard poisons the Mutex. The
+        // seal/spill path must recover — `lock()` strips the poison —
+        // and a background compactor spawned afterwards must still
+        // sweep and shut down, not deadlock or propagate the panic.
+        let root = tmp("poison");
+        let (shared, _) = SharedEpochDir::open(&root).unwrap();
+        shared.append(&epoch(0, 10)).unwrap();
+
+        let peer = shared.clone();
+        let panicked = std::thread::spawn(move || {
+            let _guard = peer.inner.lock().unwrap();
+            panic!("compactor dies mid-sweep");
+        })
+        .join();
+        assert!(panicked.is_err(), "the peer must actually panic");
+        assert!(shared.inner.is_poisoned(), "the lock must be poisoned");
+
+        // Seal path: append still works through the poisoned lock.
+        for id in 1..5 {
+            shared.append(&epoch(id, 10)).unwrap();
+        }
+        assert_eq!(shared.len(), 5);
+
+        // Background compaction still runs and finishes cleanly.
+        let compactor = spawn_compactor(
+            shared.clone(),
+            CompactionPolicy {
+                bucket: 2,
+                keep_recent: 1,
+            },
+        );
+        compactor.nudge();
+        let totals = compactor.finish();
+        assert_eq!(totals.errors, 0, "{:?}", totals.last_error);
+        assert!(shared.len() < 5, "compaction progressed despite poison");
+
+        // And the directory reopens clean: disk state never ran ahead
+        // of the in-memory list, so the panic left nothing torn.
+        drop(shared);
+        let (_, report) = EpochDir::open(&root).unwrap();
+        assert!(report.quarantined.is_empty(), "{report:?}");
         std::fs::remove_dir_all(&root).ok();
     }
 

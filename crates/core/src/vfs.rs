@@ -1,0 +1,118 @@
+//! The storage abstraction behind the durable epoch tier.
+//!
+//! [`crate::segment`] performs exactly seven filesystem operations:
+//! create-dir, list-dir, read, create, rename, unlink, and directory
+//! fsync (plus `write_all`/`sync_all` on an open handle). The [`Vfs`]
+//! trait names precisely that surface so the segment store can run on
+//! two backends:
+//!
+//! - [`StdFs`], the default: a zero-sized passthrough to `std::fs`.
+//!   Every segment type defaults its backend type parameter to `StdFs`
+//!   (`EpochDir<V = StdFs>`), so production callers see the same
+//!   monomorphized code as before the trait existed — no dynamic
+//!   dispatch, no behavior change, no API change.
+//! - `crashsim::SimFs` (the `crashsim` crate): an in-memory
+//!   fault-injecting filesystem that records the op trace and replays
+//!   it with crashes injected at every prefix, un-fsynced writes
+//!   dropped, and final writes torn — the storage-ordering analogue of
+//!   the loom-shim's preemption exploration.
+//!
+//! The trait is deliberately *not* a general filesystem: no seek, no
+//! append-reopen, no permissions. Anything the segment store does not
+//! do, the model checker does not have to model.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An open writable file handle: the only two operations the durable
+/// tier performs between [`Vfs::create`] and [`Vfs::rename`].
+pub trait VfsFile {
+    /// Write all of `data` at the current end of the file.
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Flush the file's data (and metadata) to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem surface [`crate::segment`] runs on. See the module
+/// docs for the two implementations and why the surface is this small.
+pub trait Vfs: Clone + Send + Sync + std::fmt::Debug + 'static {
+    /// Handle type returned by [`create`](Self::create).
+    type File: VfsFile;
+
+    /// `std::fs::create_dir_all`.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// List `dir` as `(file name, byte length)` pairs, in any order.
+    /// (The segment store only ever needs names and exact lengths —
+    /// one listing replaces a `read_dir` + per-entry `metadata`.)
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<(String, u64)>>;
+
+    /// Read an entire file (`std::fs::read`); `NotFound` errors keep
+    /// their kind so callers can treat a missing manifest as empty.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Create (truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Self::File>;
+
+    /// Atomically rename `from` to `to` within one directory.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsync the directory itself, making prior renames in it durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production backend: a zero-sized passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StdFs;
+
+impl VfsFile for fs::File {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, data)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        fs::File::sync_all(self)
+    }
+}
+
+impl Vfs for StdFs {
+    type File = fs::File;
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<(String, u64)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            out.push((name, entry.metadata()?.len()));
+        }
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<fs::File> {
+        fs::File::create(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::File::open(dir)?.sync_all()
+    }
+}

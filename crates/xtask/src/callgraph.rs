@@ -148,6 +148,9 @@ pub struct ParsedFile {
     /// `// LINT: seqcst(reason)` annotations (justified `SeqCst`
     /// accesses, consumed by the atomics pass).
     pub seqcst_markers: Vec<OrderingMarker>,
+    /// `// LINT: lossy(reason)` annotations (justified dropped
+    /// `io::Result`s, consumed by the durability pass).
+    pub lossy_markers: Vec<OrderingMarker>,
     /// `LINT:` markers that failed to parse (missing reason/brace),
     /// as (line, message) — surfaced as findings, never ignored.
     pub marker_errors: Vec<(u32, String)>,
@@ -240,6 +243,7 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
     let mut cold_spans = Vec::new();
     let mut relaxed_markers = Vec::new();
     let mut seqcst_markers = Vec::new();
+    let mut lossy_markers = Vec::new();
     let mut marker_errors = Vec::new();
     let mut hot_lines = Vec::new();
     for (i, tok) in toks.iter().enumerate() {
@@ -291,14 +295,15 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
                         .to_string(),
                 )),
             }
-        } else if let Some(kind) = ["relaxed", "seqcst"]
+        } else if let Some(kind) = ["relaxed", "seqcst", "lossy"]
             .into_iter()
             .find(|k| directive.starts_with(k))
         {
-            // Ordering annotations share `bounded`'s coverage rule:
-            // trailing comments cover their own line, standalone
-            // comments the line below. The marker's own position is
-            // kept so the atomics pass can flag annotation rot.
+            // Ordering and lossy-IO annotations share `bounded`'s
+            // coverage rule: trailing comments cover their own line,
+            // standalone comments the line below. The marker's own
+            // position is kept so the atomics and durability passes
+            // can flag annotation rot.
             match marker_reason(directive) {
                 Some(_) => {
                     let standalone = !prev_code(&toks, i).is_some_and(|p| toks[p].line == tok.line);
@@ -310,17 +315,17 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
                         line: tok.line,
                         covers,
                     };
-                    if kind == "relaxed" {
-                        relaxed_markers.push(marker);
-                    } else {
-                        seqcst_markers.push(marker);
+                    match kind {
+                        "relaxed" => relaxed_markers.push(marker),
+                        "seqcst" => seqcst_markers.push(marker),
+                        _ => lossy_markers.push(marker),
                     }
                 }
                 None => marker_errors.push((
                     tok.line,
                     format!(
                         "`LINT: {kind}` marker without a written reason — use \
-                         `// LINT: {kind}(why this ordering is sound)`"
+                         `// LINT: {kind}(why this is sound)`"
                     ),
                 )),
             }
@@ -331,7 +336,7 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
                 tok.line,
                 format!(
                     "unknown `LINT:` directive `{}` — known: hot, bounded(reason), \
-                     cold(reason), relaxed(reason), seqcst(reason)",
+                     cold(reason), relaxed(reason), seqcst(reason), lossy(reason)",
                     directive.split_whitespace().next().unwrap_or("")
                 ),
             ));
@@ -534,6 +539,7 @@ pub fn parse_file(graph: &mut CallGraph, crate_name: &str, path: &str, text: &st
         cold_spans,
         relaxed_markers,
         seqcst_markers,
+        lossy_markers,
         marker_errors,
     });
 }

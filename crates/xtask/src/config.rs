@@ -92,6 +92,14 @@ pub struct Config {
     pub taint_length_idents: Vec<String>,
     /// `[[atomics.protocol]]` entries.
     pub protocols: Vec<ProtocolEntry>,
+    /// `[durability] crates`: crates whose non-test code the
+    /// durability rules (commit funnels, fsync pairing, dropped
+    /// `io::Result`s, lock discipline) apply to.
+    pub durability_crates: Vec<String>,
+    /// `[durability] funnels`: qualified-path suffixes of the commit
+    /// funnels — the only fns from which file creation, `write_all`,
+    /// `rename`, and deletion may be reached.
+    pub durability_funnels: Vec<String>,
 }
 
 #[derive(PartialEq)]
@@ -103,6 +111,7 @@ enum Section {
     Taint,
     Allow,
     Protocol,
+    Durability,
 }
 
 /// Parse `src` (the contents of `lint.toml`). Errors carry the line
@@ -140,6 +149,10 @@ pub fn parse(src: &str) -> Result<Config, String> {
             section = Section::Taint;
             continue;
         }
+        if line == "[durability]" {
+            section = Section::Durability;
+            continue;
+        }
         if line == "[[atomics.protocol]]" {
             section = Section::Protocol;
             cfg.protocols.push(ProtocolEntry {
@@ -166,6 +179,10 @@ pub fn parse(src: &str) -> Result<Config, String> {
             (Section::Taint, "sanitizers") => cfg.taint_sanitizers = parse_array(value, lineno)?,
             (Section::Taint, "length_idents") => {
                 cfg.taint_length_idents = parse_array(value, lineno)?
+            }
+            (Section::Durability, "crates") => cfg.durability_crates = parse_array(value, lineno)?,
+            (Section::Durability, "funnels") => {
+                cfg.durability_funnels = parse_array(value, lineno)?
             }
             (Section::Protocol, "name") => {
                 last_protocol(&mut cfg)?.name = parse_string(value, lineno)?

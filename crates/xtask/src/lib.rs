@@ -24,6 +24,7 @@ pub mod atomics;
 pub mod callgraph;
 pub mod config;
 pub mod dataflow;
+pub mod durability;
 pub mod lexer;
 pub mod rules;
 pub mod sarif;
@@ -48,6 +49,9 @@ pub struct PassTimings {
     pub atomics: Duration,
     /// Untrusted-input taint analysis.
     pub taint: Duration,
+    /// Durability-protocol checker (commit funnels, fsync pairing,
+    /// dropped `io::Result`s, lock discipline).
+    pub durability: Duration,
 }
 
 impl PassTimings {
@@ -60,6 +64,7 @@ impl PassTimings {
             ("dataflow", self.dataflow),
             ("atomics", self.atomics),
             ("taint", self.taint),
+            ("durability", self.durability),
         ] {
             out.push_str(&format!("{name}\t{:.1}ms\n", d.as_secs_f64() * 1e3));
         }
@@ -88,6 +93,7 @@ pub fn run_lint_with_timings(root: &Path) -> Result<(Vec<Finding>, PassTimings),
         &cfg.forbid_unsafe,
         &cfg.deny_unsafe,
         &cfg.lock_free,
+        &cfg.durability_crates,
     ] {
         for name in tier {
             if !known.contains(&name.as_str()) {
@@ -226,6 +232,16 @@ pub fn run_lint_with_timings(root: &Path) -> Result<(Vec<Finding>, PassTimings),
     let t0 = Instant::now();
     findings.extend(taint::check(&graph, &taint_cfg)?);
     timings.taint = t0.elapsed();
+
+    // v4 pass: durability protocol (commit funnels, fsync-then-rename
+    // pairing, dropped io::Results, lock discipline).
+    let dur_cfg = durability::DurabilityConfig {
+        crates: cfg.durability_crates.clone(),
+        funnels: cfg.durability_funnels.clone(),
+    };
+    let t0 = Instant::now();
+    findings.extend(durability::check(&graph, &dur_cfg)?);
+    timings.durability = t0.elapsed();
 
     // Apply the allowlist; every entry must earn its keep. An entry
     // with a `chain` glob only covers findings whose call chain

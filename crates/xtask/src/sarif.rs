@@ -12,7 +12,7 @@
 use crate::rules::Finding;
 
 /// Tool version stamped into `tool.driver.version`.
-const VERSION: &str = "3.0.0";
+const VERSION: &str = "4.0.0";
 
 /// Escape `s` for inclusion in a JSON string literal (RFC 8259 §7:
 /// quote, backslash, and control characters).
@@ -66,6 +66,21 @@ fn rule_description(rule: &str) -> &'static str {
         "taint-alloc" => "allocations sized by untrusted wire input are clamped before use",
         "taint-index" => "slice indexing with untrusted indices is bounded or annotated",
         "taint-arith" => "length arithmetic on untrusted input uses checked operations",
+        "durability-funnel" => {
+            "file mutations in durable-tier code flow only through the declared commit funnels"
+        }
+        "durability-sync" => {
+            "a written file handle is fsynced (sync_all) before any rename publishes it"
+        }
+        "durability-drop" => {
+            "durable-tier io::Results are handled or annotated // LINT: lossy(reason), never silently dropped"
+        }
+        "durability-unused-marker" => {
+            "every lossy annotation still covers a dropped io::Result"
+        }
+        "durability-lock" => {
+            "durable-tier code never acquires a second Mutex while holding one"
+        }
         _ => "cocolint finding",
     }
 }

@@ -1,0 +1,73 @@
+//! Durable store fixture: one pinned finding per durability rule,
+//! plus clean protocol code that must stay clean.
+
+use std::fs;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// The audited commit funnel: create, write, fsync, rename. Its own
+/// body is exempt from the funnel rule; the pairing rule still
+/// watches it (see the mutation test).
+pub fn publish(data: &[u8]) -> std::io::Result<()> {
+    commit(data)
+}
+
+fn commit(data: &[u8]) -> std::io::Result<()> {
+    let mut f = fs::File::create("seg.tmp")?;
+    f.write_all(data)?;
+    f.sync_all()?;
+    fs::rename("seg.tmp", "seg.cep")?;
+    let _ = fs::remove_file("seg.tmp.bak");
+    fs::remove_file("seg.old").ok();
+    fs::remove_file("seg.older").ok(); // LINT: lossy(gc is advisory; reopen sweeps)
+    Ok(())
+}
+
+// LINT: lossy(the drop this once covered is long gone)
+fn tidy() {}
+
+/// A second entry that skips the funnel: its rename is the
+/// durability-funnel finding.
+pub fn sidedoor() -> std::io::Result<()> {
+    stash()
+}
+
+fn stash() -> std::io::Result<()> {
+    fs::rename("a", "b")
+}
+
+/// Broken pairing, unreachable from any entry: written, never
+/// fsynced, renamed anyway.
+fn hasty(data: &[u8]) -> std::io::Result<()> {
+    let mut f = fs::File::create("h.tmp")?;
+    f.write_all(data)?;
+    fs::rename("h.tmp", "h.cep")
+}
+
+/// Holding `m` while `grab` takes `AUX` is the nested-lock shape.
+pub struct Locked {
+    m: Mutex<u32>,
+}
+
+static AUX: Mutex<u32> = Mutex::new(0);
+
+impl Locked {
+    /// Acquires `m`, then reaches `grab`'s acquisition of `AUX`.
+    pub fn outer(&self) -> u32 {
+        let g = self.m.lock().unwrap();
+        deep(*g)
+    }
+
+    /// Single-lock path: must stay clean.
+    pub fn single(&self) -> u32 {
+        *self.m.lock().unwrap()
+    }
+}
+
+fn deep(v: u32) -> u32 {
+    grab(v)
+}
+
+fn grab(v: u32) -> u32 {
+    *AUX.lock().unwrap() + v
+}

@@ -1,0 +1,146 @@
+//! Fixture tests for the v4 durability pass: a mini workspace pins
+//! every rule's exact file:line (and chain where the rule carries
+//! one), and the mutation test proves the seeded fault from the
+//! acceptance criteria — `sync_all` deleted from the commit funnel —
+//! is caught at the rename it unprotects, with its call chain.
+
+use std::path::Path;
+
+fn fixture_root(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Recursively copy `from` into `to` (fixture workspaces are tiny).
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+/// Replace `from` with `to` in `path`, asserting it was present.
+fn patch(path: &Path, from: &str, to: &str) {
+    let src = std::fs::read_to_string(path).unwrap();
+    assert!(
+        src.contains(from),
+        "fixture drifted: {from:?} not in {path:?}"
+    );
+    std::fs::write(path, src.replace(from, to)).unwrap();
+}
+
+/// Copy the fixture into a scratch dir, run `mutate`, lint, clean up.
+fn lint_mutated(
+    tag: &str,
+    mutate: impl FnOnce(&Path),
+) -> Result<Vec<xtask::rules::Finding>, String> {
+    let scratch = std::env::temp_dir().join(format!("cocolint_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&fixture_root("mini_durability"), &scratch);
+    mutate(&scratch);
+    let out = xtask::run_lint(&scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+    out
+}
+
+#[test]
+fn durability_fixture_pins_exact_findings() {
+    let findings = xtask::run_lint(&fixture_root("mini_durability")).unwrap();
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(rendered.len(), 6, "{rendered:#?}");
+    // The two unannotated dropped io::Results in the funnel body; the
+    // annotated one on the next line stays clean and keeps its marker
+    // alive.
+    assert!(
+        rendered[0].starts_with("crates/store/src/lib.rs:20: [durability-drop]"),
+        "{rendered:#?}"
+    );
+    assert!(
+        rendered[1].starts_with("crates/store/src/lib.rs:21: [durability-drop]"),
+        "{rendered:#?}"
+    );
+    // The stale marker above `tidy` covers nothing.
+    assert!(
+        rendered[2].starts_with("crates/store/src/lib.rs:26: [durability-unused-marker]"),
+        "{rendered:#?}"
+    );
+    // `sidedoor -> stash` renames without passing the funnel.
+    assert!(
+        rendered[3].starts_with("crates/store/src/lib.rs:36: [durability-funnel]"),
+        "{rendered:#?}"
+    );
+    assert_eq!(
+        findings[3].chain.as_deref().unwrap(),
+        "store::sidedoor -> store::stash"
+    );
+    // `hasty` renames a written, never-fsynced handle.
+    assert!(
+        rendered[4].starts_with("crates/store/src/lib.rs:44: [durability-sync]"),
+        "{rendered:#?}"
+    );
+    // `outer` holds `m` while `grab` (via `deep`) takes `AUX`.
+    assert!(
+        rendered[5].starts_with("crates/store/src/lib.rs:72: [durability-lock]"),
+        "{rendered:#?}"
+    );
+    assert_eq!(
+        findings[5].chain.as_deref().unwrap(),
+        "store::Locked::outer -> store::deep -> store::grab"
+    );
+}
+
+#[test]
+fn deleted_sync_all_in_the_funnel_is_caught_with_its_chain() {
+    // The static half of the seeded-mutation acceptance test (crashsim
+    // covers the runtime half): deleting the funnel's `sync_all`
+    // must surface at the rename it unprotects, chained from the pub
+    // entry that trusts the funnel.
+    let baseline = xtask::run_lint(&fixture_root("mini_durability")).unwrap();
+    assert!(
+        !baseline
+            .iter()
+            .any(|f| f.rule == "durability-sync" && f.line == 19),
+        "funnel must be clean before the mutation"
+    );
+    let mutated = lint_mutated("sync_mutation", |root| {
+        patch(
+            &root.join("crates/store/src/lib.rs"),
+            "f.sync_all()?;",
+            "/* fsync deleted */",
+        );
+    })
+    .unwrap();
+    let hit = mutated
+        .iter()
+        .find(|f| f.rule == "durability-sync" && f.line == 19)
+        .unwrap_or_else(|| panic!("mutation not caught: {mutated:#?}"));
+    assert!(hit.message.contains("without `sync_all`"), "{hit}");
+    assert_eq!(
+        hit.chain.as_deref().unwrap(),
+        "store::publish -> store::commit",
+        "{hit}"
+    );
+    // Exactly one new finding: the mutation, nothing else shifted.
+    assert_eq!(mutated.len(), baseline.len() + 1, "{mutated:#?}");
+}
+
+#[test]
+fn renamed_funnel_is_fatal_config_rot() {
+    let err = lint_mutated("funnel_rot", |root| {
+        patch(
+            &root.join("lint.toml"),
+            "funnels = [\"store::commit\"]",
+            "funnels = [\"store::commit_v2\"]",
+        );
+    })
+    .unwrap_err();
+    assert!(err.contains("matches no workspace fn"), "{err}");
+    assert!(err.contains("store::commit_v2"), "{err}");
+}

@@ -45,6 +45,16 @@ gate_begin "cargo test -p integration --test storage_recovery (crash recovery)"
 cargo test -q -p integration --test storage_recovery
 gate_end "recovery"
 
+# crashsim model-checks the durable tier's commit protocol: the real
+# append/compact/spill paths run on a fault-injecting in-memory Vfs,
+# then every crash schedule (op prefixes x dropped un-fsynced writes x
+# torn final write) replays through real EpochDir::open recovery. The
+# bounded tier here explores dozens of schedules per workload; the
+# VERIFY_HEAVY block below scales past the 500-schedule floor.
+gate_begin "crashsim (bounded crash-consistency model check)"
+cargo test -q -p crashsim
+gate_end "crashsim"
+
 # The vectorized hot path compiles to different code under
 # `--features simd` (AVX2 dispatch in hashkit, batched probe in core),
 # so the data-plane crates are tested in both configurations. On
@@ -70,7 +80,8 @@ gate_end "doc"
 # whole workspace must stay under 10s (binary is prebuilt by the
 # build gate above, so this times the analysis, not compilation).
 # --timings prints per-pass wall time (per-file, callgraph, dataflow,
-# atomics, taint) so a budget breach names the pass that regressed.
+# atomics, taint, durability) so a budget breach names the pass that
+# regressed.
 gate_begin "cocolint (cargo run -p xtask -- lint --timings)"
 LINT_T0=$(now_s)
 cargo run -q -p xtask -- lint --timings
@@ -93,6 +104,9 @@ if [ "${VERIFY_HEAVY:-0}" = "1" ]; then
     gate_begin "serve model checking (catalog/cache under loom)"
     cargo test -q -p serve --features heavy-tests
     gate_end "serve-model"
+    gate_begin "crashsim exhaustive (CRASHSIM_EXHAUSTIVE=1, >500 schedules per workload)"
+    CRASHSIM_EXHAUSTIVE=1 cargo test -q -p crashsim --test model -- --nocapture
+    gate_end "crashsim-heavy"
 fi
 
 echo "verify: OK"
